@@ -1,0 +1,68 @@
+// Figure 11: influence of the number of tuples per transaction. PayLess vs
+// Download All for t in {50, 100, 500}, on real data, TPC-H and TPC-H skew.
+// Expected shape: smaller t means more transactions for everyone, but the
+// PayLess-vs-Download-All relationship is unchanged.
+#include <cstdio>
+
+#include "bench/driver.h"
+
+namespace payless::bench {
+namespace {
+
+void RunPair(const workload::Bundle& bundle, int64_t t, int64_t reps) {
+  std::vector<std::vector<int64_t>> payless_runs, download_runs;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    auto payless =
+        workload::NewPayLessClient(bundle, workload::PayLessFullConfig());
+    auto download = workload::NewDownloadAllClient(bundle);
+    payless_runs.push_back(RunCumulative(payless.get(), bundle.queries));
+    download_runs.push_back(RunCumulative(download.get(), bundle.queries));
+  }
+  PrintSeries("PayLess t=" + std::to_string(t), MeanSeries(payless_runs));
+  PrintSeries("Download All t=" + std::to_string(t),
+              MeanSeries(download_runs));
+}
+
+int Main(int argc, char** argv) {
+  const int64_t reps = FlagOr(argc, argv, "reps", 1);
+  const int64_t real_q = FlagOr(argc, argv, "real_q", 100);
+  const int64_t tpch_q = FlagOr(argc, argv, "tpch_q", 5);
+  const int64_t page_sizes[] = {50, 100, 500};
+
+  std::printf("=== Figure 11a: real data, varying t ===\n");
+  for (const int64_t t : page_sizes) {
+    workload::RealDataOptions options;
+    options.scale = 0.05;
+    options.tuples_per_transaction = t;
+    auto bundle = workload::MakeRealBundle(
+        options, static_cast<size_t>(real_q), /*query_seed=*/1);
+    RunPair(*bundle, t, reps);
+  }
+
+  std::printf("=== Figure 11b: TPC-H, varying t ===\n");
+  for (const int64_t t : page_sizes) {
+    workload::TpchOptions options;
+    options.scale_factor = 0.002;
+    options.tuples_per_transaction = t;
+    auto bundle = workload::MakeTpchBundle(
+        options, static_cast<size_t>(tpch_q), /*query_seed=*/2);
+    RunPair(*bundle, t, reps);
+  }
+
+  std::printf("=== Figure 11c: TPC-H skew, varying t ===\n");
+  for (const int64_t t : page_sizes) {
+    workload::TpchOptions options;
+    options.scale_factor = 0.002;
+    options.zipf = 1.0;
+    options.tuples_per_transaction = t;
+    auto bundle = workload::MakeTpchBundle(
+        options, static_cast<size_t>(tpch_q), /*query_seed=*/3);
+    RunPair(*bundle, t, reps);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace payless::bench
+
+int main(int argc, char** argv) { return payless::bench::Main(argc, argv); }

@@ -1,0 +1,62 @@
+// Figure 12: influence of the number of query instances per template (q).
+// PayLess vs Download All for q in {100, 200, 300} on real data and
+// q in {5, 10, 20} on TPC-H / TPC-H skew. Expected shape: PayLess stays
+// below Download All on real data for every q; on TPC-H it wins until the
+// whole dataset is effectively retrieved.
+#include <cstdio>
+
+#include "bench/driver.h"
+
+namespace payless::bench {
+namespace {
+
+void RunPair(const workload::Bundle& bundle) {
+  auto payless =
+      workload::NewPayLessClient(bundle, workload::PayLessFullConfig());
+  auto download = workload::NewDownloadAllClient(bundle);
+  const auto payless_run = RunCumulative(payless.get(), bundle.queries);
+  const auto download_run = RunCumulative(download.get(), bundle.queries);
+  PrintSeries("PayLess", MeanSeries({payless_run}));
+  PrintSeries("Download All", MeanSeries({download_run}));
+}
+
+int Main(int argc, char** argv) {
+  const int64_t real_scale_pct = FlagOr(argc, argv, "real_scale_pct", 5);
+
+  for (const int64_t q : {100, 200, 300}) {
+    std::printf("=== Figure 12 (real data): q = %lld ===\n",
+                static_cast<long long>(q));
+    workload::RealDataOptions options;
+    options.scale = static_cast<double>(real_scale_pct) / 100.0;
+    auto bundle = workload::MakeRealBundle(options, static_cast<size_t>(q),
+                                           /*query_seed=*/10 + q);
+    RunPair(*bundle);
+  }
+
+  for (const int64_t q : {5, 10, 20}) {
+    std::printf("=== Figure 12 (TPC-H): q = %lld ===\n",
+                static_cast<long long>(q));
+    workload::TpchOptions options;
+    options.scale_factor = 0.002;
+    auto bundle = workload::MakeTpchBundle(options, static_cast<size_t>(q),
+                                           /*query_seed=*/20 + q);
+    RunPair(*bundle);
+  }
+
+  for (const int64_t q : {5, 10, 20}) {
+    std::printf("=== Figure 12 (TPC-H skew): q = %lld ===\n",
+                static_cast<long long>(q));
+    workload::TpchOptions options;
+    options.scale_factor = 0.002;
+    options.zipf = 1.0;
+    auto bundle = workload::MakeTpchBundle(options, static_cast<size_t>(q),
+                                           /*query_seed=*/30 + q);
+    RunPair(*bundle);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace payless::bench
+
+int main(int argc, char** argv) { return payless::bench::Main(argc, argv); }

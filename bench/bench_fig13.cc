@@ -1,0 +1,44 @@
+// Figure 13: influence of the data size. PayLess vs Download All on TPC-H
+// and TPC-H skew at D in {0.5x, 1x, 2x} of the base scale factor. Expected
+// shape: Download All scales with D, PayLess scales with what the queries
+// touch, winning until the dataset is effectively retrieved.
+#include <cstdio>
+
+#include "bench/driver.h"
+
+namespace payless::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const int64_t q = FlagOr(argc, argv, "q", 5);
+  const double base_sf = 0.002;
+
+  for (const double zipf : {0.0, 1.0}) {
+    std::printf("=== Figure 13%s: TPC-H%s, varying data size ===\n",
+                zipf == 0.0 ? "a" : "b", zipf == 0.0 ? "" : " skew");
+    for (const double mult : {0.5, 1.0, 2.0}) {
+      workload::TpchOptions options;
+      options.scale_factor = base_sf * mult;
+      options.zipf = zipf;
+      auto bundle = workload::MakeTpchBundle(
+          options, static_cast<size_t>(q),
+          /*query_seed=*/static_cast<uint64_t>(40 + mult * 10 + zipf));
+      auto payless =
+          workload::NewPayLessClient(*bundle, workload::PayLessFullConfig());
+      auto download = workload::NewDownloadAllClient(*bundle);
+      const auto payless_run = RunCumulative(payless.get(), bundle->queries);
+      const auto download_run = RunCumulative(download.get(), bundle->queries);
+      char label[32];
+      std::snprintf(label, sizeof(label), "D=%.1fx", mult);
+      PrintSeries(std::string("PayLess ") + label, MeanSeries({payless_run}));
+      PrintSeries(std::string("Download All ") + label,
+                  MeanSeries({download_run}));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace payless::bench
+
+int main(int argc, char** argv) { return payless::bench::Main(argc, argv); }

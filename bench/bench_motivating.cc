@@ -1,0 +1,131 @@
+// Figure 1 (b, c): the motivating example. The WHW setup of the paper —
+// 788 US weather stations, exactly one of them in Seattle (StationID 3817),
+// 30 days of June 2014 — and query Q1 (daily temperature of Seattle in June
+// 2014). Plan P1 (range call on Weather for the whole US month) costs
+// 1 + ceil(788*30/100) = 238 transactions; plan P2 (bind join on StationID)
+// costs 1 + 1 = 2. PayLess must pick P2 and be billed 2 transactions.
+#include <cstdio>
+
+#include <cassert>
+
+#include "exec/payless.h"
+#include "market/data_market.h"
+#include "sql/parser.h"
+
+namespace payless::bench {
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::TableDef;
+
+int Main() {
+  // ---- The data of the example.
+  const int64_t kUsStations = 788;
+  const int64_t kSeattleStation = 3500;
+  const int64_t kJuneFirst = 20140601;
+  const int64_t kJuneLast = 20140630;
+
+  catalog::Catalog cat;
+  Status st = cat.RegisterDataset(catalog::DatasetDef{"WHW", 1.0, 100});
+  assert(st.ok());
+
+  // Published basic statistics (§2.1): the US slice of WHW — 788 stations,
+  // one per city (Seattle's only station is #3500), June 2014 coverage.
+  AttrDomain country_domain = AttrDomain::Categorical({"United States"});
+  AttrDomain station_domain = AttrDomain::Numeric(3001, 3001 + kUsStations - 1);
+  std::vector<std::string> cities;
+  for (int64_t id = 1; id <= kUsStations; ++id) {
+    cities.push_back(3000 + id == kSeattleStation
+                         ? "Seattle"
+                         : "City" + std::to_string(1000 + id));
+  }
+  std::sort(cities.begin(), cities.end());
+  AttrDomain city_domain = AttrDomain::Categorical(cities);
+  AttrDomain date_domain = AttrDomain::Numeric(kJuneFirst, kJuneLast);
+
+  TableDef station_def;
+  station_def.name = "Station";
+  station_def.dataset = "WHW";
+  station_def.columns = {
+      ColumnDef::Free("Country", ValueType::kString, country_domain),
+      ColumnDef::Free("StationID", ValueType::kInt64, station_domain),
+      ColumnDef::Free("City", ValueType::kString, city_domain)};
+  station_def.cardinality = kUsStations;
+  st = cat.RegisterTable(station_def);
+  assert(st.ok());
+
+  TableDef weather_def;
+  weather_def.name = "Weather";
+  weather_def.dataset = "WHW";
+  weather_def.columns = {
+      ColumnDef::Free("Country", ValueType::kString, country_domain),
+      ColumnDef::Free("StationID", ValueType::kInt64, station_domain),
+      ColumnDef::Free("Date", ValueType::kInt64, date_domain),
+      ColumnDef::Output("Temperature", ValueType::kDouble)};
+  weather_def.cardinality = kUsStations * 30;
+  st = cat.RegisterTable(weather_def);
+  assert(st.ok());
+
+  market::DataMarket market(&cat);
+  {
+    std::vector<Row> stations;
+    std::vector<Row> weather;
+    for (int64_t id = 1; id <= kUsStations; ++id) {
+      const int64_t station_id = 3000 + id;
+      const bool seattle = station_id == kSeattleStation;
+      stations.push_back(Row{Value("United States"), Value(station_id),
+                             Value(seattle ? "Seattle"
+                                           : "City" + std::to_string(1000 + id))});
+      for (int64_t day = kJuneFirst; day <= kJuneLast; ++day) {
+        weather.push_back(Row{Value("United States"), Value(station_id),
+                              Value(day), Value(20.0 + day % 7)});
+      }
+    }
+    st = market.HostTable("Station", std::move(stations));
+    assert(st.ok());
+    st = market.HostTable("Weather", std::move(weather));
+    assert(st.ok());
+  }
+
+  // ---- Plan P1's price, computed the way Fig. 1b does.
+  const int64_t p1 = 1 + (kUsStations * 30 + 99) / 100;
+  std::printf("Plan P1 (range call on Weather): 1 + ceil(%lld*30/100)"
+              " = %lld transactions\n",
+              static_cast<long long>(kUsStations), static_cast<long long>(p1));
+
+  // ---- PayLess end to end.
+  exec::PayLessConfig config;
+  exec::PayLess payless(&cat, &market, config);
+  const std::string q1 =
+      "SELECT Temperature FROM Station, Weather "
+      "WHERE City = 'Seattle' AND Station.Country = 'United States' AND "
+      "Weather.Country = 'United States' AND "
+      "Date >= 20140601 AND Date <= 20140630 AND "
+      "Station.StationID = Weather.StationID";
+  Result<exec::QueryReport> report = payless.QueryWithReport(q1);
+  if (!report.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  {
+    Result<sql::SelectStmt> stmt = sql::Parse(q1);
+    assert(stmt.ok());
+    Result<sql::BoundQuery> bound = sql::Bind(*stmt, cat, {});
+    assert(bound.ok());
+    std::printf("PayLess plan:\n%s", report->plan.Describe(*bound).c_str());
+  }
+  std::printf("PayLess billed: %lld transactions (paper plan P2: 2)\n",
+              static_cast<long long>(report->transactions_spent));
+  std::printf("Result rows: %zu (expected 30 daily temperatures)\n",
+              report->result.num_rows());
+  return report->transactions_spent == 2 && report->result.num_rows() == 30
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace payless::bench
+
+int main() { return payless::bench::Main(); }

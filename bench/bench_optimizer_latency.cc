@@ -1,0 +1,119 @@
+// §5 "Efficiency": the paper reports that PayLess's optimization and local
+// execution finish within milliseconds. google-benchmark microbenchmarks of
+// the parse + bind + optimize pipeline (cold and warm semantic store) and of
+// remainder-query generation.
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.h"
+#include "exec/payless.h"
+#include "semstore/remainder.h"
+#include "sql/parser.h"
+#include "workload/bundle.h"
+
+namespace payless::bench {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<workload::Bundle> bundle;
+  std::unique_ptr<exec::PayLess> warm_client;
+
+  Fixture() {
+    workload::RealDataOptions options;
+    options.scale = 0.05;
+    bundle = workload::MakeRealBundle(options, /*per_template=*/20,
+                                      /*query_seed=*/5);
+    // Warm the semantic store and the statistics with half the workload.
+    warm_client =
+        workload::NewPayLessClient(*bundle, workload::PayLessFullConfig());
+    for (size_t i = 0; i < bundle->queries.size() / 2; ++i) {
+      const auto& q = bundle->queries[i];
+      const auto result = warm_client->Query(q.sql, q.params);
+      assert(result.ok());
+      (void)result;
+    }
+  }
+
+  static Fixture& Get() {
+    static Fixture fixture;
+    return fixture;
+  }
+};
+
+void BM_ParseAndBind(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const auto& query = f.bundle->queries.front();
+  for (auto _ : state) {
+    auto stmt = sql::Parse(query.sql);
+    assert(stmt.ok());
+    auto bound = sql::Bind(*stmt, f.bundle->catalog, query.params);
+    assert(bound.ok());
+    benchmark::DoNotOptimize(bound);
+  }
+}
+BENCHMARK(BM_ParseAndBind);
+
+void BM_OptimizeWarmStore(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  // Optimize each workload query in turn against the warmed store.
+  std::vector<sql::BoundQuery> bound_queries;
+  for (const auto& q : f.bundle->queries) {
+    auto stmt = sql::Parse(q.sql);
+    auto bound = sql::Bind(*stmt, f.bundle->catalog, q.params);
+    bound_queries.push_back(std::move(*bound));
+  }
+  const core::Optimizer optimizer(
+      &f.bundle->catalog, &f.warm_client->stats(), &f.warm_client->store(),
+      workload::PayLessFullConfig().optimizer);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = optimizer.Optimize(bound_queries[i % bound_queries.size()]);
+    assert(result.ok());
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+}
+BENCHMARK(BM_OptimizeWarmStore);
+
+void BM_RemainderGeneration(benchmark::State& state) {
+  // A 2-d query with `holes` stored views, Fig. 7 style.
+  const int64_t holes = state.range(0);
+  const Box query({Interval(0, 1000), Interval(0, 1000)});
+  std::vector<Box> stored;
+  for (int64_t i = 0; i < holes; ++i) {
+    const int64_t x = (i * 137) % 900;
+    const int64_t y = (i * 211) % 900;
+    stored.push_back(Box({Interval(x, x + 80), Interval(y, y + 80)}));
+  }
+  std::vector<semstore::DimSpec> dims(2);
+  dims[0].mode = semstore::DimSpec::Mode::kNumeric;
+  dims[0].domain = Interval(0, 1000);
+  dims[1] = dims[0];
+  semstore::RemainderOptions options;
+  for (auto _ : state) {
+    auto result = semstore::GenerateRemainder(
+        query, stored, dims, [](const Box& b) {
+          return static_cast<double>(b.Volume()) / 1000.0;
+        },
+        options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RemainderGeneration)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_EndToEndQueryWarm(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  size_t i = f.bundle->queries.size() / 2;
+  for (auto _ : state) {
+    const auto& q = f.bundle->queries[i % f.bundle->queries.size()];
+    auto result = f.warm_client->Query(q.sql, q.params);
+    assert(result.ok());
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+}
+BENCHMARK(BM_EndToEndQueryWarm);
+
+}  // namespace
+}  // namespace payless::bench
+
+BENCHMARK_MAIN();

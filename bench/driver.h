@@ -1,0 +1,83 @@
+// Shared experiment driver for the figure-regeneration benches: runs a
+// query stream through a client and records the cumulative number of data
+// market transactions after every query (the paper's y-axis).
+#ifndef PAYLESS_BENCH_DRIVER_H_
+#define PAYLESS_BENCH_DRIVER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/bundle.h"
+
+namespace payless::bench {
+
+/// Runs every query; returns cumulative transactions after each one.
+/// Aborts loudly on any query failure — a bench must not silently skip.
+template <typename Client>
+std::vector<int64_t> RunCumulative(Client* client,
+                                   const std::vector<workload::QueryInstance>& queries) {
+  std::vector<int64_t> cumulative;
+  cumulative.reserve(queries.size());
+  for (const workload::QueryInstance& query : queries) {
+    const auto result = client->Query(query.sql, query.params);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n  sql: %s\n",
+                   result.status().ToString().c_str(), query.sql.c_str());
+      std::abort();
+    }
+    cumulative.push_back(client->meter().total_transactions());
+  }
+  return cumulative;
+}
+
+/// Element-wise mean of several cumulative series (repetition averaging).
+inline std::vector<double> MeanSeries(
+    const std::vector<std::vector<int64_t>>& runs) {
+  std::vector<double> mean(runs.empty() ? 0 : runs[0].size(), 0.0);
+  for (const std::vector<int64_t>& run : runs) {
+    for (size_t i = 0; i < run.size(); ++i) {
+      mean[i] += static_cast<double>(run[i]);
+    }
+  }
+  for (double& v : mean) v /= static_cast<double>(runs.size());
+  return mean;
+}
+
+/// Prints one labelled series at evenly spaced checkpoints (plus the final
+/// point), in the "x y" layout of the paper's gnuplot figures.
+inline void PrintSeries(const std::string& label,
+                        const std::vector<double>& series,
+                        size_t checkpoints = 10) {
+  std::printf("# %s\n", label.c_str());
+  if (series.empty()) return;
+  const size_t step = series.size() <= checkpoints
+                          ? 1
+                          : series.size() / checkpoints;
+  for (size_t i = step - 1; i < series.size(); i += step) {
+    std::printf("%zu %.1f\n", i + 1, series[i]);
+  }
+  if ((series.size() - 1) % step != step - 1) {
+    std::printf("%zu %.1f\n", series.size(), series.back());
+  }
+  std::printf("\n");
+}
+
+/// Parses "--key=value" style int64 flags (very small helper; benches have
+/// a handful of knobs each).
+inline int64_t FlagOr(int argc, char** argv, const std::string& key,
+                      int64_t fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoll(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace payless::bench
+
+#endif  // PAYLESS_BENCH_DRIVER_H_

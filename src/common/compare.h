@@ -1,0 +1,60 @@
+// Scalar comparison operators shared by the SQL front end, the local
+// relational operators, and REST-call condition evaluation.
+#ifndef PAYLESS_COMMON_COMPARE_H_
+#define PAYLESS_COMMON_COMPARE_H_
+
+#include "common/value.h"
+
+namespace payless {
+
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+inline const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+/// SQL comparison semantics: any comparison with NULL is false.
+inline bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace payless
+
+#endif  // PAYLESS_COMMON_COMPARE_H_

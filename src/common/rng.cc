@@ -1,0 +1,28 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace payless {
+
+ZipfDistribution::ZipfDistribution(int64_t n, double z) : n_(n) {
+  assert(n >= 1);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), z);
+    cdf_[static_cast<size_t>(rank - 1)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+int64_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->UniformReal(0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const size_t idx =
+      it == cdf_.end() ? cdf_.size() - 1
+                       : static_cast<size_t>(it - cdf_.begin());
+  return static_cast<int64_t>(idx) + 1;
+}
+
+}  // namespace payless

@@ -1,0 +1,76 @@
+// Deterministic randomness for workload generation and experiments.
+//
+// All stochastic behaviour in PayLess benches flows from a seeded Rng so
+// every table/figure regeneration is reproducible run-to-run.
+#ifndef PAYLESS_COMMON_RNG_H_
+#define PAYLESS_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace payless {
+
+/// Seeded PRNG wrapper (mt19937_64) with the sampling primitives the
+/// workload generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi], inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool Chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Index in [0, n) for container selection.
+  size_t Index(size_t n) {
+    assert(n > 0);
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      std::swap((*items)[i - 1], (*items)[Index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf(z) sampler over ranks 1..n, used by the TPC-H skew generator
+/// (Chaudhuri & Narasayya style, z = 1 in the paper's experiments).
+/// Precomputes the CDF once; Sample() is O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double z);
+
+  /// Returns a rank in [1, n]; rank 1 is the most frequent.
+  int64_t Sample(Rng* rng) const;
+
+  int64_t n() const { return n_; }
+
+ private:
+  int64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace payless
+
+#endif  // PAYLESS_COMMON_RNG_H_

@@ -1,0 +1,72 @@
+// Execution plans for data-market queries.
+//
+// By Theorem 1, PayLess only needs LEFT-DEEP plans: a plan is an ordered
+// sequence of relation accesses, joined left-to-right by the local engine.
+// Only the accesses (REST calls) carry price; local joins are free. The
+// zero-price relations — local tables, always-empty relations, and market
+// relations whose footprint the semantic store already covers — form the
+// leftmost prefix (Theorem 2).
+#ifndef PAYLESS_CORE_PLAN_H_
+#define PAYLESS_CORE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "semstore/remainder.h"
+#include "sql/bound_query.h"
+
+namespace payless::core {
+
+/// How one relation of the query is accessed.
+struct AccessSpec {
+  enum class Kind {
+    kLocal,   // buyer-side table: free
+    kEmpty,   // contradictory conditions: no access at all
+    kCached,  // market table fully covered by the semantic store: free
+    kPlain,   // REST call(s) shaped by the query's own conditions
+    kBind,    // bind join: one call (or remainder set) per left binding value
+  };
+
+  size_t rel = 0;  // index into BoundQuery::relations
+  Kind kind = Kind::kLocal;
+
+  /// kBind: the join edges supplying binding values. Each edge's side
+  /// pointing at `rel` names a constrainable column of this relation; the
+  /// other side must belong to a relation placed earlier in the plan.
+  std::vector<sql::JoinEdge> bind_edges;
+
+  bool used_sqr = false;            // remainder rewriting applied
+  double est_rows = 0.0;            // estimated retrieved rows
+  double est_bind_values = 0.0;     // kBind: estimated distinct binding values
+  int64_t est_transactions = 0;     // estimated price (transactions)
+  int64_t est_calls = 0;            // estimated number of REST calls
+  semstore::RemainderCounters sqr_counters;
+
+  bool IsZeroPrice() const {
+    return kind == Kind::kLocal || kind == Kind::kEmpty ||
+           kind == Kind::kCached;
+  }
+};
+
+const char* AccessKindName(AccessSpec::Kind kind);
+
+/// A complete left-deep plan: accesses in execution order.
+struct Plan {
+  std::vector<AccessSpec> accesses;
+  int64_t est_cost = 0;         // φ(P) under the optimizer's cost model
+  double est_result_rows = 0.0; // estimated final join cardinality
+
+  std::string Describe(const sql::BoundQuery& query) const;
+};
+
+/// Optimizer instrumentation (Figs. 14 and 15).
+struct PlanningCounters {
+  size_t evaluated_plans = 0;    // candidate (sub)plans costed
+  size_t enumerated_bboxes = 0;  // Algorithm-1 boxes constructed
+  size_t kept_bboxes = 0;        // boxes surviving the pruning rules
+};
+
+}  // namespace payless::core
+
+#endif  // PAYLESS_CORE_PLAN_H_

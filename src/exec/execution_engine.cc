@@ -1,0 +1,300 @@
+#include "exec/execution_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "core/optimizer.h"
+#include "exec/local_eval.h"
+#include "market/rest_call.h"
+#include "storage/ops.h"
+
+namespace payless::exec {
+
+namespace {
+
+/// Row collector with whole-row deduplication (cached and freshly fetched
+/// tuples can overlap when a remainder box spans stored regions).
+class RowSet {
+ public:
+  void Add(const Row& row) {
+    if (seen_.insert(row).second) rows_.push_back(row);
+  }
+  void AddAll(const std::vector<Row>& rows) {
+    for (const Row& row : rows) Add(row);
+  }
+  std::vector<Row> Take() { return std::move(rows_); }
+  size_t size() const { return rows_.size(); }
+
+ private:
+  std::unordered_set<Row, RowHasher> seen_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace
+
+Result<storage::Table> ExecutionEngine::FetchRelation(
+    const sql::BoundQuery& query, const core::AccessSpec& access,
+    const storage::Table& left_result, const std::vector<size_t>& offsets,
+    const ExecConfig& config, ExecStats* exec_stats) {
+  const sql::BoundRelation& rel = query.relations[access.rel];
+  const catalog::TableDef& def = *rel.def;
+  storage::Table table(storage::SchemaFromTableDef(def));
+
+  const auto issue = [&](const market::RestCall& call,
+                         RowSet* rows) -> Status {
+    Result<market::CallResult> result = connector_->Get(call);
+    PAYLESS_RETURN_IF_ERROR(result.status());
+    rows->AddAll(result->rows);
+    if (exec_stats != nullptr) {
+      ++exec_stats->calls;
+      exec_stats->transactions += result->transactions;
+      exec_stats->rows_from_market += result->num_records;
+    }
+    return Status::OK();
+  };
+
+  switch (access.kind) {
+    case core::AccessSpec::Kind::kEmpty:
+      return table;
+
+    case core::AccessSpec::Kind::kLocal: {
+      const storage::Table* local = local_db_->FindTable(def.name);
+      if (local == nullptr) {
+        return Status::NotFound("local table '" + def.name +
+                                "' has no data in the buyer DBMS");
+      }
+      return *local;
+    }
+
+    case core::AccessSpec::Kind::kCached: {
+      const std::vector<Row> rows =
+          store_->RowsInRegion(def, rel.QueryRegion(), config.min_epoch);
+      if (exec_stats != nullptr) {
+        exec_stats->rows_from_cache += static_cast<int64_t>(rows.size());
+      }
+      for (const Row& row : rows) table.Append(row);
+      return table;
+    }
+
+    case core::AccessSpec::Kind::kPlain: {
+      const Box region = rel.QueryRegion();
+      RowSet rows;
+      if (config.use_sqr) {
+        // Re-run the rewrite against the live store: views may have grown
+        // since planning (earlier accesses of this very query included).
+        const std::vector<Row> cached =
+            store_->RowsInRegion(def, region, config.min_epoch);
+        if (exec_stats != nullptr) {
+          exec_stats->rows_from_cache += static_cast<int64_t>(cached.size());
+        }
+        rows.AddAll(cached);
+        const catalog::DatasetDef* dataset = catalog_->DatasetOf(def);
+        semstore::RemainderOptions rem_options = config.remainder;
+        rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
+        const semstore::RemainderResult rem = semstore::GenerateRemainder(
+            region, store_->CoveredRegions(def.name, config.min_epoch),
+            core::Optimizer::DimSpecsFor(def),
+            [&](const Box& box) {
+              return stats_->EstimateRows(def.name, box);
+            },
+            rem_options);
+        for (const Box& box : rem.remainder_boxes) {
+          Result<market::RestCall> call = market::CallFromRegion(def, box);
+          PAYLESS_RETURN_IF_ERROR(call.status());
+          PAYLESS_RETURN_IF_ERROR(issue(*call, &rows));
+        }
+      } else {
+        market::RestCall call;
+        call.table = def.name;
+        call.conditions = rel.conditions;
+        PAYLESS_RETURN_IF_ERROR(issue(call, &rows));
+      }
+      for (Row& row : rows.Take()) table.Append(std::move(row));
+      return table;
+    }
+
+    case core::AccessSpec::Kind::kBind: {
+      // Binding columns and the left-result positions feeding them.
+      std::vector<size_t> bind_cols;
+      std::vector<size_t> left_positions;
+      for (const sql::JoinEdge& edge : access.bind_edges) {
+        const bool own_left = edge.left.rel == access.rel;
+        const sql::BoundColumnRef& own = own_left ? edge.left : edge.right;
+        const sql::BoundColumnRef& other = own_left ? edge.right : edge.left;
+        if (std::find(bind_cols.begin(), bind_cols.end(), own.col) !=
+            bind_cols.end()) {
+          continue;  // one feeding edge per binding column suffices
+        }
+        bind_cols.push_back(own.col);
+        left_positions.push_back(offsets[other.rel] + other.col);
+      }
+      if (bind_cols.empty()) {
+        return Status::Internal("bind access without usable bind edges");
+      }
+
+      // Distinct binding combinations from the running join result.
+      std::vector<Row> combos;
+      {
+        std::unordered_set<Row, RowHasher> seen;
+        for (const Row& row : left_result.rows()) {
+          Row combo;
+          combo.reserve(left_positions.size());
+          bool has_null = false;
+          for (const size_t pos : left_positions) {
+            if (row[pos].is_null()) has_null = true;
+            combo.push_back(row[pos]);
+          }
+          if (has_null) continue;  // NULL never joins
+          if (seen.insert(combo).second) combos.push_back(std::move(combo));
+        }
+      }
+
+      RowSet rows;
+      const bool single_dim = bind_cols.size() == 1;
+      if (config.use_sqr && single_dim) {
+        // Fig. 9 path: the binding values are KNOWN here, so the bind
+        // dimension becomes a value-set dimension and remainder generation
+        // may merge values into range calls or reuse stored slabs.
+        const size_t col = bind_cols[0];
+        const catalog::ColumnDef& column = def.columns[col];
+        const std::vector<size_t> constrainable = def.ConstrainableColumns();
+        const auto dim_it =
+            std::find(constrainable.begin(), constrainable.end(), col);
+        assert(dim_it != constrainable.end());
+        const size_t dim = static_cast<size_t>(dim_it - constrainable.begin());
+
+        Box region = rel.QueryRegion();
+        std::vector<int64_t> codes;
+        for (const Row& combo : combos) {
+          const std::optional<int64_t> code = column.domain.Encode(combo[0]);
+          // Values outside the published domain cannot exist market-side.
+          if (code.has_value() && region.dim(dim).Contains(*code)) {
+            codes.push_back(*code);
+          }
+        }
+        std::sort(codes.begin(), codes.end());
+        codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+        if (codes.empty()) return table;
+
+        std::vector<semstore::DimSpec> dims = core::Optimizer::DimSpecsFor(def);
+        dims[dim].mode = semstore::DimSpec::Mode::kValueSet;
+        dims[dim].known_values = codes;
+        dims[dim].whole_domain_allowed =
+            column.binding == catalog::BindingKind::kFree;
+        region.dim(dim) = Interval(codes.front(), codes.back());
+
+        // Stored tuples on the requested slabs.
+        for (const int64_t code : codes) {
+          Box slab = region;
+          slab.dim(dim) = Interval::Point(code);
+          const std::vector<Row> cached =
+              store_->RowsInRegion(def, slab, config.min_epoch);
+          if (exec_stats != nullptr) {
+            exec_stats->rows_from_cache += static_cast<int64_t>(cached.size());
+          }
+          rows.AddAll(cached);
+        }
+
+        const catalog::DatasetDef* dataset = catalog_->DatasetOf(def);
+        semstore::RemainderOptions rem_options = config.remainder;
+        rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
+        const semstore::RemainderResult rem = semstore::GenerateRemainder(
+            region, store_->CoveredRegions(def.name, config.min_epoch), dims,
+            [&](const Box& box) {
+              return stats_->EstimateRows(def.name, box);
+            },
+            rem_options);
+        for (const Box& box : rem.remainder_boxes) {
+          Result<market::RestCall> call = market::CallFromRegion(def, box);
+          PAYLESS_RETURN_IF_ERROR(call.status());
+          PAYLESS_RETURN_IF_ERROR(issue(*call, &rows));
+        }
+      } else {
+        // One point call per binding combination; with SQR on, fully
+        // covered combinations are served from the store.
+        for (const Row& combo : combos) {
+          market::RestCall call;
+          call.table = def.name;
+          call.conditions = rel.conditions;
+          for (size_t i = 0; i < bind_cols.size(); ++i) {
+            call.conditions[bind_cols[i]] =
+                market::AttrCondition::Point(combo[i]);
+          }
+          if (config.use_sqr) {
+            const Box point_region = market::CallRegion(def, call);
+            if (point_region.empty()) continue;  // value outside the domain
+            if (store_->Covers(def, point_region, config.min_epoch)) {
+              const std::vector<Row> cached = store_->RowsInRegion(
+                  def, point_region, config.min_epoch);
+              if (exec_stats != nullptr) {
+                exec_stats->rows_from_cache +=
+                    static_cast<int64_t>(cached.size());
+              }
+              rows.AddAll(cached);
+              continue;
+            }
+          }
+          PAYLESS_RETURN_IF_ERROR(issue(call, &rows));
+        }
+      }
+      for (Row& row : rows.Take()) table.Append(std::move(row));
+      return table;
+    }
+  }
+  return Status::Internal("unknown access kind");
+}
+
+Result<storage::Table> ExecutionEngine::Execute(const sql::BoundQuery& query,
+                                                const core::Plan& plan,
+                                                const ExecConfig& config,
+                                                ExecStats* exec_stats) {
+  const size_t n = query.relations.size();
+  if (plan.accesses.size() != n) {
+    return Status::InvalidArgument("plan covers " +
+                                   std::to_string(plan.accesses.size()) +
+                                   " of " + std::to_string(n) + " relations");
+  }
+  std::vector<bool> seen(n, false);
+  for (const core::AccessSpec& access : plan.accesses) {
+    if (access.rel >= n || seen[access.rel]) {
+      return Status::InvalidArgument("plan accesses a relation twice");
+    }
+    seen[access.rel] = true;
+  }
+
+  std::vector<storage::Table> rel_tables(n);
+  std::vector<size_t> offsets(n, 0);
+  std::vector<bool> placed(n, false);
+  storage::Table current;  // unit table
+  current.Append({});
+  size_t width = 0;
+
+  for (const core::AccessSpec& access : plan.accesses) {
+    Result<storage::Table> fetched =
+        FetchRelation(query, access, current, offsets, config, exec_stats);
+    PAYLESS_RETURN_IF_ERROR(fetched.status());
+
+    // Maintain the running join (it feeds later bind joins).
+    const storage::Table filtered =
+        FilterRelation(query, access.rel, *fetched);
+    std::vector<std::pair<size_t, size_t>> keys;
+    for (const sql::JoinEdge& e : query.joins) {
+      if (e.left.rel == access.rel && placed[e.right.rel]) {
+        keys.emplace_back(offsets[e.right.rel] + e.right.col, e.left.col);
+      } else if (e.right.rel == access.rel && placed[e.left.rel]) {
+        keys.emplace_back(offsets[e.left.rel] + e.left.col, e.right.col);
+      }
+    }
+    current = keys.empty() ? storage::Cartesian(current, filtered)
+                           : storage::HashJoin(current, filtered, keys);
+    offsets[access.rel] = width;
+    width += filtered.schema().num_columns();
+    placed[access.rel] = true;
+    rel_tables[access.rel] = std::move(*fetched);
+  }
+
+  return EvaluateLocally(query, rel_tables);
+}
+
+}  // namespace payless::exec

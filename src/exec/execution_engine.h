@@ -1,0 +1,75 @@
+// Plan execution (Fig. 3, steps 4-9): walks a left-deep plan, issues the
+// (remainder-rewritten) REST calls through the market connector, reuses
+// stored tuples from the semantic store, computes bind-join binding values
+// from the running join, and offloads the final join/aggregation to the
+// local engine.
+#ifndef PAYLESS_EXEC_EXECUTION_ENGINE_H_
+#define PAYLESS_EXEC_EXECUTION_ENGINE_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "catalog/catalog.h"
+#include "core/plan.h"
+#include "market/data_market.h"
+#include "semstore/semantic_store.h"
+#include "sql/bound_query.h"
+#include "stats/estimator.h"
+#include "storage/database.h"
+
+namespace payless::exec {
+
+struct ExecConfig {
+  /// Rewrite accesses against the semantic store at execution time. Must
+  /// match the optimizer's setting for faithful cost behaviour.
+  bool use_sqr = true;
+  /// Consistency horizon for reusing stored views (§4.3).
+  int64_t min_epoch = std::numeric_limits<int64_t>::min();
+  semstore::RemainderOptions remainder;
+};
+
+struct ExecStats {
+  int64_t calls = 0;
+  int64_t transactions = 0;
+  int64_t rows_from_market = 0;
+  int64_t rows_from_cache = 0;
+};
+
+class ExecutionEngine {
+ public:
+  ExecutionEngine(const catalog::Catalog* catalog, storage::Database* local_db,
+                  market::MarketConnector* connector,
+                  semstore::SemanticStore* store, stats::StatsRegistry* stats)
+      : catalog_(catalog),
+        local_db_(local_db),
+        connector_(connector),
+        store_(store),
+        stats_(stats) {}
+
+  /// Executes `plan` for `query`; returns the final result table. Market
+  /// spend accrues on the connector's billing meter; `exec_stats` (optional)
+  /// receives per-query counters.
+  Result<storage::Table> Execute(const sql::BoundQuery& query,
+                                 const core::Plan& plan,
+                                 const ExecConfig& config,
+                                 ExecStats* exec_stats = nullptr);
+
+ private:
+  /// Retrieves the rows for one access, spending money as needed.
+  Result<storage::Table> FetchRelation(const sql::BoundQuery& query,
+                                       const core::AccessSpec& access,
+                                       const storage::Table& left_result,
+                                       const std::vector<size_t>& offsets,
+                                       const ExecConfig& config,
+                                       ExecStats* exec_stats);
+
+  const catalog::Catalog* catalog_;
+  storage::Database* local_db_;
+  market::MarketConnector* connector_;
+  semstore::SemanticStore* store_;
+  stats::StatsRegistry* stats_;
+};
+
+}  // namespace payless::exec
+
+#endif  // PAYLESS_EXEC_EXECUTION_ENGINE_H_

@@ -1,0 +1,205 @@
+#include "exec/local_eval.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "market/rest_call.h"
+#include "storage/ops.h"
+
+namespace payless::exec {
+
+namespace {
+
+/// Join-result column position of a bound column ref, given per-relation
+/// offsets in the concatenated schema.
+size_t ColumnPosition(const sql::BoundQuery& query,
+                      const std::vector<size_t>& offsets,
+                      const sql::BoundColumnRef& ref) {
+  (void)query;
+  return offsets[ref.rel] + ref.col;
+}
+
+}  // namespace
+
+storage::Table FilterRelation(const sql::BoundQuery& query, size_t rel,
+                              const storage::Table& raw) {
+  const sql::BoundRelation& relation = query.relations[rel];
+  storage::Table out(raw.schema());
+  if (relation.always_empty) return out;
+  for (const Row& row : raw.rows()) {
+    bool keep = true;
+    for (size_t c = 0; c < relation.conditions.size() && keep; ++c) {
+      keep = relation.conditions[c].Matches(row[c]);
+    }
+    for (const sql::ResidualPredicate& pred : query.residuals) {
+      if (!keep) break;
+      if (pred.column.rel != rel) continue;
+      keep = EvalCompare(row[pred.column.col], pred.op, pred.literal);
+    }
+    if (keep) out.Append(row);
+  }
+  return out;
+}
+
+Result<storage::Table> EvaluateLocally(
+    const sql::BoundQuery& query,
+    const std::vector<storage::Table>& rel_tables) {
+  const size_t n = query.relations.size();
+  if (rel_tables.size() != n) {
+    return Status::InvalidArgument("rel_tables arity mismatch");
+  }
+
+  // Filter each relation, then join greedily: repeatedly attach a relation
+  // connected to the joined set (hash join), falling back to Cartesian for
+  // disconnected components. Joined-schema offsets track placement.
+  std::vector<storage::Table> filtered;
+  filtered.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    filtered.push_back(FilterRelation(query, i, rel_tables[i]));
+  }
+
+  std::vector<size_t> offsets(n, 0);
+  std::vector<bool> done(n, false);
+  storage::Table current;  // starts as the unit table: empty schema, one row
+  current.Append({});
+  size_t placed_width = 0;
+
+  for (size_t round = 0; round < n; ++round) {
+    // Prefer a relation with a join edge into the placed set.
+    size_t pick = n;
+    for (size_t i = 0; i < n && pick == n; ++i) {
+      if (done[i]) continue;
+      if (round == 0) {
+        pick = i;
+        break;
+      }
+      for (const sql::JoinEdge& e : query.joins) {
+        const size_t a = e.left.rel;
+        const size_t b = e.right.rel;
+        if ((a == i && done[b]) || (b == i && done[a])) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    if (pick == n) {  // disconnected: take the first remaining (Cartesian)
+      for (size_t i = 0; i < n; ++i) {
+        if (!done[i]) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    assert(pick < n);
+
+    std::vector<std::pair<size_t, size_t>> keys;
+    for (const sql::JoinEdge& e : query.joins) {
+      const sql::BoundColumnRef& l = e.left;
+      const sql::BoundColumnRef& r = e.right;
+      if (l.rel == pick && done[r.rel]) {
+        keys.emplace_back(ColumnPosition(query, offsets, r), l.col);
+      } else if (r.rel == pick && done[l.rel]) {
+        keys.emplace_back(ColumnPosition(query, offsets, l), r.col);
+      }
+    }
+    current = keys.empty() ? storage::Cartesian(current, filtered[pick])
+                           : storage::HashJoin(current, filtered[pick], keys);
+    offsets[pick] = placed_width;
+    placed_width += filtered[pick].schema().num_columns();
+    done[pick] = true;
+  }
+
+  // ---- SELECT / GROUP BY output.
+  const auto position = [&](const sql::BoundColumnRef& ref) {
+    return ColumnPosition(query, offsets, ref);
+  };
+
+  // Renames output columns to the select-list names/aliases (skipped for
+  // SELECT *, whose expansion keeps the qualified source names) and applies
+  // ORDER BY.
+  const auto finalize = [&query](storage::Table table) -> storage::Table {
+    const bool has_star =
+        std::any_of(query.select.begin(), query.select.end(),
+                    [](const sql::BoundSelectItem& item) {
+                      return item.kind == sql::BoundSelectItem::Kind::kStar;
+                    });
+    if (!has_star && table.schema().num_columns() == query.select.size()) {
+      std::vector<storage::SchemaColumn> cols = table.schema().columns();
+      for (size_t s = 0; s < query.select.size(); ++s) {
+        cols[s].name = query.select[s].output_name;
+        cols[s].table.clear();
+      }
+      table = storage::Table(storage::Schema(std::move(cols)),
+                             std::move(table.mutable_rows()));
+    }
+    if (query.order_by.empty()) return table;
+    std::stable_sort(table.mutable_rows().begin(), table.mutable_rows().end(),
+                     [&query](const Row& a, const Row& b) {
+                       for (const sql::BoundOrderItem& key : query.order_by) {
+                         const int cmp =
+                             a[key.output_column].Compare(b[key.output_column]);
+                         if (cmp != 0) return key.ascending ? cmp < 0 : cmp > 0;
+                       }
+                       return false;
+                     });
+    return table;
+  };
+
+  if (query.HasAggregates()) {
+    std::vector<size_t> group_cols;
+    for (const sql::BoundColumnRef& ref : query.group_by) {
+      group_cols.push_back(position(ref));
+    }
+    std::vector<storage::AggSpec> aggs;
+    std::vector<size_t> select_to_output(query.select.size());
+    for (size_t s = 0; s < query.select.size(); ++s) {
+      const sql::BoundSelectItem& item = query.select[s];
+      if (item.kind == sql::BoundSelectItem::Kind::kAggregate) {
+        storage::AggSpec spec;
+        spec.func = item.agg;
+        spec.count_star = item.agg_star;
+        if (!item.agg_star) spec.column = position(item.column);
+        spec.output_name = item.output_name;
+        select_to_output[s] = group_cols.size() + aggs.size();
+        aggs.push_back(spec);
+      } else if (item.kind == sql::BoundSelectItem::Kind::kColumn) {
+        const size_t pos = position(item.column);
+        size_t idx = group_cols.size();
+        for (size_t g = 0; g < group_cols.size(); ++g) {
+          if (group_cols[g] == pos) idx = g;
+        }
+        if (idx == group_cols.size()) {
+          return Status::InvalidArgument("selected column '" +
+                                         item.output_name +
+                                         "' is not a grouping column");
+        }
+        select_to_output[s] = idx;
+      } else {
+        return Status::NotSupported("SELECT * cannot mix with aggregates");
+      }
+    }
+    const storage::Table grouped =
+        storage::GroupAggregate(current, group_cols, aggs);
+    // Reorder to the SELECT-list order.
+    return finalize(storage::Project(grouped, select_to_output));
+  }
+
+  // Plain projection. `SELECT *` expands to all columns of all relations in
+  // FROM order.
+  std::vector<size_t> out_cols;
+  for (const sql::BoundSelectItem& item : query.select) {
+    if (item.kind == sql::BoundSelectItem::Kind::kStar) {
+      for (size_t rel = 0; rel < n; ++rel) {
+        const size_t arity = query.relations[rel].def->columns.size();
+        for (size_t c = 0; c < arity; ++c) {
+          out_cols.push_back(offsets[rel] + c);
+        }
+      }
+    } else {
+      out_cols.push_back(position(item.column));
+    }
+  }
+  return finalize(storage::Project(current, out_cols));
+}
+
+}  // namespace payless::exec

@@ -1,0 +1,32 @@
+// Buyer-side final query processing (Fig. 3, steps 6-8): once every
+// relation's required tuples are available locally, the query is just a
+// conventional select-join-aggregate evaluation. Shared by the execution
+// engine, the Download-All baseline, and the reference oracle in tests.
+#ifndef PAYLESS_EXEC_LOCAL_EVAL_H_
+#define PAYLESS_EXEC_LOCAL_EVAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sql/bound_query.h"
+#include "storage/table.h"
+
+namespace payless::exec {
+
+/// Evaluates `query` over materialized relation contents. `rel_tables[i]`
+/// holds (a superset of) the rows of relation i that satisfy the query; the
+/// evaluator re-applies the relation's literal conditions and the residual
+/// predicates, joins everything along the query's join edges (Cartesian
+/// where disconnected), and produces the SELECT/GROUP BY output.
+Result<storage::Table> EvaluateLocally(
+    const sql::BoundQuery& query,
+    const std::vector<storage::Table>& rel_tables);
+
+/// Filters one relation's raw rows by its literal conditions and the
+/// residual predicates that mention it.
+storage::Table FilterRelation(const sql::BoundQuery& query, size_t rel,
+                              const storage::Table& raw);
+
+}  // namespace payless::exec
+
+#endif  // PAYLESS_EXEC_LOCAL_EVAL_H_

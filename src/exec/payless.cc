@@ -1,0 +1,244 @@
+#include "exec/payless.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "sql/parser.h"
+
+namespace payless::exec {
+
+PayLess::PayLess(const catalog::Catalog* catalog,
+                 const market::DataMarket* market, PayLessConfig config)
+    : catalog_(catalog),
+      config_(config),
+      connector_(market),
+      stats_(config.stats_kind) {
+  // Every catalog table gets a learning estimator seeded from the published
+  // basic statistics (the uniform cold start of §4.3).
+  for (const std::string& name : catalog_->TableNames()) {
+    const catalog::TableDef* def = catalog_->FindTable(name);
+    stats_.RegisterTable(*def);
+    if (def->is_local) {
+      const Status st = local_db_.CreateTable(*def);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  // Steps 5.3 / 5.4 of Fig. 3: every successful call feeds the semantic
+  // store and the statistics.
+  connector_.AddListener([this](const market::RestCall& call,
+                                const market::CallResult& result) {
+    const catalog::TableDef* def = catalog_->FindTable(call.table);
+    assert(def != nullptr);
+    const Box region = market::CallRegion(*def, call);
+    store_.Store(*def, region, result.rows, current_week_);
+    stats_.Feedback(call.table, region, result.num_records);
+  });
+}
+
+int64_t PayLess::MinEpoch() const {
+  switch (config_.consistency) {
+    case ConsistencyLevel::kWeak:
+      return std::numeric_limits<int64_t>::min();
+    case ConsistencyLevel::kXWeek:
+      return current_week_ - config_.consistency_weeks;
+    case ConsistencyLevel::kFull:
+      return std::numeric_limits<int64_t>::max();  // nothing is reusable
+  }
+  return std::numeric_limits<int64_t>::min();
+}
+
+Result<QueryReport> PayLess::QueryWithReport(const std::string& sql,
+                                             const std::vector<Value>& params) {
+  Result<sql::SelectStmt> stmt = sql::Parse(sql);
+  PAYLESS_RETURN_IF_ERROR(stmt.status());
+  Result<sql::BoundQuery> bound = sql::Bind(*stmt, *catalog_, params);
+  PAYLESS_RETURN_IF_ERROR(bound.status());
+
+  core::OptimizerOptions opt_options = config_.optimizer;
+  opt_options.min_epoch = MinEpoch();
+  if (config_.consistency == ConsistencyLevel::kFull) {
+    opt_options.use_sqr = false;  // §4.3: full consistency disables SQR
+  }
+  const core::Optimizer optimizer(catalog_, &stats_, &store_, opt_options);
+  Result<core::OptimizeResult> optimized = optimizer.Optimize(*bound);
+  PAYLESS_RETURN_IF_ERROR(optimized.status());
+
+  ExecConfig exec_config;
+  exec_config.use_sqr = opt_options.use_sqr;
+  exec_config.min_epoch = opt_options.min_epoch;
+  exec_config.remainder = opt_options.remainder;
+
+  ExecutionEngine engine(catalog_, &local_db_, &connector_, &store_, &stats_);
+  const int64_t before = connector_.meter().total_transactions();
+  QueryReport report;
+  Result<storage::Table> result =
+      engine.Execute(*bound, optimized->plan, exec_config, &report.exec);
+  PAYLESS_RETURN_IF_ERROR(result.status());
+
+  report.result = std::move(*result);
+  report.plan = std::move(optimized->plan);
+  report.counters = optimized->counters;
+  report.transactions_spent =
+      connector_.meter().total_transactions() - before;
+  return report;
+}
+
+Result<storage::Table> PayLess::Query(const std::string& sql,
+                                      const std::vector<Value>& params) {
+  Result<QueryReport> report = QueryWithReport(sql, params);
+  PAYLESS_RETURN_IF_ERROR(report.status());
+  return std::move(report->result);
+}
+
+Result<QueryReport> PayLess::Explain(const std::string& sql,
+                                     const std::vector<Value>& params) {
+  Result<sql::SelectStmt> stmt = sql::Parse(sql);
+  PAYLESS_RETURN_IF_ERROR(stmt.status());
+  Result<sql::BoundQuery> bound = sql::Bind(*stmt, *catalog_, params);
+  PAYLESS_RETURN_IF_ERROR(bound.status());
+  core::OptimizerOptions opt_options = config_.optimizer;
+  opt_options.min_epoch = MinEpoch();
+  if (config_.consistency == ConsistencyLevel::kFull) {
+    opt_options.use_sqr = false;
+  }
+  const core::Optimizer optimizer(catalog_, &stats_, &store_, opt_options);
+  Result<core::OptimizeResult> optimized = optimizer.Optimize(*bound);
+  PAYLESS_RETURN_IF_ERROR(optimized.status());
+  QueryReport report;
+  report.plan = std::move(optimized->plan);
+  report.counters = optimized->counters;
+  report.transactions_spent = 0;  // nothing executed
+  return report;
+}
+
+Result<BatchReport> PayLess::QueryBatch(const std::vector<BatchQuery>& batch) {
+  BatchReport report;
+  const int64_t before = connector_.meter().total_transactions();
+
+  // ---- Phase 1: collect the market footprints of every query.
+  struct Footprint {
+    const catalog::TableDef* def;
+    Box region;
+  };
+  std::vector<Footprint> footprints;
+  std::vector<sql::BoundQuery> bound_queries;
+  for (const BatchQuery& q : batch) {
+    Result<sql::SelectStmt> stmt = sql::Parse(q.sql);
+    PAYLESS_RETURN_IF_ERROR(stmt.status());
+    Result<sql::BoundQuery> bound = sql::Bind(*stmt, *catalog_, q.params);
+    PAYLESS_RETURN_IF_ERROR(bound.status());
+    for (const sql::BoundRelation& rel : bound->relations) {
+      if (!rel.is_market() || rel.always_empty) continue;
+      const Box region = rel.QueryRegion();
+      if (!region.empty()) footprints.push_back(Footprint{rel.def, region});
+    }
+    bound_queries.push_back(std::move(*bound));
+  }
+
+  // ---- Phase 2: per table, greedily merge regions while a merged hull's
+  // estimated remainder is cheaper than the individual remainders, then
+  // prefetch groups that merged at least two query footprints.
+  const bool sqr = config_.optimizer.use_sqr &&
+                   config_.consistency != ConsistencyLevel::kFull;
+  if (sqr) {
+    std::map<const catalog::TableDef*, std::vector<Box>> by_table;
+    for (Footprint& fp : footprints) {
+      by_table[fp.def].push_back(std::move(fp.region));
+    }
+    for (auto& [def, regions] : by_table) {
+      const catalog::DatasetDef* dataset = catalog_->DatasetOf(*def);
+      semstore::RemainderOptions rem_options = config_.optimizer.remainder;
+      rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
+      const auto remainder_cost = [&](const Box& region) {
+        const semstore::RemainderResult rem = semstore::GenerateRemainder(
+            region, store_.CoveredRegions(def->name, MinEpoch()),
+            core::Optimizer::DimSpecsFor(*def),
+            [&](const Box& box) {
+              return stats_.EstimateRows(def->name, box);
+            },
+            rem_options);
+        return rem.fully_covered ? int64_t{0} : rem.estimated_transactions;
+      };
+      const auto hull_of = [](const Box& a, const Box& b) {
+        Box hull = a;
+        for (size_t d = 0; d < hull.num_dims(); ++d) {
+          hull.dim(d) = Interval(std::min(a.dim(d).lo, b.dim(d).lo),
+                                 std::max(a.dim(d).hi, b.dim(d).hi));
+        }
+        return hull;
+      };
+
+      // Track how many original footprints each group absorbs.
+      std::vector<size_t> members(regions.size(), 1);
+      bool merged = true;
+      while (merged && regions.size() > 1) {
+        merged = false;
+        for (size_t i = 0; i < regions.size() && !merged; ++i) {
+          for (size_t j = i + 1; j < regions.size() && !merged; ++j) {
+            const Box hull = hull_of(regions[i], regions[j]);
+            if (remainder_cost(hull) <
+                remainder_cost(regions[i]) + remainder_cost(regions[j])) {
+              regions[i] = hull;
+              members[i] += members[j];
+              regions.erase(regions.begin() + static_cast<ptrdiff_t>(j));
+              members.erase(members.begin() + static_cast<ptrdiff_t>(j));
+              merged = true;
+            }
+          }
+        }
+      }
+
+      // Prefetch groups that actually combined several query footprints.
+      for (size_t g = 0; g < regions.size(); ++g) {
+        if (members[g] < 2) continue;
+        const semstore::RemainderResult rem = semstore::GenerateRemainder(
+            regions[g], store_.CoveredRegions(def->name, MinEpoch()),
+            core::Optimizer::DimSpecsFor(*def),
+            [&](const Box& box) {
+              return stats_.EstimateRows(def->name, box);
+            },
+            rem_options);
+        if (rem.fully_covered) continue;
+        bool issued = false;
+        for (const Box& box : rem.remainder_boxes) {
+          Result<market::RestCall> call = market::CallFromRegion(*def, box);
+          if (!call.ok()) continue;  // e.g. bound attr unconstrained: skip
+          Result<market::CallResult> result = connector_.Get(*call);
+          PAYLESS_RETURN_IF_ERROR(result.status());
+          report.prefetch_transactions += result->transactions;
+          issued = true;
+        }
+        if (issued) ++report.merged_groups;
+      }
+    }
+  }
+
+  // ---- Phase 3: execute the queries normally; prefetched data is served
+  // from the semantic store.
+  for (const BatchQuery& q : batch) {
+    Result<QueryReport> one = QueryWithReport(q.sql, q.params);
+    PAYLESS_RETURN_IF_ERROR(one.status());
+    report.results.push_back(std::move(one->result));
+  }
+  report.transactions_spent =
+      connector_.meter().total_transactions() - before;
+  return report;
+}
+
+Status PayLess::LoadLocalTable(const std::string& name,
+                               const std::vector<Row>& rows) {
+  const catalog::TableDef* def = catalog_->FindTable(name);
+  if (def == nullptr) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  if (!def->is_local) {
+    return Status::InvalidArgument("table '" + name +
+                                   "' is a market table, not local");
+  }
+  PAYLESS_RETURN_IF_ERROR(local_db_.CreateTable(*def));
+  return local_db_.InsertRows(name, rows);
+}
+
+}  // namespace payless::exec

@@ -1,0 +1,134 @@
+// The PayLess system facade (Fig. 2 / Fig. 3): one instance per data buyer.
+//
+// Wires together the parser, the learning optimizer, the execution engine,
+// the semantic store, the feedback statistics and the market connector, and
+// exposes the SQL interface end users see. Construction registers the
+// connector listener that implements steps 5.3 (store every call + result)
+// and 5.4 (statistics feedback) automatically, so the learning loop is
+// always closed.
+#ifndef PAYLESS_EXEC_PAYLESS_H_
+#define PAYLESS_EXEC_PAYLESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/optimizer.h"
+#include "exec/execution_engine.h"
+#include "market/data_market.h"
+#include "semstore/semantic_store.h"
+#include "sql/bound_query.h"
+#include "stats/estimator.h"
+#include "storage/database.h"
+
+namespace payless::exec {
+
+/// Result-freshness policy (§4.3). Datasets in Azure Marketplace are
+/// append-only, so kWeak is the paper's default; the others matter once
+/// in-place updates exist.
+enum class ConsistencyLevel {
+  kWeak,   // reuse every stored result
+  kXWeek,  // reuse results retrieved within the last X weeks
+  kFull,   // never reuse: always go to the market
+};
+
+struct PayLessConfig {
+  core::OptimizerOptions optimizer;
+  ConsistencyLevel consistency = ConsistencyLevel::kWeak;
+  int64_t consistency_weeks = 4;  // the X of kXWeek
+  /// Which updatable statistic backs the learning optimizer (§3): the
+  /// multidimensional feedback histogram (ISOMER role, default), the
+  /// per-dimension independent histograms, or frozen uniform estimates.
+  stats::StatsKind stats_kind = stats::StatsKind::kFeedbackHistogram;
+};
+
+/// Everything a query returns besides the rows.
+struct QueryReport {
+  storage::Table result;
+  core::Plan plan;
+  core::PlanningCounters counters;
+  ExecStats exec;
+  int64_t transactions_spent = 0;  // meter delta for this query
+};
+
+/// One query of a deferred batch.
+struct BatchQuery {
+  std::string sql;
+  std::vector<Value> params;
+};
+
+/// Outcome of batch processing.
+struct BatchReport {
+  std::vector<storage::Table> results;  // one per query, in input order
+  int64_t transactions_spent = 0;
+  /// Number of cross-query region groups whose market data was prefetched
+  /// with merged calls (0 = batching found nothing to share).
+  size_t merged_groups = 0;
+  int64_t prefetch_transactions = 0;
+};
+
+class PayLess {
+ public:
+  PayLess(const catalog::Catalog* catalog, const market::DataMarket* market,
+          PayLessConfig config);
+
+  PayLess(const PayLess&) = delete;
+  PayLess& operator=(const PayLess&) = delete;
+
+  /// Runs one parameterized SQL query end-to-end.
+  Result<storage::Table> Query(const std::string& sql,
+                               const std::vector<Value>& params = {});
+
+  /// Like Query, with the plan, counters and spend attached.
+  Result<QueryReport> QueryWithReport(const std::string& sql,
+                                      const std::vector<Value>& params = {});
+
+  /// Optimizes without executing: returns the would-be plan and its
+  /// human-readable description. Nothing is billed and nothing is cached —
+  /// the buyer can inspect the estimated spend before committing.
+  Result<QueryReport> Explain(const std::string& sql,
+                              const std::vector<Value>& params = {});
+
+  /// Multi-query optimization (§7): processes a deferred batch jointly.
+  /// The footprints of all queries on each market table are greedily merged
+  /// whenever one merged download is estimated cheaper than the individual
+  /// remainders (the per-page Eq. 1 rounding makes many small overlapping
+  /// fetches costlier than one hull fetch); merged groups are prefetched
+  /// into the semantic store, then the queries execute normally — and
+  /// mostly for free. Falls back to plain sequential behaviour when merging
+  /// never pays. Requires SQR to be enabled.
+  Result<BatchReport> QueryBatch(const std::vector<BatchQuery>& batch);
+
+  /// Loads rows into a buyer-side local table (must be declared local in
+  /// the catalog).
+  Status LoadLocalTable(const std::string& name, const std::vector<Row>& rows);
+
+  /// Advances the wall clock (in weeks) used to stamp stored views and to
+  /// compute the X-week consistency horizon.
+  void SetCurrentWeek(int64_t week) { current_week_ = week; }
+  int64_t current_week() const { return current_week_; }
+
+  const market::BillingMeter& meter() const { return connector_.meter(); }
+  const semstore::SemanticStore& store() const { return store_; }
+  const stats::StatsRegistry& stats() const { return stats_; }
+  storage::Database* local_db() { return &local_db_; }
+  const catalog::Catalog& catalog() const { return *catalog_; }
+  const PayLessConfig& config() const { return config_; }
+
+ private:
+  int64_t MinEpoch() const;
+
+  const catalog::Catalog* catalog_;
+  PayLessConfig config_;
+  market::MarketConnector connector_;
+  semstore::SemanticStore store_;
+  stats::StatsRegistry stats_;
+  storage::Database local_db_;
+  int64_t current_week_ = 0;
+};
+
+}  // namespace payless::exec
+
+#endif  // PAYLESS_EXEC_PAYLESS_H_

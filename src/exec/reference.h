@@ -1,0 +1,30 @@
+// Reference oracle: evaluates a query directly over the seller-side truth,
+// bypassing billing, binding patterns, caching and optimization. Used by
+// integration tests to verify that every optimized/cached execution path
+// returns exactly the right rows, and by examples to sanity-check output.
+#ifndef PAYLESS_EXEC_REFERENCE_H_
+#define PAYLESS_EXEC_REFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "market/data_market.h"
+#include "storage/database.h"
+
+namespace payless::exec {
+
+/// Evaluates `sql` against the raw hosted market data plus `local_db`.
+Result<storage::Table> ReferenceEvaluate(const catalog::Catalog& catalog,
+                                         const market::DataMarket& market,
+                                         const storage::Database& local_db,
+                                         const std::string& sql,
+                                         const std::vector<Value>& params = {});
+
+/// Order-insensitive multiset equality of two result tables (schema arity
+/// must match; values compared with numeric cross-type equality).
+bool SameResult(const storage::Table& a, const storage::Table& b);
+
+}  // namespace payless::exec
+
+#endif  // PAYLESS_EXEC_REFERENCE_H_

@@ -1,0 +1,227 @@
+#include "market/data_market.h"
+
+#include <sstream>
+
+namespace payless::market {
+
+int64_t TransactionsFor(int64_t records, int64_t tuples_per_transaction) {
+  if (records <= 0) return 0;
+  return (records + tuples_per_transaction - 1) / tuples_per_transaction;
+}
+
+void BillingMeter::Record(const std::string& dataset, int64_t transactions,
+                          double price) {
+  PerDataset& d = per_dataset_[dataset];
+  d.transactions += transactions;
+  d.price += price;
+  d.calls += 1;
+  total_transactions_ += transactions;
+  total_price_ += price;
+  total_calls_ += 1;
+}
+
+int64_t BillingMeter::TransactionsFor(const std::string& dataset) const {
+  const auto it = per_dataset_.find(dataset);
+  return it == per_dataset_.end() ? 0 : it->second.transactions;
+}
+
+void BillingMeter::Reset() {
+  per_dataset_.clear();
+  total_transactions_ = 0;
+  total_price_ = 0.0;
+  total_calls_ = 0;
+}
+
+std::string BillingMeter::Report() const {
+  std::ostringstream os;
+  os << "billing: " << total_calls_ << " calls, " << total_transactions_
+     << " transactions, $" << total_price_ << "\n";
+  for (const auto& [name, d] : per_dataset_) {
+    os << "  " << name << ": " << d.calls << " calls, " << d.transactions
+       << " transactions, $" << d.price << "\n";
+  }
+  return os.str();
+}
+
+void DataMarket::IndexRows(const catalog::TableDef& def, HostedTable* table,
+                           size_t first_row) const {
+  for (const size_t col : def.ConstrainableColumns()) {
+    auto& postings = table->point_index[col];
+    const bool numeric = def.columns[col].domain.is_numeric();
+    auto* sorted = numeric ? &table->range_index[col] : nullptr;
+    for (size_t i = first_row; i < table->rows.size(); ++i) {
+      const Value& v = table->rows[i][col];
+      if (v.is_null()) continue;
+      postings[v].push_back(static_cast<uint32_t>(i));
+      if (sorted != nullptr && v.is_int64()) {
+        sorted->emplace_back(v.AsInt64(), static_cast<uint32_t>(i));
+      }
+    }
+    if (sorted != nullptr) {
+      std::sort(sorted->begin(), sorted->end());
+    }
+  }
+}
+
+Status DataMarket::HostTable(const std::string& name, std::vector<Row> rows) {
+  const catalog::TableDef* def = catalog_->FindTable(name);
+  if (def == nullptr) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  if (def->is_local) {
+    return Status::InvalidArgument("table '" + name +
+                                   "' is local; cannot host in the market");
+  }
+  for (const Row& row : rows) {
+    if (row.size() != def->columns.size()) {
+      return Status::InvalidArgument("row arity mismatch for '" + name + "'");
+    }
+  }
+  HostedTable table;
+  table.rows.reserve(rows.size());
+  for (Row& row : rows) {
+    if (table.seen.insert(row).second) table.rows.push_back(std::move(row));
+  }
+  IndexRows(*def, &table, 0);
+  hosted_[name] = std::move(table);
+  return Status::OK();
+}
+
+Status DataMarket::AppendRows(const std::string& name,
+                              const std::vector<Row>& rows) {
+  const auto it = hosted_.find(name);
+  if (it == hosted_.end()) {
+    return Status::NotFound("table '" + name + "' not hosted");
+  }
+  const catalog::TableDef* def = catalog_->FindTable(name);
+  const size_t first_new = it->second.rows.size();
+  for (const Row& row : rows) {
+    if (row.size() != def->columns.size()) {
+      return Status::InvalidArgument("row arity mismatch for '" + name + "'");
+    }
+    if (it->second.seen.insert(row).second) it->second.rows.push_back(row);
+  }
+  // Rebuild range indexes incrementally is not worth it here: re-index the
+  // appended suffix for postings and re-sort the range projections.
+  IndexRows(*def, &it->second, first_new);
+  return Status::OK();
+}
+
+Result<CallResult> DataMarket::Execute(const RestCall& call) const {
+  const catalog::TableDef* def = catalog_->FindTable(call.table);
+  if (def == nullptr) {
+    return Status::NotFound("table '" + call.table + "' not in catalog");
+  }
+  PAYLESS_RETURN_IF_ERROR(call.Validate(*def));
+  const auto it = hosted_.find(call.table);
+  if (it == hosted_.end()) {
+    return Status::NotFound("table '" + call.table + "' not hosted");
+  }
+  const catalog::DatasetDef* dataset = catalog_->DatasetOf(*def);
+  if (dataset == nullptr) {
+    return Status::Internal("market table '" + call.table +
+                            "' has no dataset pricing");
+  }
+
+  const HostedTable& hosted = it->second;
+
+  // Pick the most selective index among the call's conditions: the smallest
+  // point-condition posting list, else the narrowest numeric range span,
+  // else a full scan. All other conditions verify per row.
+  CallResult result;
+  const std::vector<uint32_t>* posting = nullptr;
+  for (size_t col = 0; col < call.conditions.size(); ++col) {
+    const AttrCondition& cond = call.conditions[col];
+    if (cond.kind != AttrCondition::Kind::kPoint) continue;
+    const auto idx_it = hosted.point_index.find(col);
+    if (idx_it == hosted.point_index.end()) continue;
+    const auto post_it = idx_it->second.find(cond.point);
+    if (post_it == idx_it->second.end()) {
+      result.num_records = 0;  // no row carries this value
+      result.transactions = 0;
+      result.price = 0.0;
+      return result;
+    }
+    if (posting == nullptr || post_it->second.size() < posting->size()) {
+      posting = &post_it->second;
+    }
+  }
+
+  if (posting != nullptr) {
+    for (const uint32_t i : *posting) {
+      if (call.MatchesRow(hosted.rows[i])) result.rows.push_back(hosted.rows[i]);
+    }
+  } else {
+    // Try a numeric range condition.
+    const std::vector<std::pair<int64_t, uint32_t>>* span = nullptr;
+    Interval span_range;
+    size_t span_width = hosted.rows.size() + 1;
+    for (size_t col = 0; col < call.conditions.size(); ++col) {
+      const AttrCondition& cond = call.conditions[col];
+      if (cond.kind != AttrCondition::Kind::kRange) continue;
+      const auto idx_it = hosted.range_index.find(col);
+      if (idx_it == hosted.range_index.end()) continue;
+      const auto lo = std::lower_bound(
+          idx_it->second.begin(), idx_it->second.end(),
+          std::make_pair(cond.range.lo, static_cast<uint32_t>(0)));
+      const auto hi = std::upper_bound(
+          idx_it->second.begin(), idx_it->second.end(),
+          std::make_pair(cond.range.hi, ~static_cast<uint32_t>(0)));
+      const size_t width = static_cast<size_t>(hi - lo);
+      if (width < span_width) {
+        span = &idx_it->second;
+        span_range = cond.range;
+        span_width = width;
+      }
+    }
+    if (span != nullptr) {
+      const auto lo = std::lower_bound(
+          span->begin(), span->end(),
+          std::make_pair(span_range.lo, static_cast<uint32_t>(0)));
+      const auto hi = std::upper_bound(
+          span->begin(), span->end(),
+          std::make_pair(span_range.hi, ~static_cast<uint32_t>(0)));
+      for (auto entry = lo; entry != hi; ++entry) {
+        const Row& row = hosted.rows[entry->second];
+        if (call.MatchesRow(row)) result.rows.push_back(row);
+      }
+    } else {
+      for (const Row& row : hosted.rows) {
+        if (call.MatchesRow(row)) result.rows.push_back(row);
+      }
+    }
+  }
+  result.num_records = static_cast<int64_t>(result.rows.size());
+  result.transactions =
+      TransactionsFor(result.num_records, dataset->tuples_per_transaction);
+  result.price =
+      static_cast<double>(result.transactions) * dataset->price_per_transaction;
+  return result;
+}
+
+const std::vector<Row>* DataMarket::HostedRowsForTesting(
+    const std::string& name) const {
+  const auto it = hosted_.find(name);
+  return it == hosted_.end() ? nullptr : &it->second.rows;
+}
+
+Result<int64_t> DataMarket::TableSize(const std::string& name) const {
+  const auto it = hosted_.find(name);
+  if (it == hosted_.end()) {
+    return Status::NotFound("table '" + name + "' not hosted");
+  }
+  return static_cast<int64_t>(it->second.rows.size());
+}
+
+Result<CallResult> MarketConnector::Get(const RestCall& call) {
+  Result<CallResult> result = market_->Execute(call);
+  if (!result.ok()) return result;
+  const catalog::TableDef* def = market_->catalog().FindTable(call.table);
+  meter_.Record(def->dataset, result->transactions, result->price);
+  for (const Listener& listener : listeners_) {
+    listener(call, *result);
+  }
+  return result;
+}
+
+}  // namespace payless::market

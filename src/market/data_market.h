@@ -1,0 +1,155 @@
+// In-process simulator of a cloud data market (Windows Azure Data
+// Marketplace model, §2): hosts datasets, answers validated REST calls, and
+// prices every call by Eq. 1:
+//
+//     price = p * ceil(number_of_resulting_records / t)
+//
+// where `t` is the dataset's tuples-per-transaction page size and `p` its
+// price per transaction. Joins can NOT be executed market-side (§1); the
+// market only filters single tables.
+#ifndef PAYLESS_MARKET_DATA_MARKET_H_
+#define PAYLESS_MARKET_DATA_MARKET_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "market/rest_call.h"
+#include "storage/table.h"
+
+namespace payless::market {
+
+/// Outcome of one GET call.
+struct CallResult {
+  std::vector<Row> rows;
+  int64_t num_records = 0;
+  int64_t transactions = 0;
+  double price = 0.0;
+};
+
+/// Transactions for `records` result records under page size `t` (Eq. 1).
+/// An empty result costs zero transactions — pricing is purely size-based.
+int64_t TransactionsFor(int64_t records, int64_t tuples_per_transaction);
+
+/// Cumulative seller-side billing, per dataset and total. This is the ground
+/// truth the evaluation section plots ("total # of trans."); optimizer
+/// estimates never touch it.
+class BillingMeter {
+ public:
+  void Record(const std::string& dataset, int64_t transactions, double price);
+
+  int64_t total_transactions() const { return total_transactions_; }
+  double total_price() const { return total_price_; }
+  int64_t total_calls() const { return total_calls_; }
+
+  int64_t TransactionsFor(const std::string& dataset) const;
+
+  void Reset();
+
+  std::string Report() const;
+
+ private:
+  struct PerDataset {
+    int64_t transactions = 0;
+    double price = 0.0;
+    int64_t calls = 0;
+  };
+  std::map<std::string, PerDataset> per_dataset_;
+  int64_t total_transactions_ = 0;
+  double total_price_ = 0.0;
+  int64_t total_calls_ = 0;
+};
+
+/// The market itself: hosted table data + call evaluation. Datasets are
+/// append-only (§2.1); AppendRows models a periodic data release.
+///
+/// Hosted datasets are SETS of records: duplicate rows are collapsed at
+/// hosting/append time. This matches per-record-priced data products (a
+/// record is the unit of sale) and makes buyer-side caching exact — a
+/// tuple's content identifies it across the semantic store, the mirror
+/// tables and fresh call results.
+///
+/// Hosted tables carry simple seller-side indexes (posting lists for point
+/// conditions, a sorted projection for numeric ranges) so that the many
+/// small calls a bind join issues do not scan whole tables; this changes
+/// nothing observable — it is how a real market serves keyed GETs.
+class DataMarket {
+ public:
+  explicit DataMarket(const catalog::Catalog* catalog) : catalog_(catalog) {}
+
+  /// Hosts `data` as the market-side contents of catalog table `name`.
+  Status HostTable(const std::string& name, std::vector<Row> rows);
+
+  /// Periodic data release (append-only).
+  Status AppendRows(const std::string& name, const std::vector<Row>& rows);
+
+  /// Validates and evaluates a call; prices it by Eq. 1. Does NOT bill —
+  /// billing happens at the connector so tests can dry-run the market.
+  Result<CallResult> Execute(const RestCall& call) const;
+
+  /// Number of hosted records of one table (the seller-side truth).
+  Result<int64_t> TableSize(const std::string& name) const;
+
+  /// Raw seller-side rows — test/oracle backdoor that bypasses billing and
+  /// binding patterns. Production paths must go through Execute().
+  const std::vector<Row>* HostedRowsForTesting(const std::string& name) const;
+
+  const catalog::Catalog& catalog() const { return *catalog_; }
+
+ private:
+  struct HostedTable {
+    std::vector<Row> rows;
+    std::unordered_set<Row, RowHasher> seen;  // set semantics
+    /// column -> value -> row indices, for every constrainable column.
+    std::map<size_t, std::unordered_map<Value, std::vector<uint32_t>,
+                                        ValueHasher>>
+        point_index;
+    /// column -> (value, row index) sorted by value, for numeric
+    /// constrainable columns.
+    std::map<size_t, std::vector<std::pair<int64_t, uint32_t>>> range_index;
+  };
+
+  void IndexRows(const catalog::TableDef& def, HostedTable* table,
+                 size_t first_row) const;
+
+  const catalog::Catalog* catalog_;
+  std::map<std::string, HostedTable> hosted_;
+};
+
+/// The REST boundary between PayLess and the market (step 5.1/5.2 of
+/// Fig. 3): the ONLY place where transactions accrue. Listeners observe
+/// every successful call (the semantic store and the statistics module
+/// subscribe here, steps 5.3/5.4).
+class MarketConnector {
+ public:
+  using Listener = std::function<void(const RestCall&, const CallResult&)>;
+
+  explicit MarketConnector(const DataMarket* market) : market_(market) {}
+
+  /// Issues a GET call: validates, evaluates, bills, notifies listeners.
+  Result<CallResult> Get(const RestCall& call);
+
+  void AddListener(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  const BillingMeter& meter() const { return meter_; }
+  BillingMeter* mutable_meter() { return &meter_; }
+
+  const DataMarket& market() const { return *market_; }
+
+ private:
+  const DataMarket* market_;
+  BillingMeter meter_;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace payless::market
+
+#endif  // PAYLESS_MARKET_DATA_MARKET_H_

@@ -1,0 +1,189 @@
+#include "market/rest_call.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace payless::market {
+
+bool AttrCondition::Matches(const Value& v) const {
+  switch (kind) {
+    case Kind::kNone:
+      return true;
+    case Kind::kPoint:
+      return !v.is_null() && v == point;
+    case Kind::kRange:
+      if (v.is_null()) return false;
+      if (v.is_int64()) return range.Contains(v.AsInt64());
+      if (v.is_double()) {
+        const double d = v.AsDouble();
+        return d >= static_cast<double>(range.lo) &&
+               d <= static_cast<double>(range.hi);
+      }
+      return false;
+  }
+  return false;
+}
+
+std::string AttrCondition::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "-";
+    case Kind::kPoint:
+      return point.ToString();
+    case Kind::kRange:
+      return range.ToString();
+  }
+  return "?";
+}
+
+RestCall RestCall::Unconstrained(const catalog::TableDef& def) {
+  RestCall call;
+  call.table = def.name;
+  call.conditions.assign(def.columns.size(), AttrCondition::None());
+  return call;
+}
+
+Status RestCall::Validate(const catalog::TableDef& def) const {
+  if (table != def.name) {
+    return Status::InvalidArgument("call targets '" + table +
+                                   "' but was validated against '" + def.name +
+                                   "'");
+  }
+  if (conditions.size() != def.columns.size()) {
+    return Status::InvalidArgument(
+        "call on '" + table + "' has " + std::to_string(conditions.size()) +
+        " conditions for " + std::to_string(def.columns.size()) + " columns");
+  }
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    const catalog::ColumnDef& col = def.columns[i];
+    const AttrCondition& cond = conditions[i];
+    switch (col.binding) {
+      case catalog::BindingKind::kBound:
+        if (cond.is_none()) {
+          return Status::BindingViolation("attribute '" + col.name + "' of '" +
+                                          table +
+                                          "' is bound and must be given");
+        }
+        break;
+      case catalog::BindingKind::kFree:
+        break;
+      case catalog::BindingKind::kOutput:
+        if (!cond.is_none()) {
+          return Status::BindingViolation(
+              "attribute '" + col.name + "' of '" + table +
+              "' is output-only and cannot be constrained");
+        }
+        break;
+    }
+    if (cond.kind == AttrCondition::Kind::kRange &&
+        !col.domain.is_numeric()) {
+      return Status::BindingViolation("attribute '" + col.name + "' of '" +
+                                      table +
+                                      "' is not numeric; ranges not allowed");
+    }
+    if (cond.kind == AttrCondition::Kind::kRange && cond.range.empty()) {
+      return Status::InvalidArgument("empty range on attribute '" + col.name +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
+bool RestCall::MatchesRow(const Row& row) const {
+  assert(row.size() == conditions.size());
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (!conditions[i].Matches(row[i])) return false;
+  }
+  return true;
+}
+
+std::string RestCall::ToString() const {
+  std::ostringstream os;
+  os << table << "(";
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << conditions[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+Box CallRegion(const catalog::TableDef& def, const RestCall& call) {
+  assert(call.conditions.size() == def.columns.size());
+  std::vector<Interval> dims;
+  for (size_t col : def.ConstrainableColumns()) {
+    const catalog::ColumnDef& column = def.columns[col];
+    const AttrCondition& cond = call.conditions[col];
+    const Interval domain = column.domain.ToInterval();
+    switch (cond.kind) {
+      case AttrCondition::Kind::kNone:
+        dims.push_back(domain);
+        break;
+      case AttrCondition::Kind::kPoint: {
+        const std::optional<int64_t> code = column.domain.Encode(cond.point);
+        dims.push_back(code.has_value() ? Interval::Point(*code)
+                                        : Interval::Empty());
+        break;
+      }
+      case AttrCondition::Kind::kRange:
+        dims.push_back(cond.range.Intersect(domain));
+        break;
+    }
+  }
+  return Box(std::move(dims));
+}
+
+Result<RestCall> CallFromRegion(const catalog::TableDef& def,
+                                const Box& region) {
+  const std::vector<size_t> constrainable = def.ConstrainableColumns();
+  if (region.num_dims() != constrainable.size()) {
+    return Status::InvalidArgument(
+        "region dimensionality " + std::to_string(region.num_dims()) +
+        " != constrainable columns " + std::to_string(constrainable.size()) +
+        " of '" + def.name + "'");
+  }
+  if (region.empty()) {
+    return Status::InvalidArgument("cannot build a call from an empty region");
+  }
+  RestCall call = RestCall::Unconstrained(def);
+  for (size_t d = 0; d < constrainable.size(); ++d) {
+    const size_t col = constrainable[d];
+    const catalog::ColumnDef& column = def.columns[col];
+    const Interval extent = region.dim(d);
+    const Interval domain = column.domain.ToInterval();
+    if (domain.Contains(extent) == false) {
+      return Status::InvalidArgument("region dim " + std::to_string(d) +
+                                     " exceeds domain of '" + column.name +
+                                     "'");
+    }
+    if (extent == domain) {
+      call.conditions[col] = AttrCondition::None();
+    } else if (extent.Width() == 1) {
+      call.conditions[col] =
+          AttrCondition::Point(column.domain.Decode(extent.lo));
+    } else if (column.domain.is_numeric()) {
+      call.conditions[col] = AttrCondition::Range(extent.lo, extent.hi);
+    } else {
+      return Status::BindingViolation(
+          "categorical attribute '" + column.name +
+          "' cannot be constrained to a multi-value sub-range (§4.2)");
+    }
+  }
+  // Bound attributes must end up constrained. A full-domain extent is still
+  // issuable on a numeric bound attribute by passing the domain as an
+  // explicit range; on a categorical bound attribute it is not.
+  for (size_t col : def.BoundColumns()) {
+    if (!call.conditions[col].is_none()) continue;
+    const catalog::ColumnDef& column = def.columns[col];
+    if (column.domain.is_numeric()) {
+      const Interval domain = column.domain.ToInterval();
+      call.conditions[col] = AttrCondition::Range(domain.lo, domain.hi);
+    } else {
+      return Status::BindingViolation("region leaves bound attribute '" +
+                                      column.name + "' unconstrained");
+    }
+  }
+  return call;
+}
+
+}  // namespace payless::market

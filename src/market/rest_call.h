@@ -1,0 +1,79 @@
+// RESTful GET calls against the data market.
+//
+// The market's access interface is function-call-like, X -> Y (§1): a call
+// names a table and gives, per attribute, either nothing, a single value, or
+// a numeric range [lo, hi]. The table's binding pattern constrains which of
+// these are legal: kBound attributes MUST carry a condition, kFree ones MAY,
+// kOutput ones MUST NOT. Disjunctions are not expressible — a query with an
+// OR has to be decomposed into several calls (§1), which is exactly what the
+// remainder-query machinery does.
+#ifndef PAYLESS_MARKET_REST_CALL_H_
+#define PAYLESS_MARKET_REST_CALL_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace payless::market {
+
+/// Condition on one attribute of a REST call.
+struct AttrCondition {
+  enum class Kind { kNone, kPoint, kRange };
+
+  Kind kind = Kind::kNone;
+  Value point;              // kPoint
+  Interval range;           // kRange (numeric attributes only, closed)
+
+  static AttrCondition None() { return AttrCondition{}; }
+  static AttrCondition Point(Value v) {
+    return AttrCondition{Kind::kPoint, std::move(v), Interval::Empty()};
+  }
+  static AttrCondition Range(int64_t lo, int64_t hi) {
+    return AttrCondition{Kind::kRange, Value(), Interval(lo, hi)};
+  }
+
+  bool is_none() const { return kind == Kind::kNone; }
+
+  /// True iff `v` satisfies this condition (kNone matches everything).
+  bool Matches(const Value& v) const;
+
+  std::string ToString() const;
+};
+
+/// One GET call: a table plus one condition per column (column order of the
+/// catalog TableDef).
+struct RestCall {
+  std::string table;
+  std::vector<AttrCondition> conditions;
+
+  /// An unconstrained call (download request) for a table.
+  static RestCall Unconstrained(const catalog::TableDef& def);
+
+  /// Checks the call against the table's binding pattern and domains.
+  Status Validate(const catalog::TableDef& def) const;
+
+  bool MatchesRow(const Row& row) const;
+
+  std::string ToString() const;
+};
+
+/// The call's footprint as a box over the table's constrainable-attribute
+/// space (dictionary-encoded categorical dims). Unconstrained dims span the
+/// full domain. A point outside a categorical domain yields an empty box.
+Box CallRegion(const catalog::TableDef& def, const RestCall& call);
+
+/// Inverse-ish of CallRegion: builds a call whose conditions select exactly
+/// `region` (one interval per constrainable column; full-domain intervals
+/// become kNone; single-point categorical intervals become kPoint).
+/// Returns an error if a categorical dim spans a strict sub-range of more
+/// than one value — such a region is not expressible as one call (§4.2).
+Result<RestCall> CallFromRegion(const catalog::TableDef& def,
+                                const Box& region);
+
+}  // namespace payless::market
+
+#endif  // PAYLESS_MARKET_REST_CALL_H_

@@ -1,0 +1,213 @@
+#include "semstore/semantic_store.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace payless::semstore {
+
+std::optional<std::vector<int64_t>> RowPoint(const catalog::TableDef& def,
+                                             const Row& row) {
+  std::vector<int64_t> point;
+  const std::vector<size_t> dims = def.ConstrainableColumns();
+  point.reserve(dims.size());
+  for (size_t col : dims) {
+    const std::optional<int64_t> code = def.columns[col].domain.Encode(row[col]);
+    if (!code.has_value()) return std::nullopt;
+    point.push_back(*code);
+  }
+  return point;
+}
+
+namespace {
+
+/// If `a` and `b` differ on at most one dimension and overlap or touch
+/// there, returns true and writes their exact union (the hull) to `merged`.
+bool TryMergeBoxes(const Box& a, const Box& b, Box* merged) {
+  size_t diff_dim = a.num_dims();
+  for (size_t d = 0; d < a.num_dims(); ++d) {
+    if (a.dim(d) == b.dim(d)) continue;
+    if (diff_dim != a.num_dims()) return false;  // differ on two dims
+    diff_dim = d;
+  }
+  if (diff_dim == a.num_dims()) {  // identical
+    *merged = a;
+    return true;
+  }
+  const Interval& x = a.dim(diff_dim);
+  const Interval& y = b.dim(diff_dim);
+  // Overlapping or adjacent intervals merge into their hull exactly.
+  if (x.hi + 1 < y.lo || y.hi + 1 < x.lo) return false;
+  *merged = a;
+  merged->dim(diff_dim) =
+      Interval(std::min(x.lo, y.lo), std::max(x.hi, y.hi));
+  return true;
+}
+
+}  // namespace
+
+void SemanticStore::AddCoverage(const std::string& table, Box region) {
+  std::vector<Box>& list = coverage_[table];
+  for (const Box& box : list) {
+    if (box.Contains(region)) return;
+  }
+  std::erase_if(list, [&](const Box& box) { return region.Contains(box); });
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    for (size_t i = 0; i < list.size(); ++i) {
+      Box merged;
+      if (TryMergeBoxes(region, list[i], &merged)) {
+        region = std::move(merged);
+        list.erase(list.begin() + static_cast<ptrdiff_t>(i));
+        merged_any = true;
+        break;
+      }
+    }
+  }
+  // Merging may have grown the region past boxes it now subsumes.
+  std::erase_if(list, [&](const Box& box) { return region.Contains(box); });
+  list.push_back(std::move(region));
+}
+
+void SemanticStore::Store(const catalog::TableDef& def, Box region,
+                          std::vector<Row> rows, int64_t epoch) {
+  if (region.empty()) return;
+  AddCoverage(def.name, region);
+
+  TablePool& pool = pools_[def.name];
+  const size_t num_dims = def.ConstrainableColumns().size();
+  if (pool.postings.empty()) pool.postings.resize(num_dims);
+  for (const Row& row : rows) {
+    if (pool.seen.count(row) > 0) continue;
+    std::optional<std::vector<int64_t>> point = RowPoint(def, row);
+    if (!point.has_value()) continue;  // outside domains: unreachable anyway
+    const uint32_t index = static_cast<uint32_t>(pool.rows.size());
+    pool.seen.insert(row);
+    pool.rows.push_back(row);
+    for (size_t d = 0; d < num_dims; ++d) {
+      pool.postings[d][(*point)[d]].push_back(index);
+    }
+    pool.points.push_back(std::move(*point));
+  }
+
+  views_[def.name].push_back(
+      StoredView{std::move(region), std::move(rows), epoch});
+}
+
+const std::vector<StoredView>& SemanticStore::ViewsOf(
+    const std::string& table) const {
+  static const std::vector<StoredView> kEmpty;
+  const auto it = views_.find(table);
+  return it == views_.end() ? kEmpty : it->second;
+}
+
+std::vector<Box> SemanticStore::CoveredRegions(const std::string& table,
+                                               int64_t min_epoch) const {
+  // Weak consistency (every view usable): serve the normalized coverage.
+  if (min_epoch == std::numeric_limits<int64_t>::min()) {
+    const auto it = coverage_.find(table);
+    return it == coverage_.end() ? std::vector<Box>{} : it->second;
+  }
+  std::vector<Box> out;
+  for (const StoredView& view : ViewsOf(table)) {
+    if (view.epoch >= min_epoch) out.push_back(view.region);
+  }
+  return out;
+}
+
+bool SemanticStore::Covers(const catalog::TableDef& def, const Box& region,
+                           int64_t min_epoch) const {
+  if (region.empty()) return true;
+  return IsCovered(region, CoveredRegions(def.name, min_epoch));
+}
+
+std::vector<Row> SemanticStore::RowsInRegion(const catalog::TableDef& def,
+                                             const Box& region,
+                                             int64_t min_epoch) const {
+  std::vector<Row> out;
+  if (region.empty()) return out;
+
+  if (min_epoch == std::numeric_limits<int64_t>::min()) {
+    // Weak consistency: serve from the deduplicated pool. Use the postings
+    // of the most selective narrow dimension when one exists.
+    const auto it = pools_.find(def.name);
+    if (it == pools_.end()) return out;
+    const TablePool& pool = it->second;
+
+    size_t best_dim = region.num_dims();
+    int64_t best_width = std::numeric_limits<int64_t>::max();
+    for (size_t d = 0; d < region.num_dims(); ++d) {
+      const int64_t width = region.dim(d).Width();
+      if (width < best_width) {
+        best_width = width;
+        best_dim = d;
+      }
+    }
+    const bool use_postings =
+        best_dim < region.num_dims() && best_width <= 64 &&
+        best_dim < pool.postings.size();
+    if (use_postings) {
+      for (int64_t code = region.dim(best_dim).lo;
+           code <= region.dim(best_dim).hi; ++code) {
+        const auto post_it = pool.postings[best_dim].find(code);
+        if (post_it == pool.postings[best_dim].end()) continue;
+        for (const uint32_t i : post_it->second) {
+          if (region.Contains(pool.points[i])) out.push_back(pool.rows[i]);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < pool.rows.size(); ++i) {
+        if (region.Contains(pool.points[i])) out.push_back(pool.rows[i]);
+      }
+    }
+    return out;
+  }
+
+  // Epoch-filtered (X-week consistency) path: scan usable views newest-
+  // first, deduplicating identical tuples.
+  std::vector<const StoredView*> usable;
+  for (const StoredView& view : ViewsOf(def.name)) {
+    if (view.epoch >= min_epoch && view.region.Overlaps(region)) {
+      usable.push_back(&view);
+    }
+  }
+  std::stable_sort(usable.begin(), usable.end(),
+                   [](const StoredView* a, const StoredView* b) {
+                     return a->epoch > b->epoch;
+                   });
+  std::unordered_set<Row, RowHasher> seen;
+  for (const StoredView* view : usable) {
+    for (const Row& row : view->rows) {
+      const std::optional<std::vector<int64_t>> point = RowPoint(def, row);
+      if (!point.has_value() || !region.Contains(*point)) continue;
+      if (seen.insert(row).second) out.push_back(row);
+    }
+  }
+  return out;
+}
+
+size_t SemanticStore::NumViews(const std::string& table) const {
+  return ViewsOf(table).size();
+}
+
+size_t SemanticStore::TotalViews() const {
+  size_t total = 0;
+  for (const auto& [_, views] : views_) total += views.size();
+  return total;
+}
+
+size_t SemanticStore::TotalStoredRows() const {
+  size_t total = 0;
+  for (const auto& [_, views] : views_) {
+    for (const StoredView& view : views) total += view.rows.size();
+  }
+  return total;
+}
+
+void SemanticStore::Clear() {
+  views_.clear();
+  coverage_.clear();
+  pools_.clear();
+}
+
+}  // namespace payless::semstore

@@ -1,0 +1,97 @@
+// Semantic store (Fig. 3, step 5.3): every RESTful query PayLess ever
+// issued, together with its result tuples. The store is append-only and
+// never evicts — the paper deliberately trades cheap buyer-side storage for
+// not re-buying data (§3). Stored views power semantic query rewriting
+// (§4.2) and the three consistency levels (§4.3).
+//
+// Two internal representations serve the two access patterns:
+//   - the raw VIEW LIST (region + rows + epoch per call) supports epoch-
+//     filtered reads for X-week consistency;
+//   - a normalized COVERAGE list (merged maximal boxes) plus a deduplicated
+//     per-table ROW POOL with per-dimension postings keep remainder
+//     generation and cached-row retrieval fast as thousands of calls
+//     accumulate.
+#ifndef PAYLESS_SEMSTORE_SEMANTIC_STORE_H_
+#define PAYLESS_SEMSTORE_SEMANTIC_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/geometry.h"
+#include "common/value.h"
+
+namespace payless::semstore {
+
+/// One remembered REST call: the region of the table's constrainable-
+/// attribute space the call covered, the tuples it returned, and the epoch
+/// (coarse timestamp, e.g. a week counter) it was retrieved at.
+struct StoredView {
+  Box region;
+  std::vector<Row> rows;
+  int64_t epoch = 0;
+};
+
+/// Lattice point of a row in a table's constrainable-attribute space;
+/// nullopt if some constrainable value is NULL or outside its domain.
+std::optional<std::vector<int64_t>> RowPoint(const catalog::TableDef& def,
+                                             const Row& row);
+
+class SemanticStore {
+ public:
+  /// Remembers a call's region and result rows.
+  void Store(const catalog::TableDef& def, Box region, std::vector<Row> rows,
+             int64_t epoch);
+
+  /// All views of a table (regardless of epoch).
+  const std::vector<StoredView>& ViewsOf(const std::string& table) const;
+
+  /// Regions of views no older than `min_epoch` (the X-week consistency
+  /// filter; INT64_MIN = weak consistency, served from the normalized
+  /// coverage).
+  std::vector<Box> CoveredRegions(const std::string& table,
+                                  int64_t min_epoch) const;
+
+  /// True iff usable views jointly cover `region` — the table's required
+  /// tuples are free, making it a "zero price relation" (Theorem 2).
+  bool Covers(const catalog::TableDef& def, const Box& region,
+              int64_t min_epoch) const;
+
+  /// Deduplicated stored tuples of `def` falling inside `region`, from
+  /// views no older than `min_epoch`.
+  std::vector<Row> RowsInRegion(const catalog::TableDef& def,
+                                const Box& region, int64_t min_epoch) const;
+
+  size_t NumViews(const std::string& table) const;
+  size_t TotalViews() const;
+  size_t TotalStoredRows() const;
+
+  void Clear();
+
+ private:
+  /// Deduplicated union of all retrieved rows of one table, with the
+  /// precomputed lattice point of each row and per-dimension postings for
+  /// point-constrained dimensions.
+  struct TablePool {
+    std::vector<Row> rows;
+    std::vector<std::vector<int64_t>> points;
+    std::unordered_set<Row, RowHasher> seen;
+    /// postings[dim][code] -> indices of rows with that coordinate.
+    std::vector<std::unordered_map<int64_t, std::vector<uint32_t>>> postings;
+  };
+
+  void AddCoverage(const std::string& table, Box region);
+
+  std::map<std::string, std::vector<StoredView>> views_;
+  std::map<std::string, std::vector<Box>> coverage_;
+  std::map<std::string, TablePool> pools_;
+};
+
+}  // namespace payless::semstore
+
+#endif  // PAYLESS_SEMSTORE_SEMANTIC_STORE_H_

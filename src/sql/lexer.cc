@@ -1,0 +1,184 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace payless::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE", "AND",  "GROUP", "BY",  "AS",
+      "ORDER",  "ASC",   "DESC",  "COUNT", "SUM",  "AVG", "MIN",
+      "MAX",    "DISTINCT",
+  };
+  return kKeywords;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&tokens](TokenType type, std::string text, size_t pos) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      const std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        push(TokenType::kKeyword, upper, start);
+      } else {
+        push(TokenType::kIdentifier, std::move(word), start);
+      }
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          ++j;
+        }
+      }
+      const std::string num = input.substr(i, j - i);
+      Token t;
+      t.position = start;
+      t.text = num;
+      if (is_float) {
+        t.type = TokenType::kFloat;
+        t.float_value = std::stod(num);
+      } else {
+        t.type = TokenType::kInteger;
+        try {
+          t.int_value = std::stoll(num);
+        } catch (const std::out_of_range&) {
+          return Status::ParseError("integer literal out of range at offset " +
+                                    std::to_string(start));
+        }
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && input[j] != '\'') {
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kString, std::move(text), start);
+      i = j + 1;
+      continue;
+    }
+
+    switch (c) {
+      case '?':
+        push(TokenType::kParam, "?", start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenType::kStar, "*", start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenType::kComma, ",", start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenType::kDot, ".", start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenType::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenType::kRParen, ")", start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenType::kOperator, "=", start);
+        ++i;
+        continue;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kOperator, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenType::kOperator, "<>", start);
+          i += 2;
+        } else {
+          push(TokenType::kOperator, "<", start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kOperator, ">=", start);
+          i += 2;
+        } else {
+          push(TokenType::kOperator, ">", start);
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kOperator, "<>", start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '!' at offset " +
+                                  std::to_string(start));
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+
+  push(TokenType::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace payless::sql

@@ -1,0 +1,51 @@
+// Tokenizer for the PayLess SQL dialect (the language of Table 1: SELECT /
+// FROM / WHERE conjunctions / GROUP BY, aggregates, `?` parameter markers).
+#ifndef PAYLESS_SQL_LEXER_H_
+#define PAYLESS_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace payless::sql {
+
+enum class TokenType {
+  kIdentifier,   // table / column names (case-preserving)
+  kKeyword,      // SELECT, FROM, WHERE, AND, GROUP, BY, AS, ASC, DESC, ORDER
+  kInteger,      // 123
+  kFloat,        // 1.5
+  kString,       // 'Seattle'
+  kParam,        // ?
+  kStar,         // *
+  kComma,        // ,
+  kDot,          // .
+  kLParen,       // (
+  kRParen,       // )
+  kOperator,     // = <> != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // raw text; keywords upper-cased
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;   // byte offset in the input, for error messages
+
+  bool IsKeyword(const std::string& kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOperator(const std::string& op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Tokenizes `input`; returns ParseError with position info on bad input.
+/// The final token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace payless::sql
+
+#endif  // PAYLESS_SQL_LEXER_H_

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the PayLess SQL dialect.
+#ifndef PAYLESS_SQL_PARSER_H_
+#define PAYLESS_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace payless::sql {
+
+/// Parses one SELECT statement. Chained equality `a = b = c` in the WHERE
+/// clause desugars into the conjunction `a = b AND b = c`.
+Result<SelectStmt> Parse(const std::string& input);
+
+}  // namespace payless::sql
+
+#endif  // PAYLESS_SQL_PARSER_H_

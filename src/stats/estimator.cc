@@ -1,0 +1,244 @@
+#include "stats/estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace payless::stats {
+
+namespace {
+
+/// Volume as a double; boxes here are clipped to real attribute domains so
+/// saturation never triggers in practice, but stay safe anyway.
+double Vol(const Box& box) { return static_cast<double>(box.Volume()); }
+
+}  // namespace
+
+UniformEstimator::UniformEstimator(Box full_region, int64_t cardinality)
+    : full_region_(std::move(full_region)),
+      cardinality_(static_cast<double>(cardinality)) {}
+
+double UniformEstimator::EstimateRows(const Box& region) const {
+  const Box clipped = full_region_.Intersect(region);
+  if (clipped.empty()) return 0.0;
+  const double total = Vol(full_region_);
+  if (total <= 0.0) return cardinality_;
+  return cardinality_ * (Vol(clipped) / total);
+}
+
+void UniformEstimator::Feedback(const Box& region, int64_t actual_rows) {
+  if (region == full_region_) {
+    cardinality_ = static_cast<double>(actual_rows);
+  }
+}
+
+FeedbackHistogram::FeedbackHistogram(Box full_region,
+                                     int64_t initial_cardinality,
+                                     size_t max_buckets)
+    : full_region_(std::move(full_region)), max_buckets_(max_buckets) {
+  buckets_.push_back(
+      Bucket{full_region_, static_cast<double>(initial_cardinality)});
+}
+
+double FeedbackHistogram::OverlapCount(const Bucket& bucket,
+                                       const Box& region) {
+  const Box overlap = bucket.box.Intersect(region);
+  if (overlap.empty()) return 0.0;
+  const double bucket_volume = Vol(bucket.box);
+  if (bucket_volume <= 0.0) return 0.0;
+  return bucket.count * (Vol(overlap) / bucket_volume);
+}
+
+double FeedbackHistogram::EstimateRows(const Box& region) const {
+  const Box clipped = full_region_.Intersect(region);
+  if (clipped.empty()) return 0.0;
+  double total = 0.0;
+  for (const Bucket& bucket : buckets_) {
+    total += OverlapCount(bucket, clipped);
+  }
+  return total;
+}
+
+void FeedbackHistogram::Feedback(const Box& region, int64_t actual_rows) {
+  const Box target = full_region_.Intersect(region);
+  if (target.empty()) return;
+  ++num_feedbacks_;
+
+  // Phase 1: split buckets that straddle the target so that afterwards every
+  // bucket is either inside or outside it (skipped at capacity).
+  if (buckets_.size() < max_buckets_) {
+    std::vector<Bucket> next;
+    next.reserve(buckets_.size() + 4);
+    for (const Bucket& bucket : buckets_) {
+      const Box inside = bucket.box.Intersect(target);
+      if (inside.empty() || inside == bucket.box) {
+        next.push_back(bucket);
+        continue;
+      }
+      const double volume = Vol(bucket.box);
+      // Distribute the bucket's count over the fragments by volume share
+      // (uniformity within the bucket).
+      Bucket in_piece{inside, bucket.count * (Vol(inside) / volume)};
+      next.push_back(std::move(in_piece));
+      for (Box& piece : SubtractBox(bucket.box, target)) {
+        const double share = bucket.count * (Vol(piece) / volume);
+        next.push_back(Bucket{std::move(piece), share});
+      }
+      if (next.size() >= max_buckets_ * 2) break;  // runaway guard
+    }
+    buckets_ = std::move(next);
+  }
+
+  // Phase 2: reconcile — scale the mass inside the target to the observed
+  // count (one-step proportional fitting in place of ISOMER's iterative
+  // max-entropy scaling). Buckets partially overlapping (possible only at
+  // capacity) move only their inside share.
+  double inside_mass = 0.0;
+  for (const Bucket& bucket : buckets_) {
+    inside_mass += OverlapCount(bucket, target);
+  }
+  const double actual = static_cast<double>(actual_rows);
+  if (inside_mass <= 1e-9) {
+    if (actual <= 0.0) return;
+    // Nothing to scale: spread the observed rows over the inside volume.
+    const double target_volume = Vol(target);
+    for (Bucket& bucket : buckets_) {
+      const Box overlap = bucket.box.Intersect(target);
+      if (overlap.empty()) continue;
+      bucket.count += actual * (Vol(overlap) / target_volume);
+    }
+    return;
+  }
+  const double scale = actual / inside_mass;
+  for (Bucket& bucket : buckets_) {
+    const double inside = OverlapCount(bucket, target);
+    if (inside <= 0.0) continue;
+    bucket.count += inside * (scale - 1.0);
+    if (bucket.count < 0.0) bucket.count = 0.0;
+  }
+}
+
+double FeedbackHistogram::total_count() const {
+  double total = 0.0;
+  for (const Bucket& bucket : buckets_) total += bucket.count;
+  return total;
+}
+
+IndependentDimEstimator::IndependentDimEstimator(Box full_region,
+                                                 int64_t initial_cardinality,
+                                                 size_t max_buckets_per_dim)
+    : full_region_(std::move(full_region)),
+      total_(static_cast<double>(initial_cardinality)) {
+  for (size_t d = 0; d < full_region_.num_dims(); ++d) {
+    dims_.emplace_back(Box({full_region_.dim(d)}), initial_cardinality,
+                       max_buckets_per_dim);
+  }
+}
+
+double IndependentDimEstimator::EstimateRows(const Box& region) const {
+  const Box clipped = full_region_.Intersect(region);
+  if (clipped.empty()) return 0.0;
+  if (dims_.empty()) return total_;  // zero-dimensional table space
+  // Each per-dimension histogram carries the (unnormalized) marginal
+  // distribution; only the probabilities P_d(extent) matter.
+  double probability = 1.0;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    const double dim_total = dims_[d].total_count();
+    if (dim_total <= 0.0) return 0.0;
+    const double dim_mass = dims_[d].EstimateRows(Box({clipped.dim(d)}));
+    probability *= std::clamp(dim_mass / dim_total, 0.0, 1.0);
+  }
+  return total_ * probability;
+}
+
+void IndependentDimEstimator::Feedback(const Box& region,
+                                       int64_t actual_rows) {
+  const Box target = full_region_.Intersect(region);
+  if (target.empty()) return;
+  const double actual = static_cast<double>(actual_rows);
+
+  // Whole-table observation recalibrates the total directly; any
+  // observation puts a lower bound on it.
+  if (target == full_region_) {
+    total_ = actual;
+    return;
+  }
+  if (actual > total_) total_ = actual;
+  if (total_ <= 0.0) return;
+
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    // A full-domain extent has marginal probability 1 by definition:
+    // nothing to learn (and the outside-mass formula would degenerate).
+    if (target.dim(d) == full_region_.dim(d)) continue;
+    // Deconvolve the joint observation into a target marginal probability
+    // for dimension d under the other dimensions' current marginals:
+    //   actual = total * P_d(extent) * prod_{o != d} P_o(extent_o)
+    double other_probability = 1.0;
+    for (size_t o = 0; o < dims_.size(); ++o) {
+      if (o == d) continue;
+      const double o_total = dims_[o].total_count();
+      if (o_total <= 0.0) continue;
+      other_probability *= std::clamp(
+          dims_[o].EstimateRows(Box({target.dim(o)})) / o_total, 1e-6, 1.0);
+    }
+    const double p =
+        std::clamp(actual / (total_ * other_probability), 0.0, 0.999);
+    // Choose the in-extent mass m so that after the 1-D histogram's
+    // rescale, P_d(extent) = m / (m + outside) = p. The outside mass is
+    // untouched by the 1-D feedback.
+    const double dim_total = dims_[d].total_count();
+    const double inside = dims_[d].EstimateRows(Box({target.dim(d)}));
+    const double outside = std::max(dim_total - inside, 1e-9);
+    const double new_inside = p * outside / (1.0 - p);
+    dims_[d].Feedback(Box({target.dim(d)}),
+                      static_cast<int64_t>(new_inside + 0.5));
+  }
+}
+
+void StatsRegistry::RegisterTable(const catalog::TableDef& def) {
+  if (estimators_.count(def.name) > 0) return;
+  const Box full = def.FullRegion();
+  switch (kind_) {
+    case StatsKind::kUniform:
+      estimators_[def.name] =
+          std::make_unique<UniformEstimator>(full, def.cardinality);
+      break;
+    case StatsKind::kFeedbackHistogram:
+      estimators_[def.name] =
+          std::make_unique<FeedbackHistogram>(full, def.cardinality);
+      break;
+    case StatsKind::kIndependentHistograms:
+      estimators_[def.name] =
+          std::make_unique<IndependentDimEstimator>(full, def.cardinality);
+      break;
+  }
+}
+
+bool StatsRegistry::HasTable(const std::string& table) const {
+  return estimators_.count(table) > 0;
+}
+
+double StatsRegistry::EstimateRows(const std::string& table,
+                                   const Box& region) const {
+  const auto it = estimators_.find(table);
+  if (it == estimators_.end()) return 0.0;
+  return it->second->EstimateRows(region);
+}
+
+void StatsRegistry::Feedback(const std::string& table, const Box& region,
+                             int64_t actual_rows) {
+  const auto it = estimators_.find(table);
+  if (it == estimators_.end()) return;
+  it->second->Feedback(region, actual_rows);
+}
+
+size_t StatsRegistry::TotalFeedbacks() const {
+  size_t total = 0;
+  for (const auto& [_, est] : estimators_) {
+    const auto* hist = dynamic_cast<const FeedbackHistogram*>(est.get());
+    if (hist != nullptr) total += hist->num_feedbacks();
+  }
+  return total;
+}
+
+}  // namespace payless::stats

@@ -1,0 +1,161 @@
+// Cardinality estimation for PayLess's cost-based optimizer.
+//
+// Data markets publish only "basic statistics" — attribute domains and table
+// cardinality (§2.1) — so the optimizer starts from the textbook uniform
+// assumption (§4.3) and *learns*: every REST call's true result size is fed
+// back (Fig. 3, step 5.4), progressively refining a multidimensional
+// feedback histogram. The paper uses ISOMER [44]; we implement an
+// STHoles/ISOMER-style structure — buckets split along query-feedback
+// boundaries, counts reconciled to the observed cardinalities — with
+// one-step proportional fitting in place of ISOMER's full maximum-entropy
+// iterative scaling (see DESIGN.md, substitutions).
+#ifndef PAYLESS_STATS_ESTIMATOR_H_
+#define PAYLESS_STATS_ESTIMATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/geometry.h"
+
+namespace payless::stats {
+
+/// Row-count estimation over a table's constrainable-attribute space.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Expected number of rows whose constrainable attributes fall in
+  /// `region`. Never negative.
+  virtual double EstimateRows(const Box& region) const = 0;
+
+  /// Records that `region` was observed to contain exactly `actual_rows`.
+  virtual void Feedback(const Box& region, int64_t actual_rows) = 0;
+};
+
+/// The cold-start estimator: published cardinality spread uniformly over the
+/// domain (the paper's "basic textbook methods", §4.3).
+class UniformEstimator : public Estimator {
+ public:
+  UniformEstimator(Box full_region, int64_t cardinality);
+
+  double EstimateRows(const Box& region) const override;
+
+  /// Only whole-table feedback is usable under uniformity: it recalibrates
+  /// the total count. Sub-region feedback is ignored.
+  void Feedback(const Box& region, int64_t actual_rows) override;
+
+ private:
+  Box full_region_;
+  double cardinality_;
+};
+
+/// Feedback-refined multidimensional histogram (the ISOMER role).
+///
+/// Invariant: buckets are disjoint boxes covering exactly the full region;
+/// each carries a non-negative expected row count, assumed uniform within
+/// the bucket. Feedback splits every bucket straddling the fed-back region
+/// along the region's faces, then rescales the inside buckets so their sum
+/// matches the observation. Estimates for regions aligned with past
+/// feedback are therefore exact; unaligned regions interpolate uniformly
+/// within buckets.
+class FeedbackHistogram : public Estimator {
+ public:
+  /// `max_buckets` bounds memory: once reached, feedback stops splitting
+  /// and reconciles counts by proportional overlap instead.
+  FeedbackHistogram(Box full_region, int64_t initial_cardinality,
+                    size_t max_buckets = 4096);
+
+  double EstimateRows(const Box& region) const override;
+  void Feedback(const Box& region, int64_t actual_rows) override;
+
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t num_feedbacks() const { return num_feedbacks_; }
+  double total_count() const;
+
+ private:
+  struct Bucket {
+    Box box;
+    double count = 0.0;
+  };
+
+  /// Expected rows of `bucket` falling inside `region` under intra-bucket
+  /// uniformity.
+  static double OverlapCount(const Bucket& bucket, const Box& region);
+
+  Box full_region_;
+  size_t max_buckets_;
+  std::vector<Bucket> buckets_;
+  size_t num_feedbacks_ = 0;
+};
+
+/// Alternative updatable statistic (§3: "we will test other updatable
+/// statistics in place of ISOMER"): one 1-D feedback histogram per
+/// dimension combined under the attribute-value-independence assumption.
+/// Cheaper than the multidimensional histogram (no bucket blowup across
+/// dimensions) but blind to correlations; `bench_ablation_stats` compares
+/// the two on the paper's workloads.
+class IndependentDimEstimator : public Estimator {
+ public:
+  IndependentDimEstimator(Box full_region, int64_t initial_cardinality,
+                          size_t max_buckets_per_dim = 256);
+
+  double EstimateRows(const Box& region) const override;
+
+  /// Joint feedback is deconvolved into per-dimension marginals: dimension
+  /// d receives `actual / (estimated fraction of the other dimensions)`,
+  /// clamped to the current total. Exact when the other dimensions span
+  /// their full domains; a heuristic otherwise.
+  void Feedback(const Box& region, int64_t actual_rows) override;
+
+  double total_count() const { return total_; }
+
+ private:
+  Box full_region_;
+  double total_;
+  /// Per-dimension 1-D histograms over a normalized mass of `total_`.
+  std::vector<FeedbackHistogram> dims_;
+};
+
+/// Which estimator the registry instantiates per table.
+enum class StatsKind {
+  kUniform,              // never learns (cold start forever)
+  kFeedbackHistogram,    // multidimensional, the ISOMER role (default)
+  kIndependentHistograms,  // per-dimension 1-D histograms + independence
+};
+
+/// Per-table estimator registry: the statistics block of Fig. 3. Tables are
+/// seeded from catalog metadata (initial state == uniform assumption);
+/// learning can be disabled to study the cold-start optimizer.
+class StatsRegistry {
+ public:
+  explicit StatsRegistry(bool learning_enabled = true)
+      : kind_(learning_enabled ? StatsKind::kFeedbackHistogram
+                               : StatsKind::kUniform) {}
+  explicit StatsRegistry(StatsKind kind) : kind_(kind) {}
+
+  void RegisterTable(const catalog::TableDef& def);
+  bool HasTable(const std::string& table) const;
+
+  /// Estimate for an unknown table falls back to 0 (callers register every
+  /// catalog table up front).
+  double EstimateRows(const std::string& table, const Box& region) const;
+
+  void Feedback(const std::string& table, const Box& region,
+                int64_t actual_rows);
+
+  size_t TotalFeedbacks() const;
+
+  StatsKind kind() const { return kind_; }
+
+ private:
+  StatsKind kind_;
+  std::map<std::string, std::unique_ptr<Estimator>> estimators_;
+};
+
+}  // namespace payless::stats
+
+#endif  // PAYLESS_STATS_ESTIMATOR_H_

@@ -1,0 +1,167 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace payless::storage {
+
+namespace {
+
+/// Splits one CSV line into raw fields, handling quoting.
+Status SplitLine(const std::string& line, char delimiter, size_t line_no,
+                 std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": unbalanced quote");
+  }
+  fields->push_back(std::move(field));
+  return Status::OK();
+}
+
+Result<Value> ParseField(const std::string& field, ValueType type,
+                         size_t line_no, size_t col) {
+  if (field.empty()) return Value::Null();
+  const std::string where =
+      "line " + std::to_string(line_no) + ", column " + std::to_string(col);
+  switch (type) {
+    case ValueType::kInt64: {
+      char* end = nullptr;
+      const long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError(where + ": '" + field +
+                                  "' is not an integer");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError(where + ": '" + field +
+                                  "' is not a number");
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(field);
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ParseCsv(const std::string& text,
+                                  const Schema& schema,
+                                  const CsvOptions& options) {
+  std::vector<Row> rows;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_no = 0;
+  std::vector<std::string> fields;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line_no == 1 && options.has_header) continue;
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+    PAYLESS_RETURN_IF_ERROR(
+        SplitLine(line, options.delimiter, line_no, &fields));
+    if (fields.size() != schema.num_columns()) {
+      return Status::ParseError(
+          "line " + std::to_string(line_no) + ": " +
+          std::to_string(fields.size()) + " fields for " +
+          std::to_string(schema.num_columns()) + " columns");
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      Result<Value> value =
+          ParseField(fields[c], schema.column(c).type, line_no, c);
+      PAYLESS_RETURN_IF_ERROR(value.status());
+      row.push_back(std::move(*value));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> LoadCsvFile(const std::string& path,
+                                     const Schema& schema,
+                                     const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str(), schema, options);
+}
+
+namespace {
+
+std::string EscapeField(const std::string& field, char delimiter) {
+  const bool needs_quotes =
+      field.find(delimiter) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string ToCsv(const Table& table) {
+  std::ostringstream os;
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    if (c > 0) os << ',';
+    os << EscapeField(table.schema().column(c).QualifiedName(), ',');
+  }
+  os << '\n';
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      if (row[c].is_null()) continue;  // NULL -> empty field
+      if (row[c].is_string()) {
+        os << EscapeField(row[c].AsString(), ',');
+      } else {
+        os << row[c].ToString();
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace payless::storage

@@ -1,0 +1,41 @@
+// CSV import for buyer-side local tables (the ZipMap of Fig. 1a is exactly
+// the kind of small mapping table an organization keeps as a file).
+//
+// Dialect: comma-separated, first line optional header, double quotes for
+// fields containing commas/quotes (doubled quotes escape), no embedded
+// newlines. Values parse by the target schema's column types; empty fields
+// become SQL NULL.
+#ifndef PAYLESS_STORAGE_CSV_H_
+#define PAYLESS_STORAGE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace payless::storage {
+
+struct CsvOptions {
+  bool has_header = true;
+  char delimiter = ',';
+};
+
+/// Parses CSV text into rows typed by `schema`. Fails with ParseError on
+/// arity mismatches, unparseable numbers, or unbalanced quotes (the error
+/// names the line).
+Result<std::vector<Row>> ParseCsv(const std::string& text,
+                                  const Schema& schema,
+                                  const CsvOptions& options = {});
+
+/// Reads a CSV file from disk and parses it against `schema`.
+Result<std::vector<Row>> LoadCsvFile(const std::string& path,
+                                     const Schema& schema,
+                                     const CsvOptions& options = {});
+
+/// Serializes a table to CSV text (with header), inverse of ParseCsv.
+std::string ToCsv(const Table& table);
+
+}  // namespace payless::storage
+
+#endif  // PAYLESS_STORAGE_CSV_H_

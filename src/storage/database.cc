@@ -1,0 +1,62 @@
+#include "storage/database.h"
+
+namespace payless::storage {
+
+Schema SchemaFromTableDef(const catalog::TableDef& def) {
+  std::vector<SchemaColumn> cols;
+  cols.reserve(def.columns.size());
+  for (const catalog::ColumnDef& col : def.columns) {
+    cols.push_back(SchemaColumn{def.name, col.name, col.type});
+  }
+  return Schema(std::move(cols));
+}
+
+Status Database::CreateTable(const catalog::TableDef& def) {
+  const auto it = tables_.find(def.name);
+  if (it != tables_.end()) {
+    if (it->second.schema().num_columns() != def.columns.size()) {
+      return Status::InvalidArgument("table '" + def.name +
+                                     "' exists with a different schema");
+    }
+    return Status::OK();
+  }
+  tables_.emplace(def.name, Table(SchemaFromTableDef(def)));
+  return Status::OK();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table* Database::FindMutableTable(const std::string& name) {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Status Database::InsertRows(const std::string& name,
+                            const std::vector<Row>& rows) {
+  Table* table = FindMutableTable(name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  for (const Row& row : rows) {
+    PAYLESS_RETURN_IF_ERROR(table->AppendChecked(row));
+  }
+  return Status::OK();
+}
+
+Status Database::Truncate(const std::string& name) {
+  Table* table = FindMutableTable(name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  table->mutable_rows().clear();
+  return Status::OK();
+}
+
+}  // namespace payless::storage

@@ -1,0 +1,46 @@
+// Named-table store: the buyer-side DBMS instance of Fig. 3. Holds both the
+// buyer's own local tables and the mirror tables PayLess fills with data
+// retrieved from the market (the paper deliberately never evicts: storage is
+// cheap relative to re-buying data, §3).
+#ifndef PAYLESS_STORAGE_DATABASE_H_
+#define PAYLESS_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace payless::storage {
+
+/// Builds a storage schema (qualified with the table name) from catalog
+/// metadata.
+Schema SchemaFromTableDef(const catalog::TableDef& def);
+
+class Database {
+ public:
+  /// Creates an empty table with the catalog-declared schema. Idempotent:
+  /// re-creating an existing table with the same arity is a no-op.
+  Status CreateTable(const catalog::TableDef& def);
+
+  bool HasTable(const std::string& name) const;
+
+  const Table* FindTable(const std::string& name) const;
+  Table* FindMutableTable(const std::string& name);
+
+  /// Appends rows; rows are validated against the table schema.
+  Status InsertRows(const std::string& name, const std::vector<Row>& rows);
+
+  /// Drops all rows but keeps the table (used between bench repetitions).
+  Status Truncate(const std::string& name);
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace payless::storage
+
+#endif  // PAYLESS_STORAGE_DATABASE_H_

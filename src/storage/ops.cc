@@ -1,0 +1,292 @@
+#include "storage/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace payless::storage {
+
+Table Filter(const Table& input, const std::vector<ColumnPredicate>& preds) {
+  Table out(input.schema());
+  for (const Row& row : input.rows()) {
+    bool keep = true;
+    for (const ColumnPredicate& p : preds) {
+      if (!p.Matches(row)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.Append(row);
+  }
+  return out;
+}
+
+Table FilterFn(const Table& input,
+               const std::function<bool(const Row&)>& pred) {
+  Table out(input.schema());
+  for (const Row& row : input.rows()) {
+    if (pred(row)) out.Append(row);
+  }
+  return out;
+}
+
+Table Project(const Table& input, const std::vector<size_t>& columns) {
+  std::vector<SchemaColumn> cols;
+  cols.reserve(columns.size());
+  for (size_t c : columns) {
+    assert(c < input.schema().num_columns());
+    cols.push_back(input.schema().column(c));
+  }
+  Table out{Schema(std::move(cols))};
+  for (const Row& row : input.rows()) {
+    Row projected;
+    projected.reserve(columns.size());
+    for (size_t c : columns) projected.push_back(row[c]);
+    out.Append(std::move(projected));
+  }
+  return out;
+}
+
+Table HashJoin(const Table& left, const Table& right,
+               const std::vector<std::pair<size_t, size_t>>& keys) {
+  Table out(Schema::Concat(left.schema(), right.schema()));
+  if (keys.empty()) return Cartesian(left, right);
+
+  // Build on the smaller side; probe with the larger.
+  const bool build_left = left.num_rows() <= right.num_rows();
+  const Table& build = build_left ? left : right;
+  const Table& probe = build_left ? right : left;
+
+  auto key_of = [&](const Row& row, bool from_left) {
+    Row key;
+    key.reserve(keys.size());
+    for (const auto& [lc, rc] : keys) key.push_back(row[from_left ? lc : rc]);
+    return key;
+  };
+  auto has_null = [](const Row& key) {
+    for (const Value& v : key) {
+      if (v.is_null()) return true;
+    }
+    return false;
+  };
+
+  std::unordered_map<Row, std::vector<size_t>, RowHasher> hash_table;
+  for (size_t i = 0; i < build.num_rows(); ++i) {
+    Row key = key_of(build.rows()[i], build_left);
+    if (has_null(key)) continue;
+    hash_table[std::move(key)].push_back(i);
+  }
+
+  for (const Row& probe_row : probe.rows()) {
+    Row key = key_of(probe_row, !build_left);
+    if (has_null(key)) continue;
+    const auto it = hash_table.find(key);
+    if (it == hash_table.end()) continue;
+    for (size_t bi : it->second) {
+      const Row& build_row = build.rows()[bi];
+      const Row& lrow = build_left ? build_row : probe_row;
+      const Row& rrow = build_left ? probe_row : build_row;
+      Row joined = lrow;
+      joined.insert(joined.end(), rrow.begin(), rrow.end());
+      out.Append(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Table Cartesian(const Table& left, const Table& right) {
+  Table out(Schema::Concat(left.schema(), right.schema()));
+  for (const Row& l : left.rows()) {
+    for (const Row& r : right.rows()) {
+      Row joined = l;
+      joined.insert(joined.end(), r.begin(), r.end());
+      out.Append(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Table ThetaJoin(const Table& left, const Table& right,
+                const std::function<bool(const Row&)>& pred) {
+  Table out(Schema::Concat(left.schema(), right.schema()));
+  for (const Row& l : left.rows()) {
+    for (const Row& r : right.rows()) {
+      Row joined = l;
+      joined.insert(joined.end(), r.begin(), r.end());
+      if (pred(joined)) out.Append(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Table Distinct(const Table& input) {
+  Table out(input.schema());
+  std::unordered_set<Row, RowHasher> seen;
+  for (const Row& row : input.rows()) {
+    if (seen.insert(row).second) out.Append(row);
+  }
+  return out;
+}
+
+Status UnionAll(Table* into, const Table& more) {
+  if (into->schema().num_columns() != more.schema().num_columns()) {
+    return Status::InvalidArgument("UNION ALL arity mismatch: " +
+                                   into->schema().ToString() + " vs " +
+                                   more.schema().ToString());
+  }
+  for (const Row& row : more.rows()) into->Append(row);
+  return Status::OK();
+}
+
+Table SortBy(const Table& input, const std::vector<size_t>& columns) {
+  Table out = input;
+  std::stable_sort(out.mutable_rows().begin(), out.mutable_rows().end(),
+                   [&columns](const Row& a, const Row& b) {
+                     for (size_t c : columns) {
+                       const int cmp = a[c].Compare(b[c]);
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  return out;
+}
+
+std::vector<Value> DistinctValues(const Table& input, size_t column) {
+  std::unordered_set<Value, ValueHasher> seen;
+  std::vector<Value> out;
+  for (const Row& row : input.rows()) {
+    const Value& v = row[column];
+    if (v.is_null()) continue;
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+namespace {
+
+// Running state for one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  Value min;
+  Value max;
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (v.is_int64() || v.is_double()) sum += v.AsNumeric();
+    if (min.is_null() || v < min) min = v;
+    if (max.is_null() || v > max) max = v;
+  }
+
+  Value Finish(AggFunc func) const {
+    switch (func) {
+      case AggFunc::kCount:
+        return Value(count);
+      case AggFunc::kSum:
+        return count == 0 ? Value::Null() : Value(sum);
+      case AggFunc::kAvg:
+        return count == 0 ? Value::Null()
+                          : Value(sum / static_cast<double>(count));
+      case AggFunc::kMin:
+        return min;
+      case AggFunc::kMax:
+        return max;
+    }
+    return Value::Null();
+  }
+};
+
+ValueType AggOutputType(const AggSpec& spec, const Schema& input) {
+  switch (spec.func) {
+    case AggFunc::kCount:
+      return ValueType::kInt64;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      return ValueType::kDouble;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return spec.count_star ? ValueType::kInt64
+                             : input.column(spec.column).type;
+  }
+  return ValueType::kDouble;
+}
+
+}  // namespace
+
+Table GroupAggregate(const Table& input,
+                     const std::vector<size_t>& group_columns,
+                     const std::vector<AggSpec>& aggs) {
+  std::vector<SchemaColumn> out_cols;
+  for (size_t c : group_columns) out_cols.push_back(input.schema().column(c));
+  for (const AggSpec& spec : aggs) {
+    std::string name = spec.output_name;
+    if (name.empty()) {
+      name = std::string(AggFuncName(spec.func)) + "(" +
+             (spec.count_star ? "*"
+                              : input.schema().column(spec.column).name) +
+             ")";
+    }
+    out_cols.push_back(SchemaColumn{"", name, AggOutputType(spec, input.schema())});
+  }
+  Table out{Schema(std::move(out_cols))};
+
+  std::unordered_map<Row, size_t, RowHasher> group_index;
+  std::vector<Row> group_keys;
+  std::vector<std::vector<AggState>> states;
+
+  for (const Row& row : input.rows()) {
+    Row key;
+    key.reserve(group_columns.size());
+    for (size_t c : group_columns) key.push_back(row[c]);
+    const auto [it, inserted] = group_index.emplace(key, group_keys.size());
+    if (inserted) {
+      group_keys.push_back(std::move(key));
+      states.emplace_back(aggs.size());
+    }
+    std::vector<AggState>& group_states = states[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (aggs[a].func == AggFunc::kCount && aggs[a].count_star) {
+        ++group_states[a].count;
+      } else {
+        group_states[a].Add(row[aggs[a].column]);
+      }
+    }
+  }
+
+  // SQL semantics: global aggregation over an empty input still yields one
+  // row (COUNT = 0, others NULL).
+  if (group_columns.empty() && group_keys.empty()) {
+    group_keys.emplace_back();
+    states.emplace_back(aggs.size());
+  }
+
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Row row = group_keys[g];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(states[g][a].Finish(aggs[a].func));
+    }
+    out.Append(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace payless::storage

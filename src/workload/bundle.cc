@@ -1,0 +1,97 @@
+#include "workload/bundle.h"
+
+#include <cassert>
+
+namespace payless::workload {
+
+namespace {
+
+std::unique_ptr<Bundle> HostBundle(
+    catalog::Catalog catalog,
+    std::map<std::string, std::vector<Row>> market_tables,
+    std::map<std::string, std::vector<Row>> local_tables,
+    std::vector<QueryInstance> queries) {
+  auto bundle = std::make_unique<Bundle>();
+  bundle->catalog = std::move(catalog);
+  bundle->local_tables = std::move(local_tables);
+  bundle->queries = std::move(queries);
+  bundle->market = std::make_unique<market::DataMarket>(&bundle->catalog);
+  for (auto& [name, rows] : market_tables) {
+    const Status st = bundle->market->HostTable(name, std::move(rows));
+    assert(st.ok());
+    (void)st;
+  }
+  return bundle;
+}
+
+}  // namespace
+
+std::unique_ptr<Bundle> MakeRealBundle(const RealDataOptions& options,
+                                       size_t per_template,
+                                       uint64_t query_seed) {
+  RealData data = MakeRealData(options);
+  Rng rng(query_seed);
+  std::vector<QueryInstance> queries =
+      MakeRealQueries(data, per_template, &rng);
+  return HostBundle(std::move(data.catalog), std::move(data.market_tables),
+                    std::move(data.local_tables), std::move(queries));
+}
+
+std::unique_ptr<Bundle> MakeTpchBundle(const TpchOptions& options,
+                                       size_t per_template,
+                                       uint64_t query_seed) {
+  TpchData data = MakeTpchData(options);
+  Rng rng(query_seed);
+  std::vector<QueryInstance> queries =
+      MakeTpchQueries(data, per_template, &rng);
+  return HostBundle(std::move(data.catalog), std::move(data.market_tables),
+                    std::move(data.local_tables), std::move(queries));
+}
+
+std::unique_ptr<exec::PayLess> NewPayLessClient(const Bundle& bundle,
+                                                exec::PayLessConfig config) {
+  auto client = std::make_unique<exec::PayLess>(&bundle.catalog,
+                                                bundle.market.get(), config);
+  for (const auto& [name, rows] : bundle.local_tables) {
+    const Status st = client->LoadLocalTable(name, rows);
+    assert(st.ok());
+    (void)st;
+  }
+  return client;
+}
+
+exec::PayLessConfig PayLessFullConfig() {
+  exec::PayLessConfig config;
+  config.optimizer.use_sqr = true;
+  config.optimizer.use_search_reduction = true;
+  config.optimizer.cost_model = core::CostModelKind::kTransactions;
+  return config;
+}
+
+exec::PayLessConfig PayLessNoSqrConfig() {
+  exec::PayLessConfig config = PayLessFullConfig();
+  config.optimizer.use_sqr = false;
+  return config;
+}
+
+exec::PayLessConfig MinimizingCallsConfig() {
+  exec::PayLessConfig config;
+  config.optimizer.use_sqr = false;
+  config.optimizer.use_search_reduction = true;
+  config.optimizer.cost_model = core::CostModelKind::kCalls;
+  return config;
+}
+
+std::unique_ptr<exec::DownloadAllClient> NewDownloadAllClient(
+    const Bundle& bundle) {
+  auto client = std::make_unique<exec::DownloadAllClient>(&bundle.catalog,
+                                                          bundle.market.get());
+  for (const auto& [name, rows] : bundle.local_tables) {
+    const Status st = client->LoadLocalTable(name, rows);
+    assert(st.ok());
+    (void)st;
+  }
+  return client;
+}
+
+}  // namespace payless::workload

@@ -1,0 +1,53 @@
+// One-stop experiment setup: generated catalog + hosted market data +
+// local tables + instantiated query workload, plus client factories for the
+// four systems the evaluation compares (PayLess, PayLess w/o SQR,
+// Minimizing Calls, Download All).
+#ifndef PAYLESS_WORKLOAD_BUNDLE_H_
+#define PAYLESS_WORKLOAD_BUNDLE_H_
+
+#include <memory>
+
+#include "exec/download_all.h"
+#include "exec/payless.h"
+#include "market/data_market.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+#include "workload/whw.h"
+
+namespace payless::workload {
+
+struct Bundle {
+  catalog::Catalog catalog;
+  std::map<std::string, std::vector<Row>> local_tables;
+  std::unique_ptr<market::DataMarket> market;
+  std::vector<QueryInstance> queries;
+};
+
+/// Real workload (WHW + EHR + ZipMap, templates Q1-Q5), `per_template`
+/// instances each, shuffled with `query_seed`.
+std::unique_ptr<Bundle> MakeRealBundle(const RealDataOptions& options,
+                                       size_t per_template,
+                                       uint64_t query_seed);
+
+/// TPC-H (or TPC-H skew when options.zipf > 0) workload with the 20
+/// templates.
+std::unique_ptr<Bundle> MakeTpchBundle(const TpchOptions& options,
+                                       size_t per_template,
+                                       uint64_t query_seed);
+
+/// A PayLess client wired to the bundle's market, with local tables loaded.
+std::unique_ptr<exec::PayLess> NewPayLessClient(const Bundle& bundle,
+                                                exec::PayLessConfig config);
+
+/// Convenience configs for the paper's comparison systems.
+exec::PayLessConfig PayLessFullConfig();
+exec::PayLessConfig PayLessNoSqrConfig();      // "PayLess w/o SQR"
+exec::PayLessConfig MinimizingCallsConfig();   // baseline [27]
+
+/// The "Download All" client, local tables loaded.
+std::unique_ptr<exec::DownloadAllClient> NewDownloadAllClient(
+    const Bundle& bundle);
+
+}  // namespace payless::workload
+
+#endif  // PAYLESS_WORKLOAD_BUNDLE_H_

@@ -1,0 +1,345 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace payless::workload {
+
+const std::vector<std::string>& RealTemplates() {
+  // Table 1, verbatim modulo whitespace.
+  static const std::vector<std::string> kTemplates = {
+      // Q1
+      "SELECT * FROM Weather "
+      "WHERE Weather.Country = ? AND Weather.Date >= ? AND Weather.Date <= ?",
+      // Q2
+      "SELECT COUNT(ZipCode) FROM Pollution "
+      "WHERE Pollution.Rank >= ? AND Pollution.Rank <= ?",
+      // Q3
+      "SELECT AVG(Temperature) FROM Station, Weather "
+      "WHERE Station.Country = Weather.Country = ? AND Weather.Date >= ? AND "
+      "Weather.Date <= ? AND Station.StationID = Weather.StationID "
+      "GROUP BY City",
+      // Q4
+      "SELECT Temperature FROM Station, Weather, ZipMap "
+      "WHERE Station.Country = Weather.Country = ? AND ZipMap.ZipCode = ? AND "
+      "Weather.Date >= ? AND Weather.Date <= ? AND "
+      "Station.StationID = Weather.StationID AND Station.City = ZipMap.City",
+      // Q5
+      "SELECT * FROM Pollution, Station, Weather, ZipMap "
+      "WHERE Station.Country = Weather.Country = ? AND Weather.Date >= ? AND "
+      "Weather.Date <= ? AND Pollution.Rank >= ? AND Pollution.Rank <= ? AND "
+      "Pollution.ZipCode = ZipMap.ZipCode AND ZipMap.City = Station.City AND "
+      "Station.StationID = Weather.StationID",
+  };
+  return kTemplates;
+}
+
+namespace {
+
+/// Inclusive date range of `width` consecutive valid dates starting at a
+/// random position.
+std::pair<int64_t, int64_t> RandomDateRange(const std::vector<int64_t>& dates,
+                                            int64_t width, Rng* rng) {
+  assert(!dates.empty());
+  width = std::min<int64_t>(width, static_cast<int64_t>(dates.size()));
+  const size_t start =
+      rng->Index(dates.size() - static_cast<size_t>(width) + 1);
+  return {dates[start], dates[start + static_cast<size_t>(width) - 1]};
+}
+
+}  // namespace
+
+std::vector<QueryInstance> MakeRealQueries(const RealData& data,
+                                           size_t per_template, Rng* rng) {
+  const std::vector<std::string>& templates = RealTemplates();
+  std::vector<QueryInstance> out;
+
+  // Countries eligible for Q5: they must have a polluted zip whose city
+  // hosts at least one weather station (else the join is empty).
+  std::vector<std::string> q5_countries;
+  for (const auto& [country, pairs] : data.polluted_zips_by_country) {
+    for (const auto& [zip, rank] : pairs) {
+      (void)rank;
+      if (data.cities_with_stations.count(data.city_of_zip.at(zip)) > 0) {
+        q5_countries.push_back(country);
+        break;
+      }
+    }
+  }
+  assert(!q5_countries.empty());
+
+  for (size_t i = 0; i < per_template; ++i) {
+    {  // Q1: country + 1-4 week date range
+      const std::string& country = data.countries[rng->Index(data.countries.size())];
+      const auto [lo, hi] =
+          RandomDateRange(data.queryable_dates, rng->Uniform(7, 30), rng);
+      out.push_back(QueryInstance{
+          0, templates[0], {Value(country), Value(lo), Value(hi)}});
+    }
+    {  // Q2: rank range (about 2-10% of the rank space)
+      const int64_t width =
+          std::max<int64_t>(1, rng->Uniform(data.max_rank / 50,
+                                            data.max_rank / 10));
+      const int64_t lo = rng->Uniform(1, std::max<int64_t>(1, data.max_rank - width));
+      out.push_back(QueryInstance{
+          1, templates[1], {Value(lo), Value(lo + width)}});
+    }
+    {  // Q3: country + date range
+      const std::string& country = data.countries[rng->Index(data.countries.size())];
+      const auto [lo, hi] =
+          RandomDateRange(data.queryable_dates, rng->Uniform(7, 30), rng);
+      out.push_back(QueryInstance{
+          2, templates[2], {Value(country), Value(lo), Value(hi)}});
+    }
+    {  // Q4: country + zip of a station-bearing city in it + date range
+      std::string country;
+      int64_t zip = 0;
+      while (zip == 0) {
+        country = data.countries[rng->Index(data.countries.size())];
+        const auto it = data.zips_by_country.find(country);
+        if (it == data.zips_by_country.end()) continue;
+        std::vector<int64_t> eligible;
+        for (const int64_t z : it->second) {
+          if (data.cities_with_stations.count(data.city_of_zip.at(z)) > 0) {
+            eligible.push_back(z);
+          }
+        }
+        if (eligible.empty()) continue;
+        zip = eligible[rng->Index(eligible.size())];
+      }
+      const auto [lo, hi] =
+          RandomDateRange(data.queryable_dates, rng->Uniform(7, 30), rng);
+      out.push_back(QueryInstance{
+          3, templates[3],
+          {Value(country), Value(zip), Value(lo), Value(hi)}});
+    }
+    {  // Q5: country with a station-bearing polluted zip + date + rank range
+      const std::string& country =
+          q5_countries[rng->Index(q5_countries.size())];
+      const auto& pairs = data.polluted_zips_by_country.at(country);
+      int64_t anchor_rank = 0;
+      while (anchor_rank == 0) {
+        const auto& [zip, rank] = pairs[rng->Index(pairs.size())];
+        if (data.cities_with_stations.count(data.city_of_zip.at(zip)) > 0) {
+          anchor_rank = rank;
+        }
+      }
+      const int64_t half = std::max<int64_t>(10, data.max_rank / 40);
+      const int64_t rank_lo = std::max<int64_t>(1, anchor_rank - half);
+      const int64_t rank_hi = std::min(data.max_rank, anchor_rank + half);
+      const auto [lo, hi] =
+          RandomDateRange(data.queryable_dates, rng->Uniform(7, 30), rng);
+      out.push_back(QueryInstance{
+          4, templates[4],
+          {Value(country), Value(lo), Value(hi), Value(rank_lo),
+           Value(rank_hi)}});
+    }
+  }
+  rng->Shuffle(&out);
+  return out;
+}
+
+const std::vector<std::string>& TpchTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      // 0: pricing-summary style single-table sweep
+      "SELECT COUNT(*) FROM Lineitem "
+      "WHERE Lineitem.ShipDate >= ? AND Lineitem.ShipDate <= ?",
+      // 1
+      "SELECT AVG(ExtendedPrice) FROM Lineitem "
+      "WHERE Lineitem.ShipDate >= ? AND Lineitem.ShipDate <= ?",
+      // 2
+      "SELECT * FROM Orders "
+      "WHERE Orders.OrderDate >= ? AND Orders.OrderDate <= ?",
+      // 3: residual predicate on an output-only attribute
+      "SELECT COUNT(*) FROM Orders "
+      "WHERE Orders.OrderDate >= ? AND Orders.OrderDate <= ? AND "
+      "Orders.TotalPrice >= ?",
+      // 4: shipping-priority style join
+      "SELECT COUNT(*) FROM Customer, Orders "
+      "WHERE Customer.CustKey = Orders.CustKey AND Customer.MktSegment = ? "
+      "AND Orders.OrderDate >= ? AND Orders.OrderDate <= ?",
+      // 5
+      "SELECT AVG(TotalPrice) FROM Customer, Orders "
+      "WHERE Customer.CustKey = Orders.CustKey AND Customer.MktSegment = ? "
+      "AND Orders.OrderDate >= ? AND Orders.OrderDate <= ?",
+      // 6: group by nation
+      "SELECT Customer.NationKey, COUNT(*) FROM Customer, Orders "
+      "WHERE Customer.CustKey = Orders.CustKey AND Orders.OrderDate >= ? AND "
+      "Orders.OrderDate <= ? GROUP BY Customer.NationKey",
+      // 7: orders joined with their lineitems
+      "SELECT COUNT(*) FROM Orders, Lineitem "
+      "WHERE Orders.OrderKey = Lineitem.OrderKey AND Orders.OrderDate >= ? "
+      "AND Orders.OrderDate <= ? AND Lineitem.ShipDate >= ? AND "
+      "Lineitem.ShipDate <= ?",
+      // 8: part selection
+      "SELECT * FROM Part "
+      "WHERE Part.Brand = ? AND Part.PSize >= ? AND Part.PSize <= ?",
+      // 9
+      "SELECT AVG(RetailPrice) FROM Part "
+      "WHERE Part.PSize >= ? AND Part.PSize <= ?",
+      // 10: minimum-cost-supplier style
+      "SELECT AVG(SupplyCost) FROM PartSupp, Part "
+      "WHERE PartSupp.PartKey = Part.PartKey AND Part.Brand = ? AND "
+      "Part.PSize >= ? AND Part.PSize <= ?",
+      // 11: local Nation steering a market table
+      "SELECT COUNT(*) FROM Supplier, Nation "
+      "WHERE Supplier.NationKey = Nation.NationKey AND Nation.NName = ?",
+      // 12: two local dimension tables
+      "SELECT COUNT(*) FROM Supplier, Nation, Region "
+      "WHERE Supplier.NationKey = Nation.NationKey AND "
+      "Nation.RegionKey = Region.RegionKey AND Region.RName = ?",
+      // 13
+      "SELECT COUNT(*) FROM Customer, Nation "
+      "WHERE Customer.NationKey = Nation.NationKey AND Nation.NName = ? AND "
+      "Customer.MktSegment = ?",
+      // 14: promotion-effect style
+      "SELECT AVG(ExtendedPrice) FROM Lineitem, Part "
+      "WHERE Lineitem.PartKey = Part.PartKey AND Part.Brand = ? AND "
+      "Lineitem.ShipDate >= ? AND Lineitem.ShipDate <= ?",
+      // 15: supplier volume by nation
+      "SELECT COUNT(*) FROM Lineitem, Supplier, Nation "
+      "WHERE Lineitem.SuppKey = Supplier.SuppKey AND "
+      "Supplier.NationKey = Nation.NationKey AND Nation.NName = ? AND "
+      "Lineitem.ShipDate >= ? AND Lineitem.ShipDate <= ?",
+      // 16: full customer-by-nation census (parameter free)
+      "SELECT Nation.NName, COUNT(*) FROM Customer, Nation "
+      "WHERE Customer.NationKey = Nation.NationKey GROUP BY Nation.NName",
+      // 17
+      "SELECT AVG(CAcctBal) FROM Customer WHERE Customer.MktSegment = ?",
+      // 18
+      "SELECT COUNT(*) FROM PartSupp, Supplier, Nation "
+      "WHERE PartSupp.SuppKey = Supplier.SuppKey AND "
+      "Supplier.NationKey = Nation.NationKey AND Nation.NName = ?",
+      // 19: market segments by revenue
+      "SELECT Customer.MktSegment, AVG(TotalPrice) FROM Customer, Orders "
+      "WHERE Customer.CustKey = Orders.CustKey AND Orders.OrderDate >= ? AND "
+      "Orders.OrderDate <= ? GROUP BY Customer.MktSegment",
+  };
+  return kTemplates;
+}
+
+std::vector<QueryInstance> MakeTpchQueries(const TpchData& data,
+                                           size_t per_template, Rng* rng) {
+  const std::vector<std::string>& templates = TpchTemplates();
+  std::vector<QueryInstance> out;
+
+  // Wide date ranges: TPC-H queries scan a large portion of the data (§5).
+  const auto date_range = [&](int64_t min_width, int64_t max_width) {
+    const int64_t width = rng->Uniform(min_width, max_width);
+    const int64_t lo = rng->Uniform(0, kTpchDateMax - width);
+    return std::pair<int64_t, int64_t>{lo, lo + width};
+  };
+  const auto segment = [&] {
+    return Value(data.segments[rng->Index(data.segments.size())]);
+  };
+  const auto brand = [&] {
+    return Value(data.brands[rng->Index(data.brands.size())]);
+  };
+  const auto nation = [&] {
+    return Value(data.nation_names[rng->Index(data.nation_names.size())]);
+  };
+  const auto size_range = [&] {
+    const int64_t lo = rng->Uniform(1, 40);
+    return std::pair<int64_t, int64_t>{lo, lo + rng->Uniform(3, 10)};
+  };
+
+  for (size_t i = 0; i < per_template; ++i) {
+    for (size_t tid = 0; tid < templates.size(); ++tid) {
+      QueryInstance instance;
+      instance.template_id = tid;
+      instance.sql = templates[tid];
+      switch (tid) {
+        case 0:
+        case 1: {
+          const auto [lo, hi] = date_range(90, 365);
+          instance.params = {Value(lo), Value(hi)};
+          break;
+        }
+        case 2: {
+          const auto [lo, hi] = date_range(60, 240);
+          instance.params = {Value(lo), Value(hi)};
+          break;
+        }
+        case 3: {
+          const auto [lo, hi] = date_range(60, 240);
+          instance.params = {Value(lo), Value(hi), Value(150000.0)};
+          break;
+        }
+        case 4:
+        case 5: {
+          const auto [lo, hi] = date_range(90, 365);
+          instance.params = {segment(), Value(lo), Value(hi)};
+          break;
+        }
+        case 6: {
+          const auto [lo, hi] = date_range(90, 365);
+          instance.params = {Value(lo), Value(hi)};
+          break;
+        }
+        case 7: {
+          const auto [olo, ohi] = date_range(30, 120);
+          instance.params = {Value(olo), Value(ohi), Value(olo),
+                             Value(std::min(kTpchDateMax, ohi + 122))};
+          break;
+        }
+        case 8: {
+          const auto [lo, hi] = size_range();
+          instance.params = {brand(), Value(lo), Value(hi)};
+          break;
+        }
+        case 9: {
+          const auto [lo, hi] = size_range();
+          instance.params = {Value(lo), Value(hi)};
+          break;
+        }
+        case 10: {
+          const auto [lo, hi] = size_range();
+          instance.params = {brand(), Value(lo), Value(hi)};
+          break;
+        }
+        case 11:
+          instance.params = {nation()};
+          break;
+        case 12:
+          instance.params = {Value(std::vector<std::string>{
+              "AFRICA", "AMERICA", "ASIA", "EUROPE",
+              "MIDDLE EAST"}[rng->Index(5)])};
+          break;
+        case 13:
+          instance.params = {nation(), segment()};
+          break;
+        case 14: {
+          const auto [lo, hi] = date_range(90, 365);
+          instance.params = {brand(), Value(lo), Value(hi)};
+          break;
+        }
+        case 15: {
+          const auto [lo, hi] = date_range(90, 365);
+          instance.params = {nation(), Value(lo), Value(hi)};
+          break;
+        }
+        case 16:
+          instance.params = {};
+          break;
+        case 17:
+          instance.params = {segment()};
+          break;
+        case 18:
+          instance.params = {nation()};
+          break;
+        case 19: {
+          const auto [lo, hi] = date_range(90, 365);
+          instance.params = {Value(lo), Value(hi)};
+          break;
+        }
+        default:
+          assert(false);
+      }
+      out.push_back(std::move(instance));
+    }
+  }
+  rng->Shuffle(&out);
+  return out;
+}
+
+}  // namespace payless::workload

@@ -1,0 +1,45 @@
+// Query templates and instance generation.
+//
+// Real workload: the five templates of Table 1, instantiated with randomly
+// drawn but guaranteed-valid parameters (a valid instance returns non-empty
+// results, §5). TPC-H workload: twenty single-block templates in the spirit
+// of the TPC-H query set, restricted to the dialect PayLess supports; all
+// parametric attributes are free (§5), and the wide date ranges make the
+// queries "scan a large portion of data" as the paper notes.
+#ifndef PAYLESS_WORKLOAD_QUERIES_H_
+#define PAYLESS_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/value.h"
+#include "workload/tpch.h"
+#include "workload/whw.h"
+
+namespace payless::workload {
+
+/// One ready-to-run query: template SQL plus instantiated parameters.
+struct QueryInstance {
+  size_t template_id = 0;
+  std::string sql;
+  std::vector<Value> params;
+};
+
+/// The SQL of the five real-data templates (Table 1), index = template id.
+const std::vector<std::string>& RealTemplates();
+
+/// The twenty TPC-H-style templates.
+const std::vector<std::string>& TpchTemplates();
+
+/// Generates `per_template` valid instances of every real template and
+/// shuffles the whole batch (queries arrive in random order, §5).
+std::vector<QueryInstance> MakeRealQueries(const RealData& data,
+                                           size_t per_template, Rng* rng);
+
+std::vector<QueryInstance> MakeTpchQueries(const TpchData& data,
+                                           size_t per_template, Rng* rng);
+
+}  // namespace payless::workload
+
+#endif  // PAYLESS_WORKLOAD_QUERIES_H_

@@ -1,0 +1,272 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace payless::workload {
+
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+
+/// Draws a key in [1, n]: uniform when z == 0, zipf-skewed otherwise. The
+/// zipf sampler maps rank r to key ((r * 2654435761) mod n) + 1 so hot keys
+/// are scattered over the key space, as in the skewed-dbgen generator.
+class KeySampler {
+ public:
+  KeySampler(int64_t n, double z, Rng* rng) : n_(n), z_(z), rng_(rng) {
+    if (z_ > 0.0) zipf_ = std::make_unique<ZipfDistribution>(n, z);
+  }
+
+  int64_t Sample() const {
+    if (z_ <= 0.0) return rng_->Uniform(1, n_);
+    const int64_t rank = zipf_->Sample(rng_);
+    const uint64_t scattered =
+        static_cast<uint64_t>(rank) * 2654435761ULL % static_cast<uint64_t>(n_);
+    return static_cast<int64_t>(scattered) + 1;
+  }
+
+ private:
+  int64_t n_;
+  double z_;
+  Rng* rng_;
+  std::unique_ptr<ZipfDistribution> zipf_;
+};
+
+}  // namespace
+
+TpchData MakeTpchData(const TpchOptions& options) {
+  TpchData data;
+  Rng rng(options.seed);
+  const double sf = options.scale_factor;
+
+  data.num_suppliers = std::max<int64_t>(10, static_cast<int64_t>(10000 * sf));
+  data.num_customers =
+      std::max<int64_t>(30, static_cast<int64_t>(150000 * sf));
+  data.num_parts = std::max<int64_t>(40, static_cast<int64_t>(200000 * sf));
+  data.num_orders = std::max<int64_t>(60, static_cast<int64_t>(1500000 * sf));
+
+  data.segments = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                   "MACHINERY"};
+  for (int i = 1; i <= 25; ++i) {
+    data.brands.push_back("Brand#" + std::to_string(10 + i));
+  }
+  data.nation_names = {
+      "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",  "EGYPT",
+      "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",   "INDONESIA",
+      "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",  "KENYA",
+      "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",   "ROMANIA",
+      "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+      "UNITED STATES"};
+  const std::vector<std::string> region_names = {"AFRICA", "AMERICA", "ASIA",
+                                                 "EUROPE", "MIDDLE EAST"};
+
+  // ---- Catalog.
+  Status st = data.catalog.RegisterDataset(
+      DatasetDef{"TPCH", options.price_per_transaction,
+                 options.tuples_per_transaction});
+  assert(st.ok());
+
+  AttrDomain suppkey_domain = AttrDomain::Numeric(1, data.num_suppliers);
+  AttrDomain custkey_domain = AttrDomain::Numeric(1, data.num_customers);
+  AttrDomain partkey_domain = AttrDomain::Numeric(1, data.num_parts);
+  AttrDomain orderkey_domain = AttrDomain::Numeric(1, data.num_orders);
+  AttrDomain nationkey_domain = AttrDomain::Numeric(0, 24);
+  AttrDomain regionkey_domain = AttrDomain::Numeric(0, 4);
+  AttrDomain date_domain = AttrDomain::Numeric(0, kTpchDateMax);
+  AttrDomain size_domain = AttrDomain::Numeric(1, 50);
+  AttrDomain segment_domain = AttrDomain::Categorical(data.segments);
+  AttrDomain brand_domain = AttrDomain::Categorical(data.brands);
+  AttrDomain nation_name_domain = AttrDomain::Categorical([&] {
+    std::vector<std::string> sorted = data.nation_names;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }());
+  AttrDomain region_name_domain = AttrDomain::Categorical(region_names);
+
+  const auto register_table = [&](TableDef def) {
+    const Status table_st = data.catalog.RegisterTable(std::move(def));
+    assert(table_st.ok());
+    (void)table_st;
+  };
+
+  {
+    TableDef def;
+    def.name = "Region";
+    def.is_local = true;
+    def.columns = {
+        ColumnDef::Free("RegionKey", ValueType::kInt64, regionkey_domain),
+        ColumnDef::Free("RName", ValueType::kString, region_name_domain)};
+    def.cardinality = 5;
+    register_table(def);
+  }
+  {
+    TableDef def;
+    def.name = "Nation";
+    def.is_local = true;
+    def.columns = {
+        ColumnDef::Free("NationKey", ValueType::kInt64, nationkey_domain),
+        ColumnDef::Free("NName", ValueType::kString, nation_name_domain),
+        ColumnDef::Free("RegionKey", ValueType::kInt64, regionkey_domain)};
+    def.cardinality = 25;
+    register_table(def);
+  }
+  {
+    TableDef def;
+    def.name = "Supplier";
+    def.dataset = "TPCH";
+    def.columns = {
+        ColumnDef::Free("SuppKey", ValueType::kInt64, suppkey_domain),
+        ColumnDef::Free("NationKey", ValueType::kInt64, nationkey_domain),
+        ColumnDef::Output("SAcctBal", ValueType::kDouble)};
+    def.cardinality = data.num_suppliers;
+    register_table(def);
+  }
+  {
+    TableDef def;
+    def.name = "Customer";
+    def.dataset = "TPCH";
+    def.columns = {
+        ColumnDef::Free("CustKey", ValueType::kInt64, custkey_domain),
+        ColumnDef::Free("NationKey", ValueType::kInt64, nationkey_domain),
+        ColumnDef::Free("MktSegment", ValueType::kString, segment_domain),
+        ColumnDef::Output("CAcctBal", ValueType::kDouble)};
+    def.cardinality = data.num_customers;
+    register_table(def);
+  }
+  {
+    TableDef def;
+    def.name = "Part";
+    def.dataset = "TPCH";
+    def.columns = {
+        ColumnDef::Free("PartKey", ValueType::kInt64, partkey_domain),
+        ColumnDef::Free("Brand", ValueType::kString, brand_domain),
+        ColumnDef::Free("PSize", ValueType::kInt64, size_domain),
+        ColumnDef::Output("RetailPrice", ValueType::kDouble)};
+    def.cardinality = data.num_parts;
+    register_table(def);
+  }
+  {
+    TableDef def;
+    def.name = "PartSupp";
+    def.dataset = "TPCH";
+    def.columns = {
+        ColumnDef::Free("PartKey", ValueType::kInt64, partkey_domain),
+        ColumnDef::Free("SuppKey", ValueType::kInt64, suppkey_domain),
+        ColumnDef::Output("SupplyCost", ValueType::kDouble)};
+    def.cardinality = data.num_parts * 4;
+    register_table(def);
+  }
+  {
+    TableDef def;
+    def.name = "Orders";
+    def.dataset = "TPCH";
+    def.columns = {
+        ColumnDef::Free("OrderKey", ValueType::kInt64, orderkey_domain),
+        ColumnDef::Free("CustKey", ValueType::kInt64, custkey_domain),
+        ColumnDef::Free("OrderDate", ValueType::kInt64, date_domain),
+        ColumnDef::Output("TotalPrice", ValueType::kDouble)};
+    def.cardinality = data.num_orders;
+    register_table(def);
+  }
+  {
+    TableDef def;
+    def.name = "Lineitem";
+    def.dataset = "TPCH";
+    def.columns = {
+        ColumnDef::Free("OrderKey", ValueType::kInt64, orderkey_domain),
+        ColumnDef::Free("PartKey", ValueType::kInt64, partkey_domain),
+        ColumnDef::Free("SuppKey", ValueType::kInt64, suppkey_domain),
+        ColumnDef::Free("ShipDate", ValueType::kInt64, date_domain),
+        ColumnDef::Output("Quantity", ValueType::kDouble),
+        ColumnDef::Output("ExtendedPrice", ValueType::kDouble),
+        ColumnDef::Output("Discount", ValueType::kDouble)};
+    def.cardinality = data.num_orders * 4;
+    register_table(def);
+  }
+
+  // ---- Rows.
+  std::vector<Row>& region_rows = data.local_tables["Region"];
+  for (int64_t r = 0; r < 5; ++r) {
+    region_rows.push_back(Row{Value(r), Value(region_names[r])});
+  }
+  std::vector<Row>& nation_rows = data.local_tables["Nation"];
+  for (int64_t nk = 0; nk < 25; ++nk) {
+    nation_rows.push_back(
+        Row{Value(nk), Value(data.nation_names[nk]), Value(nk % 5)});
+  }
+
+  KeySampler nation_sampler(25, options.zipf, &rng);
+  std::vector<Row>& supplier_rows = data.market_tables["Supplier"];
+  for (int64_t k = 1; k <= data.num_suppliers; ++k) {
+    supplier_rows.push_back(Row{Value(k), Value(nation_sampler.Sample() - 1),
+                                Value(rng.UniformReal(-999.0, 9999.0))});
+  }
+
+  KeySampler segment_sampler(
+      static_cast<int64_t>(data.segments.size()), options.zipf, &rng);
+  std::vector<Row>& customer_rows = data.market_tables["Customer"];
+  for (int64_t k = 1; k <= data.num_customers; ++k) {
+    customer_rows.push_back(
+        Row{Value(k), Value(nation_sampler.Sample() - 1),
+            Value(data.segments[segment_sampler.Sample() - 1]),
+            Value(rng.UniformReal(-999.0, 9999.0))});
+  }
+
+  KeySampler brand_sampler(25, options.zipf, &rng);
+  KeySampler size_sampler(50, options.zipf, &rng);
+  std::vector<Row>& part_rows = data.market_tables["Part"];
+  for (int64_t k = 1; k <= data.num_parts; ++k) {
+    part_rows.push_back(Row{Value(k),
+                            Value(data.brands[brand_sampler.Sample() - 1]),
+                            Value(size_sampler.Sample()),
+                            Value(rng.UniformReal(900.0, 2000.0))});
+  }
+
+  KeySampler supp_sampler(data.num_suppliers, options.zipf, &rng);
+  std::vector<Row>& partsupp_rows = data.market_tables["PartSupp"];
+  for (int64_t pk = 1; pk <= data.num_parts; ++pk) {
+    for (int64_t i = 0; i < 4; ++i) {
+      partsupp_rows.push_back(Row{Value(pk), Value(supp_sampler.Sample()),
+                                  Value(rng.UniformReal(1.0, 1000.0))});
+    }
+  }
+
+  KeySampler cust_sampler(data.num_customers, options.zipf, &rng);
+  KeySampler date_sampler(kTpchDateMax + 1, options.zipf, &rng);
+  KeySampler part_sampler(data.num_parts, options.zipf, &rng);
+  std::vector<Row>& orders_rows = data.market_tables["Orders"];
+  std::vector<Row>& lineitem_rows = data.market_tables["Lineitem"];
+  for (int64_t ok = 1; ok <= data.num_orders; ++ok) {
+    const int64_t orderdate = date_sampler.Sample() - 1;
+    orders_rows.push_back(Row{Value(ok), Value(cust_sampler.Sample()),
+                              Value(orderdate),
+                              Value(rng.UniformReal(1000.0, 400000.0))});
+    const int64_t lines = rng.Uniform(1, 7);
+    for (int64_t l = 0; l < lines; ++l) {
+      const int64_t shipdate =
+          std::min<int64_t>(kTpchDateMax, orderdate + rng.Uniform(1, 121));
+      lineitem_rows.push_back(
+          Row{Value(ok), Value(part_sampler.Sample()),
+              Value(supp_sampler.Sample()), Value(shipdate),
+              Value(static_cast<double>(rng.Uniform(1, 50))),
+              Value(rng.UniformReal(900.0, 100000.0)),
+              Value(rng.UniformReal(0.0, 0.1))});
+    }
+  }
+  const Status card_st = data.catalog.SetCardinality(
+      "Lineitem", static_cast<int64_t>(lineitem_rows.size()));
+  assert(card_st.ok());
+  (void)card_st;
+
+  return data;
+}
+
+}  // namespace payless::workload

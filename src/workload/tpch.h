@@ -1,0 +1,52 @@
+// From-scratch TPC-H data generator, standing in for the paper's "1G of
+// TPC-H data and 1G of TPC-H skew data [19] with zipf = 1".
+//
+// Eight tables with the standard shape and ratios (per scale factor SF:
+// 10k suppliers, 150k customers, 200k parts, 800k partsupps, 1.5M orders,
+// ~6M lineitems); Nation and Region are LOCAL tables per the paper's setup,
+// everything else is hosted in the market with all parametric attributes
+// free. The skewed variant draws foreign keys and dates from a zipf(z)
+// distribution in the style of Chaudhuri & Narasayya's skewed dbgen.
+// Dates are day indices 0..2404 (1992-01-01 .. 1998-08-02).
+#ifndef PAYLESS_WORKLOAD_TPCH_H_
+#define PAYLESS_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/value.h"
+
+namespace payless::workload {
+
+struct TpchOptions {
+  double scale_factor = 0.002;  // SF; 1.0 = the standard 1G dataset
+  double zipf = 0.0;            // 0 = uniform TPC-H; 1.0 = TPC-H skew
+  uint64_t seed = 7;
+  int64_t tuples_per_transaction = 100;
+  double price_per_transaction = 1.0;
+};
+
+constexpr int64_t kTpchDateMax = 2404;  // day index of 1998-08-02
+
+struct TpchData {
+  catalog::Catalog catalog;
+  std::map<std::string, std::vector<Row>> market_tables;
+  std::map<std::string, std::vector<Row>> local_tables;  // Nation, Region
+
+  int64_t num_suppliers = 0;
+  int64_t num_customers = 0;
+  int64_t num_parts = 0;
+  int64_t num_orders = 0;
+  std::vector<std::string> segments;      // MktSegment domain
+  std::vector<std::string> brands;        // Brand domain
+  std::vector<std::string> nation_names;  // Nation.Name values
+};
+
+TpchData MakeTpchData(const TpchOptions& options);
+
+}  // namespace payless::workload
+
+#endif  // PAYLESS_WORKLOAD_TPCH_H_

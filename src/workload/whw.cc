@@ -1,0 +1,269 @@
+#include "workload/whw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace payless::workload {
+
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+
+/// Valid YYYYMMDD dates starting 2011-01-01 (ignoring leap days), in
+/// order, truncated to `days`. Multiple years model the paper's WHW depth
+/// (19.5M records ~ 13 years of daily data; queries touch weeks of it).
+std::vector<int64_t> ValidDates(int64_t days) {
+  static const int kMonthLen[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  std::vector<int64_t> dates;
+  for (int64_t year = 2011;; ++year) {
+    for (int month = 1; month <= 12; ++month) {
+      for (int day = 1; day <= kMonthLen[month - 1]; ++day) {
+        dates.push_back(year * 10000 + month * 100 + day);
+        if (static_cast<int64_t>(dates.size()) >= days) return dates;
+      }
+    }
+  }
+}
+
+std::vector<std::string> CountryNames(int64_t n) {
+  static const char* kNames[] = {
+      "United States", "Germany",   "Canada",  "France",   "Japan",
+      "Brazil",        "Australia", "India",   "Italy",    "Spain",
+      "Mexico",        "Korea",     "Britain", "Russia",   "China",
+      "Norway",        "Sweden",    "Poland",  "Chile",    "Egypt",
+      "Kenya",         "Peru",      "Turkey",  "Vietnam",  "Greece",
+  };
+  std::vector<std::string> out;
+  for (int64_t i = 0; i < n; ++i) {
+    if (i < static_cast<int64_t>(std::size(kNames))) {
+      out.emplace_back(kNames[i]);
+    } else {
+      out.push_back("Country" + std::to_string(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RealData MakeRealData(const RealDataOptions& options) {
+  RealData data;
+  Rng rng(options.seed);
+
+  const int64_t total_stations =
+      std::max<int64_t>(40, static_cast<int64_t>(3962 * options.scale));
+  const int64_t pollution_rows =
+      std::max<int64_t>(200, static_cast<int64_t>(44210 * options.scale));
+  data.countries = CountryNames(options.num_countries);
+  data.valid_dates = ValidDates(options.days);
+  {
+    const size_t window = static_cast<size_t>(std::min<int64_t>(
+        options.query_window_days, static_cast<int64_t>(data.valid_dates.size())));
+    data.queryable_dates.assign(data.valid_dates.end() - window,
+                                data.valid_dates.end());
+  }
+  data.max_rank = pollution_rows;
+
+  // ---- Station allocation: the first country ("United States") holds
+  // ~20% of all stations (788/3962 in the paper); the rest decays by rank.
+  std::vector<int64_t> stations_per_country(data.countries.size(), 0);
+  {
+    const ZipfDistribution zipf(
+        static_cast<int64_t>(data.countries.size()), 0.7);
+    stations_per_country[0] = std::max<int64_t>(5, total_stations / 5);
+    int64_t assigned = stations_per_country[0];
+    for (size_t c = 1; c < data.countries.size(); ++c) {
+      stations_per_country[c] = 1;  // every country has a station
+      ++assigned;
+    }
+    while (assigned < total_stations) {
+      const size_t c = static_cast<size_t>(zipf.Sample(&rng) - 1);
+      ++stations_per_country[c];
+      ++assigned;
+    }
+  }
+
+  // ---- Cities: each country has several, each holding a small share of
+  // the country's stations.
+  std::vector<std::string> all_cities;
+  struct StationInfo {
+    int64_t id;
+    std::string country;
+    std::string city;
+    double latitude;
+    double longitude;
+  };
+  std::vector<StationInfo> stations;
+  int64_t next_station = 1;
+  for (size_t c = 0; c < data.countries.size(); ++c) {
+    const std::string& country = data.countries[c];
+    const int64_t n = stations_per_country[c];
+    const int64_t num_cities = std::max<int64_t>(2, n / 8);
+    std::vector<std::string> cities;
+    for (int64_t k = 0; k < num_cities; ++k) {
+      cities.push_back(country + " City" + std::to_string(k));
+      all_cities.push_back(cities.back());
+    }
+    data.cities_by_country[country] = cities;
+    for (int64_t s = 0; s < n; ++s) {
+      StationInfo info;
+      info.id = next_station++;
+      info.country = country;
+      info.city = cities[rng.Index(cities.size())];
+      info.latitude = rng.UniformReal(-60.0, 70.0);
+      info.longitude = rng.UniformReal(-180.0, 180.0);
+      data.cities_with_stations.insert(info.city);
+      stations.push_back(std::move(info));
+    }
+  }
+  std::sort(all_cities.begin(), all_cities.end());
+
+  // ---- Catalog: datasets, schemas, binding patterns, basic statistics.
+  AttrDomain country_domain = AttrDomain::Categorical([&] {
+    std::vector<std::string> sorted = data.countries;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }());
+  AttrDomain city_domain = AttrDomain::Categorical(all_cities);
+  AttrDomain station_domain = AttrDomain::Numeric(1, total_stations);
+  AttrDomain date_domain =
+      AttrDomain::Numeric(data.valid_dates.front(), data.valid_dates.back());
+
+  Status st = data.catalog.RegisterDataset(
+      DatasetDef{"WHW", options.price_per_transaction,
+                 options.tuples_per_transaction});
+  assert(st.ok());
+  st = data.catalog.RegisterDataset(
+      DatasetDef{"EHR", options.price_per_transaction,
+                 options.tuples_per_transaction});
+  assert(st.ok());
+
+  TableDef station_def;
+  station_def.name = "Station";
+  station_def.dataset = "WHW";
+  station_def.columns = {
+      ColumnDef::Free("Country", ValueType::kString, country_domain),
+      ColumnDef::Free("StationID", ValueType::kInt64, station_domain),
+      ColumnDef::Free("City", ValueType::kString, city_domain),
+      ColumnDef::Output("State", ValueType::kString),
+      ColumnDef::Output("Latitude", ValueType::kDouble),
+      ColumnDef::Output("Longitude", ValueType::kDouble),
+  };
+  station_def.cardinality = total_stations;
+  st = data.catalog.RegisterTable(station_def);
+  assert(st.ok());
+
+  TableDef weather_def;
+  weather_def.name = "Weather";
+  weather_def.dataset = "WHW";
+  weather_def.columns = {
+      ColumnDef::Free("Country", ValueType::kString, country_domain),
+      ColumnDef::Free("StationID", ValueType::kInt64, station_domain),
+      ColumnDef::Free("Date", ValueType::kInt64, date_domain),
+      ColumnDef::Output("Temperature", ValueType::kDouble),
+      ColumnDef::Output("Precipitation", ValueType::kDouble),
+      ColumnDef::Output("DewPoint", ValueType::kDouble),
+      ColumnDef::Output("SeaLevelPressure", ValueType::kDouble),
+      ColumnDef::Output("WindSpeed", ValueType::kDouble),
+      ColumnDef::Output("WindGust", ValueType::kDouble),
+  };
+  weather_def.cardinality =
+      total_stations * static_cast<int64_t>(data.valid_dates.size());
+  st = data.catalog.RegisterTable(weather_def);
+  assert(st.ok());
+
+  // Zip codes: a contiguous block, a few per city.
+  const int64_t zips_per_city = 3;
+  const int64_t num_zips =
+      static_cast<int64_t>(all_cities.size()) * zips_per_city;
+  const int64_t zip_lo = 10000;
+  AttrDomain zip_domain = AttrDomain::Numeric(zip_lo, zip_lo + num_zips - 1);
+  AttrDomain rank_domain = AttrDomain::Numeric(1, pollution_rows);
+
+  TableDef pollution_def;
+  pollution_def.name = "Pollution";
+  pollution_def.dataset = "EHR";
+  pollution_def.columns = {
+      ColumnDef::Free("ZipCode", ValueType::kInt64, zip_domain),
+      ColumnDef::Free("Rank", ValueType::kInt64, rank_domain),
+      ColumnDef::Output("Latitude", ValueType::kDouble),
+      ColumnDef::Output("Longitude", ValueType::kDouble),
+  };
+  pollution_def.cardinality = pollution_rows;
+  st = data.catalog.RegisterTable(pollution_def);
+  assert(st.ok());
+
+  TableDef zipmap_def;
+  zipmap_def.name = "ZipMap";
+  zipmap_def.is_local = true;
+  zipmap_def.columns = {
+      ColumnDef::Free("ZipCode", ValueType::kInt64, zip_domain),
+      ColumnDef::Free("City", ValueType::kString, city_domain),
+  };
+  zipmap_def.cardinality = num_zips;
+  st = data.catalog.RegisterTable(zipmap_def);
+  assert(st.ok());
+
+  // ---- Rows.
+  std::vector<Row>& station_rows = data.market_tables["Station"];
+  for (const StationInfo& info : stations) {
+    station_rows.push_back(Row{Value(info.country), Value(info.id),
+                               Value(info.city), Value("ST"),
+                               Value(info.latitude), Value(info.longitude)});
+  }
+
+  std::vector<Row>& weather_rows = data.market_tables["Weather"];
+  weather_rows.reserve(stations.size() * data.valid_dates.size());
+  for (const StationInfo& info : stations) {
+    const double base_temp = 25.0 - std::abs(info.latitude) * 0.5;
+    for (size_t d = 0; d < data.valid_dates.size(); ++d) {
+      const double season =
+          10.0 * std::sin(2.0 * M_PI * static_cast<double>(d) / 365.0);
+      weather_rows.push_back(Row{
+          Value(info.country), Value(info.id), Value(data.valid_dates[d]),
+          Value(base_temp + season + rng.UniformReal(-5.0, 5.0)),
+          Value(std::max(0.0, rng.UniformReal(-5.0, 20.0))),
+          Value(base_temp - rng.UniformReal(0.0, 10.0)),
+          Value(rng.UniformReal(980.0, 1040.0)),
+          Value(rng.UniformReal(0.0, 25.0)),
+          Value(rng.UniformReal(0.0, 40.0))});
+    }
+  }
+
+  // Zip -> city mapping (local table) and the country of each zip.
+  std::vector<Row>& zipmap_rows = data.local_tables["ZipMap"];
+  std::map<int64_t, std::string> country_of_zip;
+  {
+    int64_t next_zip = zip_lo;
+    for (const auto& [country, cities] : data.cities_by_country) {
+      for (const std::string& city : cities) {
+        for (int64_t k = 0; k < zips_per_city; ++k) {
+          zipmap_rows.push_back(Row{Value(next_zip), Value(city)});
+          country_of_zip[next_zip] = country;
+          data.zips_by_country[country].push_back(next_zip);
+          data.city_of_zip[next_zip] = city;
+          ++next_zip;
+        }
+      }
+    }
+    assert(next_zip == zip_lo + num_zips);
+  }
+
+  std::vector<Row>& pollution_rows_out = data.market_tables["Pollution"];
+  for (int64_t rank = 1; rank <= pollution_rows; ++rank) {
+    const int64_t zip = zip_lo + rng.Uniform(0, num_zips - 1);
+    pollution_rows_out.push_back(Row{Value(zip), Value(rank),
+                                     Value(rng.UniformReal(-60.0, 70.0)),
+                                     Value(rng.UniformReal(-180.0, 180.0))});
+    data.polluted_zips_by_country[country_of_zip[zip]].emplace_back(zip, rank);
+  }
+
+  return data;
+}
+
+}  // namespace payless::workload

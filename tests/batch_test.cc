@@ -1,0 +1,133 @@
+// Multi-query optimization (§7): deferred batches merge overlapping market
+// footprints into shared prefetches.
+#include <gtest/gtest.h>
+
+#include "exec/payless.h"
+#include "exec/reference.h"
+
+namespace payless::exec {
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+
+class BatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.RegisterDataset(DatasetDef{"D", 1.0, 100}).ok());
+    TableDef t;
+    t.name = "Readings";
+    t.dataset = "D";
+    t.columns = {
+        ColumnDef::Free("Pos", ValueType::kInt64,
+                        AttrDomain::Numeric(0, 9999)),
+        ColumnDef::Output("Val", ValueType::kDouble)};
+    t.cardinality = 2000;
+    ASSERT_TRUE(cat_.RegisterTable(t).ok());
+    market_ = std::make_unique<market::DataMarket>(&cat_);
+    std::vector<Row> rows;
+    for (int64_t p = 0; p < 10000; p += 5) {  // 2000 rows, every 5th slot
+      rows.push_back(Row{Value(p), Value(static_cast<double>(p))});
+    }
+    ASSERT_TRUE(market_->HostTable("Readings", std::move(rows)).ok());
+  }
+
+  static std::vector<BatchQuery> OverlappingBatch() {
+    // Six queries over interleaved narrow ranges within [1000, 1960]:
+    // individually 6 calls of 1 page each; merged, one ~2-page fetch.
+    std::vector<BatchQuery> batch;
+    for (int64_t i = 0; i < 6; ++i) {
+      const int64_t lo = 1000 + i * 160;
+      batch.push_back(BatchQuery{
+          "SELECT * FROM Readings WHERE Pos >= " + std::to_string(lo) +
+              " AND Pos <= " + std::to_string(lo + 150),
+          {}});
+    }
+    return batch;
+  }
+
+  catalog::Catalog cat_;
+  std::unique_ptr<market::DataMarket> market_;
+};
+
+TEST_F(BatchTest, BatchNeverCostsMoreThanSequential) {
+  PayLess sequential(&cat_, market_.get(), PayLessConfig{});
+  for (const BatchQuery& q : OverlappingBatch()) {
+    ASSERT_TRUE(sequential.Query(q.sql, q.params).ok());
+  }
+  PayLess batched(&cat_, market_.get(), PayLessConfig{});
+  Result<BatchReport> report = batched.QueryBatch(OverlappingBatch());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_LE(report->transactions_spent,
+            sequential.meter().total_transactions());
+}
+
+TEST_F(BatchTest, BatchResultsMatchSequentialResults) {
+  PayLess sequential(&cat_, market_.get(), PayLessConfig{});
+  PayLess batched(&cat_, market_.get(), PayLessConfig{});
+  const std::vector<BatchQuery> batch = OverlappingBatch();
+  Result<BatchReport> report = batched.QueryBatch(batch);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Result<storage::Table> expected =
+        sequential.Query(batch[i].sql, batch[i].params);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(SameResult(report->results[i], *expected)) << batch[i].sql;
+  }
+}
+
+TEST_F(BatchTest, MergesOverlappingFootprints) {
+  PayLess batched(&cat_, market_.get(), PayLessConfig{});
+  Result<BatchReport> report = batched.QueryBatch(OverlappingBatch());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->merged_groups, 1u);
+  EXPECT_GT(report->prefetch_transactions, 0);
+}
+
+TEST_F(BatchTest, DisjointBatchDoesNotForceMerging) {
+  // Two far-apart single-page queries: the hull spans ~half the table, so
+  // merging must NOT happen and the cost equals sequential.
+  std::vector<BatchQuery> batch = {
+      BatchQuery{"SELECT * FROM Readings WHERE Pos >= 0 AND Pos <= 400", {}},
+      BatchQuery{
+          "SELECT * FROM Readings WHERE Pos >= 9000 AND Pos <= 9400", {}},
+  };
+  PayLess sequential(&cat_, market_.get(), PayLessConfig{});
+  for (const BatchQuery& q : batch) {
+    ASSERT_TRUE(sequential.Query(q.sql, q.params).ok());
+  }
+  PayLess batched(&cat_, market_.get(), PayLessConfig{});
+  Result<BatchReport> report = batched.QueryBatch(batch);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->transactions_spent,
+            sequential.meter().total_transactions());
+}
+
+TEST_F(BatchTest, EmptyBatch) {
+  PayLess client(&cat_, market_.get(), PayLessConfig{});
+  Result<BatchReport> report = client.QueryBatch({});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->results.empty());
+  EXPECT_EQ(report->transactions_spent, 0);
+}
+
+TEST_F(BatchTest, BatchParseErrorPropagates) {
+  PayLess client(&cat_, market_.get(), PayLessConfig{});
+  EXPECT_FALSE(client.QueryBatch({BatchQuery{"SELEC oops", {}}}).ok());
+}
+
+TEST_F(BatchTest, BatchWithSqrDisabledStillAnswers) {
+  PayLessConfig config;
+  config.optimizer.use_sqr = false;
+  PayLess client(&cat_, market_.get(), config);
+  Result<BatchReport> report = client.QueryBatch(OverlappingBatch());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->merged_groups, 0u);  // no store: nothing to merge into
+  EXPECT_EQ(report->results.size(), 6u);
+}
+
+}  // namespace
+}  // namespace payless::exec

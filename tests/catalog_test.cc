@@ -1,0 +1,193 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace payless::catalog {
+namespace {
+
+TableDef SampleMarketTable() {
+  TableDef def;
+  def.name = "Weather";
+  def.dataset = "WHW";
+  def.columns = {
+      ColumnDef::Free("Country", ValueType::kString,
+                      AttrDomain::Categorical({"Canada", "US"})),
+      ColumnDef::Bound("StationID", ValueType::kInt64,
+                       AttrDomain::Numeric(1, 100)),
+      ColumnDef::Free("Date", ValueType::kInt64,
+                      AttrDomain::Numeric(20140101, 20141231)),
+      ColumnDef::Output("Temperature", ValueType::kDouble)};
+  def.cardinality = 1000;
+  return def;
+}
+
+TEST(AttrDomainTest, NumericEncodeIsIdentityWithinRange) {
+  const AttrDomain d = AttrDomain::Numeric(10, 20);
+  EXPECT_EQ(d.Encode(Value(int64_t{15})), 15);
+  EXPECT_EQ(d.Encode(Value(int64_t{10})), 10);
+  EXPECT_EQ(d.Encode(Value(int64_t{20})), 20);
+  EXPECT_FALSE(d.Encode(Value(int64_t{21})).has_value());
+  EXPECT_FALSE(d.Encode(Value(int64_t{9})).has_value());
+}
+
+TEST(AttrDomainTest, NumericRejectsNonInt) {
+  const AttrDomain d = AttrDomain::Numeric(0, 5);
+  EXPECT_FALSE(d.Encode(Value("x")).has_value());
+  EXPECT_FALSE(d.Encode(Value(2.0)).has_value());
+  EXPECT_FALSE(d.Encode(Value::Null()).has_value());
+}
+
+TEST(AttrDomainTest, CategoricalEncodesByDictionaryOrder) {
+  const AttrDomain d = AttrDomain::Categorical({"a", "b", "c"});
+  EXPECT_EQ(d.Encode(Value("a")), 0);
+  EXPECT_EQ(d.Encode(Value("c")), 2);
+  EXPECT_FALSE(d.Encode(Value("d")).has_value());
+  EXPECT_FALSE(d.Encode(Value(int64_t{0})).has_value());
+}
+
+TEST(AttrDomainTest, DecodeInvertsEncode) {
+  const AttrDomain num = AttrDomain::Numeric(5, 9);
+  EXPECT_EQ(num.Decode(7), Value(int64_t{7}));
+  const AttrDomain cat = AttrDomain::Categorical({"x", "y"});
+  EXPECT_EQ(cat.Decode(1), Value("y"));
+}
+
+TEST(AttrDomainTest, SizeAndInterval) {
+  EXPECT_EQ(AttrDomain::Numeric(0, 9).size(), 10);
+  EXPECT_EQ(AttrDomain::Categorical({"a", "b", "c"}).size(), 3);
+  EXPECT_EQ(AttrDomain::Categorical({"a", "b"}).ToInterval(), Interval(0, 1));
+  EXPECT_TRUE(AttrDomain().ToInterval().empty());
+  EXPECT_EQ(AttrDomain().size(), 0);
+}
+
+TEST(TableDefTest, ColumnIndexLookup) {
+  const TableDef def = SampleMarketTable();
+  EXPECT_EQ(def.ColumnIndex("Country"), 0u);
+  EXPECT_EQ(def.ColumnIndex("Temperature"), 3u);
+  EXPECT_FALSE(def.ColumnIndex("Nope").has_value());
+}
+
+TEST(TableDefTest, ConstrainableAndBoundColumns) {
+  const TableDef def = SampleMarketTable();
+  EXPECT_EQ(def.ConstrainableColumns(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(def.BoundColumns(), (std::vector<size_t>{1}));
+  EXPECT_FALSE(def.FullyDownloadable());
+}
+
+TEST(TableDefTest, FullyDownloadableWithoutBoundAttrs) {
+  TableDef def = SampleMarketTable();
+  def.columns[1].binding = BindingKind::kFree;
+  EXPECT_TRUE(def.FullyDownloadable());
+}
+
+TEST(TableDefTest, FullRegionSpansDomains) {
+  const TableDef def = SampleMarketTable();
+  const Box region = def.FullRegion();
+  ASSERT_EQ(region.num_dims(), 3u);
+  EXPECT_EQ(region.dim(0), Interval(0, 1));           // 2 countries
+  EXPECT_EQ(region.dim(1), Interval(1, 100));         // station ids
+  EXPECT_EQ(region.dim(2), Interval(20140101, 20141231));
+}
+
+TEST(CatalogTest, RegisterAndFind) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterDataset(DatasetDef{"WHW", 1.0, 100}).ok());
+  ASSERT_TRUE(cat.RegisterTable(SampleMarketTable()).ok());
+  ASSERT_NE(cat.FindTable("Weather"), nullptr);
+  EXPECT_EQ(cat.FindTable("Weather")->cardinality, 1000);
+  EXPECT_NE(cat.FindDataset("WHW"), nullptr);
+  EXPECT_EQ(cat.FindTable("Nope"), nullptr);
+}
+
+TEST(CatalogTest, DuplicateDatasetRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterDataset(DatasetDef{"WHW", 1.0, 100}).ok());
+  EXPECT_EQ(cat.RegisterDataset(DatasetDef{"WHW", 2.0, 50}).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(CatalogTest, TableNeedsKnownDataset) {
+  Catalog cat;
+  EXPECT_EQ(cat.RegisterTable(SampleMarketTable()).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(CatalogTest, LocalTableNeedsNoDataset) {
+  Catalog cat;
+  TableDef def;
+  def.name = "ZipMap";
+  def.is_local = true;
+  def.columns = {ColumnDef::Free("ZipCode", ValueType::kInt64,
+                                 AttrDomain::Numeric(0, 9))};
+  EXPECT_TRUE(cat.RegisterTable(def).ok());
+  EXPECT_EQ(cat.DatasetOf(*cat.FindTable("ZipMap")), nullptr);
+}
+
+TEST(CatalogTest, ConstrainableColumnRequiresDomain) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterDataset(DatasetDef{"D", 1.0, 100}).ok());
+  TableDef def;
+  def.name = "T";
+  def.dataset = "D";
+  def.columns = {ColumnDef{"A", ValueType::kInt64, BindingKind::kFree,
+                           AttrDomain()}};
+  EXPECT_EQ(cat.RegisterTable(def).code(), Status::Code::kInvalidArgument);
+}
+
+TEST(CatalogTest, InvalidPricingRejected) {
+  Catalog cat;
+  EXPECT_FALSE(cat.RegisterDataset(DatasetDef{"A", 1.0, 0}).ok());
+  EXPECT_FALSE(cat.RegisterDataset(DatasetDef{"B", -1.0, 100}).ok());
+}
+
+TEST(CatalogTest, DatasetOfResolvesPricing) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterDataset(DatasetDef{"WHW", 2.5, 50}).ok());
+  ASSERT_TRUE(cat.RegisterTable(SampleMarketTable()).ok());
+  const DatasetDef* ds = cat.DatasetOf(*cat.FindTable("Weather"));
+  ASSERT_NE(ds, nullptr);
+  EXPECT_DOUBLE_EQ(ds->price_per_transaction, 2.5);
+  EXPECT_EQ(ds->tuples_per_transaction, 50);
+}
+
+TEST(CatalogTest, SetCardinality) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterDataset(DatasetDef{"WHW", 1.0, 100}).ok());
+  ASSERT_TRUE(cat.RegisterTable(SampleMarketTable()).ok());
+  ASSERT_TRUE(cat.SetCardinality("Weather", 5000).ok());
+  EXPECT_EQ(cat.FindTable("Weather")->cardinality, 5000);
+  EXPECT_EQ(cat.SetCardinality("Nope", 1).code(), Status::Code::kNotFound);
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog cat;
+  ASSERT_TRUE(cat.RegisterDataset(DatasetDef{"WHW", 1.0, 100}).ok());
+  TableDef a = SampleMarketTable();
+  a.name = "B";
+  TableDef b = SampleMarketTable();
+  b.name = "A";
+  ASSERT_TRUE(cat.RegisterTable(a).ok());
+  ASSERT_TRUE(cat.RegisterTable(b).ok());
+  EXPECT_EQ(cat.TableNames(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  const Status s = Status::NotFound("missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  Result<int> err(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace payless::catalog

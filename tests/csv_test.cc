@@ -1,0 +1,108 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace payless::storage {
+namespace {
+
+Schema ZipSchema() {
+  return Schema({SchemaColumn{"ZipMap", "ZipCode", ValueType::kInt64},
+                 SchemaColumn{"ZipMap", "City", ValueType::kString},
+                 SchemaColumn{"ZipMap", "Share", ValueType::kDouble}});
+}
+
+TEST(CsvTest, BasicParseWithHeader) {
+  Result<std::vector<Row>> rows = ParseCsv(
+      "zip,city,share\n10001,Seattle,0.5\n10002,Portland,0.25\n",
+      ZipSchema());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], Value(int64_t{10001}));
+  EXPECT_EQ((*rows)[0][1], Value("Seattle"));
+  EXPECT_EQ((*rows)[1][2], Value(0.25));
+}
+
+TEST(CsvTest, NoHeaderOption) {
+  CsvOptions options;
+  options.has_header = false;
+  Result<std::vector<Row>> rows =
+      ParseCsv("1,a,0.1\n", ZipSchema(), options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  Result<std::vector<Row>> rows = ParseCsv(
+      "h,h,h\n7,\"New York, NY\",1.5\n8,\"say \"\"hi\"\"\",2\n",
+      ZipSchema());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][1], Value("New York, NY"));
+  EXPECT_EQ((*rows)[1][1], Value("say \"hi\""));
+}
+
+TEST(CsvTest, EmptyFieldsBecomeNull) {
+  Result<std::vector<Row>> rows = ParseCsv("h,h,h\n5,,\n", ZipSchema());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE((*rows)[0][1].is_null());
+  EXPECT_TRUE((*rows)[0][2].is_null());
+}
+
+TEST(CsvTest, CrlfAndBlankLinesTolerated) {
+  Result<std::vector<Row>> rows =
+      ParseCsv("h,h,h\r\n1,a,2\r\n\r\n2,b,3\r\n", ZipSchema());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvTest, ArityMismatchNamesLine) {
+  Result<std::vector<Row>> rows = ParseCsv("h,h,h\n1,two\n", ZipSchema());
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, BadNumberNamesLineAndColumn) {
+  Result<std::vector<Row>> rows =
+      ParseCsv("h,h,h\nnope,a,1\n", ZipSchema());
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), Status::Code::kParseError);
+  EXPECT_NE(rows.status().message().find("not an integer"),
+            std::string::npos);
+}
+
+TEST(CsvTest, UnbalancedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("h,h,h\n1,\"oops,2\n", ZipSchema()).ok());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadCsvFile("/no/such/file.csv", ZipSchema()).status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST(CsvTest, RoundTripThroughToCsv) {
+  Table table(ZipSchema());
+  table.Append({Value(int64_t{1}), Value("a,b"), Value(0.5)});
+  table.Append({Value(int64_t{2}), Value::Null(), Value(1.0)});
+  const std::string csv = ToCsv(table);
+  Result<std::vector<Row>> rows = ParseCsv(csv, ZipSchema());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1], Value("a,b"));
+  EXPECT_TRUE((*rows)[1][1].is_null());
+}
+
+TEST(CsvTest, LoadFromDisk) {
+  const std::string path = ::testing::TempDir() + "/payless_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << "zip,city,share\n42,Rome,0.75\n";
+  }
+  Result<std::vector<Row>> rows = LoadCsvFile(path, ZipSchema());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], Value("Rome"));
+}
+
+}  // namespace
+}  // namespace payless::storage

@@ -1,0 +1,123 @@
+// Download All baseline: whole-table purchase semantics, including tables
+// whose binding pattern forbids a single unconstrained download.
+#include "exec/download_all.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/reference.h"
+
+namespace payless::exec {
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+
+class DownloadAllTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.RegisterDataset(DatasetDef{"D", 1.0, 10}).ok());
+
+    TableDef open;
+    open.name = "Open";
+    open.dataset = "D";
+    open.columns = {
+        ColumnDef::Free("K", ValueType::kInt64, AttrDomain::Numeric(1, 30)),
+        ColumnDef::Output("V", ValueType::kDouble)};
+    open.cardinality = 30;
+    ASSERT_TRUE(cat_.RegisterTable(open).ok());
+
+    // Numeric bound attribute: downloadable through one explicit
+    // whole-domain range call.
+    TableDef gated;
+    gated.name = "Gated";
+    gated.dataset = "D";
+    gated.columns = {
+        ColumnDef::Bound("K", ValueType::kInt64, AttrDomain::Numeric(1, 30)),
+        ColumnDef::Output("V", ValueType::kDouble)};
+    gated.cardinality = 30;
+    ASSERT_TRUE(cat_.RegisterTable(gated).ok());
+
+    // Categorical bound attribute: needs one call per category.
+    TableDef fenced;
+    fenced.name = "Fenced";
+    fenced.dataset = "D";
+    fenced.columns = {
+        ColumnDef::Bound("C", ValueType::kString,
+                         AttrDomain::Categorical({"a", "b", "c"})),
+        ColumnDef::Output("V", ValueType::kDouble)};
+    fenced.cardinality = 30;
+    ASSERT_TRUE(cat_.RegisterTable(fenced).ok());
+
+    market_ = std::make_unique<market::DataMarket>(&cat_);
+    std::vector<Row> open_rows, gated_rows, fenced_rows;
+    const char* cats[] = {"a", "b", "c"};
+    for (int64_t k = 1; k <= 30; ++k) {
+      open_rows.push_back(Row{Value(k), Value(k * 1.0)});
+      gated_rows.push_back(Row{Value(k), Value(k * 2.0)});
+      fenced_rows.push_back(Row{Value(cats[k % 3]), Value(k * 3.0)});
+    }
+    ASSERT_TRUE(market_->HostTable("Open", std::move(open_rows)).ok());
+    ASSERT_TRUE(market_->HostTable("Gated", std::move(gated_rows)).ok());
+    ASSERT_TRUE(market_->HostTable("Fenced", std::move(fenced_rows)).ok());
+  }
+
+  catalog::Catalog cat_;
+  std::unique_ptr<market::DataMarket> market_;
+};
+
+TEST_F(DownloadAllTest, OpenTableOneUnconstrainedCall) {
+  DownloadAllClient client(&cat_, market_.get());
+  ASSERT_TRUE(client.EnsureDownloaded("Open").ok());
+  EXPECT_EQ(client.meter().total_calls(), 1);
+  EXPECT_EQ(client.meter().total_transactions(), 3);  // 30 rows / 10
+}
+
+TEST_F(DownloadAllTest, NumericBoundAttrUsesWholeDomainRange) {
+  DownloadAllClient client(&cat_, market_.get());
+  ASSERT_TRUE(client.EnsureDownloaded("Gated").ok());
+  EXPECT_EQ(client.meter().total_calls(), 1);
+  EXPECT_EQ(client.local_db()->FindTable("Gated")->num_rows(), 30u);
+}
+
+TEST_F(DownloadAllTest, CategoricalBoundAttrIteratesValues) {
+  DownloadAllClient client(&cat_, market_.get());
+  ASSERT_TRUE(client.EnsureDownloaded("Fenced").ok());
+  EXPECT_EQ(client.meter().total_calls(), 3);  // one per category
+  EXPECT_EQ(client.local_db()->FindTable("Fenced")->num_rows(), 30u);
+}
+
+TEST_F(DownloadAllTest, EnsureDownloadedIdempotent) {
+  DownloadAllClient client(&cat_, market_.get());
+  ASSERT_TRUE(client.EnsureDownloaded("Open").ok());
+  const int64_t spent = client.meter().total_transactions();
+  ASSERT_TRUE(client.EnsureDownloaded("Open").ok());
+  EXPECT_EQ(client.meter().total_transactions(), spent);
+}
+
+TEST_F(DownloadAllTest, QueriesOnBoundTablesMatchOracle) {
+  DownloadAllClient client(&cat_, market_.get());
+  const storage::Database empty_db;
+  const std::vector<std::string> queries = {
+      "SELECT * FROM Gated WHERE K >= 5 AND K <= 9",
+      "SELECT COUNT(*) FROM Fenced WHERE C = 'b'",
+      "SELECT V FROM Open WHERE V >= 20.0"};
+  for (const std::string& sql : queries) {
+    SCOPED_TRACE(sql);
+    Result<storage::Table> got = client.Query(sql);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    Result<storage::Table> want =
+        ReferenceEvaluate(cat_, *market_, empty_db, sql);
+    ASSERT_TRUE(want.ok());
+    EXPECT_TRUE(SameResult(*got, *want));
+  }
+}
+
+TEST_F(DownloadAllTest, UnknownTableErrors) {
+  DownloadAllClient client(&cat_, market_.get());
+  EXPECT_EQ(client.EnsureDownloaded("Nope").code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace payless::exec

@@ -1,0 +1,128 @@
+// End-to-end smoke test: the real (WHW/EHR) workload through all four
+// systems the paper compares, with every PayLess result checked against the
+// reference oracle.
+#include <gtest/gtest.h>
+
+#include "exec/reference.h"
+#include "workload/bundle.h"
+
+namespace payless {
+namespace {
+
+using workload::Bundle;
+
+class IntegrationSmokeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::RealDataOptions options;
+    options.scale = 0.05;
+    options.num_countries = 8;
+    options.days = 120;
+    options.seed = 11;
+    bundle_ = workload::MakeRealBundle(options, /*per_template=*/6,
+                                       /*query_seed=*/23).release();
+  }
+  static void TearDownTestSuite() {
+    delete bundle_;
+    bundle_ = nullptr;
+  }
+
+  static Bundle* bundle_;
+};
+
+Bundle* IntegrationSmokeTest::bundle_ = nullptr;
+
+storage::Database LocalDbOf(const Bundle& bundle) {
+  storage::Database db;
+  for (const auto& [name, rows] : bundle.local_tables) {
+    EXPECT_TRUE(db.CreateTable(*bundle.catalog.FindTable(name)).ok());
+    EXPECT_TRUE(db.InsertRows(name, rows).ok());
+  }
+  return db;
+}
+
+TEST_F(IntegrationSmokeTest, PayLessMatchesOracleOnEveryQuery) {
+  auto client =
+      workload::NewPayLessClient(*bundle_, workload::PayLessFullConfig());
+  const storage::Database oracle_db = LocalDbOf(*bundle_);
+  for (const auto& query : bundle_->queries) {
+    SCOPED_TRACE("template " + std::to_string(query.template_id) + ": " +
+                 query.sql);
+    Result<storage::Table> got = client->Query(query.sql, query.params);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    Result<storage::Table> want = exec::ReferenceEvaluate(
+        bundle_->catalog, *bundle_->market, oracle_db, query.sql,
+        query.params);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_TRUE(exec::SameResult(*got, *want))
+        << "got " << got->num_rows() << " rows, want " << want->num_rows();
+  }
+}
+
+TEST_F(IntegrationSmokeTest, NoSqrVariantMatchesOracle) {
+  auto client =
+      workload::NewPayLessClient(*bundle_, workload::PayLessNoSqrConfig());
+  const storage::Database oracle_db = LocalDbOf(*bundle_);
+  for (const auto& query : bundle_->queries) {
+    SCOPED_TRACE(query.sql);
+    Result<storage::Table> got = client->Query(query.sql, query.params);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    Result<storage::Table> want = exec::ReferenceEvaluate(
+        bundle_->catalog, *bundle_->market, oracle_db, query.sql,
+        query.params);
+    ASSERT_TRUE(want.ok());
+    EXPECT_TRUE(exec::SameResult(*got, *want));
+  }
+}
+
+TEST_F(IntegrationSmokeTest, MinCallsVariantMatchesOracle) {
+  auto client =
+      workload::NewPayLessClient(*bundle_, workload::MinimizingCallsConfig());
+  const storage::Database oracle_db = LocalDbOf(*bundle_);
+  for (const auto& query : bundle_->queries) {
+    SCOPED_TRACE(query.sql);
+    Result<storage::Table> got = client->Query(query.sql, query.params);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    Result<storage::Table> want = exec::ReferenceEvaluate(
+        bundle_->catalog, *bundle_->market, oracle_db, query.sql,
+        query.params);
+    ASSERT_TRUE(want.ok());
+    EXPECT_TRUE(exec::SameResult(*got, *want));
+  }
+}
+
+TEST_F(IntegrationSmokeTest, DownloadAllMatchesOracle) {
+  auto client = workload::NewDownloadAllClient(*bundle_);
+  const storage::Database oracle_db = LocalDbOf(*bundle_);
+  for (const auto& query : bundle_->queries) {
+    SCOPED_TRACE(query.sql);
+    Result<storage::Table> got = client->Query(query.sql, query.params);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    Result<storage::Table> want = exec::ReferenceEvaluate(
+        bundle_->catalog, *bundle_->market, oracle_db, query.sql,
+        query.params);
+    ASSERT_TRUE(want.ok());
+    EXPECT_TRUE(exec::SameResult(*got, *want));
+  }
+}
+
+TEST_F(IntegrationSmokeTest, PayLessSpendsLessThanAlternatives) {
+  auto payless =
+      workload::NewPayLessClient(*bundle_, workload::PayLessFullConfig());
+  auto no_sqr =
+      workload::NewPayLessClient(*bundle_, workload::PayLessNoSqrConfig());
+  auto download_all = workload::NewDownloadAllClient(*bundle_);
+  for (const auto& query : bundle_->queries) {
+    ASSERT_TRUE(payless->Query(query.sql, query.params).ok());
+    ASSERT_TRUE(no_sqr->Query(query.sql, query.params).ok());
+    ASSERT_TRUE(download_all->Query(query.sql, query.params).ok());
+  }
+  // The headline result of Fig. 10a, as (loose) invariants.
+  EXPECT_LT(payless->meter().total_transactions(),
+            no_sqr->meter().total_transactions());
+  EXPECT_LT(payless->meter().total_transactions(),
+            download_all->meter().total_transactions());
+}
+
+}  // namespace
+}  // namespace payless

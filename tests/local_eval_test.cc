@@ -1,0 +1,165 @@
+// EvaluateLocally / FilterRelation: the final local processing step shared
+// by the engine, the baselines and the oracle.
+#include "exec/local_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "storage/database.h"
+
+namespace payless::exec {
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+
+class LocalEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.RegisterDataset(DatasetDef{"D", 1.0, 100}).ok());
+    TableDef left;
+    left.name = "L";
+    left.dataset = "D";
+    left.columns = {
+        ColumnDef::Free("K", ValueType::kInt64, AttrDomain::Numeric(1, 9)),
+        ColumnDef::Output("A", ValueType::kString)};
+    left.cardinality = 9;
+    ASSERT_TRUE(cat_.RegisterTable(left).ok());
+    TableDef right;
+    right.name = "R";
+    right.dataset = "D";
+    right.columns = {
+        ColumnDef::Free("K", ValueType::kInt64, AttrDomain::Numeric(1, 9)),
+        ColumnDef::Output("B", ValueType::kDouble)};
+    right.cardinality = 9;
+    ASSERT_TRUE(cat_.RegisterTable(right).ok());
+    TableDef island;
+    island.name = "I";
+    island.dataset = "D";
+    island.columns = {
+        ColumnDef::Free("X", ValueType::kInt64, AttrDomain::Numeric(1, 3))};
+    island.cardinality = 3;
+    ASSERT_TRUE(cat_.RegisterTable(island).ok());
+  }
+
+  sql::BoundQuery BindSql(const std::string& sql) {
+    Result<sql::SelectStmt> stmt = sql::Parse(sql);
+    EXPECT_TRUE(stmt.ok());
+    Result<sql::BoundQuery> bound = sql::Bind(*stmt, cat_, {});
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    return std::move(*bound);
+  }
+
+  storage::Table LTable(std::vector<std::pair<int64_t, std::string>> rows) {
+    storage::Table t(storage::SchemaFromTableDef(*cat_.FindTable("L")));
+    for (auto& [k, a] : rows) t.Append({Value(k), Value(a)});
+    return t;
+  }
+  storage::Table RTable(std::vector<std::pair<int64_t, double>> rows) {
+    storage::Table t(storage::SchemaFromTableDef(*cat_.FindTable("R")));
+    for (auto& [k, b] : rows) t.Append({Value(k), Value(b)});
+    return t;
+  }
+  storage::Table ITable(std::vector<int64_t> xs) {
+    storage::Table t(storage::SchemaFromTableDef(*cat_.FindTable("I")));
+    for (int64_t x : xs) t.Append({Value(x)});
+    return t;
+  }
+
+  catalog::Catalog cat_;
+};
+
+TEST_F(LocalEvalTest, EquiJoinInFromOrder) {
+  const sql::BoundQuery q =
+      BindSql("SELECT A, B FROM L, R WHERE L.K = R.K");
+  Result<storage::Table> out = EvaluateLocally(
+      q, {LTable({{1, "x"}, {2, "y"}}), RTable({{2, 20.0}, {3, 30.0}})});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->rows()[0][0], Value("y"));
+  EXPECT_EQ(out->rows()[0][1], Value(20.0));
+}
+
+TEST_F(LocalEvalTest, DisconnectedRelationsCartesian) {
+  const sql::BoundQuery q = BindSql("SELECT * FROM L, I");
+  Result<storage::Table> out =
+      EvaluateLocally(q, {LTable({{1, "x"}, {2, "y"}}), ITable({1, 2, 3})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 6u);
+  EXPECT_EQ(out->schema().num_columns(), 3u);
+}
+
+TEST_F(LocalEvalTest, FilterRelationAppliesConditionsAndResiduals) {
+  const sql::BoundQuery q =
+      BindSql("SELECT * FROM L WHERE K >= 2 AND A = 'keep'");
+  const storage::Table filtered = FilterRelation(
+      q, 0, LTable({{1, "keep"}, {2, "keep"}, {3, "drop"}}));
+  ASSERT_EQ(filtered.num_rows(), 1u);
+  EXPECT_EQ(filtered.rows()[0][0], Value(int64_t{2}));
+}
+
+TEST_F(LocalEvalTest, AlwaysEmptyRelationYieldsNoRows) {
+  const sql::BoundQuery q = BindSql("SELECT * FROM L WHERE K = 2 AND K = 3");
+  Result<storage::Table> out = EvaluateLocally(q, {LTable({{2, "x"}})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 0u);
+}
+
+TEST_F(LocalEvalTest, StarExpandsInFromOrderRegardlessOfJoinOrder) {
+  // I has no join edge, L-R join: placement order may differ from FROM
+  // order, but the star expansion must follow FROM order (I, L, R).
+  const sql::BoundQuery q = BindSql("SELECT * FROM I, L, R WHERE L.K = R.K");
+  Result<storage::Table> out = EvaluateLocally(
+      q, {ITable({7}), LTable({{1, "x"}}), RTable({{1, 10.0}})});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->rows()[0][0], Value(int64_t{7}));   // I.X
+  EXPECT_EQ(out->rows()[0][1], Value(int64_t{1}));   // L.K
+  EXPECT_EQ(out->rows()[0][2], Value("x"));          // L.A
+  EXPECT_EQ(out->rows()[0][4], Value(10.0));         // R.B
+}
+
+TEST_F(LocalEvalTest, OutputColumnsCarrySelectNames) {
+  const sql::BoundQuery q =
+      BindSql("SELECT A AS label, K FROM L WHERE K = 1");
+  Result<storage::Table> out = EvaluateLocally(q, {LTable({{1, "x"}})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().column(0).name, "label");
+  EXPECT_EQ(out->schema().column(1).name, "K");
+}
+
+TEST_F(LocalEvalTest, AggregateWithJoin) {
+  const sql::BoundQuery q = BindSql(
+      "SELECT COUNT(*), AVG(B) FROM L, R WHERE L.K = R.K");
+  Result<storage::Table> out = EvaluateLocally(
+      q, {LTable({{1, "x"}, {2, "y"}, {3, "z"}}),
+          RTable({{1, 10.0}, {2, 20.0}, {9, 90.0}})});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->rows()[0][0], Value(int64_t{2}));
+  EXPECT_EQ(out->rows()[0][1], Value(15.0));
+}
+
+TEST_F(LocalEvalTest, DuplicateJoinKeysMultiplyRows) {
+  const sql::BoundQuery q = BindSql("SELECT B FROM L, R WHERE L.K = R.K");
+  Result<storage::Table> out = EvaluateLocally(
+      q, {LTable({{1, "a"}, {1, "b"}}), RTable({{1, 10.0}, {1, 11.0}})});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 4u);
+}
+
+TEST_F(LocalEvalTest, SupersetInputRowsAreRefiltered) {
+  // Callers may pass more rows than the conditions allow (e.g. a cached
+  // superset); EvaluateLocally must re-apply the conditions.
+  const sql::BoundQuery q = BindSql("SELECT * FROM L WHERE K = 5");
+  Result<storage::Table> out =
+      EvaluateLocally(q, {LTable({{4, "no"}, {5, "yes"}, {6, "no"}})});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->rows()[0][1], Value("yes"));
+}
+
+}  // namespace
+}  // namespace payless::exec

@@ -1,0 +1,131 @@
+// ORDER BY: parsing, binding to output columns, and end-to-end sorted
+// results through the PayLess facade.
+#include <gtest/gtest.h>
+
+#include "exec/payless.h"
+#include "sql/parser.h"
+
+namespace payless {
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+
+TEST(OrderByParseTest, AscDescDefaults) {
+  Result<sql::SelectStmt> stmt = sql::Parse(
+      "SELECT a, b FROM t ORDER BY a DESC, b ASC, a");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->order_by.size(), 3u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+  EXPECT_TRUE(stmt->order_by[2].ascending);
+}
+
+TEST(OrderByParseTest, AfterGroupBy) {
+  Result<sql::SelectStmt> stmt = sql::Parse(
+      "SELECT c, COUNT(*) AS n FROM t GROUP BY c ORDER BY n DESC");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->order_by.size(), 1u);
+}
+
+TEST(OrderByParseTest, RequiresBy) {
+  EXPECT_FALSE(sql::Parse("SELECT a FROM t ORDER a").ok());
+}
+
+TEST(OrderByParseTest, RoundTripsToString) {
+  Result<sql::SelectStmt> stmt =
+      sql::Parse("SELECT a FROM t ORDER BY a DESC");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE(stmt->ToString().find("ORDER BY a DESC"), std::string::npos);
+}
+
+class OrderByEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.RegisterDataset(DatasetDef{"D", 1.0, 100}).ok());
+    TableDef t;
+    t.name = "Items";
+    t.dataset = "D";
+    t.columns = {
+        ColumnDef::Free("K", ValueType::kInt64, AttrDomain::Numeric(1, 50)),
+        ColumnDef::Free("Cat", ValueType::kString,
+                        AttrDomain::Categorical({"a", "b", "c"})),
+        ColumnDef::Output("V", ValueType::kDouble)};
+    t.cardinality = 50;
+    ASSERT_TRUE(cat_.RegisterTable(t).ok());
+    market_ = std::make_unique<market::DataMarket>(&cat_);
+    std::vector<Row> rows;
+    const char* cats[] = {"a", "b", "c"};
+    for (int64_t k = 1; k <= 50; ++k) {
+      rows.push_back(Row{Value(k), Value(cats[k % 3]),
+                         Value(static_cast<double>((k * 7) % 50))});
+    }
+    ASSERT_TRUE(market_->HostTable("Items", std::move(rows)).ok());
+    client_ = std::make_unique<exec::PayLess>(&cat_, market_.get(),
+                                              exec::PayLessConfig{});
+  }
+
+  catalog::Catalog cat_;
+  std::unique_ptr<market::DataMarket> market_;
+  std::unique_ptr<exec::PayLess> client_;
+};
+
+TEST_F(OrderByEndToEnd, AscendingSingleKey) {
+  Result<storage::Table> result = client_->Query(
+      "SELECT K, V FROM Items WHERE K >= 1 AND K <= 20 ORDER BY V");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 20u);
+  for (size_t i = 1; i < result->num_rows(); ++i) {
+    EXPECT_LE(result->rows()[i - 1][1], result->rows()[i][1]);
+  }
+}
+
+TEST_F(OrderByEndToEnd, DescendingByAlias) {
+  Result<storage::Table> result = client_->Query(
+      "SELECT K AS key, V FROM Items WHERE K >= 1 AND K <= 20 "
+      "ORDER BY key DESC");
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->num_rows(); ++i) {
+    EXPECT_GE(result->rows()[i - 1][0], result->rows()[i][0]);
+  }
+}
+
+TEST_F(OrderByEndToEnd, MultiKeyWithGroupBy) {
+  Result<storage::Table> result = client_->Query(
+      "SELECT Cat, COUNT(*) AS n, AVG(V) AS avg_v FROM Items "
+      "GROUP BY Cat ORDER BY n DESC, Cat ASC");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 3u);
+  for (size_t i = 1; i < result->num_rows(); ++i) {
+    const Value& prev_n = result->rows()[i - 1][1];
+    const Value& cur_n = result->rows()[i][1];
+    EXPECT_GE(prev_n, cur_n);
+    if (prev_n == cur_n) {
+      EXPECT_LE(result->rows()[i - 1][0], result->rows()[i][0]);
+    }
+  }
+}
+
+TEST_F(OrderByEndToEnd, UnknownKeyRejected) {
+  EXPECT_EQ(client_->Query("SELECT K FROM Items ORDER BY nope")
+                .status()
+                .code(),
+            Status::Code::kNotFound);
+}
+
+TEST_F(OrderByEndToEnd, StarWithOrderByRejected) {
+  EXPECT_EQ(client_->Query("SELECT * FROM Items ORDER BY K").status().code(),
+            Status::Code::kNotSupported);
+}
+
+TEST_F(OrderByEndToEnd, QualifiedKeyRejected) {
+  EXPECT_EQ(client_->Query("SELECT K FROM Items ORDER BY Items.K")
+                .status()
+                .code(),
+            Status::Code::kNotSupported);
+}
+
+}  // namespace
+}  // namespace payless

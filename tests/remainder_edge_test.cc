@@ -1,0 +1,158 @@
+// Remainder generation edge cases and degradation paths beyond the paper's
+// figures: combinatorial guards, zero-dimensional spaces, pricing floors,
+// and the interaction of pruning with the cover's feasibility.
+#include <gtest/gtest.h>
+
+#include "semstore/remainder.h"
+
+namespace payless::semstore {
+namespace {
+
+DimSpec NumericDim(int64_t lo, int64_t hi) {
+  DimSpec d;
+  d.mode = DimSpec::Mode::kNumeric;
+  d.domain = Interval(lo, hi);
+  return d;
+}
+
+TEST(RemainderEdgeTest, ZeroDimensionalTableSpace) {
+  // A table whose access pattern has no constrainable attribute: the
+  // region space is the unit box. Uncovered -> one unconstrained call.
+  const RemainderResult uncovered = GenerateRemainder(
+      Box{}, {}, {}, [](const Box&) { return 500.0; }, RemainderOptions{});
+  ASSERT_FALSE(uncovered.fully_covered);
+  ASSERT_EQ(uncovered.remainder_boxes.size(), 1u);
+  EXPECT_EQ(uncovered.estimated_transactions, 5);
+
+  const RemainderResult covered = GenerateRemainder(
+      Box{}, {Box{}}, {}, [](const Box&) { return 500.0; },
+      RemainderOptions{});
+  EXPECT_TRUE(covered.fully_covered);
+}
+
+TEST(RemainderEdgeTest, CellBudgetDegradesGracefully) {
+  // Absurdly low cell budget: the generator must fall back to covering
+  // with the raw uncovered pieces, still complete.
+  const Box query({Interval(0, 999), Interval(0, 999)});
+  std::vector<Box> stored;
+  for (int64_t i = 0; i < 8; ++i) {
+    stored.push_back(Box({Interval(i * 100, i * 100 + 50),
+                          Interval(i * 90, i * 90 + 40)}));
+  }
+  RemainderOptions options;
+  options.max_cells = 4;
+  const RemainderResult r = GenerateRemainder(
+      query, stored, {NumericDim(0, 999), NumericDim(0, 999)},
+      [](const Box& b) { return static_cast<double>(b.Volume()) / 100.0; },
+      options);
+  ASSERT_FALSE(r.fully_covered);
+  std::vector<Box> all = stored;
+  all.insert(all.end(), r.remainder_boxes.begin(), r.remainder_boxes.end());
+  EXPECT_TRUE(IsCovered(query, all));
+}
+
+TEST(RemainderEdgeTest, CandidateBudgetDegradesGracefully) {
+  const Box query({Interval(0, 999), Interval(0, 999)});
+  std::vector<Box> stored;
+  for (int64_t i = 0; i < 10; ++i) {
+    stored.push_back(
+        Box({Interval(i * 97, i * 97 + 30), Interval(i * 83, i * 83 + 30)}));
+  }
+  RemainderOptions options;
+  options.max_candidates = 10;  // forces the no-enumeration path
+  const RemainderResult r = GenerateRemainder(
+      query, stored, {NumericDim(0, 999), NumericDim(0, 999)},
+      [](const Box& b) { return static_cast<double>(b.Volume()) / 100.0; },
+      options);
+  ASSERT_FALSE(r.fully_covered);
+  EXPECT_EQ(r.counters.kept_boxes, 0u);  // nothing enumerated...
+  std::vector<Box> all = stored;
+  all.insert(all.end(), r.remainder_boxes.begin(), r.remainder_boxes.end());
+  EXPECT_TRUE(IsCovered(query, all));  // ...but the cover is complete
+}
+
+TEST(RemainderEdgeTest, StoredViewsOutsideQueryAreIrrelevant) {
+  const Box query({Interval(0, 9)});
+  const RemainderResult r = GenerateRemainder(
+      query, {Box({Interval(50, 60)})}, {NumericDim(0, 100)},
+      [](const Box& b) { return static_cast<double>(b.Volume()); },
+      RemainderOptions{});
+  ASSERT_EQ(r.remainder_boxes.size(), 1u);
+  EXPECT_EQ(r.remainder_boxes[0], query);
+}
+
+TEST(RemainderEdgeTest, AdjacentViewsLeaveNoSliver) {
+  // Views tile the query exactly with shared edges: fully covered, no
+  // off-by-one slivers.
+  const Box query({Interval(10, 29)});
+  const RemainderResult r = GenerateRemainder(
+      query, {Box({Interval(10, 19)}), Box({Interval(20, 29)})},
+      {NumericDim(0, 100)}, [](const Box&) { return 1.0; },
+      RemainderOptions{});
+  EXPECT_TRUE(r.fully_covered);
+}
+
+TEST(RemainderEdgeTest, SingleLatticePointQuery) {
+  const Box query({Interval::Point(42), Interval::Point(7)});
+  const RemainderResult r = GenerateRemainder(
+      query, {}, {NumericDim(0, 100), NumericDim(0, 10)},
+      [](const Box&) { return 0.3; }, RemainderOptions{});
+  ASSERT_EQ(r.remainder_boxes.size(), 1u);
+  EXPECT_EQ(r.estimated_transactions, 1);  // floor: a call is never free
+}
+
+TEST(RemainderEdgeTest, PriceFloorAppliesPerChosenBox) {
+  // Three far-apart slivers with ~0 estimated rows still cost one
+  // transaction each (the optimizer must not believe in free lunches).
+  const Box query({Interval(0, 100)});
+  const std::vector<Box> stored = {Box({Interval(10, 40)}),
+                                   Box({Interval(60, 90)})};
+  const RemainderResult r = GenerateRemainder(
+      query, stored, {NumericDim(0, 100)},
+      [](const Box&) { return 0.01; }, RemainderOptions{});
+  ASSERT_FALSE(r.fully_covered);
+  EXPECT_GE(r.estimated_transactions,
+            static_cast<int64_t>(r.remainder_boxes.size()));
+}
+
+TEST(RemainderEdgeTest, MergingAcrossGapBeatsPerPieceWhenCheap) {
+  // Three 1-transaction pieces with nearly-empty gaps: one merged range
+  // call costing 1 page must win over three separate pages.
+  const Box query({Interval(0, 59)});
+  const std::vector<Box> stored = {Box({Interval(10, 19)}),
+                                   Box({Interval(30, 39)})};
+  const RemainderResult r = GenerateRemainder(
+      query, stored, {NumericDim(0, 100)},
+      [](const Box& b) { return static_cast<double>(b.Volume()) * 0.5; },
+      RemainderOptions{});
+  // Whole [0,59] holds ~30 rows -> 1 transaction; three pieces would be 3.
+  EXPECT_EQ(r.estimated_transactions, 1);
+  ASSERT_EQ(r.remainder_boxes.size(), 1u);
+  EXPECT_EQ(r.remainder_boxes[0], Box({Interval(0, 59)}));
+}
+
+TEST(RemainderEdgeTest, CountersMonotoneUnderPruning) {
+  const Box query({Interval(0, 99), Interval(0, 99)});
+  const std::vector<Box> stored = {
+      Box({Interval(20, 40), Interval(20, 40)}),
+      Box({Interval(60, 80), Interval(10, 90)})};
+  const auto estimate = [](const Box& b) {
+    return static_cast<double>(b.Volume()) / 50.0;
+  };
+  RemainderOptions pruned;
+  RemainderOptions unpruned;
+  unpruned.prune_minimal = false;
+  unpruned.prune_price = false;
+  const RemainderResult a = GenerateRemainder(
+      query, stored, {NumericDim(0, 99), NumericDim(0, 99)}, estimate,
+      pruned);
+  const RemainderResult b = GenerateRemainder(
+      query, stored, {NumericDim(0, 99), NumericDim(0, 99)}, estimate,
+      unpruned);
+  EXPECT_EQ(a.counters.enumerated_boxes, b.counters.enumerated_boxes);
+  EXPECT_LE(a.counters.kept_boxes, b.counters.kept_boxes);
+  EXPECT_EQ(a.counters.elementary_boxes, b.counters.elementary_boxes);
+}
+
+}  // namespace
+}  // namespace payless::semstore

@@ -1,0 +1,99 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+namespace payless {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform(0, 1 << 30) == b.Uniform(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(9, 9), 9);
+}
+
+TEST(RngTest, IndexCoversAllSlots) {
+  Rng rng(11);
+  std::map<size_t, int> seen;
+  for (int i = 0; i < 1000; ++i) ++seen[rng.Index(4)];
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> items(20);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(ZipfTest, RankOneIsMostFrequent) {
+  const ZipfDistribution zipf(100, 1.0);
+  Rng rng(17);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[1], counts[50]);
+  // Zipf(1): rank 1 draws about 1/H(100) ~ 19% of the mass.
+  EXPECT_GT(counts[1], 20000 / 8);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  const ZipfDistribution zipf(10, 1.0);
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t r = zipf.Sample(&rng);
+    EXPECT_GE(r, 1);
+    EXPECT_LE(r, 10);
+  }
+}
+
+TEST(ZipfTest, ZipfZeroIsNearUniform) {
+  const ZipfDistribution zipf(4, 0.0);
+  Rng rng(23);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 40000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int64_t r = 1; r <= 4; ++r) {
+    EXPECT_GT(counts[r], 8000);
+    EXPECT_LT(counts[r], 12000);
+  }
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  const ZipfDistribution zipf(1, 1.0);
+  Rng rng(29);
+  EXPECT_EQ(zipf.Sample(&rng), 1);
+}
+
+}  // namespace
+}  // namespace payless

@@ -1,0 +1,184 @@
+#include "semstore/semantic_store.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace payless::semstore {
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+
+constexpr int64_t kWeak = std::numeric_limits<int64_t>::min();
+
+class SemStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.RegisterDataset(DatasetDef{"D", 1.0, 100}).ok());
+    TableDef def;
+    def.name = "T";
+    def.dataset = "D";
+    def.columns = {
+        ColumnDef::Free("c", ValueType::kString,
+                        AttrDomain::Categorical({"x", "y"})),
+        ColumnDef::Free("d", ValueType::kInt64, AttrDomain::Numeric(0, 99)),
+        ColumnDef::Output("v", ValueType::kDouble)};
+    def.cardinality = 0;
+    ASSERT_TRUE(cat_.RegisterTable(def).ok());
+  }
+
+  const TableDef& def() const { return *cat_.FindTable("T"); }
+
+  static Row MakeRow(const std::string& c, int64_t d, double v) {
+    return Row{Value(c), Value(d), Value(v)};
+  }
+
+  static Box Region(int64_t c, int64_t dlo, int64_t dhi) {
+    return Box({Interval::Point(c), Interval(dlo, dhi)});
+  }
+
+  catalog::Catalog cat_;
+  SemanticStore store_;
+};
+
+TEST_F(SemStoreTest, RowPointEncodesConstrainableColumns) {
+  const auto point = RowPoint(def(), MakeRow("y", 42, 1.5));
+  ASSERT_TRUE(point.has_value());
+  EXPECT_EQ(*point, (std::vector<int64_t>{1, 42}));
+}
+
+TEST_F(SemStoreTest, RowPointRejectsOutOfDomain) {
+  EXPECT_FALSE(RowPoint(def(), MakeRow("z", 42, 1.5)).has_value());
+  EXPECT_FALSE(RowPoint(def(), MakeRow("x", 500, 1.5)).has_value());
+  EXPECT_FALSE(RowPoint(def(), {Value::Null(), Value(int64_t{1}),
+                                Value(0.0)}).has_value());
+}
+
+TEST_F(SemStoreTest, StoreAndCoverSingleView) {
+  store_.Store(def(), Region(0, 10, 20), {MakeRow("x", 15, 1.0)}, 0);
+  EXPECT_EQ(store_.NumViews("T"), 1u);
+  EXPECT_TRUE(store_.Covers(def(), Region(0, 12, 18), kWeak));
+  EXPECT_FALSE(store_.Covers(def(), Region(0, 12, 25), kWeak));
+  EXPECT_FALSE(store_.Covers(def(), Region(1, 12, 18), kWeak));
+}
+
+TEST_F(SemStoreTest, EmptyRegionNotStored) {
+  store_.Store(def(), Box({Interval::Empty(), Interval(0, 5)}), {}, 0);
+  EXPECT_EQ(store_.NumViews("T"), 0u);
+}
+
+TEST_F(SemStoreTest, CoverageMergesAdjacentRanges) {
+  store_.Store(def(), Region(0, 0, 9), {}, 0);
+  store_.Store(def(), Region(0, 10, 19), {}, 0);
+  const std::vector<Box> regions = store_.CoveredRegions("T", kWeak);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0], Region(0, 0, 19));
+}
+
+TEST_F(SemStoreTest, CoverageMergesOverlappingRanges) {
+  store_.Store(def(), Region(0, 0, 12), {}, 0);
+  store_.Store(def(), Region(0, 8, 20), {}, 0);
+  const std::vector<Box> regions = store_.CoveredRegions("T", kWeak);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0], Region(0, 0, 20));
+}
+
+TEST_F(SemStoreTest, CoverageDropsContainedRegions) {
+  store_.Store(def(), Region(0, 0, 50), {}, 0);
+  store_.Store(def(), Region(0, 10, 20), {}, 0);
+  EXPECT_EQ(store_.CoveredRegions("T", kWeak).size(), 1u);
+}
+
+TEST_F(SemStoreTest, CoverageKeepsDisjointRegionsSeparate) {
+  // Gap on the numeric dimension: no merge possible.
+  store_.Store(def(), Region(0, 0, 9), {}, 0);
+  store_.Store(def(), Region(0, 50, 60), {}, 0);
+  EXPECT_EQ(store_.CoveredRegions("T", kWeak).size(), 2u);
+}
+
+TEST_F(SemStoreTest, CoverageMergesAdjacentCategoricalSlabs) {
+  // Codes 0 and 1 are adjacent: the two same-range slabs merge. Coverage
+  // boxes may legally span several categorical values — only CALLS cannot.
+  store_.Store(def(), Region(0, 0, 9), {}, 0);
+  store_.Store(def(), Region(1, 0, 9), {}, 0);
+  const std::vector<Box> regions = store_.CoveredRegions("T", kWeak);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0], Box({Interval(0, 1), Interval(0, 9)}));
+}
+
+TEST_F(SemStoreTest, ChainOfMergesCollapsesToOne) {
+  store_.Store(def(), Region(0, 0, 9), {}, 0);
+  store_.Store(def(), Region(0, 20, 29), {}, 0);
+  store_.Store(def(), Region(0, 10, 19), {}, 0);  // bridges the gap
+  const std::vector<Box> regions = store_.CoveredRegions("T", kWeak);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0], Region(0, 0, 29));
+}
+
+TEST_F(SemStoreTest, RowsInRegionFiltersAndDedups) {
+  store_.Store(def(), Region(0, 0, 20),
+               {MakeRow("x", 5, 1.0), MakeRow("x", 15, 2.0)}, 0);
+  store_.Store(def(), Region(0, 10, 30),
+               {MakeRow("x", 15, 2.0), MakeRow("x", 25, 3.0)}, 0);
+  const std::vector<Row> rows =
+      store_.RowsInRegion(def(), Region(0, 0, 99), kWeak);
+  EXPECT_EQ(rows.size(), 3u);  // the duplicate (x,15) appears once
+  const std::vector<Row> narrow =
+      store_.RowsInRegion(def(), Region(0, 10, 20), kWeak);
+  ASSERT_EQ(narrow.size(), 1u);
+  EXPECT_EQ(narrow[0][1], Value(int64_t{15}));
+}
+
+TEST_F(SemStoreTest, RowsInRegionUsesWidePathToo) {
+  // A region wide on both dims exercises the linear pool scan.
+  for (int64_t d = 0; d < 80; ++d) {
+    store_.Store(def(), Region(d % 2, d, d), {MakeRow(d % 2 ? "y" : "x", d, 0.1)},
+                 0);
+  }
+  const Box wide({Interval(0, 1), Interval(0, 99)});
+  EXPECT_EQ(store_.RowsInRegion(def(), wide, kWeak).size(), 80u);
+}
+
+TEST_F(SemStoreTest, EpochFilteringForXWeekConsistency) {
+  store_.Store(def(), Region(0, 0, 9), {MakeRow("x", 5, 1.0)}, /*epoch=*/1);
+  store_.Store(def(), Region(0, 10, 19), {MakeRow("x", 15, 2.0)},
+               /*epoch=*/5);
+  // min_epoch 3: only the newer view counts.
+  EXPECT_FALSE(store_.Covers(def(), Region(0, 0, 9), 3));
+  EXPECT_TRUE(store_.Covers(def(), Region(0, 10, 19), 3));
+  EXPECT_EQ(store_.RowsInRegion(def(), Region(0, 0, 19), 3).size(), 1u);
+  EXPECT_EQ(store_.RowsInRegion(def(), Region(0, 0, 19), 0).size(), 2u);
+}
+
+TEST_F(SemStoreTest, EpochPathPrefersNewestDuplicate) {
+  store_.Store(def(), Region(0, 0, 9), {MakeRow("x", 5, 1.0)}, 1);
+  store_.Store(def(), Region(0, 0, 9), {MakeRow("x", 5, 1.0)}, 2);
+  EXPECT_EQ(store_.RowsInRegion(def(), Region(0, 0, 9), 0).size(), 1u);
+}
+
+TEST_F(SemStoreTest, Counters) {
+  store_.Store(def(), Region(0, 0, 9), {MakeRow("x", 1, 0.0)}, 0);
+  store_.Store(def(), Region(1, 0, 9), {MakeRow("y", 1, 0.0)}, 0);
+  EXPECT_EQ(store_.TotalViews(), 2u);
+  EXPECT_EQ(store_.TotalStoredRows(), 2u);
+  store_.Clear();
+  EXPECT_EQ(store_.TotalViews(), 0u);
+  EXPECT_TRUE(store_.CoveredRegions("T", kWeak).empty());
+  EXPECT_TRUE(store_.RowsInRegion(def(), Region(0, 0, 9), kWeak).empty());
+}
+
+TEST_F(SemStoreTest, CoversEmptyRegionTrivially) {
+  EXPECT_TRUE(store_.Covers(def(), Box({Interval::Empty(), Interval(0, 1)}),
+                            kWeak));
+}
+
+TEST_F(SemStoreTest, ViewsOfUnknownTableEmpty) {
+  EXPECT_TRUE(store_.ViewsOf("Nope").empty());
+  EXPECT_EQ(store_.NumViews("Nope"), 0u);
+}
+
+}  // namespace
+}  // namespace payless::semstore

@@ -1,0 +1,251 @@
+// Workload generators: schema fidelity, shape properties (skew, ratios),
+// valid-instance guarantees, determinism.
+#include <gtest/gtest.h>
+
+#include "exec/reference.h"
+#include "workload/bundle.h"
+#include "workload/queries.h"
+#include "workload/tpch.h"
+#include "workload/whw.h"
+
+namespace payless::workload {
+namespace {
+
+RealDataOptions SmallReal() {
+  RealDataOptions options;
+  options.scale = 0.03;
+  options.num_countries = 6;
+  options.days = 200;
+  options.query_window_days = 100;
+  options.seed = 3;
+  return options;
+}
+
+TpchOptions SmallTpch(double zipf = 0.0) {
+  TpchOptions options;
+  options.scale_factor = 0.001;
+  options.zipf = zipf;
+  options.seed = 4;
+  return options;
+}
+
+TEST(RealDataTest, SchemaMatchesFigure1a) {
+  const RealData data = MakeRealData(SmallReal());
+  const catalog::TableDef* station = data.catalog.FindTable("Station");
+  ASSERT_NE(station, nullptr);
+  EXPECT_EQ(station->dataset, "WHW");
+  EXPECT_EQ(station->ConstrainableColumns().size(), 3u);  // Country/ID/City
+  EXPECT_TRUE(station->FullyDownloadable());
+  const catalog::TableDef* weather = data.catalog.FindTable("Weather");
+  ASSERT_NE(weather, nullptr);
+  EXPECT_EQ(weather->ColumnIndex("Temperature"), 3u);
+  EXPECT_EQ(weather->columns[3].binding, catalog::BindingKind::kOutput);
+  const catalog::TableDef* pollution = data.catalog.FindTable("Pollution");
+  ASSERT_NE(pollution, nullptr);
+  EXPECT_EQ(pollution->dataset, "EHR");
+  const catalog::TableDef* zipmap = data.catalog.FindTable("ZipMap");
+  ASSERT_NE(zipmap, nullptr);
+  EXPECT_TRUE(zipmap->is_local);
+}
+
+TEST(RealDataTest, CardinalitiesMatchGeneratedRows) {
+  const RealData data = MakeRealData(SmallReal());
+  EXPECT_EQ(static_cast<size_t>(data.catalog.FindTable("Station")->cardinality),
+            data.market_tables.at("Station").size());
+  EXPECT_EQ(static_cast<size_t>(data.catalog.FindTable("Weather")->cardinality),
+            data.market_tables.at("Weather").size());
+  EXPECT_EQ(
+      static_cast<size_t>(data.catalog.FindTable("Pollution")->cardinality),
+      data.market_tables.at("Pollution").size());
+}
+
+TEST(RealDataTest, WeatherIsStationsTimesDays) {
+  const RealData data = MakeRealData(SmallReal());
+  EXPECT_EQ(data.market_tables.at("Weather").size(),
+            data.market_tables.at("Station").size() * data.valid_dates.size());
+}
+
+TEST(RealDataTest, FirstCountryDominatesStations) {
+  const RealData data = MakeRealData(SmallReal());
+  std::map<std::string, int> counts;
+  for (const Row& row : data.market_tables.at("Station")) {
+    ++counts[row[0].AsString()];
+  }
+  const int us = counts["United States"];
+  for (const auto& [country, n] : counts) {
+    EXPECT_LE(n, us) << country;
+  }
+}
+
+TEST(RealDataTest, AllRowsEncodeIntoDomains) {
+  const RealData data = MakeRealData(SmallReal());
+  for (const auto& [name, rows] : data.market_tables) {
+    const catalog::TableDef* def = data.catalog.FindTable(name);
+    for (size_t i = 0; i < rows.size(); i += 7) {
+      for (const size_t col : def->ConstrainableColumns()) {
+        EXPECT_TRUE(def->columns[col].domain.Encode(rows[i][col]).has_value())
+            << name << " row " << i << " col " << col;
+      }
+    }
+  }
+}
+
+TEST(RealDataTest, QueryableWindowIsSuffixOfDates) {
+  const RealData data = MakeRealData(SmallReal());
+  ASSERT_EQ(data.queryable_dates.size(), 100u);
+  EXPECT_EQ(data.queryable_dates.back(), data.valid_dates.back());
+}
+
+TEST(RealDataTest, DeterministicForSameSeed) {
+  const RealData a = MakeRealData(SmallReal());
+  const RealData b = MakeRealData(SmallReal());
+  EXPECT_EQ(a.market_tables.at("Weather").size(),
+            b.market_tables.at("Weather").size());
+  EXPECT_EQ(RowToString(a.market_tables.at("Weather")[10]),
+            RowToString(b.market_tables.at("Weather")[10]));
+}
+
+TEST(RealQueriesTest, FiveTemplatesParameterized) {
+  const RealData data = MakeRealData(SmallReal());
+  Rng rng(9);
+  const std::vector<QueryInstance> queries = MakeRealQueries(data, 4, &rng);
+  EXPECT_EQ(queries.size(), 20u);
+  std::map<size_t, int> per_template;
+  for (const QueryInstance& q : queries) ++per_template[q.template_id];
+  EXPECT_EQ(per_template.size(), 5u);
+  for (const auto& [tid, n] : per_template) EXPECT_EQ(n, 4) << tid;
+}
+
+TEST(RealQueriesTest, InstancesAreValidNonEmpty) {
+  // The paper requires valid instances (non-empty results). Check against
+  // the oracle on a small bundle.
+  auto bundle = MakeRealBundle(SmallReal(), 3, 77);
+  storage::Database db;
+  for (const auto& [name, rows] : bundle->local_tables) {
+    ASSERT_TRUE(db.CreateTable(*bundle->catalog.FindTable(name)).ok());
+    ASSERT_TRUE(db.InsertRows(name, rows).ok());
+  }
+  for (const QueryInstance& q : bundle->queries) {
+    SCOPED_TRACE(q.sql);
+    Result<storage::Table> result =
+        exec::ReferenceEvaluate(bundle->catalog, *bundle->market, db, q.sql,
+                                q.params);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->num_rows(), 0u);
+  }
+}
+
+TEST(TpchDataTest, EightTablesWithStandardRatios) {
+  const TpchData data = MakeTpchData(SmallTpch());
+  EXPECT_EQ(data.local_tables.at("Region").size(), 5u);
+  EXPECT_EQ(data.local_tables.at("Nation").size(), 25u);
+  EXPECT_EQ(data.market_tables.at("Supplier").size(),
+            static_cast<size_t>(data.num_suppliers));
+  EXPECT_EQ(data.market_tables.at("PartSupp").size(),
+            static_cast<size_t>(data.num_parts) * 4);
+  EXPECT_EQ(data.market_tables.at("Orders").size(),
+            static_cast<size_t>(data.num_orders));
+  // ~4 lineitems per order.
+  const double ratio =
+      static_cast<double>(data.market_tables.at("Lineitem").size()) /
+      static_cast<double>(data.num_orders);
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 5.5);
+}
+
+TEST(TpchDataTest, NationAndRegionAreLocal) {
+  const TpchData data = MakeTpchData(SmallTpch());
+  EXPECT_TRUE(data.catalog.FindTable("Nation")->is_local);
+  EXPECT_TRUE(data.catalog.FindTable("Region")->is_local);
+  EXPECT_FALSE(data.catalog.FindTable("Lineitem")->is_local);
+}
+
+TEST(TpchDataTest, AllParametricAttributesFree) {
+  // §5: "All parametric attributes in TPC-H queries are set as free".
+  const TpchData data = MakeTpchData(SmallTpch());
+  for (const std::string& name : data.catalog.TableNames()) {
+    for (const catalog::ColumnDef& col :
+         data.catalog.FindTable(name)->columns) {
+      EXPECT_NE(col.binding, catalog::BindingKind::kBound) << name;
+    }
+  }
+}
+
+TEST(TpchDataTest, SkewConcentratesForeignKeys) {
+  const TpchData uniform = MakeTpchData(SmallTpch(0.0));
+  const TpchData skewed = MakeTpchData(SmallTpch(1.0));
+  const auto max_key_share = [](const std::vector<Row>& rows, size_t col) {
+    std::map<std::string, int> counts;
+    for (const Row& row : rows) ++counts[row[col].ToString()];
+    int max_count = 0;
+    for (const auto& [_, n] : counts) max_count = std::max(max_count, n);
+    return static_cast<double>(max_count) / static_cast<double>(rows.size());
+  };
+  // Customer key of orders: the hottest key absorbs far more mass under
+  // zipf(1).
+  const double u = max_key_share(uniform.market_tables.at("Orders"), 1);
+  const double s = max_key_share(skewed.market_tables.at("Orders"), 1);
+  EXPECT_GT(s, 3 * u);
+}
+
+TEST(TpchDataTest, DatesWithinDomain) {
+  const TpchData data = MakeTpchData(SmallTpch());
+  for (const Row& row : data.market_tables.at("Lineitem")) {
+    const int64_t shipdate = row[3].AsInt64();
+    EXPECT_GE(shipdate, 0);
+    EXPECT_LE(shipdate, kTpchDateMax);
+  }
+}
+
+TEST(TpchQueriesTest, TwentyTemplates) {
+  EXPECT_EQ(TpchTemplates().size(), 20u);
+  const TpchData data = MakeTpchData(SmallTpch());
+  Rng rng(12);
+  const std::vector<QueryInstance> queries = MakeTpchQueries(data, 2, &rng);
+  EXPECT_EQ(queries.size(), 40u);
+}
+
+TEST(TpchQueriesTest, AllTemplatesExecutable) {
+  auto bundle = MakeTpchBundle(SmallTpch(), 1, 13);
+  auto client = NewPayLessClient(*bundle, PayLessFullConfig());
+  for (const QueryInstance& q : bundle->queries) {
+    SCOPED_TRACE(q.sql);
+    Result<storage::Table> result = client->Query(q.sql, q.params);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+}
+
+TEST(TpchQueriesTest, SkewedWorkloadExecutable) {
+  auto bundle = MakeTpchBundle(SmallTpch(1.0), 1, 14);
+  auto client = NewPayLessClient(*bundle, PayLessFullConfig());
+  for (const QueryInstance& q : bundle->queries) {
+    SCOPED_TRACE(q.sql);
+    EXPECT_TRUE(client->Query(q.sql, q.params).ok());
+  }
+}
+
+TEST(BundleTest, ClientFactoriesShareTheMarket) {
+  auto bundle = MakeRealBundle(SmallReal(), 1, 15);
+  auto a = NewPayLessClient(*bundle, PayLessFullConfig());
+  auto b = NewDownloadAllClient(*bundle);
+  // Same hosted data: both answer the same query identically.
+  const QueryInstance& q = bundle->queries.front();
+  Result<storage::Table> ra = a->Query(q.sql, q.params);
+  Result<storage::Table> rb = b->Query(q.sql, q.params);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(exec::SameResult(*ra, *rb));
+  // But bill independently.
+  EXPECT_NE(a->meter().total_transactions(), 0);
+  EXPECT_NE(b->meter().total_transactions(), 0);
+}
+
+TEST(BundleTest, ConfigPresets) {
+  EXPECT_TRUE(PayLessFullConfig().optimizer.use_sqr);
+  EXPECT_FALSE(PayLessNoSqrConfig().optimizer.use_sqr);
+  EXPECT_EQ(MinimizingCallsConfig().optimizer.cost_model,
+            core::CostModelKind::kCalls);
+}
+
+}  // namespace
+}  // namespace payless::workload
