@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_latency.dir/bench_optimizer_latency.cc.o"
+  "CMakeFiles/bench_optimizer_latency.dir/bench_optimizer_latency.cc.o.d"
+  "bench_optimizer_latency"
+  "bench_optimizer_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

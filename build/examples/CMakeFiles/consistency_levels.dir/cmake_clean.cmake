@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_levels.dir/consistency_levels.cpp.o"
+  "CMakeFiles/consistency_levels.dir/consistency_levels.cpp.o.d"
+  "consistency_levels"
+  "consistency_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_before_buy.dir/explain_before_buy.cpp.o"
+  "CMakeFiles/explain_before_buy.dir/explain_before_buy.cpp.o.d"
+  "explain_before_buy"
+  "explain_before_buy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_before_buy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

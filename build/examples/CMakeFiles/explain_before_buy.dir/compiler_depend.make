@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for explain_before_buy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_federation.dir/tpch_federation.cpp.o"
+  "CMakeFiles/tpch_federation.dir/tpch_federation.cpp.o.d"
+  "tpch_federation"
+  "tpch_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/weather_analytics.cpp" "examples/CMakeFiles/weather_analytics.dir/weather_analytics.cpp.o" "gcc" "examples/CMakeFiles/weather_analytics.dir/weather_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/payless_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/payless_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/payless_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/payless_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/semstore/CMakeFiles/payless_semstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/payless_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/payless_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/payless_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/payless_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/payless_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

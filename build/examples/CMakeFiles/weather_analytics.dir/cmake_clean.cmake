@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_analytics.dir/weather_analytics.cpp.o"
+  "CMakeFiles/weather_analytics.dir/weather_analytics.cpp.o.d"
+  "weather_analytics"
+  "weather_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

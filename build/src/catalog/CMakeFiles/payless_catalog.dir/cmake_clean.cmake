@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_catalog.dir/catalog.cc.o"
+  "CMakeFiles/payless_catalog.dir/catalog.cc.o.d"
+  "libpayless_catalog.a"
+  "libpayless_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

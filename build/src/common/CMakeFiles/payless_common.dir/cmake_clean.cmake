@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_common.dir/geometry.cc.o"
+  "CMakeFiles/payless_common.dir/geometry.cc.o.d"
+  "CMakeFiles/payless_common.dir/rng.cc.o"
+  "CMakeFiles/payless_common.dir/rng.cc.o.d"
+  "CMakeFiles/payless_common.dir/value.cc.o"
+  "CMakeFiles/payless_common.dir/value.cc.o.d"
+  "libpayless_common.a"
+  "libpayless_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

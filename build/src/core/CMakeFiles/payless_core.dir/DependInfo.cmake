@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/payless_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/payless_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/payless_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/payless_core.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/payless_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/payless_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/payless_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/semstore/CMakeFiles/payless_semstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/payless_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/payless_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/payless_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_core.dir/optimizer.cc.o"
+  "CMakeFiles/payless_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/payless_core.dir/plan.cc.o"
+  "CMakeFiles/payless_core.dir/plan.cc.o.d"
+  "libpayless_core.a"
+  "libpayless_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_exec.dir/download_all.cc.o"
+  "CMakeFiles/payless_exec.dir/download_all.cc.o.d"
+  "CMakeFiles/payless_exec.dir/execution_engine.cc.o"
+  "CMakeFiles/payless_exec.dir/execution_engine.cc.o.d"
+  "CMakeFiles/payless_exec.dir/local_eval.cc.o"
+  "CMakeFiles/payless_exec.dir/local_eval.cc.o.d"
+  "CMakeFiles/payless_exec.dir/payless.cc.o"
+  "CMakeFiles/payless_exec.dir/payless.cc.o.d"
+  "CMakeFiles/payless_exec.dir/reference.cc.o"
+  "CMakeFiles/payless_exec.dir/reference.cc.o.d"
+  "libpayless_exec.a"
+  "libpayless_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/data_market.cc" "src/market/CMakeFiles/payless_market.dir/data_market.cc.o" "gcc" "src/market/CMakeFiles/payless_market.dir/data_market.cc.o.d"
+  "/root/repo/src/market/rest_call.cc" "src/market/CMakeFiles/payless_market.dir/rest_call.cc.o" "gcc" "src/market/CMakeFiles/payless_market.dir/rest_call.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/payless_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/payless_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/payless_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

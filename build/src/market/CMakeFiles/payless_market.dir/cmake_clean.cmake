@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_market.dir/data_market.cc.o"
+  "CMakeFiles/payless_market.dir/data_market.cc.o.d"
+  "CMakeFiles/payless_market.dir/rest_call.cc.o"
+  "CMakeFiles/payless_market.dir/rest_call.cc.o.d"
+  "libpayless_market.a"
+  "libpayless_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

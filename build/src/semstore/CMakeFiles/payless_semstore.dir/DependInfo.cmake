@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semstore/remainder.cc" "src/semstore/CMakeFiles/payless_semstore.dir/remainder.cc.o" "gcc" "src/semstore/CMakeFiles/payless_semstore.dir/remainder.cc.o.d"
+  "/root/repo/src/semstore/semantic_store.cc" "src/semstore/CMakeFiles/payless_semstore.dir/semantic_store.cc.o" "gcc" "src/semstore/CMakeFiles/payless_semstore.dir/semantic_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/payless_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/payless_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/payless_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/payless_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_semstore.dir/remainder.cc.o"
+  "CMakeFiles/payless_semstore.dir/remainder.cc.o.d"
+  "CMakeFiles/payless_semstore.dir/semantic_store.cc.o"
+  "CMakeFiles/payless_semstore.dir/semantic_store.cc.o.d"
+  "libpayless_semstore.a"
+  "libpayless_semstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_semstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

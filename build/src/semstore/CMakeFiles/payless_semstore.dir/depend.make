@@ -1,0 +1,2 @@
+# Empty dependencies file for payless_semstore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_sql.dir/ast.cc.o"
+  "CMakeFiles/payless_sql.dir/ast.cc.o.d"
+  "CMakeFiles/payless_sql.dir/binder.cc.o"
+  "CMakeFiles/payless_sql.dir/binder.cc.o.d"
+  "CMakeFiles/payless_sql.dir/lexer.cc.o"
+  "CMakeFiles/payless_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/payless_sql.dir/parser.cc.o"
+  "CMakeFiles/payless_sql.dir/parser.cc.o.d"
+  "libpayless_sql.a"
+  "libpayless_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_stats.dir/estimator.cc.o"
+  "CMakeFiles/payless_stats.dir/estimator.cc.o.d"
+  "libpayless_stats.a"
+  "libpayless_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_storage.dir/csv.cc.o"
+  "CMakeFiles/payless_storage.dir/csv.cc.o.d"
+  "CMakeFiles/payless_storage.dir/database.cc.o"
+  "CMakeFiles/payless_storage.dir/database.cc.o.d"
+  "CMakeFiles/payless_storage.dir/ops.cc.o"
+  "CMakeFiles/payless_storage.dir/ops.cc.o.d"
+  "CMakeFiles/payless_storage.dir/table.cc.o"
+  "CMakeFiles/payless_storage.dir/table.cc.o.d"
+  "libpayless_storage.a"
+  "libpayless_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

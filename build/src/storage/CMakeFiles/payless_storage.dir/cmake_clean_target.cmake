@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpayless_storage.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_workload.dir/bundle.cc.o"
+  "CMakeFiles/payless_workload.dir/bundle.cc.o.d"
+  "CMakeFiles/payless_workload.dir/queries.cc.o"
+  "CMakeFiles/payless_workload.dir/queries.cc.o.d"
+  "CMakeFiles/payless_workload.dir/tpch.cc.o"
+  "CMakeFiles/payless_workload.dir/tpch.cc.o.d"
+  "CMakeFiles/payless_workload.dir/whw.cc.o"
+  "CMakeFiles/payless_workload.dir/whw.cc.o.d"
+  "libpayless_workload.a"
+  "libpayless_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/download_all_test.dir/download_all_test.cc.o"
+  "CMakeFiles/download_all_test.dir/download_all_test.cc.o.d"
+  "download_all_test"
+  "download_all_test.pdb"
+  "download_all_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/download_all_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

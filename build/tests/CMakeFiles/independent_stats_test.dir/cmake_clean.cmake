@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/independent_stats_test.dir/independent_stats_test.cc.o"
+  "CMakeFiles/independent_stats_test.dir/independent_stats_test.cc.o.d"
+  "independent_stats_test"
+  "independent_stats_test.pdb"
+  "independent_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/independent_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_eval_test.dir/local_eval_test.cc.o"
+  "CMakeFiles/local_eval_test.dir/local_eval_test.cc.o.d"
+  "local_eval_test"
+  "local_eval_test.pdb"
+  "local_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payless_system_test.dir/payless_system_test.cc.o"
+  "CMakeFiles/payless_system_test.dir/payless_system_test.cc.o.d"
+  "payless_system_test"
+  "payless_system_test.pdb"
+  "payless_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payless_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remainder_edge_test.dir/remainder_edge_test.cc.o"
+  "CMakeFiles/remainder_edge_test.dir/remainder_edge_test.cc.o.d"
+  "remainder_edge_test"
+  "remainder_edge_test.pdb"
+  "remainder_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remainder_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remainder_test.dir/remainder_test.cc.o"
+  "CMakeFiles/remainder_test.dir/remainder_test.cc.o.d"
+  "remainder_test"
+  "remainder_test.pdb"
+  "remainder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remainder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

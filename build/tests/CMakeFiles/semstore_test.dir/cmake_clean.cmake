@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semstore_test.dir/semstore_test.cc.o"
+  "CMakeFiles/semstore_test.dir/semstore_test.cc.o.d"
+  "semstore_test"
+  "semstore_test.pdb"
+  "semstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
