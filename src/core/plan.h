@@ -65,6 +65,10 @@ struct PlanningCounters {
   size_t evaluated_plans = 0;    // candidate (sub)plans costed
   size_t enumerated_bboxes = 0;  // Algorithm-1 boxes constructed
   size_t kept_bboxes = 0;        // boxes surviving the pruning rules
+  /// Plan-template cache outcome for this query: exactly one of the two is
+  /// 1 when the cache is enabled (0/0 when bypassed, e.g. Explain).
+  size_t plan_cache_hits = 0;
+  size_t plan_cache_misses = 0;
 };
 
 }  // namespace payless::core

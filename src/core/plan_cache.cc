@@ -1,0 +1,105 @@
+#include "core/plan_cache.h"
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "sql/lexer.h"
+
+namespace payless::core {
+
+std::string NormalizeSqlTemplate(const std::string& sql) {
+  Result<std::vector<sql::Token>> tokens = sql::Tokenize(sql);
+  if (!tokens.ok()) return sql;  // unlexable: raw string, parser will reject
+  std::string out;
+  out.reserve(sql.size());
+  for (const sql::Token& token : *tokens) {
+    if (token.type == sql::TokenType::kEnd) break;
+    if (!out.empty()) out.push_back(' ');
+    if (token.type == sql::TokenType::kString) {
+      // Re-quote so 'abc' can never collide with the identifier abc.
+      out.push_back('\'');
+      out += token.text;
+      out.push_back('\'');
+    } else {
+      out += token.text;  // keywords arrive upper-cased from the lexer
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Unambiguous parameter encoding: type tag + length-prefixed payload, so
+/// e.g. the string "1" and the integer 1 never collide.
+void AppendValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    *out += "n0:";
+    return;
+  }
+  char tag = 's';
+  std::string payload;
+  if (v.is_int64()) {
+    tag = 'i';
+    payload = std::to_string(v.AsInt64());
+  } else if (v.is_double()) {
+    tag = 'd';
+    payload = std::to_string(v.AsDouble());
+  } else {
+    payload = v.AsString();
+  }
+  *out += tag;
+  *out += std::to_string(payload.size());
+  *out += ':';
+  *out += payload;
+}
+
+}  // namespace
+
+std::string PlanCache::MakeKey(const std::string& normalized_sql,
+                               const std::vector<Value>& params,
+                               uint64_t store_version, uint64_t stats_version,
+                               int64_t min_epoch) {
+  std::string key = normalized_sql;
+  key += '\x1f';
+  for (const Value& param : params) AppendValue(param, &key);
+  key += '\x1f';
+  key += std::to_string(store_version);
+  key += '/';
+  key += std::to_string(stats_version);
+  key += '/';
+  key += std::to_string(min_epoch);
+  return key;
+}
+
+std::optional<CachedPlan> PlanCache::Lookup(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void PlanCache::Insert(const std::string& key, CachedPlan entry) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (entries_.size() >= max_entries_ && entries_.count(key) == 0) {
+    entries_.clear();  // version-stamped keys: most were dead already
+  }
+  entries_[key] = std::move(entry);
+}
+
+PlanCacheStats PlanCache::Stats() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return PlanCacheStats{hits_.load(std::memory_order_relaxed),
+                        misses_.load(std::memory_order_relaxed),
+                        entries_.size()};
+}
+
+void PlanCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace payless::core

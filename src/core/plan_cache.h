@@ -1,0 +1,90 @@
+// Plan-template cache: skip the DP when nothing the cost depends on moved.
+//
+// The paper's whole evaluation workload (Figs. 10-15) is a handful of
+// parameterized templates instantiated thousands of times, and a serving
+// middleware sees exactly that shape: the same SQL template, over and over,
+// from many clients. A plan derived by the learning optimizer stays
+// cost-correct as long as every input of the cost function is unchanged —
+// the query (template + parameters, because parameters shape the regions
+// being priced), the semantic-store coverage (SQR prices only remainders)
+// and the feedback statistics (cardinality estimates). The cache therefore
+// keys on the normalized template, the parameter values, and the version
+// counters of the store and the statistics registry: any Store() or
+// feedback tick makes older keys unreachable, which IS the invalidation —
+// no explicit flush, stale entries just age out of the bounded map.
+//
+// Thread-safe: lookups take a shared lock, inserts exclusive; hit/miss
+// tallies are atomics so concurrent clients can read them cheaply.
+#ifndef PAYLESS_CORE_PLAN_CACHE_H_
+#define PAYLESS_CORE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "core/plan.h"
+
+namespace payless::core {
+
+/// Canonical form of a SQL template for keying: the statement is re-lexed,
+/// so whitespace and keyword case vanish while identifiers and string
+/// literals (both case-sensitive in this dialect) survive verbatim —
+/// formatting variants of one template share a cache line, distinct
+/// identifiers never collide. Unlexable input falls back to the raw string
+/// (it will miss, then fail in the parser like any other query).
+std::string NormalizeSqlTemplate(const std::string& sql);
+
+/// One cached optimization outcome: the plan plus the planning counters of
+/// the optimization that produced it (so reports stay meaningful on hits).
+struct CachedPlan {
+  Plan plan;
+  PlanningCounters counters;
+};
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  size_t entries = 0;
+};
+
+class PlanCache {
+ public:
+  /// `max_entries` bounds memory; on overflow the whole map is dropped
+  /// (entries are version-stamped, so most are already unreachable by the
+  /// time the cache fills — wholesale eviction loses almost nothing).
+  explicit PlanCache(size_t max_entries = 1024) : max_entries_(max_entries) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Builds the full cache key for one query instance. `store_version` /
+  /// `stats_version` are the version counters of the semantic store and the
+  /// stats registry at optimization time; `min_epoch` folds in the
+  /// consistency horizon (it moves with the wall clock under kXWeek).
+  static std::string MakeKey(const std::string& normalized_sql,
+                             const std::vector<Value>& params,
+                             uint64_t store_version, uint64_t stats_version,
+                             int64_t min_epoch);
+
+  std::optional<CachedPlan> Lookup(const std::string& key) const;
+  void Insert(const std::string& key, CachedPlan entry);
+
+  PlanCacheStats Stats() const;
+  void Clear();
+
+ private:
+  const size_t max_entries_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, CachedPlan> entries_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace payless::core
+
+#endif  // PAYLESS_CORE_PLAN_CACHE_H_

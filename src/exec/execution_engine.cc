@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
+#include <thread>
 #include <unordered_set>
 
 #include "core/optimizer.h"
@@ -31,6 +33,39 @@ class RowSet {
   std::vector<Row> rows_;
 };
 
+size_t ResolveFanOut(const ExecConfig& config) {
+  if (config.max_parallel_calls != 0) return config.max_parallel_calls;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// Issues every call — in parallel when a pool and fan-out allow — and
+/// merges results strictly in call order, so rows, row order, per-call
+/// billing and stats are byte-identical to the serial loop. Errors are
+/// reported in call order too. Pricing depends only on seller-side data
+/// (never on buyer-side state), so issue order cannot change what any one
+/// call is billed.
+Status IssueCalls(market::MarketConnector* connector,
+                  common::ThreadPool* pool, size_t fan_out,
+                  const std::vector<market::RestCall>& calls, RowSet* rows,
+                  ExecStats* exec_stats) {
+  std::vector<std::optional<Result<market::CallResult>>> outcomes(
+      calls.size());
+  common::ParallelFor(pool, calls.size(), fan_out, [&](size_t i) {
+    outcomes[i].emplace(connector->Get(calls[i]));
+  });
+  for (std::optional<Result<market::CallResult>>& outcome : outcomes) {
+    Result<market::CallResult>& result = *outcome;
+    PAYLESS_RETURN_IF_ERROR(result.status());
+    rows->AddAll(result->rows);
+    if (exec_stats != nullptr) {
+      ++exec_stats->calls;
+      exec_stats->transactions += result->transactions;
+      exec_stats->rows_from_market += result->num_records;
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<storage::Table> ExecutionEngine::FetchRelation(
@@ -40,18 +75,11 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
   const sql::BoundRelation& rel = query.relations[access.rel];
   const catalog::TableDef& def = *rel.def;
   storage::Table table(storage::SchemaFromTableDef(def));
+  const size_t fan_out = ResolveFanOut(config);
 
-  const auto issue = [&](const market::RestCall& call,
-                         RowSet* rows) -> Status {
-    Result<market::CallResult> result = connector_->Get(call);
-    PAYLESS_RETURN_IF_ERROR(result.status());
-    rows->AddAll(result->rows);
-    if (exec_stats != nullptr) {
-      ++exec_stats->calls;
-      exec_stats->transactions += result->transactions;
-      exec_stats->rows_from_market += result->num_records;
-    }
-    return Status::OK();
+  const auto issue_all = [&](const std::vector<market::RestCall>& calls,
+                             RowSet* rows) -> Status {
+    return IssueCalls(connector_, pool_, fan_out, calls, rows, exec_stats);
   };
 
   switch (access.kind) {
@@ -99,16 +127,19 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
               return stats_->EstimateRows(def.name, box);
             },
             rem_options);
+        std::vector<market::RestCall> calls;
+        calls.reserve(rem.remainder_boxes.size());
         for (const Box& box : rem.remainder_boxes) {
           Result<market::RestCall> call = market::CallFromRegion(def, box);
           PAYLESS_RETURN_IF_ERROR(call.status());
-          PAYLESS_RETURN_IF_ERROR(issue(*call, &rows));
+          calls.push_back(std::move(*call));
         }
+        PAYLESS_RETURN_IF_ERROR(issue_all(calls, &rows));
       } else {
         market::RestCall call;
         call.table = def.name;
         call.conditions = rel.conditions;
-        PAYLESS_RETURN_IF_ERROR(issue(call, &rows));
+        PAYLESS_RETURN_IF_ERROR(issue_all({call}, &rows));
       }
       for (Row& row : rows.Take()) table.Append(std::move(row));
       return table;
@@ -205,37 +236,65 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
               return stats_->EstimateRows(def.name, box);
             },
             rem_options);
+        std::vector<market::RestCall> calls;
+        calls.reserve(rem.remainder_boxes.size());
         for (const Box& box : rem.remainder_boxes) {
           Result<market::RestCall> call = market::CallFromRegion(def, box);
           PAYLESS_RETURN_IF_ERROR(call.status());
-          PAYLESS_RETURN_IF_ERROR(issue(*call, &rows));
+          calls.push_back(std::move(*call));
         }
+        PAYLESS_RETURN_IF_ERROR(issue_all(calls, &rows));
       } else {
         // One point call per binding combination; with SQR on, fully
-        // covered combinations are served from the store.
-        for (const Row& combo : combos) {
+        // covered combinations are served from the store. Distinct
+        // combinations have pairwise-disjoint point regions, so neither the
+        // coverage decision nor any call's price depends on the order the
+        // combinations complete in — they are dispatched with the
+        // configured fan-out and merged back in binding-value order,
+        // keeping rows, row order and billing identical to the serial loop.
+        struct ComboOutcome {
+          std::optional<Result<market::CallResult>> fetched;
+          std::vector<Row> cached;
+          bool from_cache = false;
+        };
+        std::vector<ComboOutcome> outcomes(combos.size());
+        common::ParallelFor(pool_, combos.size(), fan_out, [&](size_t i) {
           market::RestCall call;
           call.table = def.name;
           call.conditions = rel.conditions;
-          for (size_t i = 0; i < bind_cols.size(); ++i) {
-            call.conditions[bind_cols[i]] =
-                market::AttrCondition::Point(combo[i]);
+          for (size_t c = 0; c < bind_cols.size(); ++c) {
+            call.conditions[bind_cols[c]] =
+                market::AttrCondition::Point(combos[i][c]);
           }
           if (config.use_sqr) {
             const Box point_region = market::CallRegion(def, call);
-            if (point_region.empty()) continue;  // value outside the domain
+            if (point_region.empty()) return;  // value outside the domain
             if (store_->Covers(def, point_region, config.min_epoch)) {
-              const std::vector<Row> cached = store_->RowsInRegion(
-                  def, point_region, config.min_epoch);
-              if (exec_stats != nullptr) {
-                exec_stats->rows_from_cache +=
-                    static_cast<int64_t>(cached.size());
-              }
-              rows.AddAll(cached);
-              continue;
+              outcomes[i].cached =
+                  store_->RowsInRegion(def, point_region, config.min_epoch);
+              outcomes[i].from_cache = true;
+              return;
             }
           }
-          PAYLESS_RETURN_IF_ERROR(issue(call, &rows));
+          outcomes[i].fetched.emplace(connector_->Get(call));
+        });
+        for (ComboOutcome& outcome : outcomes) {
+          if (outcome.fetched.has_value()) {
+            Result<market::CallResult>& result = *outcome.fetched;
+            PAYLESS_RETURN_IF_ERROR(result.status());
+            rows.AddAll(result->rows);
+            if (exec_stats != nullptr) {
+              ++exec_stats->calls;
+              exec_stats->transactions += result->transactions;
+              exec_stats->rows_from_market += result->num_records;
+            }
+          } else if (outcome.from_cache) {
+            if (exec_stats != nullptr) {
+              exec_stats->rows_from_cache +=
+                  static_cast<int64_t>(outcome.cached.size());
+            }
+            rows.AddAll(outcome.cached);
+          }
         }
       }
       for (Row& row : rows.Take()) table.Append(std::move(row));

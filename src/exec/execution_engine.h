@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "core/plan.h"
 #include "market/data_market.h"
 #include "semstore/semantic_store.h"
@@ -26,6 +27,13 @@ struct ExecConfig {
   /// Consistency horizon for reusing stored views (§4.3).
   int64_t min_epoch = std::numeric_limits<int64_t>::min();
   semstore::RemainderOptions remainder;
+  /// Fan-out for one access's REST calls: a bind join's per-binding-value
+  /// calls and an access's remainder calls are dispatched up to this many
+  /// at a time (0 = hardware concurrency; 1 = strictly serial; needs a
+  /// thread pool on the engine to take effect). Results are merged in
+  /// binding-value / remainder-box order, so rows, row order and billed
+  /// transactions are identical to serial execution.
+  size_t max_parallel_calls = 0;
 };
 
 struct ExecStats {
@@ -37,14 +45,18 @@ struct ExecStats {
 
 class ExecutionEngine {
  public:
+  /// `pool` (optional) enables parallel call dispatch; nullptr keeps every
+  /// access strictly serial regardless of ExecConfig::max_parallel_calls.
   ExecutionEngine(const catalog::Catalog* catalog, storage::Database* local_db,
                   market::MarketConnector* connector,
-                  semstore::SemanticStore* store, stats::StatsRegistry* stats)
+                  semstore::SemanticStore* store, stats::StatsRegistry* stats,
+                  common::ThreadPool* pool = nullptr)
       : catalog_(catalog),
         local_db_(local_db),
         connector_(connector),
         store_(store),
-        stats_(stats) {}
+        stats_(stats),
+        pool_(pool) {}
 
   /// Executes `plan` for `query`; returns the final result table. Market
   /// spend accrues on the connector's billing meter; `exec_stats` (optional)
@@ -68,6 +80,7 @@ class ExecutionEngine {
   market::MarketConnector* connector_;
   semstore::SemanticStore* store_;
   stats::StatsRegistry* stats_;
+  common::ThreadPool* pool_;
 };
 
 }  // namespace payless::exec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <optional>
 
 #include "sql/parser.h"
 
@@ -32,7 +33,7 @@ PayLess::PayLess(const catalog::Catalog* catalog,
     const catalog::TableDef* def = catalog_->FindTable(call.table);
     assert(def != nullptr);
     const Box region = market::CallRegion(*def, call);
-    store_.Store(*def, region, result.rows, current_week_);
+    store_.Store(*def, region, result.rows, current_week());
     stats_.Feedback(call.table, region, result.num_records);
   });
 }
@@ -42,7 +43,7 @@ int64_t PayLess::MinEpoch() const {
     case ConsistencyLevel::kWeak:
       return std::numeric_limits<int64_t>::min();
     case ConsistencyLevel::kXWeek:
-      return current_week_ - config_.consistency_weeks;
+      return current_week() - config_.consistency_weeks;
     case ConsistencyLevel::kFull:
       return std::numeric_limits<int64_t>::max();  // nothing is reusable
   }
@@ -61,27 +62,59 @@ Result<QueryReport> PayLess::QueryWithReport(const std::string& sql,
   if (config_.consistency == ConsistencyLevel::kFull) {
     opt_options.use_sqr = false;  // §4.3: full consistency disables SQR
   }
-  const core::Optimizer optimizer(catalog_, &stats_, &store_, opt_options);
-  Result<core::OptimizeResult> optimized = optimizer.Optimize(*bound);
-  PAYLESS_RETURN_IF_ERROR(optimized.status());
+
+  // Plan-template cache: repeated identical parameterized queries reuse the
+  // optimizer's plan while the semantic store and statistics are unchanged
+  // (the versions are part of the key, so staleness means a plain miss).
+  QueryReport report;
+  bool cache_hit = false;
+  std::string cache_key;
+  const uint64_t store_version = store_.version();
+  const uint64_t stats_version = stats_.version();
+  if (config_.enable_plan_cache) {
+    cache_key = core::PlanCache::MakeKey(core::NormalizeSqlTemplate(sql),
+                                         params, store_version, stats_version,
+                                         opt_options.min_epoch);
+    if (std::optional<core::CachedPlan> cached = plan_cache_.Lookup(cache_key)) {
+      report.plan = std::move(cached->plan);
+      report.counters = cached->counters;
+      cache_hit = true;
+    }
+  }
+  if (!cache_hit) {
+    const core::Optimizer optimizer(catalog_, &stats_, &store_, opt_options);
+    Result<core::OptimizeResult> optimized = optimizer.Optimize(*bound);
+    PAYLESS_RETURN_IF_ERROR(optimized.status());
+    report.plan = std::move(optimized->plan);
+    report.counters = optimized->counters;
+    if (config_.enable_plan_cache && store_.version() == store_version &&
+        stats_.version() == stats_version) {
+      // Only cache when no concurrent Store/Feedback raced the optimization,
+      // so every cached plan matches the versions in its key exactly.
+      plan_cache_.Insert(cache_key, core::CachedPlan{report.plan,
+                                                     report.counters});
+    }
+  }
+  report.counters.plan_cache_hits = cache_hit ? 1 : 0;
+  report.counters.plan_cache_misses =
+      (config_.enable_plan_cache && !cache_hit) ? 1 : 0;
 
   ExecConfig exec_config;
   exec_config.use_sqr = opt_options.use_sqr;
   exec_config.min_epoch = opt_options.min_epoch;
   exec_config.remainder = opt_options.remainder;
+  exec_config.max_parallel_calls = config_.max_parallel_calls;
 
-  ExecutionEngine engine(catalog_, &local_db_, &connector_, &store_, &stats_);
-  const int64_t before = connector_.meter().total_transactions();
-  QueryReport report;
+  ExecutionEngine engine(catalog_, &local_db_, &connector_, &store_, &stats_,
+                         common::ThreadPool::Shared());
   Result<storage::Table> result =
-      engine.Execute(*bound, optimized->plan, exec_config, &report.exec);
+      engine.Execute(*bound, report.plan, exec_config, &report.exec);
   PAYLESS_RETURN_IF_ERROR(result.status());
 
   report.result = std::move(*result);
-  report.plan = std::move(optimized->plan);
-  report.counters = optimized->counters;
-  report.transactions_spent =
-      connector_.meter().total_transactions() - before;
+  // Counted from this query's own calls, not a meter delta, so the number is
+  // exact even when other client threads are spending concurrently.
+  report.transactions_spent = report.exec.transactions;
   return report;
 }
 

@@ -9,6 +9,7 @@
 #ifndef PAYLESS_EXEC_PAYLESS_H_
 #define PAYLESS_EXEC_PAYLESS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "catalog/catalog.h"
 #include "core/optimizer.h"
+#include "core/plan_cache.h"
 #include "exec/execution_engine.h"
 #include "market/data_market.h"
 #include "semstore/semantic_store.h"
@@ -42,6 +44,15 @@ struct PayLessConfig {
   /// multidimensional feedback histogram (ISOMER role, default), the
   /// per-dimension independent histograms, or frozen uniform estimates.
   stats::StatsKind stats_kind = stats::StatsKind::kFeedbackHistogram;
+  /// Fan-out for one access's REST calls: a bind join's per-binding-value
+  /// calls (and remainder calls) go out up to this many at a time, merged
+  /// deterministically in binding-value order. 0 = hardware concurrency,
+  /// 1 = strictly serial. Rows and billing are identical either way.
+  size_t max_parallel_calls = 0;
+  /// Reuse plans of repeated identical parameterized queries while the
+  /// semantic-store and statistics versions are unchanged (skips the DP
+  /// entirely; invalidation is automatic via the version counters).
+  bool enable_plan_cache = true;
 };
 
 /// Everything a query returns besides the rows.
@@ -69,6 +80,13 @@ struct BatchReport {
   int64_t prefetch_transactions = 0;
 };
 
+/// Thread-safety contract: Query / QueryWithReport / Explain may be called
+/// concurrently from any number of client threads against one PayLess —
+/// the market connector, billing meter, semantic store, statistics and plan
+/// cache all synchronize internally, and per-query spend is counted from
+/// the query's own calls (not a meter delta). Setup and administration —
+/// LoadLocalTable, SetCurrentWeek, QueryBatch — are single-caller: run them
+/// while no queries are in flight.
 class PayLess {
  public:
   PayLess(const catalog::Catalog* catalog, const market::DataMarket* market,
@@ -77,7 +95,8 @@ class PayLess {
   PayLess(const PayLess&) = delete;
   PayLess& operator=(const PayLess&) = delete;
 
-  /// Runs one parameterized SQL query end-to-end.
+  /// Runs one parameterized SQL query end-to-end. Safe to call from many
+  /// threads concurrently.
   Result<storage::Table> Query(const std::string& sql,
                                const std::vector<Value>& params = {});
 
@@ -107,12 +126,18 @@ class PayLess {
 
   /// Advances the wall clock (in weeks) used to stamp stored views and to
   /// compute the X-week consistency horizon.
-  void SetCurrentWeek(int64_t week) { current_week_ = week; }
-  int64_t current_week() const { return current_week_; }
+  void SetCurrentWeek(int64_t week) {
+    current_week_.store(week, std::memory_order_relaxed);
+  }
+  int64_t current_week() const {
+    return current_week_.load(std::memory_order_relaxed);
+  }
 
   const market::BillingMeter& meter() const { return connector_.meter(); }
   const semstore::SemanticStore& store() const { return store_; }
   const stats::StatsRegistry& stats() const { return stats_; }
+  const core::PlanCache& plan_cache() const { return plan_cache_; }
+  market::MarketConnector* connector() { return &connector_; }
   storage::Database* local_db() { return &local_db_; }
   const catalog::Catalog& catalog() const { return *catalog_; }
   const PayLessConfig& config() const { return config_; }
@@ -125,8 +150,9 @@ class PayLess {
   market::MarketConnector connector_;
   semstore::SemanticStore store_;
   stats::StatsRegistry stats_;
+  core::PlanCache plan_cache_;
   storage::Database local_db_;
-  int64_t current_week_ = 0;
+  std::atomic<int64_t> current_week_{0};
 };
 
 }  // namespace payless::exec

@@ -1,6 +1,8 @@
 #include "market/data_market.h"
 
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 namespace payless::market {
 
@@ -11,6 +13,7 @@ int64_t TransactionsFor(int64_t records, int64_t tuples_per_transaction) {
 
 void BillingMeter::Record(const std::string& dataset, int64_t transactions,
                           double price) {
+  std::lock_guard<std::mutex> lock(mutex_);
   PerDataset& d = per_dataset_[dataset];
   d.transactions += transactions;
   d.price += price;
@@ -21,11 +24,13 @@ void BillingMeter::Record(const std::string& dataset, int64_t transactions,
 }
 
 int64_t BillingMeter::TransactionsFor(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = per_dataset_.find(dataset);
   return it == per_dataset_.end() ? 0 : it->second.transactions;
 }
 
 void BillingMeter::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   per_dataset_.clear();
   total_transactions_ = 0;
   total_price_ = 0.0;
@@ -33,6 +38,7 @@ void BillingMeter::Reset() {
 }
 
 std::string BillingMeter::Report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   os << "billing: " << total_calls_ << " calls, " << total_transactions_
      << " transactions, $" << total_price_ << "\n";
@@ -83,12 +89,14 @@ Status DataMarket::HostTable(const std::string& name, std::vector<Row> rows) {
     if (table.seen.insert(row).second) table.rows.push_back(std::move(row));
   }
   IndexRows(*def, &table, 0);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   hosted_[name] = std::move(table);
   return Status::OK();
 }
 
 Status DataMarket::AppendRows(const std::string& name,
                               const std::vector<Row>& rows) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   const auto it = hosted_.find(name);
   if (it == hosted_.end()) {
     return Status::NotFound("table '" + name + "' not hosted");
@@ -113,6 +121,7 @@ Result<CallResult> DataMarket::Execute(const RestCall& call) const {
     return Status::NotFound("table '" + call.table + "' not in catalog");
   }
   PAYLESS_RETURN_IF_ERROR(call.Validate(*def));
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = hosted_.find(call.table);
   if (it == hosted_.end()) {
     return Status::NotFound("table '" + call.table + "' not hosted");
@@ -201,11 +210,13 @@ Result<CallResult> DataMarket::Execute(const RestCall& call) const {
 
 const std::vector<Row>* DataMarket::HostedRowsForTesting(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = hosted_.find(name);
   return it == hosted_.end() ? nullptr : &it->second.rows;
 }
 
 Result<int64_t> DataMarket::TableSize(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = hosted_.find(name);
   if (it == hosted_.end()) {
     return Status::NotFound("table '" + name + "' not hosted");
@@ -214,10 +225,18 @@ Result<int64_t> DataMarket::TableSize(const std::string& name) const {
 }
 
 Result<CallResult> MarketConnector::Get(const RestCall& call) {
+  const int64_t latency =
+      simulated_latency_micros_.load(std::memory_order_relaxed);
+  if (latency > 0) {
+    // The network round trip, paid outside every lock so concurrent calls
+    // overlap it — the whole point of the concurrency layer.
+    std::this_thread::sleep_for(std::chrono::microseconds(latency));
+  }
   Result<CallResult> result = market_->Execute(call);
   if (!result.ok()) return result;
   const catalog::TableDef* def = market_->catalog().FindTable(call.table);
   meter_.Record(def->dataset, result->transactions, result->price);
+  std::shared_lock<std::shared_mutex> lock(listeners_mutex_);
   for (const Listener& listener : listeners_) {
     listener(call, *result);
   }

@@ -10,9 +10,12 @@
 #ifndef PAYLESS_MARKET_DATA_MARKET_H_
 #define PAYLESS_MARKET_DATA_MARKET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -40,13 +43,30 @@ int64_t TransactionsFor(int64_t records, int64_t tuples_per_transaction);
 /// Cumulative seller-side billing, per dataset and total. This is the ground
 /// truth the evaluation section plots ("total # of trans."); optimizer
 /// estimates never touch it.
+///
+/// Thread-safe: concurrent queries all bill through one meter, so every
+/// member serializes on an internal mutex. Totals are order-independent
+/// sums — N concurrent queries bill exactly what they would serially.
 class BillingMeter {
  public:
+  BillingMeter() = default;
+  BillingMeter(const BillingMeter&) = delete;
+  BillingMeter& operator=(const BillingMeter&) = delete;
+
   void Record(const std::string& dataset, int64_t transactions, double price);
 
-  int64_t total_transactions() const { return total_transactions_; }
-  double total_price() const { return total_price_; }
-  int64_t total_calls() const { return total_calls_; }
+  int64_t total_transactions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_transactions_;
+  }
+  double total_price() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_price_;
+  }
+  int64_t total_calls() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_calls_;
+  }
 
   int64_t TransactionsFor(const std::string& dataset) const;
 
@@ -60,6 +80,7 @@ class BillingMeter {
     double price = 0.0;
     int64_t calls = 0;
   };
+  mutable std::mutex mutex_;
   std::map<std::string, PerDataset> per_dataset_;
   int64_t total_transactions_ = 0;
   double total_price_ = 0.0;
@@ -79,6 +100,10 @@ class BillingMeter {
 /// conditions, a sorted projection for numeric ranges) so that the many
 /// small calls a bind join issues do not scan whole tables; this changes
 /// nothing observable — it is how a real market serves keyed GETs.
+///
+/// Thread-safe: Execute/TableSize are read-only and take a shared lock, so
+/// concurrent GETs proceed in parallel; HostTable/AppendRows (the periodic
+/// data release) take the lock exclusively.
 class DataMarket {
  public:
   explicit DataMarket(const catalog::Catalog* catalog) : catalog_(catalog) {}
@@ -119,6 +144,7 @@ class DataMarket {
                  size_t first_row) const;
 
   const catalog::Catalog* catalog_;
+  mutable std::shared_mutex mutex_;  // read-mostly: shared for Execute
   std::map<std::string, HostedTable> hosted_;
 };
 
@@ -126,6 +152,13 @@ class DataMarket {
 /// Fig. 3): the ONLY place where transactions accrue. Listeners observe
 /// every successful call (the semantic store and the statistics module
 /// subscribe here, steps 5.3/5.4).
+///
+/// Thread-safe: Get may be called from any number of threads; the meter
+/// locks internally and listener dispatch holds a shared lock (listeners
+/// run concurrently with each other and must be thread-safe themselves —
+/// the store and stats modules are). AddListener takes the lock
+/// exclusively; registering listeners while calls are in flight is legal
+/// but the new listener only sees subsequent calls.
 class MarketConnector {
  public:
   using Listener = std::function<void(const RestCall&, const CallResult&)>;
@@ -136,7 +169,16 @@ class MarketConnector {
   Result<CallResult> Get(const RestCall& call);
 
   void AddListener(Listener listener) {
+    std::unique_lock<std::shared_mutex> lock(listeners_mutex_);
     listeners_.push_back(std::move(listener));
+  }
+
+  /// Sleeps this long inside every Get, modelling the network round trip a
+  /// real marketplace call pays. Off (0) by default; the throughput bench
+  /// turns it on to measure how well concurrent clients and parallel
+  /// bind-join dispatch overlap call latency.
+  void SetSimulatedLatencyMicros(int64_t micros) {
+    simulated_latency_micros_.store(micros, std::memory_order_relaxed);
   }
 
   const BillingMeter& meter() const { return meter_; }
@@ -147,7 +189,9 @@ class MarketConnector {
  private:
   const DataMarket* market_;
   BillingMeter meter_;
+  mutable std::shared_mutex listeners_mutex_;
   std::vector<Listener> listeners_;
+  std::atomic<int64_t> simulated_latency_micros_{0};
 };
 
 }  // namespace payless::market

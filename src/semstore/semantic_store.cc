@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
+#include <shared_mutex>
 
 namespace payless::semstore {
 
@@ -45,8 +47,28 @@ bool TryMergeBoxes(const Box& a, const Box& b, Box* merged) {
 
 }  // namespace
 
-void SemanticStore::AddCoverage(const std::string& table, Box region) {
-  std::vector<Box>& list = coverage_[table];
+SemanticStore::TableState* SemanticStore::GetOrCreateState(
+    const std::string& table) {
+  {
+    std::shared_lock<std::shared_mutex> lock(states_mutex_);
+    const auto it = states_.find(table);
+    if (it != states_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(states_mutex_);
+  std::unique_ptr<TableState>& slot = states_[table];
+  if (slot == nullptr) slot = std::make_unique<TableState>();
+  return slot.get();
+}
+
+const SemanticStore::TableState* SemanticStore::FindState(
+    const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(states_mutex_);
+  const auto it = states_.find(table);
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+void SemanticStore::AddCoverageLocked(TableState* state, Box region) {
+  std::vector<Box>& list = state->coverage;
   for (const Box& box : list) {
     if (box.Contains(region)) return;
   }
@@ -72,9 +94,11 @@ void SemanticStore::AddCoverage(const std::string& table, Box region) {
 void SemanticStore::Store(const catalog::TableDef& def, Box region,
                           std::vector<Row> rows, int64_t epoch) {
   if (region.empty()) return;
-  AddCoverage(def.name, region);
+  TableState* state = GetOrCreateState(def.name);
+  std::unique_lock<std::shared_mutex> lock(state->mutex);
+  AddCoverageLocked(state, region);
 
-  TablePool& pool = pools_[def.name];
+  TablePool& pool = state->pool;
   const size_t num_dims = def.ConstrainableColumns().size();
   if (pool.postings.empty()) pool.postings.resize(num_dims);
   for (const Row& row : rows) {
@@ -90,35 +114,49 @@ void SemanticStore::Store(const catalog::TableDef& def, Box region,
     pool.points.push_back(std::move(*point));
   }
 
-  views_[def.name].push_back(
+  state->views.push_back(
       StoredView{std::move(region), std::move(rows), epoch});
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 const std::vector<StoredView>& SemanticStore::ViewsOf(
     const std::string& table) const {
   static const std::vector<StoredView> kEmpty;
-  const auto it = views_.find(table);
-  return it == views_.end() ? kEmpty : it->second;
+  const TableState* state = FindState(table);
+  if (state == nullptr) return kEmpty;
+  std::shared_lock<std::shared_mutex> lock(state->mutex);
+  return state->views;  // reference escapes the lock: see header contract
 }
 
-std::vector<Box> SemanticStore::CoveredRegions(const std::string& table,
-                                               int64_t min_epoch) const {
+std::vector<Box> SemanticStore::CoveredRegionsLocked(const TableState& state,
+                                                     int64_t min_epoch) {
   // Weak consistency (every view usable): serve the normalized coverage.
   if (min_epoch == std::numeric_limits<int64_t>::min()) {
-    const auto it = coverage_.find(table);
-    return it == coverage_.end() ? std::vector<Box>{} : it->second;
+    return state.coverage;
   }
   std::vector<Box> out;
-  for (const StoredView& view : ViewsOf(table)) {
+  out.reserve(state.views.size());
+  for (const StoredView& view : state.views) {
     if (view.epoch >= min_epoch) out.push_back(view.region);
   }
   return out;
 }
 
+std::vector<Box> SemanticStore::CoveredRegions(const std::string& table,
+                                               int64_t min_epoch) const {
+  const TableState* state = FindState(table);
+  if (state == nullptr) return {};
+  std::shared_lock<std::shared_mutex> lock(state->mutex);
+  return CoveredRegionsLocked(*state, min_epoch);
+}
+
 bool SemanticStore::Covers(const catalog::TableDef& def, const Box& region,
                            int64_t min_epoch) const {
   if (region.empty()) return true;
-  return IsCovered(region, CoveredRegions(def.name, min_epoch));
+  const TableState* state = FindState(def.name);
+  if (state == nullptr) return false;
+  std::shared_lock<std::shared_mutex> lock(state->mutex);
+  return IsCovered(region, CoveredRegionsLocked(*state, min_epoch));
 }
 
 std::vector<Row> SemanticStore::RowsInRegion(const catalog::TableDef& def,
@@ -126,13 +164,14 @@ std::vector<Row> SemanticStore::RowsInRegion(const catalog::TableDef& def,
                                              int64_t min_epoch) const {
   std::vector<Row> out;
   if (region.empty()) return out;
+  const TableState* state = FindState(def.name);
+  if (state == nullptr) return out;
+  std::shared_lock<std::shared_mutex> lock(state->mutex);
 
   if (min_epoch == std::numeric_limits<int64_t>::min()) {
     // Weak consistency: serve from the deduplicated pool. Use the postings
     // of the most selective narrow dimension when one exists.
-    const auto it = pools_.find(def.name);
-    if (it == pools_.end()) return out;
-    const TablePool& pool = it->second;
+    const TablePool& pool = state->pool;
 
     size_t best_dim = region.num_dims();
     int64_t best_width = std::numeric_limits<int64_t>::max();
@@ -147,6 +186,17 @@ std::vector<Row> SemanticStore::RowsInRegion(const catalog::TableDef& def,
         best_dim < region.num_dims() && best_width <= 64 &&
         best_dim < pool.postings.size();
     if (use_postings) {
+      // Capacity hint: the postings on the narrow dimension bound the
+      // candidate count from above.
+      size_t candidates = 0;
+      for (int64_t code = region.dim(best_dim).lo;
+           code <= region.dim(best_dim).hi; ++code) {
+        const auto post_it = pool.postings[best_dim].find(code);
+        if (post_it != pool.postings[best_dim].end()) {
+          candidates += post_it->second.size();
+        }
+      }
+      out.reserve(candidates);
       for (int64_t code = region.dim(best_dim).lo;
            code <= region.dim(best_dim).hi; ++code) {
         const auto post_it = pool.postings[best_dim].find(code);
@@ -156,6 +206,7 @@ std::vector<Row> SemanticStore::RowsInRegion(const catalog::TableDef& def,
         }
       }
     } else {
+      out.reserve(pool.rows.size());
       for (size_t i = 0; i < pool.rows.size(); ++i) {
         if (region.Contains(pool.points[i])) out.push_back(pool.rows[i]);
       }
@@ -166,9 +217,12 @@ std::vector<Row> SemanticStore::RowsInRegion(const catalog::TableDef& def,
   // Epoch-filtered (X-week consistency) path: scan usable views newest-
   // first, deduplicating identical tuples.
   std::vector<const StoredView*> usable;
-  for (const StoredView& view : ViewsOf(def.name)) {
+  usable.reserve(state->views.size());
+  size_t candidate_rows = 0;
+  for (const StoredView& view : state->views) {
     if (view.epoch >= min_epoch && view.region.Overlaps(region)) {
       usable.push_back(&view);
+      candidate_rows += view.rows.size();
     }
   }
   std::stable_sort(usable.begin(), usable.end(),
@@ -176,6 +230,8 @@ std::vector<Row> SemanticStore::RowsInRegion(const catalog::TableDef& def,
                      return a->epoch > b->epoch;
                    });
   std::unordered_set<Row, RowHasher> seen;
+  seen.reserve(candidate_rows);
+  out.reserve(candidate_rows);
   for (const StoredView* view : usable) {
     for (const Row& row : view->rows) {
       const std::optional<std::vector<int64_t>> point = RowPoint(def, row);
@@ -187,27 +243,36 @@ std::vector<Row> SemanticStore::RowsInRegion(const catalog::TableDef& def,
 }
 
 size_t SemanticStore::NumViews(const std::string& table) const {
-  return ViewsOf(table).size();
+  const TableState* state = FindState(table);
+  if (state == nullptr) return 0;
+  std::shared_lock<std::shared_mutex> lock(state->mutex);
+  return state->views.size();
 }
 
 size_t SemanticStore::TotalViews() const {
+  std::shared_lock<std::shared_mutex> states_lock(states_mutex_);
   size_t total = 0;
-  for (const auto& [_, views] : views_) total += views.size();
+  for (const auto& [_, state] : states_) {
+    std::shared_lock<std::shared_mutex> lock(state->mutex);
+    total += state->views.size();
+  }
   return total;
 }
 
 size_t SemanticStore::TotalStoredRows() const {
+  std::shared_lock<std::shared_mutex> states_lock(states_mutex_);
   size_t total = 0;
-  for (const auto& [_, views] : views_) {
-    for (const StoredView& view : views) total += view.rows.size();
+  for (const auto& [_, state] : states_) {
+    std::shared_lock<std::shared_mutex> lock(state->mutex);
+    for (const StoredView& view : state->views) total += view.rows.size();
   }
   return total;
 }
 
 void SemanticStore::Clear() {
-  views_.clear();
-  coverage_.clear();
-  pools_.clear();
+  std::unique_lock<std::shared_mutex> lock(states_mutex_);
+  states_.clear();
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace payless::semstore

@@ -11,12 +11,22 @@
 //     per-table ROW POOL with per-dimension postings keep remainder
 //     generation and cached-row retrieval fast as thousands of calls
 //     accumulate.
+//
+// Thread-safety: every table carries its own reader-writer lock, so
+// concurrent queries rewrite against one table's coverage (shared) while
+// call results land in other tables (exclusive), and reads of distinct
+// tables never contend at all. A monotonic version counter ticks on every
+// mutation; the plan-template cache keys on it to invalidate cached plans
+// whenever coverage — and hence SQR costs — may have changed.
 #ifndef PAYLESS_SEMSTORE_SEMANTIC_STORE_H_
 #define PAYLESS_SEMSTORE_SEMANTIC_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -44,16 +54,23 @@ std::optional<std::vector<int64_t>> RowPoint(const catalog::TableDef& def,
 
 class SemanticStore {
  public:
-  /// Remembers a call's region and result rows.
+  SemanticStore() = default;
+  SemanticStore(const SemanticStore&) = delete;
+  SemanticStore& operator=(const SemanticStore&) = delete;
+
+  /// Remembers a call's region and result rows. Takes the table's lock
+  /// exclusively; bumps version().
   void Store(const catalog::TableDef& def, Box region, std::vector<Row> rows,
              int64_t epoch);
 
-  /// All views of a table (regardless of epoch).
+  /// All views of a table (regardless of epoch). NOT safe under concurrent
+  /// Store of the same table — the returned reference bypasses the lock;
+  /// single-threaded introspection (tests, benches) only.
   const std::vector<StoredView>& ViewsOf(const std::string& table) const;
 
   /// Regions of views no older than `min_epoch` (the X-week consistency
   /// filter; INT64_MIN = weak consistency, served from the normalized
-  /// coverage).
+  /// coverage). Returns a snapshot by value.
   std::vector<Box> CoveredRegions(const std::string& table,
                                   int64_t min_epoch) const;
 
@@ -73,6 +90,13 @@ class SemanticStore {
 
   void Clear();
 
+  /// Monotonic mutation counter: ticks on every Store and Clear. Two equal
+  /// observations bracket an interval in which coverage was unchanged, so
+  /// any plan optimized in between is still cost-correct.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
   /// Deduplicated union of all retrieved rows of one table, with the
   /// precomputed lattice point of each row and per-dimension postings for
@@ -85,11 +109,27 @@ class SemanticStore {
     std::vector<std::unordered_map<int64_t, std::vector<uint32_t>>> postings;
   };
 
-  void AddCoverage(const std::string& table, Box region);
+  /// Everything stored for one table, behind that table's own lock. Held by
+  /// unique_ptr so the state's address survives map rebalancing.
+  struct TableState {
+    mutable std::shared_mutex mutex;
+    std::vector<StoredView> views;
+    std::vector<Box> coverage;  // normalized merged maximal boxes
+    TablePool pool;
+  };
 
-  std::map<std::string, std::vector<StoredView>> views_;
-  std::map<std::string, std::vector<Box>> coverage_;
-  std::map<std::string, TablePool> pools_;
+  /// Caller must hold state.mutex (any mode for reads, exclusive for the
+  /// Store path).
+  static std::vector<Box> CoveredRegionsLocked(const TableState& state,
+                                               int64_t min_epoch);
+  static void AddCoverageLocked(TableState* state, Box region);
+
+  TableState* GetOrCreateState(const std::string& table);
+  const TableState* FindState(const std::string& table) const;
+
+  mutable std::shared_mutex states_mutex_;  // guards the map structure only
+  std::map<std::string, std::unique_ptr<TableState>> states_;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace payless::semstore

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 
 namespace payless::stats {
 
@@ -196,6 +198,7 @@ void IndependentDimEstimator::Feedback(const Box& region,
 }
 
 void StatsRegistry::RegisterTable(const catalog::TableDef& def) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (estimators_.count(def.name) > 0) return;
   const Box full = def.FullRegion();
   switch (kind_) {
@@ -215,11 +218,13 @@ void StatsRegistry::RegisterTable(const catalog::TableDef& def) {
 }
 
 bool StatsRegistry::HasTable(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return estimators_.count(table) > 0;
 }
 
 double StatsRegistry::EstimateRows(const std::string& table,
                                    const Box& region) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = estimators_.find(table);
   if (it == estimators_.end()) return 0.0;
   return it->second->EstimateRows(region);
@@ -227,12 +232,15 @@ double StatsRegistry::EstimateRows(const std::string& table,
 
 void StatsRegistry::Feedback(const std::string& table, const Box& region,
                              int64_t actual_rows) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   const auto it = estimators_.find(table);
   if (it == estimators_.end()) return;
   it->second->Feedback(region, actual_rows);
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 size_t StatsRegistry::TotalFeedbacks() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   size_t total = 0;
   for (const auto& [_, est] : estimators_) {
     const auto* hist = dynamic_cast<const FeedbackHistogram*>(est.get());

@@ -12,9 +12,11 @@
 #ifndef PAYLESS_STATS_ESTIMATOR_H_
 #define PAYLESS_STATS_ESTIMATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -130,12 +132,20 @@ enum class StatsKind {
 /// Per-table estimator registry: the statistics block of Fig. 3. Tables are
 /// seeded from catalog metadata (initial state == uniform assumption);
 /// learning can be disabled to study the cold-start optimizer.
+///
+/// Thread-safe: EstimateRows (the optimizer's hot read) takes a shared
+/// lock; Feedback and RegisterTable take it exclusively. A monotonic
+/// version counter ticks on every Feedback so the plan-template cache can
+/// invalidate plans whose cost estimates may have shifted.
 class StatsRegistry {
  public:
   explicit StatsRegistry(bool learning_enabled = true)
       : kind_(learning_enabled ? StatsKind::kFeedbackHistogram
                                : StatsKind::kUniform) {}
   explicit StatsRegistry(StatsKind kind) : kind_(kind) {}
+
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
 
   void RegisterTable(const catalog::TableDef& def);
   bool HasTable(const std::string& table) const;
@@ -151,9 +161,16 @@ class StatsRegistry {
 
   StatsKind kind() const { return kind_; }
 
+  /// Monotonic mutation counter (ticks on every Feedback).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
   StatsKind kind_;
+  mutable std::shared_mutex mutex_;
   std::map<std::string, std::unique_ptr<Estimator>> estimators_;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace payless::stats

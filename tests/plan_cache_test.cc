@@ -1,0 +1,219 @@
+// The plan-template cache: hit/miss accounting, version-based invalidation
+// (semantic store, statistics feedback, consistency horizon), parameter and
+// template sensitivity of the key, and the regression that serving a plan
+// from the cache never changes what a query bills.
+#include "core/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/payless.h"
+
+namespace payless::exec {
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.RegisterDataset(DatasetDef{"EHR", 1.0, 100}).ok());
+    TableDef pollution;
+    pollution.name = "Pollution";
+    pollution.dataset = "EHR";
+    pollution.columns = {
+        ColumnDef::Free("ZipCode", ValueType::kInt64,
+                        AttrDomain::Numeric(10000, 10199)),
+        ColumnDef::Free("Rank", ValueType::kInt64,
+                        AttrDomain::Numeric(1, 2000)),
+        ColumnDef::Output("Score", ValueType::kDouble)};
+    pollution.cardinality = 2000;
+    ASSERT_TRUE(cat_.RegisterTable(pollution).ok());
+
+    market_ = std::make_unique<market::DataMarket>(&cat_);
+    std::vector<Row> rows;
+    for (int64_t rank = 1; rank <= 2000; ++rank) {
+      rows.push_back(Row{Value(10000 + rank % 200), Value(rank),
+                         Value(static_cast<double>(rank) / 10)});
+    }
+    ASSERT_TRUE(market_->HostTable("Pollution", std::move(rows)).ok());
+  }
+
+  std::unique_ptr<PayLess> NewClient(PayLessConfig config = {}) {
+    return std::make_unique<PayLess>(&cat_, market_.get(), config);
+  }
+
+  static constexpr const char* kRangeSql =
+      "SELECT * FROM Pollution WHERE Rank >= ? AND Rank <= ?";
+
+  static std::vector<Value> Range(int64_t lo, int64_t hi) {
+    return {Value(lo), Value(hi)};
+  }
+
+  catalog::Catalog cat_;
+  std::unique_ptr<market::DataMarket> market_;
+};
+
+TEST(NormalizeSqlTemplateTest, CollapsesWhitespaceAndKeywordCase) {
+  EXPECT_EQ(core::NormalizeSqlTemplate("SELECT  *\n FROM  T WHERE a = ?"),
+            core::NormalizeSqlTemplate("select * from T where a = ?"));
+  // Identifiers and string literals are case-sensitive in this dialect, so
+  // normalization must preserve both.
+  EXPECT_NE(core::NormalizeSqlTemplate("SELECT * FROM T WHERE a = 'US'"),
+            core::NormalizeSqlTemplate("SELECT * FROM T WHERE a = 'us'"));
+  EXPECT_NE(core::NormalizeSqlTemplate("SELECT * FROM T WHERE a = ?"),
+            core::NormalizeSqlTemplate("SELECT * FROM t WHERE a = ?"));
+  EXPECT_EQ(core::NormalizeSqlTemplate("SELECT * FROM T WHERE a='X'  "),
+            core::NormalizeSqlTemplate("select * from T where a ='X'"));
+  // A quoted literal can never collide with an identifier spelled alike.
+  EXPECT_NE(core::NormalizeSqlTemplate("SELECT abc FROM T"),
+            core::NormalizeSqlTemplate("SELECT 'abc' FROM T"));
+}
+
+TEST_F(PlanCacheTest, HitAfterStableVersionsMissAfterStore) {
+  auto client = NewClient();
+
+  // Query 1: cold cache -> miss; its own calls then bump the store and
+  // stats versions, so the inserted entry is already stale.
+  Result<QueryReport> r1 = client->QueryWithReport(kRangeSql, Range(1, 250));
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->counters.plan_cache_misses, 1u);
+  EXPECT_EQ(r1->counters.plan_cache_hits, 0u);
+
+  // Query 2, same template+params: versions moved -> miss again. But this
+  // run is fully covered by the store: no calls, no version bump.
+  Result<QueryReport> r2 = client->QueryWithReport(kRangeSql, Range(1, 250));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->counters.plan_cache_misses, 1u);
+  EXPECT_EQ(r2->transactions_spent, 0);
+
+  // Query 3: versions unchanged since query 2's insert -> hit, and the
+  // cached plan is served without re-running the optimizer.
+  Result<QueryReport> r3 = client->QueryWithReport(kRangeSql, Range(1, 250));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->counters.plan_cache_hits, 1u);
+  EXPECT_EQ(r3->counters.plan_cache_misses, 0u);
+  EXPECT_EQ(r3->transactions_spent, 0);
+  EXPECT_EQ(r3->result.num_rows(), r1->result.num_rows());
+
+  const core::PlanCacheStats stats = client->plan_cache().Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_GE(stats.entries, 1u);
+
+  // A query that fetches fresh data bumps the versions...
+  Result<QueryReport> other =
+      client->QueryWithReport(kRangeSql, Range(500, 600));
+  ASSERT_TRUE(other.ok());
+  EXPECT_GT(other->transactions_spent, 0);
+  // ...so the previously hitting template misses once more.
+  Result<QueryReport> r4 = client->QueryWithReport(kRangeSql, Range(1, 250));
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4->counters.plan_cache_misses, 1u);
+  EXPECT_EQ(r4->counters.plan_cache_hits, 0u);
+}
+
+TEST_F(PlanCacheTest, DistinctParamsAreDistinctKeys) {
+  auto client = NewClient();
+  ASSERT_TRUE(client->Query(kRangeSql, Range(1, 100)).ok());
+  // Same template, different params: must not hit the (1,100) entry.
+  Result<QueryReport> r = client->QueryWithReport(kRangeSql, Range(1, 200));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->counters.plan_cache_hits, 0u);
+}
+
+TEST_F(PlanCacheTest, TemplateNormalizationSharesEntries) {
+  auto client = NewClient();
+  const std::string sql_a =
+      "SELECT * FROM Pollution WHERE Rank >= ? AND Rank <= ?";
+  const std::string sql_b =
+      "select  *  from Pollution\n where Rank >= ? and Rank <= ?";
+  ASSERT_TRUE(client->Query(sql_a, Range(1, 250)).ok());   // miss, insert
+  ASSERT_TRUE(client->Query(sql_a, Range(1, 250)).ok());   // miss (stale)
+  Result<QueryReport> r = client->QueryWithReport(sql_b, Range(1, 250));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->counters.plan_cache_hits, 1u);
+}
+
+TEST_F(PlanCacheTest, ConsistencyHorizonIsPartOfTheKey) {
+  PayLessConfig config;
+  config.consistency = ConsistencyLevel::kXWeek;
+  config.consistency_weeks = 2;
+  auto client = NewClient(config);
+
+  ASSERT_TRUE(client->Query(kRangeSql, Range(1, 250)).ok());
+  ASSERT_TRUE(client->Query(kRangeSql, Range(1, 250)).ok());
+  Result<QueryReport> hit = client->QueryWithReport(kRangeSql, Range(1, 250));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->counters.plan_cache_hits, 1u);
+
+  // Advancing the clock moves the consistency horizon: cached plans made
+  // under the old horizon must not be served.
+  client->SetCurrentWeek(client->current_week() + 1);
+  Result<QueryReport> miss = client->QueryWithReport(kRangeSql, Range(1, 250));
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss->counters.plan_cache_hits, 0u);
+  EXPECT_EQ(miss->counters.plan_cache_misses, 1u);
+}
+
+TEST_F(PlanCacheTest, DisabledCacheBypassesEverything) {
+  PayLessConfig config;
+  config.enable_plan_cache = false;
+  auto client = NewClient(config);
+  for (int i = 0; i < 3; ++i) {
+    Result<QueryReport> r = client->QueryWithReport(kRangeSql, Range(1, 250));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->counters.plan_cache_hits, 0u);
+    EXPECT_EQ(r->counters.plan_cache_misses, 0u);
+  }
+  const core::PlanCacheStats stats = client->plan_cache().Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST_F(PlanCacheTest, ExplainNeverTouchesTheCache) {
+  auto client = NewClient();
+  Result<QueryReport> e = client->Explain(kRangeSql, Range(1, 250));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->counters.plan_cache_hits, 0u);
+  EXPECT_EQ(e->counters.plan_cache_misses, 0u);
+  EXPECT_EQ(client->plan_cache().Stats().entries, 0u);
+  EXPECT_EQ(client->plan_cache().Stats().misses, 0u);
+}
+
+// Regression: a plan served from the cache must bill exactly what a fresh
+// optimization would, over an entire learning sequence with repeats.
+TEST_F(PlanCacheTest, CachedPlansNeverChangeBilling) {
+  PayLessConfig cached_config;
+  cached_config.enable_plan_cache = true;
+  PayLessConfig fresh_config;
+  fresh_config.enable_plan_cache = false;
+  auto cached = NewClient(cached_config);
+  auto fresh = NewClient(fresh_config);
+
+  const std::vector<std::vector<Value>> sequence = {
+      Range(1, 250),  Range(1, 250),   Range(1, 250),  Range(100, 400),
+      Range(1, 250),  Range(350, 800), Range(100, 400), Range(1, 250),
+      Range(350, 800), Range(1, 2000),  Range(1, 250),  Range(1, 2000),
+  };
+  for (const auto& params : sequence) {
+    Result<QueryReport> a = cached->QueryWithReport(kRangeSql, params);
+    Result<QueryReport> b = fresh->QueryWithReport(kRangeSql, params);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->transactions_spent, b->transactions_spent);
+    EXPECT_EQ(a->result.num_rows(), b->result.num_rows());
+  }
+  EXPECT_GT(cached->plan_cache().Stats().hits, 0u);
+  EXPECT_EQ(cached->meter().total_transactions(),
+            fresh->meter().total_transactions());
+}
+
+}  // namespace
+}  // namespace payless::exec
