@@ -25,6 +25,12 @@ class Status {
     kParseError,
     kBindingViolation,
     kInternal,
+    // Infrastructure failures of the remote market (the REST boundary can
+    // throttle, time out and drop connections; §2's marketplace is a paid
+    // service, so these are first-class outcomes, not assertions).
+    kUnavailable,        // transient: the call may be retried after backoff
+    kDeadlineExceeded,   // a per-call or per-query deadline elapsed
+    kResourceExhausted,  // rate-limited / quota; retry after the hinted delay
   };
 
   Status() : code_(Code::kOk) {}
@@ -48,6 +54,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -62,9 +77,6 @@ class Status {
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
   }
-
- private:
-  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
 
   static const char* CodeName(Code code) {
     switch (code) {
@@ -82,13 +94,31 @@ class Status {
         return "BindingViolation";
       case Code::kInternal:
         return "Internal";
+      case Code::kUnavailable:
+        return "Unavailable";
+      case Code::kDeadlineExceeded:
+        return "DeadlineExceeded";
+      case Code::kResourceExhausted:
+        return "ResourceExhausted";
     }
     return "Unknown";
   }
 
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
   Code code_;
   std::string message_;
 };
+
+/// True for codes a caller may retry after backoff: the failure is a
+/// transient property of the infrastructure, not of the request itself.
+/// kDeadlineExceeded is deliberately NOT retryable — the time budget that
+/// expired belongs to the caller, and retrying cannot un-spend it.
+inline bool IsRetryable(Status::Code code) {
+  return code == Status::Code::kUnavailable ||
+         code == Status::Code::kResourceExhausted;
+}
 
 /// A value or an error Status. `value()` asserts on error paths; callers
 /// check `ok()` (or use `status()`) first.

@@ -1,5 +1,7 @@
 #include "exec/download_all.h"
 
+#include <unordered_set>
+
 #include "exec/local_eval.h"
 #include "market/rest_call.h"
 #include "sql/parser.h"
@@ -45,10 +47,26 @@ Status DownloadAllClient::EnsureDownloaded(const std::string& table) {
     }
   }
 
+  // Resume-safe: a prior attempt may have inserted a prefix of the calls'
+  // rows before failing mid-download (the table is only marked `downloaded_`
+  // after the LAST call lands). Hosted datasets are sets, so row content is
+  // identity — seed a dedupe set with whatever is already mirrored and skip
+  // re-inserting it, making a retried download idempotent while still
+  // keeping every successfully fetched page across attempts.
+  std::unordered_set<Row, RowHasher> have;
+  if (const storage::Table* existing = db_.FindTable(table)) {
+    for (const Row& row : existing->rows()) have.insert(row);
+  }
+
   for (const market::RestCall& call : calls) {
     Result<market::CallResult> result = connector_.Get(call);
     PAYLESS_RETURN_IF_ERROR(result.status());
-    PAYLESS_RETURN_IF_ERROR(db_.InsertRows(table, result->rows));
+    std::vector<Row> fresh;
+    fresh.reserve(result->rows.size());
+    for (Row& row : result->rows) {
+      if (have.insert(row).second) fresh.push_back(std::move(row));
+    }
+    PAYLESS_RETURN_IF_ERROR(db_.InsertRows(table, fresh));
   }
   downloaded_.insert(table);
   return Status::OK();

@@ -39,6 +39,9 @@ class DownloadAllClient {
 
   const market::BillingMeter& meter() const { return connector_.meter(); }
   storage::Database* local_db() { return &db_; }
+  /// The client's connector — for installing a RetryPolicy or attaching a
+  /// FaultInjector (chaos tests, flaky-market benchmarks).
+  market::MarketConnector* connector() { return &connector_; }
 
  private:
   const catalog::Catalog* catalog_;

@@ -1,6 +1,7 @@
 #include "exec/execution_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <optional>
 #include <thread>
@@ -44,18 +45,38 @@ size_t ResolveFanOut(const ExecConfig& config) {
 /// reported in call order too. Pricing depends only on seller-side data
 /// (never on buyer-side state), so issue order cannot change what any one
 /// call is billed.
+///
+/// Fail-fast under faults: the first call whose retries exhaust (or whose
+/// deadline blows) cancels the not-yet-issued siblings, so a doomed access
+/// stops spending money. Calls already delivered stay billed AND counted in
+/// exec_stats — that is the query's spend-so-far, and their results reached
+/// the listeners, so a re-issued query reuses them via the semantic store.
 Status IssueCalls(market::MarketConnector* connector,
                   common::ThreadPool* pool, size_t fan_out,
-                  const std::vector<market::RestCall>& calls, RowSet* rows,
+                  const std::vector<market::RestCall>& calls,
+                  market::Clock::time_point deadline, RowSet* rows,
                   ExecStats* exec_stats) {
   std::vector<std::optional<Result<market::CallResult>>> outcomes(
       calls.size());
+  std::atomic<bool> cancelled{false};
   common::ParallelFor(pool, calls.size(), fan_out, [&](size_t i) {
-    outcomes[i].emplace(connector->Get(calls[i]));
+    if (cancelled.load(std::memory_order_relaxed)) return;  // sibling failed
+    outcomes[i].emplace(connector->Get(calls[i], deadline));
+    if (!(*outcomes[i]).ok()) cancelled.store(true, std::memory_order_relaxed);
   });
+  // Accumulate EVERY delivered result before reporting the (call-order
+  // first) error, so exec_stats is the true spend-so-far.
+  Status first_error = Status::OK();
   for (std::optional<Result<market::CallResult>>& outcome : outcomes) {
+    if (!outcome.has_value()) {
+      if (exec_stats != nullptr) ++exec_stats->calls_cancelled;
+      continue;  // skipped after a sibling's failure: never issued
+    }
     Result<market::CallResult>& result = *outcome;
-    PAYLESS_RETURN_IF_ERROR(result.status());
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
     rows->AddAll(result->rows);
     if (exec_stats != nullptr) {
       ++exec_stats->calls;
@@ -63,7 +84,7 @@ Status IssueCalls(market::MarketConnector* connector,
       exec_stats->rows_from_market += result->num_records;
     }
   }
-  return Status::OK();
+  return first_error;
 }
 
 }  // namespace
@@ -79,7 +100,8 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
 
   const auto issue_all = [&](const std::vector<market::RestCall>& calls,
                              RowSet* rows) -> Status {
-    return IssueCalls(connector_, pool_, fan_out, calls, rows, exec_stats);
+    return IssueCalls(connector_, pool_, fan_out, calls, config.deadline, rows,
+                      exec_stats);
   };
 
   switch (access.kind) {
@@ -256,9 +278,17 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
           std::optional<Result<market::CallResult>> fetched;
           std::vector<Row> cached;
           bool from_cache = false;
+          bool cancelled = false;
         };
         std::vector<ComboOutcome> outcomes(combos.size());
+        std::atomic<bool> cancelled{false};
         common::ParallelFor(pool_, combos.size(), fan_out, [&](size_t i) {
+          if (cancelled.load(std::memory_order_relaxed)) {
+            // A sibling binding value exhausted its retries: stop spending
+            // on a bind join that can no longer deliver.
+            outcomes[i].cancelled = true;
+            return;
+          }
           market::RestCall call;
           call.table = def.name;
           call.conditions = rel.conditions;
@@ -276,12 +306,26 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
               return;
             }
           }
-          outcomes[i].fetched.emplace(connector_->Get(call));
+          outcomes[i].fetched.emplace(connector_->Get(call, config.deadline));
+          if (!(*outcomes[i].fetched).ok()) {
+            cancelled.store(true, std::memory_order_relaxed);
+          }
         });
+        // Accumulate every delivered/cached outcome before surfacing the
+        // first (binding-value-order) error: exec_stats must equal the
+        // spend-so-far even when the access fails.
+        Status first_error = Status::OK();
         for (ComboOutcome& outcome : outcomes) {
+          if (outcome.cancelled) {
+            if (exec_stats != nullptr) ++exec_stats->calls_cancelled;
+            continue;
+          }
           if (outcome.fetched.has_value()) {
             Result<market::CallResult>& result = *outcome.fetched;
-            PAYLESS_RETURN_IF_ERROR(result.status());
+            if (!result.ok()) {
+              if (first_error.ok()) first_error = result.status();
+              continue;
+            }
             rows.AddAll(result->rows);
             if (exec_stats != nullptr) {
               ++exec_stats->calls;
@@ -296,6 +340,7 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
             rows.AddAll(outcome.cached);
           }
         }
+        PAYLESS_RETURN_IF_ERROR(first_error);
       }
       for (Row& row : rows.Take()) table.Append(std::move(row));
       return table;

@@ -34,6 +34,9 @@ struct ExecConfig {
   /// binding-value / remainder-box order, so rows, row order and billed
   /// transactions are identical to serial execution.
   size_t max_parallel_calls = 0;
+  /// Absolute per-query deadline forwarded to every market call. Calls
+  /// past it fail with kDeadlineExceeded instead of retrying.
+  market::Clock::time_point deadline = market::kNoDeadline;
 };
 
 struct ExecStats {
@@ -41,6 +44,10 @@ struct ExecStats {
   int64_t transactions = 0;
   int64_t rows_from_market = 0;
   int64_t rows_from_cache = 0;
+  /// Parallel sibling calls skipped unissued because another call of the
+  /// same access exhausted its retries (fail-fast: no money is spent on a
+  /// result that can no longer be delivered).
+  int64_t calls_cancelled = 0;
 };
 
 class ExecutionEngine {

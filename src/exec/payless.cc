@@ -1,6 +1,7 @@
 #include "exec/payless.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <optional>
@@ -15,6 +16,7 @@ PayLess::PayLess(const catalog::Catalog* catalog,
       config_(config),
       connector_(market),
       stats_(config.stats_kind) {
+  connector_.SetRetryPolicy(config.retry);
   // Every catalog table gets a learning estimator seeded from the published
   // basic statistics (the uniform cold start of §4.3).
   for (const std::string& name : catalog_->TableNames()) {
@@ -104,17 +106,34 @@ Result<QueryReport> PayLess::QueryWithReport(const std::string& sql,
   exec_config.min_epoch = opt_options.min_epoch;
   exec_config.remainder = opt_options.remainder;
   exec_config.max_parallel_calls = config_.max_parallel_calls;
+  if (config_.query_deadline_micros > 0) {
+    exec_config.deadline =
+        market::Clock::now() +
+        std::chrono::microseconds(config_.query_deadline_micros);
+  }
 
   ExecutionEngine engine(catalog_, &local_db_, &connector_, &store_, &stats_,
                          common::ThreadPool::Shared());
   Result<storage::Table> result =
       engine.Execute(*bound, report.plan, exec_config, &report.exec);
-  PAYLESS_RETURN_IF_ERROR(result.status());
+  // Counted from this query's own calls, not a meter delta, so the number is
+  // exact even when other client threads are spending concurrently. Filled
+  // before the error check: on a mid-flight failure it is the spend-so-far.
+  report.transactions_spent = report.exec.transactions;
+  if (!result.ok()) {
+    const Status::Code code = result.status().code();
+    if (IsRetryable(code) || code == Status::Code::kDeadlineExceeded) {
+      // Market infrastructure failure after money may already have flowed:
+      // hand back the report so the caller sees the error AND the spend.
+      // Everything delivered before the failure is in the semantic store,
+      // so re-issuing the query only pays for what is still missing.
+      report.error = result.status();
+      return report;
+    }
+    return result.status();
+  }
 
   report.result = std::move(*result);
-  // Counted from this query's own calls, not a meter delta, so the number is
-  // exact even when other client threads are spending concurrently.
-  report.transactions_spent = report.exec.transactions;
   return report;
 }
 
@@ -122,6 +141,7 @@ Result<storage::Table> PayLess::Query(const std::string& sql,
                                       const std::vector<Value>& params) {
   Result<QueryReport> report = QueryWithReport(sql, params);
   PAYLESS_RETURN_IF_ERROR(report.status());
+  PAYLESS_RETURN_IF_ERROR(report->error);
   return std::move(report->result);
 }
 
@@ -237,9 +257,32 @@ Result<BatchReport> PayLess::QueryBatch(const std::vector<BatchQuery>& batch) {
         bool issued = false;
         for (const Box& box : rem.remainder_boxes) {
           Result<market::RestCall> call = market::CallFromRegion(*def, box);
-          if (!call.ok()) continue;  // e.g. bound attr unconstrained: skip
+          if (!call.ok()) {
+            const Status::Code code = call.status().code();
+            // Only the two EXPECTED inexpressibility codes are swallowed
+            // (bound attribute unconstrained, categorical multi-value
+            // sub-range §4.2) — and counted, so batch reports distinguish
+            // "nothing to merge" from "merged but not issuable". Anything
+            // else is a real bug and propagates.
+            if (code == Status::Code::kBindingViolation ||
+                code == Status::Code::kNotSupported) {
+              ++report.prefetch_skipped_calls;
+              continue;
+            }
+            return call.status();
+          }
           Result<market::CallResult> result = connector_.Get(*call);
-          PAYLESS_RETURN_IF_ERROR(result.status());
+          if (!result.ok()) {
+            const Status::Code code = result.status().code();
+            if (IsRetryable(code) || code == Status::Code::kDeadlineExceeded) {
+              // Prefetching is an optimization: against a flaky market,
+              // abandon the group and let each query fetch (and retry) its
+              // own footprint in phase 3.
+              ++report.prefetch_failed_calls;
+              continue;
+            }
+            return result.status();
+          }
           report.prefetch_transactions += result->transactions;
           issued = true;
         }
@@ -253,6 +296,7 @@ Result<BatchReport> PayLess::QueryBatch(const std::vector<BatchQuery>& batch) {
   for (const BatchQuery& q : batch) {
     Result<QueryReport> one = QueryWithReport(q.sql, q.params);
     PAYLESS_RETURN_IF_ERROR(one.status());
+    PAYLESS_RETURN_IF_ERROR(one->error);
     report.results.push_back(std::move(one->result));
   }
   report.transactions_spent =

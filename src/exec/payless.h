@@ -53,6 +53,14 @@ struct PayLessConfig {
   /// semantic-store and statistics versions are unchanged (skips the DP
   /// entirely; invalidation is automatic via the version counters).
   bool enable_plan_cache = true;
+  /// Resilience policy of the market connector: retries with capped
+  /// exponential backoff + jitter, per-call timeout, per-dataset circuit
+  /// breaker. Inert against a fault-free market.
+  market::RetryPolicy retry;
+  /// Per-query wall-clock budget (0 = unbounded). Market calls past the
+  /// budget fail with kDeadlineExceeded; the query surfaces the error plus
+  /// its spend-so-far in the QueryReport.
+  int64_t query_deadline_micros = 0;
 };
 
 /// Everything a query returns besides the rows.
@@ -62,6 +70,13 @@ struct QueryReport {
   core::PlanningCounters counters;
   ExecStats exec;
   int64_t transactions_spent = 0;  // meter delta for this query
+  /// kOk when the query delivered `result`. kUnavailable /
+  /// kDeadlineExceeded / kResourceExhausted when execution failed
+  /// mid-flight against a flaky market — `result` is then empty but
+  /// `exec` / `transactions_spent` still hold the spend-so-far, and
+  /// everything already delivered was absorbed by the semantic store, so a
+  /// re-issued query does not pay for it again.
+  Status error;
 };
 
 /// One query of a deferred batch.
@@ -78,6 +93,16 @@ struct BatchReport {
   /// with merged calls (0 = batching found nothing to share).
   size_t merged_groups = 0;
   int64_t prefetch_transactions = 0;
+  /// Prefetch calls skipped because the merged region is not expressible as
+  /// one REST call (kBindingViolation / kNotSupported — e.g. a bound
+  /// attribute left unconstrained, or a categorical multi-value sub-range).
+  /// Expected and harmless: the per-query execution fetches those regions.
+  size_t prefetch_skipped_calls = 0;
+  /// Prefetch calls that failed against a flaky market (retries exhausted /
+  /// deadline / rate limit) and were abandoned. Also harmless for
+  /// correctness: prefetching is an optimization, the queries fall back to
+  /// their own fetch paths.
+  size_t prefetch_failed_calls = 0;
 };
 
 /// Thread-safety contract: Query / QueryWithReport / Explain may be called
@@ -96,11 +121,16 @@ class PayLess {
   PayLess& operator=(const PayLess&) = delete;
 
   /// Runs one parameterized SQL query end-to-end. Safe to call from many
-  /// threads concurrently.
+  /// threads concurrently. Mid-flight market failures (retries exhausted,
+  /// deadline, rate limit) surface as that error Status.
   Result<storage::Table> Query(const std::string& sql,
                                const std::vector<Value>& params = {});
 
-  /// Like Query, with the plan, counters and spend attached.
+  /// Like Query, with the plan, counters and spend attached. Parse, bind
+  /// and optimize errors return a plain error Status; an EXECUTION failure
+  /// against a flaky market instead returns an OK Result whose report has
+  /// `error` set and carries the spend-so-far (so callers can account for
+  /// money already billed before the failure).
   Result<QueryReport> QueryWithReport(const std::string& sql,
                                       const std::vector<Value>& params = {});
 

@@ -1,5 +1,6 @@
 #include "market/data_market.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -224,23 +225,175 @@ Result<int64_t> DataMarket::TableSize(const std::string& name) const {
   return static_cast<int64_t>(it->second.rows.size());
 }
 
-Result<CallResult> MarketConnector::Get(const RestCall& call) {
-  const int64_t latency =
-      simulated_latency_micros_.load(std::memory_order_relaxed);
-  if (latency > 0) {
-    // The network round trip, paid outside every lock so concurrent calls
-    // overlap it — the whole point of the concurrency layer.
-    std::this_thread::sleep_for(std::chrono::microseconds(latency));
+int64_t MarketConnector::NextDelayMicros(int64_t* backoff,
+                                         int64_t retry_after_micros) {
+  int64_t delay = *backoff;
+  *backoff = std::min(
+      static_cast<int64_t>(static_cast<double>(*backoff) *
+                           policy_.backoff_multiplier),
+      policy_.max_backoff_micros);
+  // A rate-limit rejection's retry-after hint is a floor: retrying sooner
+  // would just burn another attempt on a closed door.
+  if (retry_after_micros > delay) delay = retry_after_micros;
+  if (policy_.jitter > 0.0) {
+    std::lock_guard<std::mutex> lock(jitter_mutex_);
+    const double factor =
+        jitter_rng_.UniformReal(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+    delay = static_cast<int64_t>(static_cast<double>(delay) * factor);
   }
-  Result<CallResult> result = market_->Execute(call);
-  if (!result.ok()) return result;
+  return std::max<int64_t>(delay, 0);
+}
+
+Result<CallResult> MarketConnector::Get(const RestCall& call,
+                                        Clock::time_point deadline) {
   const catalog::TableDef* def = market_->catalog().FindTable(call.table);
-  meter_.Record(def->dataset, result->transactions, result->price);
-  std::shared_lock<std::shared_mutex> lock(listeners_mutex_);
-  for (const Listener& listener : listeners_) {
-    listener(call, *result);
+  if (def == nullptr) {
+    return Status::NotFound("table '" + call.table + "' not in catalog");
   }
-  return result;
+  const std::string& dataset = def->dataset;
+
+  // Effective deadline: the caller's (per-query) budget capped by the
+  // policy's per-call timeout.
+  Clock::time_point effective = deadline;
+  if (policy_.call_timeout_micros > 0) {
+    const Clock::time_point call_cap =
+        Clock::now() + std::chrono::microseconds(policy_.call_timeout_micros);
+    if (call_cap < effective) effective = call_cap;
+  }
+
+  // Circuit-breaker admission: an open breaker fails fast, spending neither
+  // time nor money on a dataset that keeps failing.
+  if (!breakers_.Admit(dataset, policy_, Clock::now())) {
+    std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+    ++retry_stats_.breaker_rejections;
+    ++retry_stats_.failed_calls;
+    return Status::Unavailable("circuit breaker open for dataset '" + dataset +
+                               "'");
+  }
+
+  const int max_attempts = std::max(1, policy_.max_attempts);
+  int64_t backoff = policy_.initial_backoff_micros;
+  Status last_error = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+      ++retry_stats_.attempts;
+      if (attempt > 1) ++retry_stats_.retries;
+    }
+    if (Clock::now() >= effective) {
+      std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+      ++retry_stats_.deadline_exceeded;
+      ++retry_stats_.failed_calls;
+      return Status::DeadlineExceeded("deadline elapsed before attempt " +
+                                      std::to_string(attempt) + " on '" +
+                                      call.table + "'");
+    }
+
+    const int64_t latency =
+        simulated_latency_micros_.load(std::memory_order_relaxed);
+    if (latency > 0) {
+      // The network round trip, paid outside every lock so concurrent calls
+      // overlap it — the whole point of the concurrency layer.
+      std::this_thread::sleep_for(std::chrono::microseconds(latency));
+    }
+
+    FaultDecision fault;
+    if (FaultInjector* injector = injector_.load(std::memory_order_acquire)) {
+      fault = injector->Decide(call);
+    }
+    if (fault.latency_spike_micros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(fault.latency_spike_micros));
+    }
+
+    switch (fault.kind) {
+      case FaultKind::kTransientDrop:
+        // Dropped before the market saw it: nothing evaluated, nothing
+        // billed.
+        last_error = Status::Unavailable("transient fault calling '" +
+                                         call.table + "'");
+        {
+          std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+          ++retry_stats_.transient_faults;
+        }
+        break;
+      case FaultKind::kRateLimit:
+        last_error = Status::ResourceExhausted(
+            "rate limited on '" + call.table + "'; retry after " +
+            std::to_string(fault.retry_after_micros) + "us");
+        {
+          std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+          ++retry_stats_.rate_limited;
+        }
+        break;
+      case FaultKind::kNone:
+      case FaultKind::kLostResponse: {
+        Result<CallResult> result = market_->Execute(call);
+        if (!result.ok()) {
+          // A genuine market rejection (validation, unknown table, ...):
+          // a property of the request, never retryable, not the breaker's
+          // business.
+          std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+          ++retry_stats_.failed_calls;
+          return result;
+        }
+        // The market evaluated the call, so the seller bills it (Eq. 1) —
+        // whether or not the response makes it back to us.
+        meter_.Record(dataset, result->transactions, result->price);
+        if (fault.kind == FaultKind::kLostResponse) {
+          // Response lost in transit: paid-for work with nothing delivered.
+          // Surface it as waste; listeners must NOT see it.
+          std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+          ++retry_stats_.wasted_calls;
+          retry_stats_.wasted_transactions += result->transactions;
+          retry_stats_.wasted_price += result->price;
+          last_error = Status::Unavailable("response lost after evaluation on '" +
+                                           call.table + "' (billed)");
+          break;
+        }
+        breakers_.RecordSuccess(dataset);
+        std::shared_lock<std::shared_mutex> lock(listeners_mutex_);
+        for (const Listener& listener : listeners_) {
+          listener(call, *result);
+        }
+        return result;
+      }
+    }
+
+    // Retryable attempt failure.
+    const bool tripped =
+        breakers_.RecordFailure(dataset, policy_, Clock::now());
+    if (tripped) {
+      std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+      ++retry_stats_.breaker_trips;
+      ++retry_stats_.failed_calls;
+      // No point burning the remaining attempts: the breaker has decided
+      // this dataset needs a cooldown.
+      return Status::Unavailable("circuit breaker tripped for dataset '" +
+                                 dataset + "': " + last_error.message());
+    }
+    if (attempt == max_attempts) break;
+    const int64_t delay = NextDelayMicros(&backoff, fault.retry_after_micros);
+    if (Clock::now() + std::chrono::microseconds(delay) >= effective) {
+      std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+      ++retry_stats_.deadline_exceeded;
+      ++retry_stats_.failed_calls;
+      return Status::DeadlineExceeded(
+          "deadline leaves no room for retry " + std::to_string(attempt + 1) +
+          " on '" + call.table + "': " + last_error.message());
+    }
+    if (delay > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+  {
+    std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+    ++retry_stats_.failed_calls;
+  }
+  const std::string msg = "retries exhausted (" +
+                          std::to_string(max_attempts) + " attempts) on '" +
+                          call.table + "': " + last_error.message();
+  return last_error.code() == Status::Code::kResourceExhausted
+             ? Status::ResourceExhausted(msg)
+             : Status::Unavailable(msg);
 }
 
 }  // namespace payless::market

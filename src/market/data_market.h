@@ -22,7 +22,10 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/rng.h"
 #include "common/status.h"
+#include "market/fault_injector.h"
+#include "market/resilience.h"
 #include "market/rest_call.h"
 #include "storage/table.h"
 
@@ -150,27 +153,68 @@ class DataMarket {
 
 /// The REST boundary between PayLess and the market (step 5.1/5.2 of
 /// Fig. 3): the ONLY place where transactions accrue. Listeners observe
-/// every successful call (the semantic store and the statistics module
-/// subscribe here, steps 5.3/5.4).
+/// every DELIVERED call result — exactly once per result that actually
+/// reached the buyer (the semantic store and the statistics module
+/// subscribe here, steps 5.3/5.4), never for lost responses, so the
+/// learning loop cannot double-count across retries.
+///
+/// Get is resilient: it consults the attached FaultInjector (if any) to
+/// model a flaky marketplace, and recovers per RetryPolicy — capped
+/// exponential backoff with jitter, per-call/per-query deadlines, and a
+/// per-dataset circuit breaker. The billing contract under faults:
+///   - fault before evaluation (transient drop, rate limit, open breaker):
+///     nothing billed;
+///   - fault after evaluation (lost response): billed on the meter AND
+///     counted as wasted spend in RetryStats — the seller evaluated it;
+///   - delivered result: billed once, listeners notified once.
 ///
 /// Thread-safe: Get may be called from any number of threads; the meter
 /// locks internally and listener dispatch holds a shared lock (listeners
 /// run concurrently with each other and must be thread-safe themselves —
 /// the store and stats modules are). AddListener takes the lock
 /// exclusively; registering listeners while calls are in flight is legal
-/// but the new listener only sees subsequent calls.
+/// but the new listener only sees subsequent calls. SetRetryPolicy and
+/// SetFaultInjector are setup-time: call them before serving traffic.
 class MarketConnector {
  public:
   using Listener = std::function<void(const RestCall&, const CallResult&)>;
 
-  explicit MarketConnector(const DataMarket* market) : market_(market) {}
+  explicit MarketConnector(const DataMarket* market)
+      : market_(market), jitter_rng_(RetryPolicy{}.jitter_seed) {}
 
-  /// Issues a GET call: validates, evaluates, bills, notifies listeners.
-  Result<CallResult> Get(const RestCall& call);
+  /// Issues a GET call: validates, evaluates, bills, notifies listeners,
+  /// retrying per the policy. `deadline` (absolute) is the caller's budget
+  /// — typically the enclosing query's; kNoDeadline means unbounded.
+  Result<CallResult> Get(const RestCall& call,
+                         Clock::time_point deadline = kNoDeadline);
 
   void AddListener(Listener listener) {
     std::unique_lock<std::shared_mutex> lock(listeners_mutex_);
     listeners_.push_back(std::move(listener));
+  }
+
+  /// Installs the retry/deadline/breaker policy (setup-time).
+  void SetRetryPolicy(const RetryPolicy& policy) {
+    policy_ = policy;
+    jitter_rng_ = Rng(policy.jitter_seed);
+  }
+  const RetryPolicy& retry_policy() const { return policy_; }
+
+  /// Attaches a fault injector (nullptr detaches; caller keeps ownership).
+  /// Setup-time relative to in-flight calls of the SAME test phase, but
+  /// attach/detach between phases is the intended use.
+  void SetFaultInjector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+  RetryStats retry_stats() const {
+    std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+    return retry_stats_;
+  }
+
+  /// Breaker state of one dataset (tests / observability).
+  CircuitBreakerSet::State breaker_state(const std::string& dataset) const {
+    return breakers_.StateOf(dataset);
   }
 
   /// Sleeps this long inside every Get, modelling the network round trip a
@@ -187,11 +231,23 @@ class MarketConnector {
   const DataMarket& market() const { return *market_; }
 
  private:
+  /// Jittered capped exponential backoff before the next attempt, honoring
+  /// a rate-limit retry-after hint. `backoff` is the current unjittered
+  /// step and is advanced in place.
+  int64_t NextDelayMicros(int64_t* backoff, int64_t retry_after_micros);
+
   const DataMarket* market_;
   BillingMeter meter_;
   mutable std::shared_mutex listeners_mutex_;
   std::vector<Listener> listeners_;
   std::atomic<int64_t> simulated_latency_micros_{0};
+  RetryPolicy policy_;
+  std::atomic<FaultInjector*> injector_{nullptr};
+  CircuitBreakerSet breakers_;
+  mutable std::mutex retry_stats_mutex_;
+  RetryStats retry_stats_;
+  std::mutex jitter_mutex_;
+  Rng jitter_rng_;
 };
 
 }  // namespace payless::market

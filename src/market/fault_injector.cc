@@ -1,0 +1,69 @@
+#include "market/fault_injector.h"
+
+namespace payless::market {
+
+void FaultInjector::Script(FaultDecision decision) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scripted_.push_back(decision);
+}
+
+void FaultInjector::Script(FaultKind kind) {
+  FaultDecision decision;
+  decision.kind = kind;
+  if (kind == FaultKind::kRateLimit) {
+    decision.retry_after_micros = profile_.retry_after_micros;
+  }
+  Script(decision);
+}
+
+FaultDecision FaultInjector::Decide(const RestCall& call) {
+  (void)call;  // decisions are call-oblivious; the hook keeps the API honest
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.decisions;
+  FaultDecision decision;
+  if (!scripted_.empty()) {
+    decision = scripted_.front();
+    scripted_.pop_front();
+  } else {
+    // Exactly two draws per decision keeps serial replay exact regardless
+    // of which branches are taken.
+    const double kind_draw = rng_.UniformReal(0.0, 1.0);
+    const double spike_draw = rng_.UniformReal(0.0, 1.0);
+    if (kind_draw < profile_.transient_rate) {
+      decision.kind = FaultKind::kTransientDrop;
+    } else if (kind_draw < profile_.transient_rate +
+                               profile_.lost_response_rate) {
+      decision.kind = FaultKind::kLostResponse;
+    } else if (kind_draw < profile_.transient_rate +
+                               profile_.lost_response_rate +
+                               profile_.rate_limit_rate) {
+      decision.kind = FaultKind::kRateLimit;
+      decision.retry_after_micros = profile_.retry_after_micros;
+    }
+    if (spike_draw < profile_.latency_spike_rate) {
+      decision.latency_spike_micros = profile_.latency_spike_micros;
+    }
+  }
+  switch (decision.kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kTransientDrop:
+      ++stats_.transient_drops;
+      break;
+    case FaultKind::kLostResponse:
+      ++stats_.lost_responses;
+      break;
+    case FaultKind::kRateLimit:
+      ++stats_.rate_limits;
+      break;
+  }
+  if (decision.latency_spike_micros > 0) ++stats_.latency_spikes;
+  return decision;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace payless::market

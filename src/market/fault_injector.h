@@ -1,0 +1,102 @@
+// Fault injection for the market boundary.
+//
+// The in-process DataMarket can never fail on its own, so the middleware's
+// failure paths would go untested. A FaultInjector sits between the
+// connector and the market and decides, per call, whether this call is hit
+// by a transient connection drop, a lost response, a rate-limit rejection
+// or a latency spike — the failure modes of a real pay-per-call REST
+// service (§2's Azure Marketplace model).
+//
+// The money-critical distinction is WHERE a fault strikes relative to
+// evaluation:
+//   - kTransientDrop happens before the market evaluates the call: the
+//     seller never saw it, nothing is billed.
+//   - kLostResponse happens after evaluation: the seller produced (and
+//     bills, Eq. 1) the result, but the response never reaches the buyer.
+//     The connector must meter it as WASTED spend and must NOT deliver it
+//     to listeners.
+//
+// Decisions are drawn from a seeded Rng with a fixed number of draws per
+// decision, so a serial run replays its fault sequence exactly; under
+// concurrency the decision SEQUENCE is still deterministic but its
+// assignment to calls follows arrival order. Scripted decisions (a FIFO
+// consumed before the probabilistic draw) give tests exact call-level
+// control.
+#ifndef PAYLESS_MARKET_FAULT_INJECTOR_H_
+#define PAYLESS_MARKET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/rng.h"
+#include "market/rest_call.h"
+
+namespace payless::market {
+
+enum class FaultKind {
+  kNone = 0,
+  kTransientDrop,  // dropped before evaluation: nothing billed
+  kLostResponse,   // failed after evaluation: billed by the seller, undelivered
+  kRateLimit,      // throttled with a retry-after hint: nothing billed
+};
+
+/// What happens to one call. A latency spike composes with any kind
+/// (including kNone): the call is slow AND then succeeds/fails.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  int64_t latency_spike_micros = 0;
+  int64_t retry_after_micros = 0;  // hint carried by kRateLimit rejections
+};
+
+/// Probabilistic fault mix. Kind probabilities partition one uniform draw,
+/// so they must sum to <= 1; the remainder is kNone.
+struct FaultProfile {
+  double transient_rate = 0.0;      // P(kTransientDrop)
+  double lost_response_rate = 0.0;  // P(kLostResponse)
+  double rate_limit_rate = 0.0;     // P(kRateLimit)
+  double latency_spike_rate = 0.0;  // P(spike), independent of the kind
+  int64_t latency_spike_micros = 2000;
+  int64_t retry_after_micros = 200;
+  uint64_t seed = 42;
+};
+
+struct FaultStats {
+  int64_t decisions = 0;
+  int64_t transient_drops = 0;
+  int64_t lost_responses = 0;
+  int64_t rate_limits = 0;
+  int64_t latency_spikes = 0;
+};
+
+/// Thread-safe: Decide serializes on an internal mutex (the injector is a
+/// test/bench instrument; its lock is never on a lock-free fast path).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile)
+      : profile_(profile), rng_(profile.seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Queues a decision consumed (FIFO) before any probabilistic draw.
+  void Script(FaultDecision decision);
+  void Script(FaultKind kind);
+
+  /// The fate of the next call. Consumes the scripted FIFO first; otherwise
+  /// draws exactly two uniforms (kind, spike) so replay is exact.
+  FaultDecision Decide(const RestCall& call);
+
+  FaultStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  FaultProfile profile_;
+  Rng rng_;
+  std::deque<FaultDecision> scripted_;
+  FaultStats stats_;
+};
+
+}  // namespace payless::market
+
+#endif  // PAYLESS_MARKET_FAULT_INJECTOR_H_

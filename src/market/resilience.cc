@@ -1,0 +1,69 @@
+#include "market/resilience.h"
+
+namespace payless::market {
+
+bool CircuitBreakerSet::Admit(const std::string& dataset,
+                              const RetryPolicy& policy,
+                              Clock::time_point now) {
+  if (policy.breaker_failure_threshold <= 0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Breaker& b = breakers_[dataset];
+  switch (b.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now < b.open_until) return false;
+      // Cooldown elapsed: half-open, this caller is the trial.
+      b.state = State::kHalfOpen;
+      b.trial_in_flight = true;
+      return true;
+    case State::kHalfOpen:
+      if (b.trial_in_flight) return false;  // one probe at a time
+      b.trial_in_flight = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreakerSet::RecordSuccess(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = breakers_.find(dataset);
+  if (it == breakers_.end()) return;
+  it->second.state = State::kClosed;
+  it->second.consecutive_failures = 0;
+  it->second.trial_in_flight = false;
+}
+
+bool CircuitBreakerSet::RecordFailure(const std::string& dataset,
+                                      const RetryPolicy& policy,
+                                      Clock::time_point now) {
+  if (policy.breaker_failure_threshold <= 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Breaker& b = breakers_[dataset];
+  if (b.state == State::kHalfOpen) {
+    // The trial failed: straight back to open for another cooldown.
+    b.state = State::kOpen;
+    b.open_until = now + std::chrono::microseconds(
+                             policy.breaker_cooldown_micros);
+    b.trial_in_flight = false;
+    b.consecutive_failures = policy.breaker_failure_threshold;
+    return true;
+  }
+  if (b.state == State::kOpen) return false;  // already tripped
+  if (++b.consecutive_failures >= policy.breaker_failure_threshold) {
+    b.state = State::kOpen;
+    b.open_until = now + std::chrono::microseconds(
+                             policy.breaker_cooldown_micros);
+    return true;
+  }
+  return false;
+}
+
+CircuitBreakerSet::State CircuitBreakerSet::StateOf(
+    const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = breakers_.find(dataset);
+  return it == breakers_.end() ? State::kClosed : it->second.state;
+}
+
+}  // namespace payless::market

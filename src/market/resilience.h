@@ -1,0 +1,117 @@
+// Resilience policy for the market connector: capped exponential backoff
+// with jitter, per-call/per-query deadlines, and a per-dataset circuit
+// breaker.
+//
+// Every market call costs money (Eq. 1), so the retry contract is written
+// around billing, not latency:
+//   - a call that fails BEFORE the market evaluates it costs nothing and
+//     may be retried freely;
+//   - a call that fails AFTER evaluation (lost response) is still billed by
+//     the seller — the meter records it and RetryStats surfaces it
+//     separately as wasted spend;
+//   - listeners (semantic store, statistics feedback) observe exactly one
+//     event per DELIVERED result, so the learning loop never double-counts
+//     and everything absorbed before a failure is reused on re-issue.
+#ifndef PAYLESS_MARKET_RESILIENCE_H_
+#define PAYLESS_MARKET_RESILIENCE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace payless::market {
+
+using Clock = std::chrono::steady_clock;
+
+/// "No deadline": the sentinel used by every deadline-taking API.
+inline constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+/// Retry/deadline/breaker knobs of MarketConnector::Get. The defaults are
+/// production-shaped but inert without a FaultInjector: a fault-free market
+/// succeeds on the first attempt and never touches the breaker.
+struct RetryPolicy {
+  /// Attempts per Get (first try included). 1 disables retrying.
+  int max_attempts = 4;
+  int64_t initial_backoff_micros = 100;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 20'000;
+  /// Backoff is scaled by a uniform factor in [1-jitter, 1+jitter] so
+  /// synchronized clients do not retry in lockstep. Jitter affects timing
+  /// only — never rows or billing.
+  double jitter = 0.25;
+  uint64_t jitter_seed = 7;
+  /// Per-call budget across all attempts (0 = unbounded). Combines with a
+  /// per-query deadline passed to Get; the earlier of the two wins.
+  int64_t call_timeout_micros = 0;
+  /// Consecutive retryable failures on one dataset that trip its breaker
+  /// (0 disables circuit breaking).
+  int breaker_failure_threshold = 0;
+  /// How long a tripped breaker rejects calls before half-opening to let
+  /// one trial call probe the dataset.
+  int64_t breaker_cooldown_micros = 50'000;
+};
+
+/// Connector-lifetime counters for the resilient call path. Wasted spend is
+/// billing for evaluated-but-undelivered results (lost responses): it is
+/// part of the meter's totals but earned no rows, so cost accounting must
+/// see it separately.
+struct RetryStats {
+  int64_t attempts = 0;       // all attempts, first tries included
+  int64_t retries = 0;        // attempts beyond a call's first
+  int64_t failed_calls = 0;   // Gets that ultimately returned an error
+  int64_t transient_faults = 0;
+  int64_t rate_limited = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t wasted_calls = 0;         // lost responses (billed, undelivered)
+  int64_t wasted_transactions = 0;  // their Eq. 1 transactions
+  double wasted_price = 0.0;        // their price
+  int64_t breaker_trips = 0;        // closed/half-open -> open transitions
+  int64_t breaker_rejections = 0;   // Gets rejected while a breaker was open
+};
+
+/// Per-dataset circuit breakers (datasets are the billing/SLA unit — one
+/// flaky seller must not take down calls to healthy ones).
+///
+/// States: closed (counting consecutive retryable failures) -> open
+/// (rejecting everything until a cooldown elapses) -> half-open (admitting
+/// exactly one trial call; success closes, failure re-opens).
+///
+/// Thread-safe; every member serializes on one internal mutex.
+class CircuitBreakerSet {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// Admission check at Get entry. False = the breaker is open (or a
+  /// half-open trial is already in flight) and the call must be rejected
+  /// without touching the market.
+  bool Admit(const std::string& dataset, const RetryPolicy& policy,
+             Clock::time_point now);
+
+  /// A delivered result: closes the breaker and clears the failure run.
+  void RecordSuccess(const std::string& dataset);
+
+  /// A retryable attempt failure. Returns true iff this failure tripped the
+  /// breaker (closed -> open on reaching the threshold, or a failed
+  /// half-open trial re-opening it).
+  bool RecordFailure(const std::string& dataset, const RetryPolicy& policy,
+                     Clock::time_point now);
+
+  State StateOf(const std::string& dataset) const;
+
+ private:
+  struct Breaker {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    Clock::time_point open_until{};
+    bool trial_in_flight = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Breaker> breakers_;
+};
+
+}  // namespace payless::market
+
+#endif  // PAYLESS_MARKET_RESILIENCE_H_

@@ -32,6 +32,27 @@ class BatchTest : public ::testing::Test {
       rows.push_back(Row{Value(p), Value(static_cast<double>(p))});
     }
     ASSERT_TRUE(market_->HostTable("Readings", std::move(rows)).ok());
+
+    // A table whose BOUND categorical attribute makes some merged hulls
+    // inexpressible as one REST call (a hull spanning both categories
+    // leaves the bound attribute unconstrained).
+    TableDef sensors;
+    sensors.name = "Sensors";
+    sensors.dataset = "D";
+    sensors.columns = {
+        ColumnDef::Bound("C", ValueType::kString,
+                         AttrDomain::Categorical({"a", "b"})),
+        ColumnDef::Free("Pos", ValueType::kInt64,
+                        AttrDomain::Numeric(0, 999)),
+        ColumnDef::Output("Val", ValueType::kDouble)};
+    sensors.cardinality = 200;
+    ASSERT_TRUE(cat_.RegisterTable(sensors).ok());
+    std::vector<Row> sensor_rows;
+    for (int64_t p = 0; p < 1000; p += 10) {
+      sensor_rows.push_back(Row{Value("a"), Value(p), Value(p * 1.0)});
+      sensor_rows.push_back(Row{Value("b"), Value(p), Value(p * 2.0)});
+    }
+    ASSERT_TRUE(market_->HostTable("Sensors", std::move(sensor_rows)).ok());
   }
 
   static std::vector<BatchQuery> OverlappingBatch() {
@@ -102,6 +123,44 @@ TEST_F(BatchTest, DisjointBatchDoesNotForceMerging) {
   PayLess batched(&cat_, market_.get(), PayLessConfig{});
   Result<BatchReport> report = batched.QueryBatch(batch);
   ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->transactions_spent,
+            sequential.meter().total_transactions());
+}
+
+TEST_F(BatchTest, InexpressibleMergedHullIsCountedNotSilentlySkipped) {
+  // Two overlapping footprints on different values of the bound categorical
+  // attribute: the merged hull spans the whole {a, b} domain, which no
+  // single REST call can express (the bound attribute would be
+  // unconstrained). The prefetch must SKIP the hull — visibly, via
+  // prefetch_skipped_calls — and the queries must still answer correctly
+  // through their own per-query calls in phase 3.
+  const std::vector<BatchQuery> batch = {
+      BatchQuery{
+          "SELECT Val FROM Sensors WHERE C = 'a' AND Pos >= 100 AND "
+          "Pos <= 300",
+          {}},
+      BatchQuery{
+          "SELECT Val FROM Sensors WHERE C = 'b' AND Pos >= 120 AND "
+          "Pos <= 320",
+          {}},
+  };
+  PayLess sequential(&cat_, market_.get(), PayLessConfig{});
+  std::vector<storage::Table> expected;
+  for (const BatchQuery& q : batch) {
+    Result<storage::Table> r = sequential.Query(q.sql, q.params);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(std::move(*r));
+  }
+
+  PayLess batched(&cat_, market_.get(), PayLessConfig{});
+  Result<BatchReport> report = batched.QueryBatch(batch);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->prefetch_skipped_calls, 1u);
+  EXPECT_EQ(report->merged_groups, 0u);  // nothing issuable was merged
+  ASSERT_EQ(report->results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(SameResult(report->results[i], expected[i])) << batch[i].sql;
+  }
   EXPECT_EQ(report->transactions_spent,
             sequential.meter().total_transactions());
 }

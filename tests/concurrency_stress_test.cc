@@ -268,5 +268,91 @@ TEST_F(ConcurrencyStressTest, OverlappingThreadsStayCorrect) {
   EXPECT_LE(shared->meter().total_transactions(), kRounds * no_reuse_total);
 }
 
+// Disjoint threads under a seeded fault storm (transient drops, lost
+// responses, rate limits, latency spikes): every query must still succeed
+// after retries, rows and store contents must equal the fault-free serial
+// baseline, and billing must equal the baseline PLUS exactly the
+// post-evaluation losses the injector charged (surfaced as waste).
+TEST_F(ConcurrencyStressTest, SeededChaosMatchesFaultFreeBaseline) {
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 4;
+  const int64_t span = kNumStations / kThreads;
+
+  const auto params_for = [&](int t, int q) -> std::vector<Value> {
+    const int64_t lo = t * span + 1;
+    const int64_t hi = lo + span - 1;
+    switch (q % 3) {
+      case 0:
+        return {Value(lo), Value(hi), Value(int64_t{kNumDates})};
+      case 1:
+        return {Value(lo), Value((lo + hi) / 2), Value(int64_t{5})};
+      default:
+        return {Value(lo), Value(hi), Value(int64_t{kNumDates})};  // repeat
+    }
+  };
+
+  auto baseline = NewClient();
+  std::vector<std::vector<Row>> expected(kThreads * kQueriesPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int q = 0; q < kQueriesPerThread; ++q) {
+      Result<QueryReport> r =
+          baseline->QueryWithReport(kBindSql, params_for(t, q));
+      ASSERT_TRUE(r.ok() && r->error.ok()) << r.status().ToString();
+      expected[t * kQueriesPerThread + q] = SortedRows(r->result);
+    }
+  }
+
+  PayLessConfig config;
+  config.retry.max_attempts = 12;
+  config.retry.initial_backoff_micros = 10;
+  config.retry.max_backoff_micros = 100;
+  auto chaos = NewClient(config);
+  market::FaultProfile profile;
+  profile.transient_rate = 0.05;
+  profile.rate_limit_rate = 0.03;
+  profile.lost_response_rate = 0.04;
+  profile.latency_spike_rate = 0.02;
+  profile.latency_spike_micros = 300;
+  profile.retry_after_micros = 50;
+  profile.seed = 20'260'806;
+  market::FaultInjector injector(profile);
+  chaos->connector()->SetFaultInjector(&injector);
+
+  std::atomic<int> failures{0};
+  std::vector<std::vector<Row>> got(kThreads * kQueriesPerThread);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        Result<QueryReport> r =
+            chaos->QueryWithReport(kBindSql, params_for(t, q));
+        if (!r.ok() || !r->error.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        got[t * kQueriesPerThread + q] = SortedRows(r->result);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  chaos->connector()->SetFaultInjector(nullptr);
+
+  ASSERT_EQ(failures.load(), 0);
+  for (int i = 0; i < kThreads * kQueriesPerThread; ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "query " << i;
+  }
+  const market::RetryStats stats = chaos->connector()->retry_stats();
+  EXPECT_GT(stats.retries, 0) << "fault storm never fired — raise the rates";
+  // Non-wasted spend is exactly the fault-free total: retries and rate
+  // limits cost nothing, and every extra billed transaction is accounted
+  // for as a post-evaluation loss.
+  EXPECT_EQ(chaos->meter().total_transactions() - stats.wasted_transactions,
+            baseline->meter().total_transactions());
+  EXPECT_EQ(chaos->store().TotalStoredRows(),
+            baseline->store().TotalStoredRows());
+  EXPECT_EQ(chaos->store().TotalViews(), baseline->store().TotalViews());
+}
+
 }  // namespace
 }  // namespace payless::exec

@@ -96,6 +96,42 @@ TEST_F(DownloadAllTest, EnsureDownloadedIdempotent) {
   EXPECT_EQ(client.meter().total_transactions(), spent);
 }
 
+TEST_F(DownloadAllTest, MidDownloadFailureResumesWithoutDuplicates) {
+  // "Fenced" downloads via three calls (one per category). Script the
+  // second call to drop with retries disabled: the first category's rows
+  // land, the download fails. The retried download must dedupe what is
+  // already mirrored and end with the exact row count — and the rows that
+  // DID land before the failure were paid for once, not twice.
+  DownloadAllClient client(&cat_, market_.get());
+  market::RetryPolicy policy;
+  policy.max_attempts = 1;
+  client.connector()->SetRetryPolicy(policy);
+  market::FaultInjector injector(market::FaultProfile{});
+  injector.Script(market::FaultKind::kNone);
+  injector.Script(market::FaultKind::kTransientDrop);
+  client.connector()->SetFaultInjector(&injector);
+
+  Status failed = client.EnsureDownloaded("Fenced");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), Status::Code::kUnavailable);
+  const storage::Table* partial = client.local_db()->FindTable("Fenced");
+  ASSERT_NE(partial, nullptr);
+  EXPECT_EQ(partial->num_rows(), 10u);  // first category only
+  EXPECT_EQ(client.meter().total_calls(), 1);
+
+  client.connector()->SetFaultInjector(nullptr);
+  ASSERT_TRUE(client.EnsureDownloaded("Fenced").ok());
+  EXPECT_EQ(client.local_db()->FindTable("Fenced")->num_rows(), 30u);
+  // The resume re-buys the already-owned first category (the market has no
+  // memory of the buyer), so 4 calls total — but no duplicate rows.
+  EXPECT_EQ(client.meter().total_calls(), 4);
+
+  // Fully downloaded now: further calls are free no-ops.
+  const int64_t spent = client.meter().total_transactions();
+  ASSERT_TRUE(client.EnsureDownloaded("Fenced").ok());
+  EXPECT_EQ(client.meter().total_transactions(), spent);
+}
+
 TEST_F(DownloadAllTest, QueriesOnBoundTablesMatchOracle) {
   DownloadAllClient client(&cat_, market_.get());
   const storage::Database empty_db;

@@ -1,0 +1,105 @@
+// Status / Result<T> round-trips, including the infrastructure codes the
+// resilient market connector speaks (kUnavailable, kDeadlineExceeded,
+// kResourceExhausted) and the IsRetryable classification the retry loop
+// relies on.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace payless {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st, Status::OK());
+}
+
+TEST(StatusTest, FactoriesRoundTripCodeAndMessage) {
+  const std::vector<std::pair<Status, Status::Code>> cases = {
+      {Status::InvalidArgument("m"), Status::Code::kInvalidArgument},
+      {Status::NotFound("m"), Status::Code::kNotFound},
+      {Status::NotSupported("m"), Status::Code::kNotSupported},
+      {Status::ParseError("m"), Status::Code::kParseError},
+      {Status::BindingViolation("m"), Status::Code::kBindingViolation},
+      {Status::Internal("m"), Status::Code::kInternal},
+      {Status::Unavailable("m"), Status::Code::kUnavailable},
+      {Status::DeadlineExceeded("m"), Status::Code::kDeadlineExceeded},
+      {Status::ResourceExhausted("m"), Status::Code::kResourceExhausted},
+  };
+  for (const auto& [st, code] : cases) {
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), code);
+    EXPECT_EQ(st.message(), "m");
+  }
+}
+
+TEST(StatusTest, CodeNamesAreDistinctAndStable) {
+  EXPECT_STREQ(Status::CodeName(Status::Code::kOk), "OK");
+  EXPECT_STREQ(Status::CodeName(Status::Code::kUnavailable), "Unavailable");
+  EXPECT_STREQ(Status::CodeName(Status::Code::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(Status::CodeName(Status::Code::kResourceExhausted),
+               "ResourceExhausted");
+  // ToString embeds the code name, so logs and test failures are grep-able.
+  EXPECT_EQ(Status::Unavailable("market down").ToString(),
+            "Unavailable: market down");
+  EXPECT_EQ(Status::DeadlineExceeded("10ms budget").ToString(),
+            "DeadlineExceeded: 10ms budget");
+  EXPECT_EQ(Status::ResourceExhausted("throttled").ToString(),
+            "ResourceExhausted: throttled");
+}
+
+TEST(StatusTest, IsRetryableClassification) {
+  EXPECT_TRUE(IsRetryable(Status::Code::kUnavailable));
+  EXPECT_TRUE(IsRetryable(Status::Code::kResourceExhausted));
+  // A blown deadline is the caller's budget, not a transient fault.
+  EXPECT_FALSE(IsRetryable(Status::Code::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryable(Status::Code::kOk));
+  EXPECT_FALSE(IsRetryable(Status::Code::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(Status::Code::kNotFound));
+  EXPECT_FALSE(IsRetryable(Status::Code::kNotSupported));
+  EXPECT_FALSE(IsRetryable(Status::Code::kParseError));
+  EXPECT_FALSE(IsRetryable(Status::Code::kBindingViolation));
+  EXPECT_FALSE(IsRetryable(Status::Code::kInternal));
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Unavailable("x"), Status::Unavailable("x"));
+  EXPECT_FALSE(Status::Unavailable("x") == Status::Unavailable("y"));
+  EXPECT_FALSE(Status::Unavailable("x") == Status::ResourceExhausted("x"));
+}
+
+TEST(StatusTest, ResultCarriesErrorStatus) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err(Status::DeadlineExceeded("query budget"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(err.status().message(), "query budget");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  const auto fails = []() -> Status {
+    PAYLESS_RETURN_IF_ERROR(Status::ResourceExhausted("quota"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(fails().code(), Status::Code::kResourceExhausted);
+  const auto passes = []() -> Status {
+    PAYLESS_RETURN_IF_ERROR(Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(passes().ok());
+}
+
+}  // namespace
+}  // namespace payless
