@@ -65,6 +65,7 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 int Main(int argc, char** argv) {
   const int64_t latency_us = FlagOr(argc, argv, "call_latency_us", 2000);
   const int64_t repeats = FlagOr(argc, argv, "repeats", 4);
+  const std::string json_path = StringFlagOr(argc, argv, "json", "");
 
   catalog::Catalog cat;
   {
@@ -162,6 +163,13 @@ int Main(int argc, char** argv) {
     return client;
   };
 
+  BenchJson json;
+  json.Meta("bench", std::string("throughput"));
+  json.Meta("streams", static_cast<int64_t>(streams.size()));
+  json.Meta("repeats", repeats);
+  json.Meta("total_queries", static_cast<int64_t>(total_queries));
+  json.Meta("call_latency_us", latency_us);
+
   // ---- Section 1: client-thread scaling, serial engine fan-out.
   std::printf("# bench_throughput: %zu streams x %lld repeats = %zu queries, "
               "call latency %lld us\n",
@@ -219,8 +227,14 @@ int Main(int argc, char** argv) {
     }
     std::printf("%d %.1f %lld %.1f\n", threads, qps,
                 static_cast<long long>(total_tx), wall_ms);
+    json.BeginRow("multi_client");
+    json.Field("threads", static_cast<int64_t>(threads));
+    json.Field("qps", qps);
+    json.Field("total_transactions", total_tx);
+    json.Field("wall_ms", wall_ms);
   }
   std::printf("# speedup at 8 threads: %.2fx\n\n", qps_8 / qps_1);
+  json.Meta("speedup_8_threads", qps_8 / qps_1);
 
   // ---- Section 2: intra-query fan-out on one wide bind join (32 binding
   // values -> 32 point calls), fresh client per setting so every run pays
@@ -242,8 +256,12 @@ int Main(int argc, char** argv) {
     }
     std::printf("%zu %.1f %lld\n", fan_out, wall_ms,
                 static_cast<long long>(report->transactions_spent));
+    json.BeginRow("fan_out");
+    json.Field("max_parallel_calls", static_cast<int64_t>(fan_out));
+    json.Field("wall_ms", wall_ms);
+    json.Field("transactions", report->transactions_spent);
   }
-  return 0;
+  return json.WriteTo(json_path) ? 0 : 1;
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workload/bundle.h"
@@ -77,6 +78,106 @@ inline int64_t FlagOr(int argc, char** argv, const std::string& key,
   }
   return fallback;
 }
+
+/// String sibling of FlagOr — for "--json=BENCH_throughput.json" etc.
+inline std::string StringFlagOr(int argc, char** argv, const std::string& key,
+                                std::string fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+/// Machine-readable bench results: one flat JSON object of run metadata
+/// plus named arrays of row objects — what the stdout tables print, minus
+/// the parsing. CI uploads these files as artifacts so regressions can be
+/// diffed across commits without scraping logs.
+class BenchJson {
+ public:
+  void Meta(const std::string& key, int64_t v) {
+    meta_.push_back(Pair(key, Render(v)));
+  }
+  void Meta(const std::string& key, double v) {
+    meta_.push_back(Pair(key, Render(v)));
+  }
+  void Meta(const std::string& key, const std::string& v) {
+    meta_.push_back(Pair(key, Quote(v)));
+  }
+
+  /// Starts a new row in the named section (sections keep append order).
+  void BeginRow(const std::string& section) {
+    if (sections_.empty() || sections_.back().first != section) {
+      sections_.emplace_back(section, std::vector<std::string>{});
+    }
+    sections_.back().second.emplace_back();
+  }
+  void Field(const std::string& key, int64_t v) { AppendField(key, Render(v)); }
+  void Field(const std::string& key, double v) { AppendField(key, Render(v)); }
+  void Field(const std::string& key, const std::string& v) {
+    AppendField(key, Quote(v));
+  }
+
+  /// Serializes the document; empty path is a no-op (the flag was not set).
+  /// Returns false (after complaining on stderr) when the file can't open.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write bench json to '%s'\n", path.c_str());
+      return false;
+    }
+    std::string out = "{";
+    for (const std::string& kv : meta_) {
+      out += kv;
+      out += ",";
+    }
+    for (size_t s = 0; s < sections_.size(); ++s) {
+      out += Quote(sections_[s].first) + ":[";
+      const std::vector<std::string>& rows = sections_[s].second;
+      for (size_t r = 0; r < rows.size(); ++r) {
+        out += "{" + rows[r] + "}";
+        if (r + 1 < rows.size()) out += ",";
+      }
+      out += "]";
+      if (s + 1 < sections_.size()) out += ",";
+    }
+    if (out.back() == ',') out.pop_back();
+    out += "}\n";
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string Render(int64_t v) { return std::to_string(v); }
+  static std::string Render(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\"";
+    return out;
+  }
+  static std::string Pair(const std::string& key, const std::string& value) {
+    return Quote(key) + ":" + value;
+  }
+  void AppendField(const std::string& key, const std::string& rendered) {
+    std::string& row = sections_.back().second.back();
+    if (!row.empty()) row += ",";
+    row += Pair(key, rendered);
+  }
+
+  std::vector<std::string> meta_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> sections_;
+};
 
 }  // namespace payless::bench
 

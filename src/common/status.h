@@ -31,6 +31,12 @@ class Status {
     kUnavailable,        // transient: the call may be retried after backoff
     kDeadlineExceeded,   // a per-call or per-query deadline elapsed
     kResourceExhausted,  // rate-limited / quota; retry after the hinted delay
+    // Buyer-side admission control: the tenant's budget governor refused
+    // the query (hard cap or sliding-window rate) BEFORE any market call,
+    // so a query rejected with this code billed exactly zero transactions.
+    // Not retryable by backoff — the budget, not the infrastructure, is the
+    // obstacle.
+    kBudgetExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -62,6 +68,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status BudgetExceeded(std::string msg) {
+    return Status(Code::kBudgetExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -100,6 +109,8 @@ class Status {
         return "DeadlineExceeded";
       case Code::kResourceExhausted:
         return "ResourceExhausted";
+      case Code::kBudgetExceeded:
+        return "BudgetExceeded";
     }
     return "Unknown";
   }

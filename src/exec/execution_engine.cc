@@ -10,6 +10,7 @@
 #include "core/optimizer.h"
 #include "exec/local_eval.h"
 #include "market/rest_call.h"
+#include "obs/trace.h"
 #include "storage/ops.h"
 
 namespace payless::exec {
@@ -54,14 +55,15 @@ size_t ResolveFanOut(const ExecConfig& config) {
 Status IssueCalls(market::MarketConnector* connector,
                   common::ThreadPool* pool, size_t fan_out,
                   const std::vector<market::RestCall>& calls,
-                  market::Clock::time_point deadline, RowSet* rows,
+                  market::Clock::time_point deadline,
+                  const market::CallObs& call_obs, RowSet* rows,
                   ExecStats* exec_stats) {
   std::vector<std::optional<Result<market::CallResult>>> outcomes(
       calls.size());
   std::atomic<bool> cancelled{false};
   common::ParallelFor(pool, calls.size(), fan_out, [&](size_t i) {
     if (cancelled.load(std::memory_order_relaxed)) return;  // sibling failed
-    outcomes[i].emplace(connector->Get(calls[i], deadline));
+    outcomes[i].emplace(connector->Get(calls[i], deadline, &call_obs));
     if (!(*outcomes[i]).ok()) cancelled.store(true, std::memory_order_relaxed);
   });
   // Accumulate EVERY delivered result before reporting the (call-order
@@ -98,10 +100,19 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
   storage::Table table(storage::SchemaFromTableDef(def));
   const size_t fan_out = ResolveFanOut(config);
 
+  // Per-operator span: every access of the plan gets one; the market-call
+  // spans the connector opens underneath are its children — including the
+  // ones issued from pool workers during parallel dispatch.
+  obs::ScopedSpan access_span(config.obs.trace, "access:" + def.name,
+                              config.obs.parent_span);
+  access_span.AddAttr("kind", std::string(core::AccessKindName(access.kind)));
+  market::CallObs call_obs = config.obs;
+  if (access_span.id() != 0) call_obs.parent_span = access_span.id();
+
   const auto issue_all = [&](const std::vector<market::RestCall>& calls,
                              RowSet* rows) -> Status {
-    return IssueCalls(connector_, pool_, fan_out, calls, config.deadline, rows,
-                      exec_stats);
+    return IssueCalls(connector_, pool_, fan_out, calls, config.deadline,
+                      call_obs, rows, exec_stats);
   };
 
   switch (access.kind) {
@@ -123,6 +134,7 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
       if (exec_stats != nullptr) {
         exec_stats->rows_from_cache += static_cast<int64_t>(rows.size());
       }
+      access_span.AddAttr("rows_cached", static_cast<int64_t>(rows.size()));
       for (const Row& row : rows) table.Append(row);
       return table;
     }
@@ -133,6 +145,16 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
       if (config.use_sqr) {
         // Re-run the rewrite against the live store: views may have grown
         // since planning (earlier accesses of this very query included).
+        //
+        // The coverage snapshot MUST be taken before the row harvest: the
+        // store only grows, so any view a concurrent query slips in between
+        // the two reads is missing from this snapshot and gets re-fetched
+        // by the remainder (RowSet dedupes the overlap). Snapshotting
+        // coverage after the harvest loses those rows instead — the
+        // remainder would treat the region as served even though the
+        // harvest never saw it.
+        const std::vector<Box> covered =
+            store_->CoveredRegions(def.name, config.min_epoch);
         const std::vector<Row> cached =
             store_->RowsInRegion(def, region, config.min_epoch);
         if (exec_stats != nullptr) {
@@ -143,8 +165,7 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
         semstore::RemainderOptions rem_options = config.remainder;
         rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
         const semstore::RemainderResult rem = semstore::GenerateRemainder(
-            region, store_->CoveredRegions(def.name, config.min_epoch),
-            core::Optimizer::DimSpecsFor(def),
+            region, covered, core::Optimizer::DimSpecsFor(def),
             [&](const Box& box) {
               return stats_->EstimateRows(def.name, box);
             },
@@ -156,6 +177,10 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
           PAYLESS_RETURN_IF_ERROR(call.status());
           calls.push_back(std::move(*call));
         }
+        access_span.AddAttr("rows_cached",
+                            static_cast<int64_t>(rows.size()));
+        access_span.AddAttr("remainder_calls",
+                            static_cast<int64_t>(calls.size()));
         PAYLESS_RETURN_IF_ERROR(issue_all(calls, &rows));
       } else {
         market::RestCall call;
@@ -237,7 +262,12 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
             column.binding == catalog::BindingKind::kFree;
         region.dim(dim) = Interval(codes.front(), codes.back());
 
-        // Stored tuples on the requested slabs.
+        // Stored tuples on the requested slabs. Coverage is snapshotted
+        // before the harvest for the same reason as the range path above:
+        // a slab a concurrent query stores between the two reads must land
+        // in the remainder (and be deduped), not silently count as served.
+        const std::vector<Box> covered =
+            store_->CoveredRegions(def.name, config.min_epoch);
         for (const int64_t code : codes) {
           Box slab = region;
           slab.dim(dim) = Interval::Point(code);
@@ -253,7 +283,7 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
         semstore::RemainderOptions rem_options = config.remainder;
         rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
         const semstore::RemainderResult rem = semstore::GenerateRemainder(
-            region, store_->CoveredRegions(def.name, config.min_epoch), dims,
+            region, covered, dims,
             [&](const Box& box) {
               return stats_->EstimateRows(def.name, box);
             },
@@ -265,6 +295,10 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
           PAYLESS_RETURN_IF_ERROR(call.status());
           calls.push_back(std::move(*call));
         }
+        access_span.AddAttr("binding_values",
+                            static_cast<int64_t>(codes.size()));
+        access_span.AddAttr("remainder_calls",
+                            static_cast<int64_t>(calls.size()));
         PAYLESS_RETURN_IF_ERROR(issue_all(calls, &rows));
       } else {
         // One point call per binding combination; with SQR on, fully
@@ -306,7 +340,8 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
               return;
             }
           }
-          outcomes[i].fetched.emplace(connector_->Get(call, config.deadline));
+          outcomes[i].fetched.emplace(
+              connector_->Get(call, config.deadline, &call_obs));
           if (!(*outcomes[i].fetched).ok()) {
             cancelled.store(true, std::memory_order_relaxed);
           }
@@ -315,6 +350,13 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
         // first (binding-value-order) error: exec_stats must equal the
         // spend-so-far even when the access fails.
         Status first_error = Status::OK();
+        int64_t combos_cached = 0;
+        for (const ComboOutcome& outcome : outcomes) {
+          if (outcome.from_cache) ++combos_cached;
+        }
+        access_span.AddAttr("binding_values",
+                            static_cast<int64_t>(combos.size()));
+        access_span.AddAttr("combos_from_store", combos_cached);
         for (ComboOutcome& outcome : outcomes) {
           if (outcome.cancelled) {
             if (exec_stats != nullptr) ++exec_stats->calls_cancelled;

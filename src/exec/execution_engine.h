@@ -37,6 +37,11 @@ struct ExecConfig {
   /// Absolute per-query deadline forwarded to every market call. Calls
   /// past it fail with kDeadlineExceeded instead of retrying.
   market::Clock::time_point deadline = market::kNoDeadline;
+  /// Observability context: (tenant, query_id) ledger attribution for every
+  /// billed transaction, plus the trace the per-access and per-call spans
+  /// land in (`obs.parent_span` is the caller's enclosing span — PayLess
+  /// sets it to its "execute" span). Default-constructed = inert.
+  market::CallObs obs;
 };
 
 struct ExecStats {

@@ -14,8 +14,30 @@ PayLess::PayLess(const catalog::Catalog* catalog,
                  const market::DataMarket* market, PayLessConfig config)
     : catalog_(catalog),
       config_(config),
+      owned_obs_(config.observability == nullptr
+                     ? std::make_unique<obs::Observability>()
+                     : nullptr),
+      obs_(config.observability != nullptr ? config.observability
+                                           : owned_obs_.get()),
       connector_(market),
       stats_(config.stats_kind) {
+  // Resolve metric handles once; the per-query path then records through
+  // stable pointers (relaxed atomics, no registry lock).
+  obs::MetricsRegistry& m = obs_->metrics;
+  metric_.queries = m.GetCounter("payless_queries_total");
+  metric_.query_failures = m.GetCounter("payless_query_failures_total");
+  metric_.budget_rejections = m.GetCounter("payless_budget_rejections_total");
+  metric_.budget_warnings = m.GetCounter("payless_budget_warnings_total");
+  metric_.transactions = m.GetCounter("payless_transactions_total");
+  metric_.market_calls = m.GetCounter("payless_market_calls_total");
+  metric_.rows_from_market = m.GetCounter("payless_rows_from_market_total");
+  metric_.rows_from_cache = m.GetCounter("payless_rows_from_cache_total");
+  metric_.plan_cache_hits = m.GetCounter("payless_plan_cache_hits_total");
+  metric_.plan_cache_misses = m.GetCounter("payless_plan_cache_misses_total");
+  metric_.query_latency_micros = m.GetHistogram(
+      "payless_query_latency_micros",
+      {100, 250, 500, 1'000, 2'500, 5'000, 10'000, 25'000, 50'000, 100'000,
+       250'000, 1'000'000, 5'000'000});
   connector_.SetRetryPolicy(config.retry);
   // Every catalog table gets a learning estimator seeded from the published
   // basic statistics (the uniform cold start of §4.3).
@@ -54,9 +76,56 @@ int64_t PayLess::MinEpoch() const {
 
 Result<QueryReport> PayLess::QueryWithReport(const std::string& sql,
                                              const std::vector<Value>& params) {
-  Result<sql::SelectStmt> stmt = sql::Parse(sql);
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  metric_.queries->Add(1);
+
+  // Admission gate 1: a tenant already over its hard cap or window rate
+  // fails fast — before parsing, before the optimizer burns CPU, before any
+  // market call. The soft threshold is not noted here (gate 2 owns it).
+  obs::Admission admission =
+      obs_->governor.Admit(config_.tenant, 0, /*now_micros=*/-1,
+                           /*note_soft_warning=*/false);
+  Result<QueryReport> result =
+      admission.status.ok()
+          ? QueryWithReportImpl(sql, params, query_id)
+          : Result<QueryReport>(admission.status);
+  if (!admission.status.ok()) metric_.budget_rejections->Add(1);
+
+  metric_.query_latency_micros->Observe(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (!result.ok() || !result.value().error.ok()) {
+    metric_.query_failures->Add(1);
+  }
+  return result;
+}
+
+Result<QueryReport> PayLess::QueryWithReportImpl(
+    const std::string& sql, const std::vector<Value>& params,
+    uint64_t query_id) {
+  // The trace lives on this frame; on early (pre-execution) error returns
+  // it is simply dropped — those queries have no report to carry it.
+  obs::Trace trace_storage;
+  obs::Trace* trace = config_.enable_tracing ? &trace_storage : nullptr;
+  uint64_t root = 0;
+  if (trace != nullptr) {
+    root = trace->StartSpan("query");
+    trace->AddAttr(root, "tenant", config_.tenant);
+    trace->AddAttr(root, "query_id", static_cast<int64_t>(query_id));
+  }
+
+  Result<sql::SelectStmt> stmt = [&] {
+    obs::ScopedSpan span(trace, "parse", root);
+    return sql::Parse(sql);
+  }();
   PAYLESS_RETURN_IF_ERROR(stmt.status());
-  Result<sql::BoundQuery> bound = sql::Bind(*stmt, *catalog_, params);
+  Result<sql::BoundQuery> bound = [&] {
+    obs::ScopedSpan span(trace, "bind", root);
+    return sql::Bind(*stmt, *catalog_, params);
+  }();
   PAYLESS_RETURN_IF_ERROR(bound.status());
 
   core::OptimizerOptions opt_options = config_.optimizer;
@@ -70,36 +139,60 @@ Result<QueryReport> PayLess::QueryWithReport(const std::string& sql,
   // (the versions are part of the key, so staleness means a plain miss).
   QueryReport report;
   bool cache_hit = false;
-  std::string cache_key;
-  const uint64_t store_version = store_.version();
-  const uint64_t stats_version = stats_.version();
-  if (config_.enable_plan_cache) {
-    cache_key = core::PlanCache::MakeKey(core::NormalizeSqlTemplate(sql),
-                                         params, store_version, stats_version,
-                                         opt_options.min_epoch);
-    if (std::optional<core::CachedPlan> cached = plan_cache_.Lookup(cache_key)) {
-      report.plan = std::move(cached->plan);
-      report.counters = cached->counters;
-      cache_hit = true;
+  {
+    obs::ScopedSpan plan_span(trace, "plan", root);
+    std::string cache_key;
+    const uint64_t store_version = store_.version();
+    const uint64_t stats_version = stats_.version();
+    if (config_.enable_plan_cache) {
+      cache_key = core::PlanCache::MakeKey(core::NormalizeSqlTemplate(sql),
+                                           params, store_version,
+                                           stats_version,
+                                           opt_options.min_epoch);
+      if (std::optional<core::CachedPlan> cached =
+              plan_cache_.Lookup(cache_key)) {
+        report.plan = std::move(cached->plan);
+        report.counters = cached->counters;
+        cache_hit = true;
+      }
     }
-  }
-  if (!cache_hit) {
-    const core::Optimizer optimizer(catalog_, &stats_, &store_, opt_options);
-    Result<core::OptimizeResult> optimized = optimizer.Optimize(*bound);
-    PAYLESS_RETURN_IF_ERROR(optimized.status());
-    report.plan = std::move(optimized->plan);
-    report.counters = optimized->counters;
-    if (config_.enable_plan_cache && store_.version() == store_version &&
-        stats_.version() == stats_version) {
-      // Only cache when no concurrent Store/Feedback raced the optimization,
-      // so every cached plan matches the versions in its key exactly.
-      plan_cache_.Insert(cache_key, core::CachedPlan{report.plan,
-                                                     report.counters});
+    if (!cache_hit) {
+      const core::Optimizer optimizer(catalog_, &stats_, &store_, opt_options);
+      Result<core::OptimizeResult> optimized = optimizer.Optimize(*bound);
+      PAYLESS_RETURN_IF_ERROR(optimized.status());
+      report.plan = std::move(optimized->plan);
+      report.counters = optimized->counters;
+      if (config_.enable_plan_cache && store_.version() == store_version &&
+          stats_.version() == stats_version) {
+        // Only cache when no concurrent Store/Feedback raced the
+        // optimization, so every cached plan matches the versions in its
+        // key exactly.
+        plan_cache_.Insert(cache_key, core::CachedPlan{report.plan,
+                                                       report.counters});
+      }
     }
+    plan_span.AddAttr("cache_hit", static_cast<int64_t>(cache_hit ? 1 : 0));
+    plan_span.AddAttr("est_transactions", report.plan.est_cost);
   }
   report.counters.plan_cache_hits = cache_hit ? 1 : 0;
   report.counters.plan_cache_misses =
       (config_.enable_plan_cache && !cache_hit) ? 1 : 0;
+  metric_.plan_cache_hits->Add(
+      static_cast<int64_t>(report.counters.plan_cache_hits));
+  metric_.plan_cache_misses->Add(
+      static_cast<int64_t>(report.counters.plan_cache_misses));
+
+  // Admission gate 2, now with the plan's estimated price: a predicted-
+  // over-budget plan fails fast before spending anything. Soft-threshold
+  // crossings are noted here, once per admitted query.
+  obs::Admission admission =
+      obs_->governor.Admit(config_.tenant, report.plan.est_cost);
+  if (!admission.status.ok()) {
+    metric_.budget_rejections->Add(1);
+    return admission.status;
+  }
+  report.budget_warning = admission.soft_warning;
+  if (admission.soft_warning) metric_.budget_warnings->Add(1);
 
   ExecConfig exec_config;
   exec_config.use_sqr = opt_options.use_sqr;
@@ -111,6 +204,13 @@ Result<QueryReport> PayLess::QueryWithReport(const std::string& sql,
         market::Clock::now() +
         std::chrono::microseconds(config_.query_deadline_micros);
   }
+  exec_config.obs.tenant = config_.tenant;
+  exec_config.obs.query_id = query_id;
+  exec_config.obs.ledger = &obs_->ledger;
+  exec_config.obs.trace = trace;
+  uint64_t exec_span = 0;
+  if (trace != nullptr) exec_span = trace->StartSpan("execute", root);
+  exec_config.obs.parent_span = exec_span;
 
   ExecutionEngine engine(catalog_, &local_db_, &connector_, &store_, &stats_,
                          common::ThreadPool::Shared());
@@ -120,6 +220,34 @@ Result<QueryReport> PayLess::QueryWithReport(const std::string& sql,
   // exact even when other client threads are spending concurrently. Filled
   // before the error check: on a mid-flight failure it is the spend-so-far.
   report.transactions_spent = report.exec.transactions;
+
+  // Everything a delivered OR failed-mid-flight report carries: spend
+  // attribution, window feed, metrics, and the closed trace.
+  const auto finish_report = [&] {
+    report.query_id = query_id;
+    obs_->governor.RecordSpend(config_.tenant, report.transactions_spent);
+    report.transactions_by_dataset =
+        obs_->ledger.DatasetBreakdown(config_.tenant, query_id);
+    metric_.transactions->Add(report.transactions_spent);
+    metric_.market_calls->Add(report.exec.calls);
+    metric_.rows_from_market->Add(report.exec.rows_from_market);
+    metric_.rows_from_cache->Add(report.exec.rows_from_cache);
+    if (trace != nullptr) {
+      trace->AddAttr(exec_span, "transactions", report.transactions_spent);
+      trace->AddAttr(exec_span, "calls", report.exec.calls);
+      trace->AddAttr(exec_span, "calls_cancelled",
+                     report.exec.calls_cancelled);
+      trace->EndSpan(exec_span);
+      trace->AddAttr(root, "status",
+                     std::string(Status::CodeName(report.error.code())));
+      trace->EndSpan(root);
+      report.trace = trace_storage.TakeSpans();
+      if (obs_->trace_sink != nullptr) {
+        obs_->trace_sink->Emit(config_.tenant, query_id, report.trace);
+      }
+    }
+  };
+
   if (!result.ok()) {
     const Status::Code code = result.status().code();
     if (IsRetryable(code) || code == Status::Code::kDeadlineExceeded) {
@@ -128,12 +256,14 @@ Result<QueryReport> PayLess::QueryWithReport(const std::string& sql,
       // Everything delivered before the failure is in the semantic store,
       // so re-issuing the query only pays for what is still missing.
       report.error = result.status();
+      finish_report();
       return report;
     }
     return result.status();
   }
 
   report.result = std::move(*result);
+  finish_report();
   return report;
 }
 
@@ -271,7 +401,15 @@ Result<BatchReport> PayLess::QueryBatch(const std::vector<BatchQuery>& batch) {
             }
             return call.status();
           }
-          Result<market::CallResult> result = connector_.Get(*call);
+          // Batch prefetch spend is shared across the batch's queries, so it
+          // is attributed to the tenant under the reserved query_id 0 — the
+          // ledger-total == meter-total invariant still holds globally.
+          market::CallObs prefetch_obs;
+          prefetch_obs.tenant = config_.tenant;
+          prefetch_obs.query_id = 0;
+          prefetch_obs.ledger = &obs_->ledger;
+          Result<market::CallResult> result =
+              connector_.Get(*call, market::kNoDeadline, &prefetch_obs);
           if (!result.ok()) {
             const Status::Code code = result.status().code();
             if (IsRetryable(code) || code == Status::Code::kDeadlineExceeded) {

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "core/plan_cache.h"
 #include "exec/execution_engine.h"
 #include "market/data_market.h"
+#include "obs/observability.h"
 #include "semstore/semantic_store.h"
 #include "sql/bound_query.h"
 #include "stats/estimator.h"
@@ -61,6 +63,19 @@ struct PayLessConfig {
   /// budget fail with kDeadlineExceeded; the query surfaces the error plus
   /// its spend-so-far in the QueryReport.
   int64_t query_deadline_micros = 0;
+  /// Tenant this client spends on behalf of: every billed transaction is
+  /// attributed to it in the cost ledger, and the budget governor admits or
+  /// rejects queries against its budget.
+  std::string tenant = "default";
+  /// Shared observability context (metrics + ledger + governor + trace
+  /// sink), typically ONE per deployment so all tenants report into the
+  /// same ledger. nullptr = the client creates a private context; spend
+  /// attribution and metrics still work, they are just per-client.
+  obs::Observability* observability = nullptr;
+  /// Collect per-query trace spans (parse → optimize → execute → per-access
+  /// → per-market-call) into QueryReport::trace and the context's sink.
+  /// Metrics and ledger attribution are always on — they are the cheap part.
+  bool enable_tracing = true;
 };
 
 /// Everything a query returns besides the rows.
@@ -69,7 +84,19 @@ struct QueryReport {
   core::Plan plan;
   core::PlanningCounters counters;
   ExecStats exec;
-  int64_t transactions_spent = 0;  // meter delta for this query
+  int64_t transactions_spent = 0;  // this query's own billed transactions
+  /// Per-dataset breakdown of `transactions_spent`, straight from the cost
+  /// ledger — callers stop re-deriving spend from meter deltas.
+  std::map<std::string, int64_t> transactions_by_dataset;
+  /// Ledger/trace id of this query, unique within its PayLess instance.
+  uint64_t query_id = 0;
+  /// The query's spend crossed the tenant's soft budget threshold (the
+  /// query still ran; only a hard cap rejects).
+  bool budget_warning = false;
+  /// Structured per-query trace (empty when tracing is disabled): parse,
+  /// optimize/plan-cache, execution, per-access and per-market-call spans
+  /// with dataset, binding values, transactions and retry/waste attributes.
+  std::vector<obs::SpanRecord> trace;
   /// kOk when the query delivered `result`. kUnavailable /
   /// kDeadlineExceeded / kResourceExhausted when execution failed
   /// mid-flight against a flaky market — `result` is then empty but
@@ -77,6 +104,8 @@ struct QueryReport {
   /// everything already delivered was absorbed by the semantic store, so a
   /// re-issued query does not pay for it again.
   Status error;
+
+  bool ok() const { return error.ok(); }
 };
 
 /// One query of a deferred batch.
@@ -171,18 +200,48 @@ class PayLess {
   storage::Database* local_db() { return &local_db_; }
   const catalog::Catalog& catalog() const { return *catalog_; }
   const PayLessConfig& config() const { return config_; }
+  /// The observability context this client reports into (the shared one
+  /// from the config, or the private default).
+  obs::Observability* observability() { return obs_; }
+  const obs::Observability& observability() const { return *obs_; }
+  const std::string& tenant() const { return config_.tenant; }
 
  private:
   int64_t MinEpoch() const;
+  /// The traced/governed body of QueryWithReport; `query_id` is already
+  /// assigned and admission against the CURRENT spend already passed.
+  Result<QueryReport> QueryWithReportImpl(const std::string& sql,
+                                          const std::vector<Value>& params,
+                                          uint64_t query_id);
+
+  /// Handles into the metrics registry, resolved once at construction so
+  /// the per-query path is pure atomic arithmetic.
+  struct MetricHandles {
+    obs::Counter* queries = nullptr;
+    obs::Counter* query_failures = nullptr;
+    obs::Counter* budget_rejections = nullptr;
+    obs::Counter* budget_warnings = nullptr;
+    obs::Counter* transactions = nullptr;
+    obs::Counter* market_calls = nullptr;
+    obs::Counter* rows_from_market = nullptr;
+    obs::Counter* rows_from_cache = nullptr;
+    obs::Counter* plan_cache_hits = nullptr;
+    obs::Counter* plan_cache_misses = nullptr;
+    obs::Histogram* query_latency_micros = nullptr;
+  };
 
   const catalog::Catalog* catalog_;
   PayLessConfig config_;
+  std::unique_ptr<obs::Observability> owned_obs_;  // when none was shared
+  obs::Observability* obs_;
+  MetricHandles metric_;
   market::MarketConnector connector_;
   semstore::SemanticStore store_;
   stats::StatsRegistry stats_;
   core::PlanCache plan_cache_;
   storage::Database local_db_;
   std::atomic<int64_t> current_week_{0};
+  std::atomic<uint64_t> next_query_id_{0};
 };
 
 }  // namespace payless::exec

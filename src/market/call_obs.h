@@ -1,0 +1,35 @@
+// Per-call observability context threaded from the query down into the
+// market connector. Everything is optional: a default-constructed CallObs
+// makes the connector behave exactly as before (no attribution, no spans).
+//
+// The connector is the ONLY place transactions accrue, so it is also the
+// only place attribution can be exact: every meter Record — delivered
+// results AND billed-but-lost responses — is mirrored into the ledger under
+// this context's (tenant, query_id), which is what keeps the
+// ledger-total == meter-total invariant true under retries and faults.
+#ifndef PAYLESS_MARKET_CALL_OBS_H_
+#define PAYLESS_MARKET_CALL_OBS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/cost_ledger.h"
+#include "obs/trace.h"
+
+namespace payless::market {
+
+struct CallObs {
+  std::string tenant = "default";
+  /// 0 = spend outside any single query (batch prefetch, download-all).
+  uint64_t query_id = 0;
+  /// Attribution target; nullptr = no attribution.
+  obs::CostLedger* ledger = nullptr;
+  /// Span collector; nullptr = no call spans.
+  obs::Trace* trace = nullptr;
+  /// Parent span id for the call spans the connector opens (0 = root).
+  uint64_t parent_span = 0;
+};
+
+}  // namespace payless::market
+
+#endif  // PAYLESS_MARKET_CALL_OBS_H_

@@ -225,6 +225,48 @@ Result<int64_t> DataMarket::TableSize(const std::string& name) const {
   return static_cast<int64_t>(it->second.rows.size());
 }
 
+namespace {
+
+/// "Country=US, StationID=5, Date=[1, 30]" — the call's binding values and
+/// ranges, for span annotation.
+std::string DescribeConditions(const catalog::TableDef& def,
+                               const RestCall& call) {
+  std::string out;
+  const size_t n = std::min(call.conditions.size(), def.columns.size());
+  for (size_t i = 0; i < n; ++i) {
+    const AttrCondition& cond = call.conditions[i];
+    if (cond.is_none()) continue;
+    if (!out.empty()) out += ", ";
+    out += def.columns[i].name + "=" + cond.ToString();
+  }
+  return out;
+}
+
+/// Opens the per-Get span and closes it on every exit path, carrying the
+/// retry/billing story of this one call: attempts, retries, transactions
+/// billed (waste included), wasted transactions, and how the call ended.
+struct CallSpanGuard {
+  obs::Trace* trace = nullptr;
+  uint64_t id = 0;
+  int64_t attempts = 0;
+  int64_t retries = 0;
+  int64_t billed_transactions = 0;
+  int64_t wasted_transactions = 0;
+  const char* outcome = "ok";
+
+  ~CallSpanGuard() {
+    if (trace == nullptr) return;
+    trace->AddAttr(id, "attempts", attempts);
+    trace->AddAttr(id, "retries", retries);
+    trace->AddAttr(id, "transactions", billed_transactions);
+    trace->AddAttr(id, "wasted_transactions", wasted_transactions);
+    trace->AddAttr(id, "outcome", std::string(outcome));
+    trace->EndSpan(id);
+  }
+};
+
+}  // namespace
+
 int64_t MarketConnector::NextDelayMicros(int64_t* backoff,
                                          int64_t retry_after_micros) {
   int64_t delay = *backoff;
@@ -245,12 +287,25 @@ int64_t MarketConnector::NextDelayMicros(int64_t* backoff,
 }
 
 Result<CallResult> MarketConnector::Get(const RestCall& call,
-                                        Clock::time_point deadline) {
+                                        Clock::time_point deadline,
+                                        const CallObs* call_obs) {
   const catalog::TableDef* def = market_->catalog().FindTable(call.table);
   if (def == nullptr) {
     return Status::NotFound("table '" + call.table + "' not in catalog");
   }
   const std::string& dataset = def->dataset;
+
+  CallSpanGuard span;
+  if (call_obs != nullptr && call_obs->trace != nullptr) {
+    span.trace = call_obs->trace;
+    span.id = span.trace->StartSpan("market.get", call_obs->parent_span);
+    span.trace->AddAttr(span.id, "table", call.table);
+    span.trace->AddAttr(span.id, "dataset", dataset);
+    span.trace->AddAttr(span.id, "conditions",
+                        DescribeConditions(*def, call));
+  }
+  obs::CostLedger* ledger =
+      call_obs != nullptr ? call_obs->ledger : nullptr;
 
   // Effective deadline: the caller's (per-query) budget capped by the
   // policy's per-call timeout.
@@ -267,6 +322,7 @@ Result<CallResult> MarketConnector::Get(const RestCall& call,
     std::lock_guard<std::mutex> lock(retry_stats_mutex_);
     ++retry_stats_.breaker_rejections;
     ++retry_stats_.failed_calls;
+    span.outcome = "breaker_rejected";
     return Status::Unavailable("circuit breaker open for dataset '" + dataset +
                                "'");
   }
@@ -280,10 +336,13 @@ Result<CallResult> MarketConnector::Get(const RestCall& call,
       ++retry_stats_.attempts;
       if (attempt > 1) ++retry_stats_.retries;
     }
+    ++span.attempts;
+    if (attempt > 1) ++span.retries;
     if (Clock::now() >= effective) {
       std::lock_guard<std::mutex> lock(retry_stats_mutex_);
       ++retry_stats_.deadline_exceeded;
       ++retry_stats_.failed_calls;
+      span.outcome = "deadline";
       return Status::DeadlineExceeded("deadline elapsed before attempt " +
                                       std::to_string(attempt) + " on '" +
                                       call.table + "'");
@@ -335,11 +394,19 @@ Result<CallResult> MarketConnector::Get(const RestCall& call,
           // business.
           std::lock_guard<std::mutex> lock(retry_stats_mutex_);
           ++retry_stats_.failed_calls;
+          span.outcome = "market_error";
           return result;
         }
         // The market evaluated the call, so the seller bills it (Eq. 1) —
-        // whether or not the response makes it back to us.
+        // whether or not the response makes it back to us. The ledger
+        // mirrors the meter HERE, at the single billing point, so per-tenant
+        // attribution stays exact under retries and lost responses.
         meter_.Record(dataset, result->transactions, result->price);
+        if (ledger != nullptr) {
+          ledger->Record(call_obs->tenant, call_obs->query_id, dataset,
+                         result->transactions, result->price);
+        }
+        span.billed_transactions += result->transactions;
         if (fault.kind == FaultKind::kLostResponse) {
           // Response lost in transit: paid-for work with nothing delivered.
           // Surface it as waste; listeners must NOT see it.
@@ -347,6 +414,7 @@ Result<CallResult> MarketConnector::Get(const RestCall& call,
           ++retry_stats_.wasted_calls;
           retry_stats_.wasted_transactions += result->transactions;
           retry_stats_.wasted_price += result->price;
+          span.wasted_transactions += result->transactions;
           last_error = Status::Unavailable("response lost after evaluation on '" +
                                            call.table + "' (billed)");
           break;
@@ -367,6 +435,7 @@ Result<CallResult> MarketConnector::Get(const RestCall& call,
       std::lock_guard<std::mutex> lock(retry_stats_mutex_);
       ++retry_stats_.breaker_trips;
       ++retry_stats_.failed_calls;
+      span.outcome = "breaker_tripped";
       // No point burning the remaining attempts: the breaker has decided
       // this dataset needs a cooldown.
       return Status::Unavailable("circuit breaker tripped for dataset '" +
@@ -378,6 +447,7 @@ Result<CallResult> MarketConnector::Get(const RestCall& call,
       std::lock_guard<std::mutex> lock(retry_stats_mutex_);
       ++retry_stats_.deadline_exceeded;
       ++retry_stats_.failed_calls;
+      span.outcome = "deadline";
       return Status::DeadlineExceeded(
           "deadline leaves no room for retry " + std::to_string(attempt + 1) +
           " on '" + call.table + "': " + last_error.message());
@@ -388,6 +458,7 @@ Result<CallResult> MarketConnector::Get(const RestCall& call,
     std::lock_guard<std::mutex> lock(retry_stats_mutex_);
     ++retry_stats_.failed_calls;
   }
+  span.outcome = "retries_exhausted";
   const std::string msg = "retries exhausted (" +
                           std::to_string(max_attempts) + " attempts) on '" +
                           call.table + "': " + last_error.message();

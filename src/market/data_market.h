@@ -24,6 +24,7 @@
 #include "catalog/catalog.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "market/call_obs.h"
 #include "market/fault_injector.h"
 #include "market/resilience.h"
 #include "market/rest_call.h"
@@ -185,8 +186,13 @@ class MarketConnector {
   /// Issues a GET call: validates, evaluates, bills, notifies listeners,
   /// retrying per the policy. `deadline` (absolute) is the caller's budget
   /// — typically the enclosing query's; kNoDeadline means unbounded.
+  /// `call_obs` (optional) attributes every billed transaction of this call
+  /// — delivered or lost in transit — to its (tenant, query_id) in the
+  /// ledger, and records one span per Get (attempts, retries, waste,
+  /// billed transactions, outcome) under its parent span.
   Result<CallResult> Get(const RestCall& call,
-                         Clock::time_point deadline = kNoDeadline);
+                         Clock::time_point deadline = kNoDeadline,
+                         const CallObs* call_obs = nullptr);
 
   void AddListener(Listener listener) {
     std::unique_lock<std::shared_mutex> lock(listeners_mutex_);

@@ -1,0 +1,112 @@
+#include "obs/budget.h"
+
+#include <algorithm>
+
+namespace payless::obs {
+
+int64_t BudgetGovernor::SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void BudgetGovernor::SetBudget(const std::string& tenant,
+                               const TenantBudget& budget) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantState& state = tenants_[tenant];
+  state.budget = budget;
+  state.has_budget = true;
+}
+
+void BudgetGovernor::PruneWindow(TenantState* state, int64_t now_micros) {
+  const int64_t horizon = now_micros - state->budget.window_micros;
+  while (!state->window.empty() && state->window.front().first <= horizon) {
+    state->window_total -= state->window.front().second;
+    state->window.pop_front();
+  }
+}
+
+Admission BudgetGovernor::Admit(const std::string& tenant,
+                                int64_t estimated_transactions,
+                                int64_t now_micros, bool note_soft_warning) {
+  if (now_micros < 0) now_micros = SteadyNowMicros();
+  const int64_t estimate = std::max<int64_t>(estimated_transactions, 0);
+  // Ledger reads take the ledger's own lock; do them before taking ours so
+  // the two locks never nest in both orders.
+  const int64_t spent = ledger_->TenantTransactions(tenant);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Admission admission;
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second.has_budget) return admission;
+  TenantState& state = it->second;
+  const TenantBudget& budget = state.budget;
+
+  if (budget.hard_cap_transactions > 0 &&
+      spent + estimate > budget.hard_cap_transactions) {
+    ++state.rejections;
+    admission.status = Status::BudgetExceeded(
+        "tenant '" + tenant + "' over hard cap: spent " +
+        std::to_string(spent) + " + estimated " + std::to_string(estimate) +
+        " > cap " + std::to_string(budget.hard_cap_transactions));
+    return admission;
+  }
+  if (budget.window_cap_transactions > 0) {
+    PruneWindow(&state, now_micros);
+    if (state.window_total + estimate > budget.window_cap_transactions) {
+      ++state.rejections;
+      admission.status = Status::BudgetExceeded(
+          "tenant '" + tenant + "' over rate: " +
+          std::to_string(state.window_total) + " + estimated " +
+          std::to_string(estimate) + " > " +
+          std::to_string(budget.window_cap_transactions) + " per " +
+          std::to_string(budget.window_micros) + "us window");
+      return admission;
+    }
+  }
+  if (note_soft_warning && budget.soft_warn_transactions > 0 &&
+      spent + estimate > budget.soft_warn_transactions) {
+    ++state.warnings;
+    admission.soft_warning = true;
+  }
+  return admission;
+}
+
+void BudgetGovernor::RecordSpend(const std::string& tenant,
+                                 int64_t transactions, int64_t now_micros) {
+  if (transactions <= 0) return;
+  if (now_micros < 0) now_micros = SteadyNowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second.has_budget ||
+      it->second.budget.window_cap_transactions <= 0) {
+    return;  // no window to maintain
+  }
+  PruneWindow(&it->second, now_micros);
+  it->second.window.emplace_back(now_micros, transactions);
+  it->second.window_total += transactions;
+}
+
+int64_t BudgetGovernor::WindowSpend(const std::string& tenant,
+                                    int64_t now_micros) {
+  if (now_micros < 0) now_micros = SteadyNowMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 0;
+  PruneWindow(&it->second, now_micros);
+  return it->second.window_total;
+}
+
+int64_t BudgetGovernor::warnings(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.warnings;
+}
+
+int64_t BudgetGovernor::rejections(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.rejections;
+}
+
+}  // namespace payless::obs

@@ -1,0 +1,101 @@
+// Per-tenant budget governance.
+//
+// Tenants get three independent knobs, all denominated in transactions
+// (the market's billing unit, Eq. 1):
+//   - hard cap: lifetime ceiling; admission rejects a query with
+//     kBudgetExceeded once spend (plus the plan's estimated cost, when
+//     known) would exceed it. Rejection happens BEFORE any market call, so
+//     a rejected query bills exactly zero.
+//   - soft threshold: crossing it never rejects, it only flags the query's
+//     report and bumps a warning counter — the "you are at 80%" email.
+//   - sliding-window rate: a cap over the trailing window; a burst-heavy
+//     tenant is slowed down without touching its lifetime budget.
+//
+// Admission reads authoritative spend from the CostLedger (which includes
+// billed-but-undelivered waste — the tenant owns it), so the governor can
+// never drift from the money actually billed.
+#ifndef PAYLESS_OBS_BUDGET_H_
+#define PAYLESS_OBS_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "obs/cost_ledger.h"
+
+namespace payless::obs {
+
+/// Budget knobs of one tenant. 0 disables the respective limit.
+struct TenantBudget {
+  int64_t hard_cap_transactions = 0;
+  int64_t soft_warn_transactions = 0;
+  int64_t window_cap_transactions = 0;
+  int64_t window_micros = 1'000'000;
+};
+
+/// Outcome of an admission check.
+struct Admission {
+  Status status;        // OK or kBudgetExceeded
+  bool soft_warning = false;  // spend is past the soft threshold
+};
+
+/// Thread-safe per-tenant admission control. Tenants without a configured
+/// budget are always admitted. `now_micros < 0` (the default) reads the
+/// steady clock; tests pass explicit times to drive the sliding window.
+class BudgetGovernor {
+ public:
+  explicit BudgetGovernor(const CostLedger* ledger) : ledger_(ledger) {}
+  BudgetGovernor(const BudgetGovernor&) = delete;
+  BudgetGovernor& operator=(const BudgetGovernor&) = delete;
+
+  void SetBudget(const std::string& tenant, const TenantBudget& budget);
+
+  /// Admission check for a query estimated to cost `estimated_transactions`
+  /// (0 = unknown/free). Rejects when the tenant's ledger spend plus the
+  /// estimate exceeds the hard cap, or the trailing-window spend plus the
+  /// estimate exceeds the window cap. `note_soft_warning=false` suppresses
+  /// soft-threshold accounting — for an early pre-planning gate that will
+  /// be followed by the real (estimate-carrying) check, so one query never
+  /// counts its warning twice.
+  Admission Admit(const std::string& tenant, int64_t estimated_transactions,
+                  int64_t now_micros = -1, bool note_soft_warning = true);
+
+  /// Feeds the sliding window with a query's actual spend (call once per
+  /// finished query; the hard cap does not need this — it reads the ledger).
+  void RecordSpend(const std::string& tenant, int64_t transactions,
+                   int64_t now_micros = -1);
+
+  /// Spend inside the trailing window as of `now`.
+  int64_t WindowSpend(const std::string& tenant, int64_t now_micros = -1);
+
+  /// Total soft-threshold warnings issued to one tenant.
+  int64_t warnings(const std::string& tenant) const;
+  /// Total queries rejected (hard cap + window) for one tenant.
+  int64_t rejections(const std::string& tenant) const;
+
+ private:
+  struct TenantState {
+    TenantBudget budget;
+    bool has_budget = false;
+    std::deque<std::pair<int64_t, int64_t>> window;  // (time, transactions)
+    int64_t window_total = 0;
+    int64_t warnings = 0;
+    int64_t rejections = 0;
+  };
+
+  static int64_t SteadyNowMicros();
+  /// Drops window entries older than the budget's horizon.
+  void PruneWindow(TenantState* state, int64_t now_micros);
+
+  const CostLedger* ledger_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TenantState> tenants_;
+};
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_BUDGET_H_

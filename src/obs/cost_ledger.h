@@ -1,0 +1,79 @@
+// Cost attribution: who spent which transaction on which dataset.
+//
+// The BillingMeter answers "how much did this connector spend in total";
+// the CostLedger answers "where did each dollar go" — every billed
+// transaction is attributed to a (tenant, query_id, dataset) key at the
+// moment the connector records it on the meter, INCLUDING post-evaluation
+// lost responses (the seller billed them, so the tenant owns that waste).
+// The invariant the tests enforce: for a connector wired to one ledger,
+//     ledger.total_transactions() == meter.total_transactions()
+// under serial, concurrent and fault-storm execution alike.
+//
+// query_id 0 is reserved for spend outside any single query (batch
+// prefetching, download-all warm-up).
+#ifndef PAYLESS_OBS_COST_LEDGER_H_
+#define PAYLESS_OBS_COST_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace payless::obs {
+
+/// Aggregated spend of one (tenant, query, dataset) cell.
+struct CostCell {
+  int64_t transactions = 0;
+  double price = 0.0;
+  int64_t calls = 0;
+};
+
+/// Thread-safe attribution ledger. Every member serializes on one internal
+/// mutex; Record is one map walk, cheap next to the market round trip it
+/// accounts for.
+class CostLedger {
+ public:
+  CostLedger() = default;
+  CostLedger(const CostLedger&) = delete;
+  CostLedger& operator=(const CostLedger&) = delete;
+
+  void Record(const std::string& tenant, uint64_t query_id,
+              const std::string& dataset, int64_t transactions, double price);
+
+  int64_t total_transactions() const;
+  double total_price() const;
+  int64_t total_calls() const;
+
+  /// Lifetime spend of one tenant (all queries, all datasets).
+  int64_t TenantTransactions(const std::string& tenant) const;
+  double TenantPrice(const std::string& tenant) const;
+
+  /// Per-dataset spend of one query — the QueryReport breakdown.
+  std::map<std::string, int64_t> DatasetBreakdown(const std::string& tenant,
+                                                  uint64_t query_id) const;
+
+  /// Per-dataset lifetime spend of one tenant.
+  std::map<std::string, CostCell> TenantByDataset(
+      const std::string& tenant) const;
+
+  void Reset();
+
+  /// {"total_transactions":..., "tenants":{name:{"transactions":...,
+  /// "price":..., "datasets":{name: transactions}}}}
+  std::string ToJson() const;
+
+ private:
+  struct TenantEntry {
+    CostCell rollup;  // O(1) tenant totals for the admission hot path
+    // query -> dataset -> cell; map keeps exposition deterministic.
+    std::map<uint64_t, std::map<std::string, CostCell>> queries;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, TenantEntry> tenants_;
+  CostCell total_;
+};
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_COST_LEDGER_H_

@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace payless::obs {
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end() &&
+         "histogram bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(int64_t value) {
+  size_t bucket = bounds_.size();  // +inf bucket by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"count\":" << h->count()
+       << ",\"sum\":" << h->sum() << ",\"buckets\":[";
+    const std::vector<int64_t> counts = h->BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"le\":";
+      if (i < h->bounds().size()) {
+        os << h->bounds()[i];
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ",\"count\":" << counts[i] << "}";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "# TYPE " << name << " histogram\n";
+    const std::vector<int64_t> counts = h->BucketCounts();
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      os << name << "_bucket{le=\"";
+      if (i < h->bounds().size()) {
+        os << h->bounds()[i];
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << name << "_sum " << h->sum() << "\n";
+    os << name << "_count " << h->count() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace payless::obs

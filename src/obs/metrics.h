@@ -1,0 +1,103 @@
+// Thread-safe metrics registry: counters, gauges and fixed-bucket
+// histograms with handle-based hot-path recording.
+//
+// Registration (name -> instrument) takes a mutex once; the returned
+// handle is a stable pointer whose Record path is a handful of relaxed
+// atomic operations, so instrumented hot paths (one histogram observation
+// per query, one counter bump per market call) pay nanoseconds, not locks.
+// Exposition walks the registry under the mutex and renders either JSON or
+// the Prometheus text format, both cheap enough to serve from an admin
+// endpoint.
+#ifndef PAYLESS_OBS_METRICS_H_
+#define PAYLESS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace payless::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// finite buckets; one implicit +inf bucket catches the rest. Observation
+/// is a linear scan over the (small, fixed) bound list plus three relaxed
+/// atomics — no allocation, no lock.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds-order then the +inf bucket (size = bounds+1).
+  std::vector<int64_t> BucketCounts() const;
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Name -> instrument registry. GetX is create-or-get: the first caller
+/// defines the instrument, later callers share the same handle. Handles are
+/// stable for the registry's lifetime and never invalidated.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be strictly increasing; on a repeat Get for an existing
+  /// histogram the bounds argument is ignored (the first registration wins).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds);
+
+  /// {"counters": {name: value}, "gauges": {...}, "histograms": {name:
+  /// {"count": c, "sum": s, "buckets": [{"le": bound, "count": n}, ...]}}}
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format v0.0.4 (counters as `name value`,
+  /// histograms as cumulative `name_bucket{le="..."}` series).
+  std::string ToPrometheusText() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_METRICS_H_

@@ -1,0 +1,31 @@
+// The shared observability context: one per deployment, shared by every
+// PayLess client (tenant) that should report into the same metrics, cost
+// ledger and budget governor. A PayLess built without one creates a
+// private context, so single-tenant users get per-dataset attribution and
+// metrics for free.
+#ifndef PAYLESS_OBS_OBSERVABILITY_H_
+#define PAYLESS_OBS_OBSERVABILITY_H_
+
+#include "obs/budget.h"
+#include "obs/cost_ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace payless::obs {
+
+struct Observability {
+  Observability() : governor(&ledger) {}
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry metrics;
+  CostLedger ledger;
+  BudgetGovernor governor;
+  /// Optional: finished query traces are mirrored here (owned by the
+  /// caller; must outlive every client using this context).
+  TraceSink* trace_sink = nullptr;
+};
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_OBSERVABILITY_H_

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -245,6 +246,8 @@ TEST_F(ConcurrencyStressTest, OverlappingThreadsStayCorrect) {
 
   auto shared = NewClient();
   std::atomic<int> mismatches{0};
+  std::mutex diag_mutex;
+  std::string diag;  // what the first failing thread actually saw
   std::vector<std::thread> workers;
   workers.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -252,6 +255,15 @@ TEST_F(ConcurrencyStressTest, OverlappingThreadsStayCorrect) {
       for (int round = 0; round < kRounds; ++round) {
         Result<storage::Table> r = shared->Query(kBindSql, params_for(t));
         if (!r.ok() || SortedRows(*r) != expected[t]) {
+          std::lock_guard<std::mutex> lock(diag_mutex);
+          if (diag.empty()) {
+            diag = "thread " + std::to_string(t) + " round " +
+                   std::to_string(round) +
+                   (r.ok() ? ": got " + std::to_string(SortedRows(*r).size()) +
+                                 " rows, want " +
+                                 std::to_string(expected[t].size())
+                           : ": " + r.status().ToString());
+          }
           mismatches.fetch_add(1);
           return;
         }
@@ -260,7 +272,7 @@ TEST_F(ConcurrencyStressTest, OverlappingThreadsStayCorrect) {
   }
   for (std::thread& w : workers) w.join();
 
-  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0) << diag;
   // Interleavings may double-fetch a slab that is in flight on another
   // thread (legitimate), so billing is bounded rather than exact: at least
   // one fetch per distinct slab, at most zero-reuse across all rounds.

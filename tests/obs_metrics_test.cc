@@ -1,0 +1,154 @@
+// Metrics registry: instrument semantics, create-or-get handle stability,
+// exposition formats, and (under TSan) the concurrent recording contract —
+// many threads hammering ONE histogram handle lose no observations.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace payless::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterAddsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(ObsMetricsTest, GaugeSetsAndAdds) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 4);
+  gauge.Set(100);
+  EXPECT_EQ(gauge.value(), 100);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsAreInclusiveUpperBounds) {
+  Histogram hist({10, 100});
+  hist.Observe(5);     // <= 10
+  hist.Observe(10);    // <= 10: bounds are inclusive
+  hist.Observe(11);    // <= 100
+  hist.Observe(1000);  // +inf
+  EXPECT_EQ(hist.count(), 4);
+  EXPECT_EQ(hist.sum(), 5 + 10 + 11 + 1000);
+  const std::vector<int64_t> buckets = hist.BucketCounts();
+  ASSERT_EQ(buckets.size(), 3u);  // two finite bounds + one +inf bucket
+  EXPECT_EQ(buckets[0], 2);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 1);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsStableSharedHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total");
+  Counter* b = registry.GetCounter("requests_total");
+  EXPECT_EQ(a, b);  // create-or-get: one instrument per name
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3);
+
+  Histogram* h1 = registry.GetHistogram("latency", {1, 2, 3});
+  Histogram* h2 = registry.GetHistogram("latency", {9, 99});  // ignored
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds().size(), 3u);  // first registration wins
+
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("requests_total")),
+            static_cast<void*>(a));  // namespaces are per-kind
+}
+
+TEST(ObsMetricsTest, JsonExpositionContainsAllInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("calls_total")->Add(5);
+  registry.GetGauge("inflight")->Set(2);
+  registry.GetHistogram("latency_us", {100})->Observe(50);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"calls_total\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"inflight\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+}
+
+TEST(ObsMetricsTest, PrometheusExpositionUsesCumulativeBuckets) {
+  MetricsRegistry registry;
+  registry.GetCounter("calls_total")->Add(5);
+  Histogram* hist = registry.GetHistogram("latency_us", {10, 100});
+  hist->Observe(5);
+  hist->Observe(50);
+  hist->Observe(500);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("calls_total 5"), std::string::npos) << text;
+  // Prometheus buckets are CUMULATIVE: le="100" includes the le="10" hit.
+  EXPECT_NE(text.find("latency_us_bucket{le=\"10\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_us_bucket{le=\"100\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_us_bucket{le=\"+Inf\"} 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_us_count 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("latency_us_sum 555"), std::string::npos) << text;
+}
+
+// Runs in the TSan preset: 8 threads on ONE histogram handle plus a shared
+// counter. The contract is lossless relaxed-atomic recording — every
+// observation lands in exactly one bucket and the totals add up.
+TEST(ObsConcurrencyTest, EightThreadsShareOneHistogram) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("latency_us", {8, 64, 512});
+  Counter* counter = registry.GetCounter("observations_total");
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Observe((t * kPerThread + i) % 1024);
+        counter->Add();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(hist->count(), kThreads * kPerThread);
+  EXPECT_EQ(counter->value(), kThreads * kPerThread);
+  int64_t bucket_total = 0;
+  for (const int64_t b : hist->BucketCounts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+// Registration racing recording: half the threads Get instruments (mutex
+// path), half record through pre-resolved handles (lock-free path).
+TEST(ObsConcurrencyTest, RegistrationRacesRecording) {
+  constexpr int kIters = 2'000;
+  MetricsRegistry registry;
+  Counter* shared = registry.GetCounter("shared_total");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if (t % 2 == 0) {
+          registry.GetCounter("c" + std::to_string(i % 16))->Add();
+        } else {
+          shared->Add();
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(shared->value(), 2 * kIters);
+  int64_t spread = 0;
+  for (int i = 0; i < 16; ++i) {
+    spread += registry.GetCounter("c" + std::to_string(i))->value();
+  }
+  EXPECT_EQ(spread, 2 * kIters);
+}
+
+}  // namespace
+}  // namespace payless::obs

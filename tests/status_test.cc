@@ -32,6 +32,7 @@ TEST(StatusTest, FactoriesRoundTripCodeAndMessage) {
       {Status::Unavailable("m"), Status::Code::kUnavailable},
       {Status::DeadlineExceeded("m"), Status::Code::kDeadlineExceeded},
       {Status::ResourceExhausted("m"), Status::Code::kResourceExhausted},
+      {Status::BudgetExceeded("m"), Status::Code::kBudgetExceeded},
   };
   for (const auto& [st, code] : cases) {
     EXPECT_FALSE(st.ok());
@@ -54,6 +55,10 @@ TEST(StatusTest, CodeNamesAreDistinctAndStable) {
             "DeadlineExceeded: 10ms budget");
   EXPECT_EQ(Status::ResourceExhausted("throttled").ToString(),
             "ResourceExhausted: throttled");
+  EXPECT_STREQ(Status::CodeName(Status::Code::kBudgetExceeded),
+               "BudgetExceeded");
+  EXPECT_EQ(Status::BudgetExceeded("tenant over cap").ToString(),
+            "BudgetExceeded: tenant over cap");
 }
 
 TEST(StatusTest, IsRetryableClassification) {
@@ -68,6 +73,9 @@ TEST(StatusTest, IsRetryableClassification) {
   EXPECT_FALSE(IsRetryable(Status::Code::kParseError));
   EXPECT_FALSE(IsRetryable(Status::Code::kBindingViolation));
   EXPECT_FALSE(IsRetryable(Status::Code::kInternal));
+  // Rejected by the buyer's own admission control: retrying cannot help
+  // until the budget changes, and nothing was billed.
+  EXPECT_FALSE(IsRetryable(Status::Code::kBudgetExceeded));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
