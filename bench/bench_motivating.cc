@@ -10,6 +10,7 @@
 
 #include "exec/payless.h"
 #include "market/data_market.h"
+#include "obs/explain.h"
 #include "sql/parser.h"
 
 namespace payless::bench {
@@ -114,7 +115,8 @@ int Main() {
     assert(stmt.ok());
     Result<sql::BoundQuery> bound = sql::Bind(*stmt, cat, {});
     assert(bound.ok());
-    std::printf("PayLess plan:\n%s", report->plan.Describe(*bound).c_str());
+    std::printf("PayLess plan:\n%s",
+                obs::RenderPlan(report->plan, *bound).c_str());
   }
   std::printf("PayLess billed: %lld transactions (paper plan P2: 2)\n",
               static_cast<long long>(report->transactions_spent));

@@ -1,10 +1,12 @@
 // Observability overhead. Not a paper figure — this prices the spend
 // observability subsystem itself: the same multi-client bind-join workload
-// as bench_throughput, served once with tracing disabled (metrics and cost
-// ledger are always on — they are the cheap, handle-based part) and once
-// with full tracing plus a JSONL trace sink. The gap is the per-query cost
-// of span bookkeeping and trace serialization, and the acceptance bar is
-// that it stays under a few percent of qps.
+// as bench_throughput, served in three configurations — bare (metrics and
+// cost ledger only; they are always on, the cheap handle-based part), with
+// estimator-accuracy tracking (q-error recording at every feedback point),
+// and with full tracing plus a JSONL trace sink on top. The gaps price
+// accuracy tracking and span bookkeeping separately, and the acceptance
+// bar is that the fully loaded configuration stays within a few percent of
+// the bare one.
 //
 //   build/bench/bench_obs_overhead [--call_latency_us=2000] [--repeats=4]
 //                                  [--threads=8] [--trials=3]
@@ -13,8 +15,8 @@
 //                                  [--json=BENCH_obs_overhead.json]
 //
 // Each configuration runs `trials` times and keeps its best qps (the
-// least-noise estimate); the bench exits non-zero when the traced run is
-// more than --max_overhead_pct slower than the untraced one.
+// least-noise estimate); the bench exits non-zero when the fully traced
+// run is more than --max_overhead_pct slower than the bare one.
 #include <algorithm>
 #include <atomic>
 #include <cassert>
@@ -139,10 +141,12 @@ int Main(int argc, char** argv) {
 
   // One timed pass of the whole workload against a fresh client; returns
   // qps, or a negative value when a query failed.
-  const auto run_once = [&](bool tracing, obs::Observability* shared) {
+  const auto run_once = [&](bool accuracy, bool tracing,
+                            obs::Observability* shared) {
     PayLessConfig config;
     config.stats_kind = stats::StatsKind::kUniform;  // see bench_throughput
     config.max_parallel_calls = 1;
+    config.enable_accuracy_tracking = accuracy;
     config.enable_tracing = tracing;
     config.observability = shared;
     auto client = std::make_unique<PayLess>(&cat, &market, config);
@@ -200,22 +204,32 @@ int Main(int argc, char** argv) {
   shared.trace_sink = sink->get();
 
   // Best-of-N per configuration, trials interleaved so slow machine phases
-  // (thermal, noisy neighbours) hit both configurations equally.
-  double base_qps = 0.0, traced_qps = 0.0;
+  // (thermal, noisy neighbours) hit every configuration equally.
+  double base_qps = 0.0, accuracy_qps = 0.0, traced_qps = 0.0;
   for (int64_t i = 0; i < trials; ++i) {
-    const double base = run_once(/*tracing=*/false, nullptr);
+    const double base =
+        run_once(/*accuracy=*/false, /*tracing=*/false, nullptr);
     if (base < 0.0) return 1;
     base_qps = std::max(base_qps, base);
-    const double traced = run_once(/*tracing=*/true, &shared);
+    const double accuracy =
+        run_once(/*accuracy=*/true, /*tracing=*/false, nullptr);
+    if (accuracy < 0.0) return 1;
+    accuracy_qps = std::max(accuracy_qps, accuracy);
+    const double traced =
+        run_once(/*accuracy=*/true, /*tracing=*/true, &shared);
     if (traced < 0.0) return 1;
     traced_qps = std::max(traced_qps, traced);
   }
 
+  const double accuracy_pct = 100.0 * (base_qps - accuracy_qps) / base_qps;
   const double overhead_pct = 100.0 * (base_qps - traced_qps) / base_qps;
   std::printf("# config qps\n");
-  std::printf("untraced %.1f\n", base_qps);
-  std::printf("traced+sink %.1f\n", traced_qps);
-  std::printf("# tracing overhead: %.2f%% (budget %lld%%)\n", overhead_pct,
+  std::printf("bare %.1f\n", base_qps);
+  std::printf("accuracy %.1f\n", accuracy_qps);
+  std::printf("accuracy+traced+sink %.1f\n", traced_qps);
+  std::printf("# accuracy overhead: %.2f%%, full overhead: %.2f%% "
+              "(budget %lld%%)\n",
+              accuracy_pct, overhead_pct,
               static_cast<long long>(max_overhead_pct));
 
   BenchJson json;
@@ -225,12 +239,15 @@ int Main(int argc, char** argv) {
   json.Meta("call_latency_us", latency_us);
   json.Meta("trials", trials);
   json.Meta("untraced_qps", base_qps);
+  json.Meta("accuracy_qps", accuracy_qps);
   json.Meta("traced_qps", traced_qps);
+  json.Meta("accuracy_overhead_pct", accuracy_pct);
   json.Meta("overhead_pct", overhead_pct);
   if (!json.WriteTo(json_path)) return 1;
 
   if (overhead_pct > static_cast<double>(max_overhead_pct)) {
-    std::fprintf(stderr, "tracing overhead %.2f%% exceeds budget %lld%%\n",
+    std::fprintf(stderr,
+                 "observability overhead %.2f%% exceeds budget %lld%%\n",
                  overhead_pct, static_cast<long long>(max_overhead_pct));
     return 1;
   }

@@ -1,0 +1,133 @@
+// Estimator accuracy on the real workload: per-table q-error, cold vs
+// warm. The paper's optimizer starts from the uniform assumption and
+// refines its histograms from market feedback (§4.3); this bench measures
+// how wrong the cold estimates actually are on the Fig. 10a WHW/EHR
+// workload, and how far feedback pulls them back. The first
+// --cold_queries queries form the cold window (uniform-dominated
+// estimates); the remainder is the warm window, whose aggregates are the
+// deltas between the end-of-run and cold-window accuracy snapshots (the
+// tracker accumulates over its lifetime and has no reset).
+//
+//   build/bench/bench_qerror [--scale_pct=10] [--per_template=200]
+//                            [--cold_queries=25] [--seed=42]
+//                            [--query_seed=1] [--json=BENCH_qerror.json]
+//
+// Expected shape: warm mean q-error strictly below cold mean q-error on
+// every market table the workload prices by estimate; the drift epoch
+// ends positive (the cold misestimates crossed the invalidation
+// threshold, so cached templates were re-optimized against learned
+// statistics — the paper's uniform-to-learned plan switch).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/driver.h"
+#include "obs/accuracy.h"
+
+namespace payless::bench {
+namespace {
+
+struct Window {
+  uint64_t samples = 0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+// The warm window is the lifetime aggregate minus the cold snapshot.
+Window Delta(const obs::AccuracySnapshot& at_end,
+             const obs::AccuracySnapshot& at_cold) {
+  Window w;
+  w.samples = at_end.samples - at_cold.samples;
+  if (w.samples > 0) {
+    w.mean = (at_end.sum_qerror - at_cold.sum_qerror) /
+             static_cast<double>(w.samples);
+  }
+  // max is monotone, so the end-of-run max only names the warm window when
+  // it grew after the cold snapshot.
+  w.max = at_end.max_qerror > at_cold.max_qerror ? at_end.max_qerror : 0.0;
+  return w;
+}
+
+int Main(int argc, char** argv) {
+  const int64_t scale_pct = FlagOr(argc, argv, "scale_pct", 10);
+  const int64_t per_template = FlagOr(argc, argv, "per_template", 200);
+  const int64_t cold_queries = FlagOr(argc, argv, "cold_queries", 25);
+  const int64_t seed = FlagOr(argc, argv, "seed", 42);
+  const int64_t query_seed = FlagOr(argc, argv, "query_seed", 1);
+  const std::string json_path = StringFlagOr(argc, argv, "json", "");
+
+  workload::RealDataOptions options;
+  options.scale = static_cast<double>(scale_pct) / 100.0;
+  options.seed = static_cast<uint64_t>(seed);
+  auto bundle = workload::MakeRealBundle(
+      options, static_cast<size_t>(per_template),
+      static_cast<uint64_t>(query_seed));
+  auto client =
+      workload::NewPayLessClient(*bundle, workload::PayLessFullConfig());
+
+  const size_t cold_count =
+      std::min(static_cast<size_t>(cold_queries), bundle->queries.size());
+  const std::vector<std::string> tables = bundle->catalog.TableNames();
+  std::map<std::string, obs::AccuracySnapshot> cold;
+
+  size_t executed = 0;
+  for (const workload::QueryInstance& query : bundle->queries) {
+    const auto result = client->Query(query.sql, query.params);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n  sql: %s\n",
+                   result.status().ToString().c_str(), query.sql.c_str());
+      return 1;
+    }
+    if (++executed == cold_count) {
+      for (const std::string& table : tables) {
+        cold[table] = client->accuracy().Snapshot(table);
+      }
+    }
+  }
+
+  std::printf("# bench_qerror: %zu queries (%zu cold / %zu warm), "
+              "scale %.2f, drift epoch %llu\n",
+              executed, cold_count, executed - cold_count, options.scale,
+              static_cast<unsigned long long>(
+                  client->accuracy().drift_epoch()));
+  std::printf("# table cold_n cold_mean cold_max warm_n warm_mean warm_max\n");
+
+  BenchJson json;
+  json.Meta("bench", std::string("qerror"));
+  json.Meta("queries", static_cast<int64_t>(executed));
+  json.Meta("cold_queries", static_cast<int64_t>(cold_count));
+  json.Meta("scale", options.scale);
+  json.Meta("drift_epoch",
+            static_cast<int64_t>(client->accuracy().drift_epoch()));
+
+  for (const std::string& table : tables) {
+    const obs::AccuracySnapshot end = client->accuracy().Snapshot(table);
+    if (end.samples == 0) continue;  // local table — never estimated
+    const obs::AccuracySnapshot& at_cold = cold[table];
+    const Window warm = Delta(end, at_cold);
+    std::printf("%s %llu %.2f %.2f %llu %.2f %.2f\n", table.c_str(),
+                static_cast<unsigned long long>(at_cold.samples),
+                at_cold.mean_qerror(), at_cold.max_qerror,
+                static_cast<unsigned long long>(warm.samples), warm.mean,
+                warm.max);
+    json.BeginRow("tables");
+    json.Field("table", table);
+    json.Field("cold_samples", static_cast<int64_t>(at_cold.samples));
+    json.Field("cold_mean_qerror", at_cold.mean_qerror());
+    json.Field("cold_max_qerror", at_cold.max_qerror);
+    json.Field("warm_samples", static_cast<int64_t>(warm.samples));
+    json.Field("warm_mean_qerror", warm.mean);
+    json.Field("warm_max_qerror", warm.max);
+  }
+  if (!json.WriteTo(json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace payless::bench
+
+int main(int argc, char** argv) { return payless::bench::Main(argc, argv); }

@@ -1,7 +1,5 @@
 #include "core/plan.h"
 
-#include <sstream>
-
 namespace payless::core {
 
 const char* AccessKindName(AccessSpec::Kind kind) {
@@ -18,34 +16,6 @@ const char* AccessKindName(AccessSpec::Kind kind) {
       return "bind-join";
   }
   return "?";
-}
-
-std::string Plan::Describe(const sql::BoundQuery& query) const {
-  std::ostringstream os;
-  os << "Plan[cost=" << est_cost << " txn, est_rows=" << est_result_rows
-     << "]\n";
-  for (const AccessSpec& access : accesses) {
-    const sql::BoundRelation& rel = query.relations[access.rel];
-    os << "  " << AccessKindName(access.kind) << " " << rel.def->name;
-    if (access.kind == AccessSpec::Kind::kBind) {
-      os << " on (";
-      for (size_t i = 0; i < access.bind_edges.size(); ++i) {
-        if (i > 0) os << ", ";
-        const sql::JoinEdge& e = access.bind_edges[i];
-        const sql::BoundColumnRef& own =
-            e.left.rel == access.rel ? e.left : e.right;
-        os << rel.def->columns[own.col].name;
-      }
-      os << ")";
-    }
-    if (!access.IsZeroPrice()) {
-      os << " ~" << access.est_transactions << " txn, ~" << access.est_calls
-         << " calls";
-      if (access.used_sqr) os << " (SQR)";
-    }
-    os << "\n";
-  }
-  return os.str();
 }
 
 }  // namespace payless::core

@@ -51,13 +51,13 @@ struct AccessSpec {
 
 const char* AccessKindName(AccessSpec::Kind kind);
 
-/// A complete left-deep plan: accesses in execution order.
+/// A complete left-deep plan: accesses in execution order. Rendering lives
+/// in obs/explain.h (`obs::RenderPlan`) — the single plan-formatting path
+/// shared by EXPLAIN, reports and benches.
 struct Plan {
   std::vector<AccessSpec> accesses;
   int64_t est_cost = 0;         // φ(P) under the optimizer's cost model
   double est_result_rows = 0.0; // estimated final join cardinality
-
-  std::string Describe(const sql::BoundQuery& query) const;
 };
 
 /// Optimizer instrumentation (Figs. 14 and 15).

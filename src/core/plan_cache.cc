@@ -57,15 +57,12 @@ void AppendValue(const Value& v, std::string* out) {
 
 std::string PlanCache::MakeKey(const std::string& normalized_sql,
                                const std::vector<Value>& params,
-                               uint64_t store_version, uint64_t stats_version,
-                               int64_t min_epoch) {
+                               uint64_t staleness_epoch, int64_t min_epoch) {
   std::string key = normalized_sql;
   key += '\x1f';
   for (const Value& param : params) AppendValue(param, &key);
   key += '\x1f';
-  key += std::to_string(store_version);
-  key += '/';
-  key += std::to_string(stats_version);
+  key += std::to_string(staleness_epoch);
   key += '/';
   key += std::to_string(min_epoch);
   return key;
@@ -85,7 +82,7 @@ std::optional<CachedPlan> PlanCache::Lookup(const std::string& key) const {
 void PlanCache::Insert(const std::string& key, CachedPlan entry) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
   if (entries_.size() >= max_entries_ && entries_.count(key) == 0) {
-    entries_.clear();  // version-stamped keys: most were dead already
+    entries_.clear();  // epoch-stamped keys: most were dead already
   }
   entries_[key] = std::move(entry);
 }

@@ -3,15 +3,22 @@
 // The paper's whole evaluation workload (Figs. 10-15) is a handful of
 // parameterized templates instantiated thousands of times, and a serving
 // middleware sees exactly that shape: the same SQL template, over and over,
-// from many clients. A plan derived by the learning optimizer stays
-// cost-correct as long as every input of the cost function is unchanged —
-// the query (template + parameters, because parameters shape the regions
-// being priced), the semantic-store coverage (SQR prices only remainders)
-// and the feedback statistics (cardinality estimates). The cache therefore
-// keys on the normalized template, the parameter values, and the version
-// counters of the store and the statistics registry: any Store() or
-// feedback tick makes older keys unreachable, which IS the invalidation —
-// no explicit flush, stale entries just age out of the bounded map.
+// from many clients. The cache keys on the normalized template, the
+// parameter values, the consistency horizon, and a STALENESS EPOCH supplied
+// by the estimator-accuracy tracker: the epoch ticks only when a market
+// call's true result size diverges from its estimate by more than the
+// configured q-error threshold — i.e. when the statistics that priced the
+// cached plans were materially wrong. Routine feedback that merely confirms
+// the estimates leaves the epoch (and thus every cached template) intact,
+// so steady-state serving stays on the cached-plan fast path.
+//
+// Cached plans can never be result-wrong, only cost-suboptimal: the
+// execution engine re-runs the SQR rewrite against the live semantic store,
+// and store coverage under a fixed consistency horizon only grows. When the
+// epoch does tick, older keys become unreachable, which IS the invalidation
+// — no explicit flush, stale entries just age out of the bounded map, and
+// the forced re-optimization picks up the refined histogram (the paper's
+// uniform-to-learned plan switch, Fig. 3 step 5.4).
 //
 // Thread-safe: lookups take a shared lock, inserts exclusive; hit/miss
 // tallies are atomics so concurrent clients can read them cheaply.
@@ -55,21 +62,20 @@ struct PlanCacheStats {
 class PlanCache {
  public:
   /// `max_entries` bounds memory; on overflow the whole map is dropped
-  /// (entries are version-stamped, so most are already unreachable by the
+  /// (entries are epoch-stamped, so most are already unreachable by the
   /// time the cache fills — wholesale eviction loses almost nothing).
   explicit PlanCache(size_t max_entries = 1024) : max_entries_(max_entries) {}
 
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// Builds the full cache key for one query instance. `store_version` /
-  /// `stats_version` are the version counters of the semantic store and the
-  /// stats registry at optimization time; `min_epoch` folds in the
+  /// Builds the full cache key for one query instance. `staleness_epoch` is
+  /// the accuracy tracker's drift epoch at optimization time (ticks only on
+  /// estimate drift beyond the q-error threshold); `min_epoch` folds in the
   /// consistency horizon (it moves with the wall clock under kXWeek).
   static std::string MakeKey(const std::string& normalized_sql,
                              const std::vector<Value>& params,
-                             uint64_t store_version, uint64_t stats_version,
-                             int64_t min_epoch);
+                             uint64_t staleness_epoch, int64_t min_epoch);
 
   std::optional<CachedPlan> Lookup(const std::string& key) const;
   void Insert(const std::string& key, CachedPlan entry);

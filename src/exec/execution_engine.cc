@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cmath>
 #include <optional>
 #include <thread>
 #include <unordered_set>
@@ -93,19 +94,29 @@ Status IssueCalls(market::MarketConnector* connector,
 
 Result<storage::Table> ExecutionEngine::FetchRelation(
     const sql::BoundQuery& query, const core::AccessSpec& access,
-    const storage::Table& left_result, const std::vector<size_t>& offsets,
-    const ExecConfig& config, ExecStats* exec_stats) {
+    size_t access_index, const storage::Table& left_result,
+    const std::vector<size_t>& offsets, const ExecConfig& config,
+    ExecStats* exec_stats) {
   const sql::BoundRelation& rel = query.relations[access.rel];
   const catalog::TableDef& def = *rel.def;
-  storage::Table table(storage::SchemaFromTableDef(def));
   const size_t fan_out = ResolveFanOut(config);
 
   // Per-operator span: every access of the plan gets one; the market-call
   // spans the connector opens underneath are its children — including the
-  // ones issued from pool workers during parallel dispatch.
+  // ones issued from pool workers during parallel dispatch. The estimate
+  // attrs mirror the AccessSpec so EXPLAIN ANALYZE can join estimated vs.
+  // actual per access; the actual deltas are attached below, after the
+  // access ran.
   obs::ScopedSpan access_span(config.obs.trace, "access:" + def.name,
                               config.obs.parent_span);
   access_span.AddAttr("kind", std::string(core::AccessKindName(access.kind)));
+  access_span.AddAttr("access_index", static_cast<int64_t>(access_index));
+  access_span.AddAttr("est_rows", llround(access.est_rows));
+  access_span.AddAttr("est_transactions", access.est_transactions);
+  access_span.AddAttr("est_calls", access.est_calls);
+  if (access.kind == core::AccessSpec::Kind::kBind) {
+    access_span.AddAttr("est_bind_values", llround(access.est_bind_values));
+  }
   market::CallObs call_obs = config.obs;
   if (access_span.id() != 0) call_obs.parent_span = access_span.id();
 
@@ -115,280 +126,305 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
                       call_obs, rows, exec_stats);
   };
 
-  switch (access.kind) {
-    case core::AccessSpec::Kind::kEmpty:
-      return table;
+  const ExecStats before = exec_stats != nullptr ? *exec_stats : ExecStats{};
+  const auto fetch = [&]() -> Result<storage::Table> {
+    storage::Table table(storage::SchemaFromTableDef(def));
 
-    case core::AccessSpec::Kind::kLocal: {
-      const storage::Table* local = local_db_->FindTable(def.name);
-      if (local == nullptr) {
-        return Status::NotFound("local table '" + def.name +
-                                "' has no data in the buyer DBMS");
+    switch (access.kind) {
+      case core::AccessSpec::Kind::kEmpty:
+        return table;
+
+      case core::AccessSpec::Kind::kLocal: {
+        const storage::Table* local = local_db_->FindTable(def.name);
+        if (local == nullptr) {
+          return Status::NotFound("local table '" + def.name +
+                                  "' has no data in the buyer DBMS");
+        }
+        return *local;
       }
-      return *local;
-    }
 
-    case core::AccessSpec::Kind::kCached: {
-      const std::vector<Row> rows =
-          store_->RowsInRegion(def, rel.QueryRegion(), config.min_epoch);
-      if (exec_stats != nullptr) {
-        exec_stats->rows_from_cache += static_cast<int64_t>(rows.size());
-      }
-      access_span.AddAttr("rows_cached", static_cast<int64_t>(rows.size()));
-      for (const Row& row : rows) table.Append(row);
-      return table;
-    }
-
-    case core::AccessSpec::Kind::kPlain: {
-      const Box region = rel.QueryRegion();
-      RowSet rows;
-      if (config.use_sqr) {
-        // Re-run the rewrite against the live store: views may have grown
-        // since planning (earlier accesses of this very query included).
-        //
-        // The coverage snapshot MUST be taken before the row harvest: the
-        // store only grows, so any view a concurrent query slips in between
-        // the two reads is missing from this snapshot and gets re-fetched
-        // by the remainder (RowSet dedupes the overlap). Snapshotting
-        // coverage after the harvest loses those rows instead — the
-        // remainder would treat the region as served even though the
-        // harvest never saw it.
-        const std::vector<Box> covered =
-            store_->CoveredRegions(def.name, config.min_epoch);
-        const std::vector<Row> cached =
-            store_->RowsInRegion(def, region, config.min_epoch);
+      case core::AccessSpec::Kind::kCached: {
+        const std::vector<Row> rows =
+            store_->RowsInRegion(def, rel.QueryRegion(), config.min_epoch);
         if (exec_stats != nullptr) {
-          exec_stats->rows_from_cache += static_cast<int64_t>(cached.size());
+          exec_stats->rows_from_cache += static_cast<int64_t>(rows.size());
         }
-        rows.AddAll(cached);
-        const catalog::DatasetDef* dataset = catalog_->DatasetOf(def);
-        semstore::RemainderOptions rem_options = config.remainder;
-        rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
-        const semstore::RemainderResult rem = semstore::GenerateRemainder(
-            region, covered, core::Optimizer::DimSpecsFor(def),
-            [&](const Box& box) {
-              return stats_->EstimateRows(def.name, box);
-            },
-            rem_options);
-        std::vector<market::RestCall> calls;
-        calls.reserve(rem.remainder_boxes.size());
-        for (const Box& box : rem.remainder_boxes) {
-          Result<market::RestCall> call = market::CallFromRegion(def, box);
-          PAYLESS_RETURN_IF_ERROR(call.status());
-          calls.push_back(std::move(*call));
-        }
-        access_span.AddAttr("rows_cached",
-                            static_cast<int64_t>(rows.size()));
-        access_span.AddAttr("remainder_calls",
-                            static_cast<int64_t>(calls.size()));
-        PAYLESS_RETURN_IF_ERROR(issue_all(calls, &rows));
-      } else {
-        market::RestCall call;
-        call.table = def.name;
-        call.conditions = rel.conditions;
-        PAYLESS_RETURN_IF_ERROR(issue_all({call}, &rows));
-      }
-      for (Row& row : rows.Take()) table.Append(std::move(row));
-      return table;
-    }
-
-    case core::AccessSpec::Kind::kBind: {
-      // Binding columns and the left-result positions feeding them.
-      std::vector<size_t> bind_cols;
-      std::vector<size_t> left_positions;
-      for (const sql::JoinEdge& edge : access.bind_edges) {
-        const bool own_left = edge.left.rel == access.rel;
-        const sql::BoundColumnRef& own = own_left ? edge.left : edge.right;
-        const sql::BoundColumnRef& other = own_left ? edge.right : edge.left;
-        if (std::find(bind_cols.begin(), bind_cols.end(), own.col) !=
-            bind_cols.end()) {
-          continue;  // one feeding edge per binding column suffices
-        }
-        bind_cols.push_back(own.col);
-        left_positions.push_back(offsets[other.rel] + other.col);
-      }
-      if (bind_cols.empty()) {
-        return Status::Internal("bind access without usable bind edges");
+        access_span.AddAttr("rows_cached", static_cast<int64_t>(rows.size()));
+        for (const Row& row : rows) table.Append(row);
+        return table;
       }
 
-      // Distinct binding combinations from the running join result.
-      std::vector<Row> combos;
-      {
-        std::unordered_set<Row, RowHasher> seen;
-        for (const Row& row : left_result.rows()) {
-          Row combo;
-          combo.reserve(left_positions.size());
-          bool has_null = false;
-          for (const size_t pos : left_positions) {
-            if (row[pos].is_null()) has_null = true;
-            combo.push_back(row[pos]);
-          }
-          if (has_null) continue;  // NULL never joins
-          if (seen.insert(combo).second) combos.push_back(std::move(combo));
-        }
-      }
-
-      RowSet rows;
-      const bool single_dim = bind_cols.size() == 1;
-      if (config.use_sqr && single_dim) {
-        // Fig. 9 path: the binding values are KNOWN here, so the bind
-        // dimension becomes a value-set dimension and remainder generation
-        // may merge values into range calls or reuse stored slabs.
-        const size_t col = bind_cols[0];
-        const catalog::ColumnDef& column = def.columns[col];
-        const std::vector<size_t> constrainable = def.ConstrainableColumns();
-        const auto dim_it =
-            std::find(constrainable.begin(), constrainable.end(), col);
-        assert(dim_it != constrainable.end());
-        const size_t dim = static_cast<size_t>(dim_it - constrainable.begin());
-
-        Box region = rel.QueryRegion();
-        std::vector<int64_t> codes;
-        for (const Row& combo : combos) {
-          const std::optional<int64_t> code = column.domain.Encode(combo[0]);
-          // Values outside the published domain cannot exist market-side.
-          if (code.has_value() && region.dim(dim).Contains(*code)) {
-            codes.push_back(*code);
-          }
-        }
-        std::sort(codes.begin(), codes.end());
-        codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
-        if (codes.empty()) return table;
-
-        std::vector<semstore::DimSpec> dims = core::Optimizer::DimSpecsFor(def);
-        dims[dim].mode = semstore::DimSpec::Mode::kValueSet;
-        dims[dim].known_values = codes;
-        dims[dim].whole_domain_allowed =
-            column.binding == catalog::BindingKind::kFree;
-        region.dim(dim) = Interval(codes.front(), codes.back());
-
-        // Stored tuples on the requested slabs. Coverage is snapshotted
-        // before the harvest for the same reason as the range path above:
-        // a slab a concurrent query stores between the two reads must land
-        // in the remainder (and be deduped), not silently count as served.
-        const std::vector<Box> covered =
-            store_->CoveredRegions(def.name, config.min_epoch);
-        for (const int64_t code : codes) {
-          Box slab = region;
-          slab.dim(dim) = Interval::Point(code);
+      case core::AccessSpec::Kind::kPlain: {
+        const Box region = rel.QueryRegion();
+        RowSet rows;
+        if (config.use_sqr) {
+          // Re-run the rewrite against the live store: views may have grown
+          // since planning (earlier accesses of this very query included).
+          //
+          // The coverage snapshot MUST be taken before the row harvest: the
+          // store only grows, so any view a concurrent query slips in between
+          // the two reads is missing from this snapshot and gets re-fetched
+          // by the remainder (RowSet dedupes the overlap). Snapshotting
+          // coverage after the harvest loses those rows instead — the
+          // remainder would treat the region as served even though the
+          // harvest never saw it.
+          const std::vector<Box> covered =
+              store_->CoveredRegions(def.name, config.min_epoch);
           const std::vector<Row> cached =
-              store_->RowsInRegion(def, slab, config.min_epoch);
+              store_->RowsInRegion(def, region, config.min_epoch);
           if (exec_stats != nullptr) {
             exec_stats->rows_from_cache += static_cast<int64_t>(cached.size());
           }
           rows.AddAll(cached);
-        }
-
-        const catalog::DatasetDef* dataset = catalog_->DatasetOf(def);
-        semstore::RemainderOptions rem_options = config.remainder;
-        rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
-        const semstore::RemainderResult rem = semstore::GenerateRemainder(
-            region, covered, dims,
-            [&](const Box& box) {
-              return stats_->EstimateRows(def.name, box);
-            },
-            rem_options);
-        std::vector<market::RestCall> calls;
-        calls.reserve(rem.remainder_boxes.size());
-        for (const Box& box : rem.remainder_boxes) {
-          Result<market::RestCall> call = market::CallFromRegion(def, box);
-          PAYLESS_RETURN_IF_ERROR(call.status());
-          calls.push_back(std::move(*call));
-        }
-        access_span.AddAttr("binding_values",
-                            static_cast<int64_t>(codes.size()));
-        access_span.AddAttr("remainder_calls",
-                            static_cast<int64_t>(calls.size()));
-        PAYLESS_RETURN_IF_ERROR(issue_all(calls, &rows));
-      } else {
-        // One point call per binding combination; with SQR on, fully
-        // covered combinations are served from the store. Distinct
-        // combinations have pairwise-disjoint point regions, so neither the
-        // coverage decision nor any call's price depends on the order the
-        // combinations complete in — they are dispatched with the
-        // configured fan-out and merged back in binding-value order,
-        // keeping rows, row order and billing identical to the serial loop.
-        struct ComboOutcome {
-          std::optional<Result<market::CallResult>> fetched;
-          std::vector<Row> cached;
-          bool from_cache = false;
-          bool cancelled = false;
-        };
-        std::vector<ComboOutcome> outcomes(combos.size());
-        std::atomic<bool> cancelled{false};
-        common::ParallelFor(pool_, combos.size(), fan_out, [&](size_t i) {
-          if (cancelled.load(std::memory_order_relaxed)) {
-            // A sibling binding value exhausted its retries: stop spending
-            // on a bind join that can no longer deliver.
-            outcomes[i].cancelled = true;
-            return;
+          const catalog::DatasetDef* dataset = catalog_->DatasetOf(def);
+          semstore::RemainderOptions rem_options = config.remainder;
+          rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
+          const semstore::RemainderResult rem = semstore::GenerateRemainder(
+              region, covered, core::Optimizer::DimSpecsFor(def),
+              [&](const Box& box) {
+                return stats_->EstimateRows(def.name, box);
+              },
+              rem_options);
+          std::vector<market::RestCall> calls;
+          calls.reserve(rem.remainder_boxes.size());
+          for (const Box& box : rem.remainder_boxes) {
+            Result<market::RestCall> call = market::CallFromRegion(def, box);
+            PAYLESS_RETURN_IF_ERROR(call.status());
+            calls.push_back(std::move(*call));
           }
+          access_span.AddAttr("rows_cached",
+                              static_cast<int64_t>(rows.size()));
+          access_span.AddAttr("remainder_calls",
+                              static_cast<int64_t>(calls.size()));
+          PAYLESS_RETURN_IF_ERROR(issue_all(calls, &rows));
+        } else {
           market::RestCall call;
           call.table = def.name;
           call.conditions = rel.conditions;
-          for (size_t c = 0; c < bind_cols.size(); ++c) {
-            call.conditions[bind_cols[c]] =
-                market::AttrCondition::Point(combos[i][c]);
-          }
-          if (config.use_sqr) {
-            const Box point_region = market::CallRegion(def, call);
-            if (point_region.empty()) return;  // value outside the domain
-            if (store_->Covers(def, point_region, config.min_epoch)) {
-              outcomes[i].cached =
-                  store_->RowsInRegion(def, point_region, config.min_epoch);
-              outcomes[i].from_cache = true;
-              return;
-            }
-          }
-          outcomes[i].fetched.emplace(
-              connector_->Get(call, config.deadline, &call_obs));
-          if (!(*outcomes[i].fetched).ok()) {
-            cancelled.store(true, std::memory_order_relaxed);
-          }
-        });
-        // Accumulate every delivered/cached outcome before surfacing the
-        // first (binding-value-order) error: exec_stats must equal the
-        // spend-so-far even when the access fails.
-        Status first_error = Status::OK();
-        int64_t combos_cached = 0;
-        for (const ComboOutcome& outcome : outcomes) {
-          if (outcome.from_cache) ++combos_cached;
+          PAYLESS_RETURN_IF_ERROR(issue_all({call}, &rows));
         }
-        access_span.AddAttr("binding_values",
-                            static_cast<int64_t>(combos.size()));
-        access_span.AddAttr("combos_from_store", combos_cached);
-        for (ComboOutcome& outcome : outcomes) {
-          if (outcome.cancelled) {
-            if (exec_stats != nullptr) ++exec_stats->calls_cancelled;
-            continue;
+        for (Row& row : rows.Take()) table.Append(std::move(row));
+        return table;
+      }
+
+      case core::AccessSpec::Kind::kBind: {
+        // Binding columns and the left-result positions feeding them.
+        std::vector<size_t> bind_cols;
+        std::vector<size_t> left_positions;
+        for (const sql::JoinEdge& edge : access.bind_edges) {
+          const bool own_left = edge.left.rel == access.rel;
+          const sql::BoundColumnRef& own = own_left ? edge.left : edge.right;
+          const sql::BoundColumnRef& other = own_left ? edge.right : edge.left;
+          if (std::find(bind_cols.begin(), bind_cols.end(), own.col) !=
+              bind_cols.end()) {
+            continue;  // one feeding edge per binding column suffices
           }
-          if (outcome.fetched.has_value()) {
-            Result<market::CallResult>& result = *outcome.fetched;
-            if (!result.ok()) {
-              if (first_error.ok()) first_error = result.status();
-              continue;
+          bind_cols.push_back(own.col);
+          left_positions.push_back(offsets[other.rel] + other.col);
+        }
+        if (bind_cols.empty()) {
+          return Status::Internal("bind access without usable bind edges");
+        }
+
+        // Distinct binding combinations from the running join result.
+        std::vector<Row> combos;
+        {
+          std::unordered_set<Row, RowHasher> seen;
+          for (const Row& row : left_result.rows()) {
+            Row combo;
+            combo.reserve(left_positions.size());
+            bool has_null = false;
+            for (const size_t pos : left_positions) {
+              if (row[pos].is_null()) has_null = true;
+              combo.push_back(row[pos]);
             }
-            rows.AddAll(result->rows);
-            if (exec_stats != nullptr) {
-              ++exec_stats->calls;
-              exec_stats->transactions += result->transactions;
-              exec_stats->rows_from_market += result->num_records;
+            if (has_null) continue;  // NULL never joins
+            if (seen.insert(combo).second) combos.push_back(std::move(combo));
+          }
+        }
+
+        RowSet rows;
+        const bool single_dim = bind_cols.size() == 1;
+        if (config.use_sqr && single_dim) {
+          // Fig. 9 path: the binding values are KNOWN here, so the bind
+          // dimension becomes a value-set dimension and remainder generation
+          // may merge values into range calls or reuse stored slabs.
+          const size_t col = bind_cols[0];
+          const catalog::ColumnDef& column = def.columns[col];
+          const std::vector<size_t> constrainable = def.ConstrainableColumns();
+          const auto dim_it =
+              std::find(constrainable.begin(), constrainable.end(), col);
+          assert(dim_it != constrainable.end());
+          const size_t dim =
+              static_cast<size_t>(dim_it - constrainable.begin());
+
+          Box region = rel.QueryRegion();
+          std::vector<int64_t> codes;
+          for (const Row& combo : combos) {
+            const std::optional<int64_t> code = column.domain.Encode(combo[0]);
+            // Values outside the published domain cannot exist market-side.
+            if (code.has_value() && region.dim(dim).Contains(*code)) {
+              codes.push_back(*code);
             }
-          } else if (outcome.from_cache) {
+          }
+          std::sort(codes.begin(), codes.end());
+          codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+          if (codes.empty()) return table;
+
+          std::vector<semstore::DimSpec> dims =
+              core::Optimizer::DimSpecsFor(def);
+          dims[dim].mode = semstore::DimSpec::Mode::kValueSet;
+          dims[dim].known_values = codes;
+          dims[dim].whole_domain_allowed =
+              column.binding == catalog::BindingKind::kFree;
+          region.dim(dim) = Interval(codes.front(), codes.back());
+
+          // Stored tuples on the requested slabs. Coverage is snapshotted
+          // before the harvest for the same reason as the range path above:
+          // a slab a concurrent query stores between the two reads must land
+          // in the remainder (and be deduped), not silently count as served.
+          const std::vector<Box> covered =
+              store_->CoveredRegions(def.name, config.min_epoch);
+          for (const int64_t code : codes) {
+            Box slab = region;
+            slab.dim(dim) = Interval::Point(code);
+            const std::vector<Row> cached =
+                store_->RowsInRegion(def, slab, config.min_epoch);
             if (exec_stats != nullptr) {
               exec_stats->rows_from_cache +=
-                  static_cast<int64_t>(outcome.cached.size());
+                  static_cast<int64_t>(cached.size());
             }
-            rows.AddAll(outcome.cached);
+            rows.AddAll(cached);
           }
+
+          const catalog::DatasetDef* dataset = catalog_->DatasetOf(def);
+          semstore::RemainderOptions rem_options = config.remainder;
+          rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
+          const semstore::RemainderResult rem = semstore::GenerateRemainder(
+              region, covered, dims,
+              [&](const Box& box) {
+                return stats_->EstimateRows(def.name, box);
+              },
+              rem_options);
+          std::vector<market::RestCall> calls;
+          calls.reserve(rem.remainder_boxes.size());
+          for (const Box& box : rem.remainder_boxes) {
+            Result<market::RestCall> call = market::CallFromRegion(def, box);
+            PAYLESS_RETURN_IF_ERROR(call.status());
+            calls.push_back(std::move(*call));
+          }
+          access_span.AddAttr("binding_values",
+                              static_cast<int64_t>(codes.size()));
+          access_span.AddAttr("remainder_calls",
+                              static_cast<int64_t>(calls.size()));
+          PAYLESS_RETURN_IF_ERROR(issue_all(calls, &rows));
+        } else {
+          // One point call per binding combination; with SQR on, fully
+          // covered combinations are served from the store. Distinct
+          // combinations have pairwise-disjoint point regions, so neither the
+          // coverage decision nor any call's price depends on the order the
+          // combinations complete in — they are dispatched with the
+          // configured fan-out and merged back in binding-value order,
+          // keeping rows, row order and billing identical to the serial loop.
+          struct ComboOutcome {
+            std::optional<Result<market::CallResult>> fetched;
+            std::vector<Row> cached;
+            bool from_cache = false;
+            bool cancelled = false;
+          };
+          std::vector<ComboOutcome> outcomes(combos.size());
+          std::atomic<bool> cancelled{false};
+          common::ParallelFor(pool_, combos.size(), fan_out, [&](size_t i) {
+            if (cancelled.load(std::memory_order_relaxed)) {
+              // A sibling binding value exhausted its retries: stop spending
+              // on a bind join that can no longer deliver.
+              outcomes[i].cancelled = true;
+              return;
+            }
+            market::RestCall call;
+            call.table = def.name;
+            call.conditions = rel.conditions;
+            for (size_t c = 0; c < bind_cols.size(); ++c) {
+              call.conditions[bind_cols[c]] =
+                  market::AttrCondition::Point(combos[i][c]);
+            }
+            if (config.use_sqr) {
+              const Box point_region = market::CallRegion(def, call);
+              if (point_region.empty()) return;  // value outside the domain
+              if (store_->Covers(def, point_region, config.min_epoch)) {
+                outcomes[i].cached =
+                    store_->RowsInRegion(def, point_region, config.min_epoch);
+                outcomes[i].from_cache = true;
+                return;
+              }
+            }
+            outcomes[i].fetched.emplace(
+                connector_->Get(call, config.deadline, &call_obs));
+            if (!(*outcomes[i].fetched).ok()) {
+              cancelled.store(true, std::memory_order_relaxed);
+            }
+          });
+          // Accumulate every delivered/cached outcome before surfacing the
+          // first (binding-value-order) error: exec_stats must equal the
+          // spend-so-far even when the access fails.
+          Status first_error = Status::OK();
+          int64_t combos_cached = 0;
+          for (const ComboOutcome& outcome : outcomes) {
+            if (outcome.from_cache) ++combos_cached;
+          }
+          access_span.AddAttr("binding_values",
+                              static_cast<int64_t>(combos.size()));
+          access_span.AddAttr("combos_from_store", combos_cached);
+          for (ComboOutcome& outcome : outcomes) {
+            if (outcome.cancelled) {
+              if (exec_stats != nullptr) ++exec_stats->calls_cancelled;
+              continue;
+            }
+            if (outcome.fetched.has_value()) {
+              Result<market::CallResult>& result = *outcome.fetched;
+              if (!result.ok()) {
+                if (first_error.ok()) first_error = result.status();
+                continue;
+              }
+              rows.AddAll(result->rows);
+              if (exec_stats != nullptr) {
+                ++exec_stats->calls;
+                exec_stats->transactions += result->transactions;
+                exec_stats->rows_from_market += result->num_records;
+              }
+            } else if (outcome.from_cache) {
+              if (exec_stats != nullptr) {
+                exec_stats->rows_from_cache +=
+                    static_cast<int64_t>(outcome.cached.size());
+              }
+              rows.AddAll(outcome.cached);
+            }
+          }
+          PAYLESS_RETURN_IF_ERROR(first_error);
         }
-        PAYLESS_RETURN_IF_ERROR(first_error);
+        for (Row& row : rows.Take()) table.Append(std::move(row));
+        return table;
       }
-      for (Row& row : rows.Take()) table.Append(std::move(row));
-      return table;
     }
+    return Status::Internal("unknown access kind");
+  };
+
+  Result<storage::Table> fetched = fetch();
+  // Actuals, attached whether the access succeeded or died mid-flight:
+  // what EXPLAIN ANALYZE (and any trace consumer) compares the estimates
+  // against. `transactions` here is the spend billed to delivered calls;
+  // retries and waste live on the market.get child spans.
+  if (exec_stats != nullptr) {
+    access_span.AddAttr("calls", exec_stats->calls - before.calls);
+    access_span.AddAttr("transactions",
+                        exec_stats->transactions - before.transactions);
+    access_span.AddAttr("rows_from_market",
+                        exec_stats->rows_from_market - before.rows_from_market);
   }
-  return Status::Internal("unknown access kind");
+  if (fetched.ok()) {
+    access_span.AddAttr("rows", static_cast<int64_t>(fetched->num_rows()));
+  }
+  return fetched;
 }
 
 Result<storage::Table> ExecutionEngine::Execute(const sql::BoundQuery& query,
@@ -416,9 +452,10 @@ Result<storage::Table> ExecutionEngine::Execute(const sql::BoundQuery& query,
   current.Append({});
   size_t width = 0;
 
-  for (const core::AccessSpec& access : plan.accesses) {
+  for (size_t a = 0; a < plan.accesses.size(); ++a) {
+    const core::AccessSpec& access = plan.accesses[a];
     Result<storage::Table> fetched =
-        FetchRelation(query, access, current, offsets, config, exec_stats);
+        FetchRelation(query, access, a, current, offsets, config, exec_stats);
     PAYLESS_RETURN_IF_ERROR(fetched.status());
 
     // Maintain the running join (it feeds later bind joins).

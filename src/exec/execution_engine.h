@@ -80,8 +80,11 @@ class ExecutionEngine {
 
  private:
   /// Retrieves the rows for one access, spending money as needed.
+  /// `access_index` is the access's position in the plan; it tags the
+  /// access span so EXPLAIN ANALYZE can join actuals back onto the plan.
   Result<storage::Table> FetchRelation(const sql::BoundQuery& query,
                                        const core::AccessSpec& access,
+                                       size_t access_index,
                                        const storage::Table& left_result,
                                        const std::vector<size_t>& offsets,
                                        const ExecConfig& config,

@@ -5,10 +5,27 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <sstream>
 
+#include "obs/explain.h"
 #include "sql/parser.h"
 
 namespace payless::exec {
+
+namespace {
+
+/// EXPLAIN's result relation: one string column, one row per text line —
+/// the shape every SQL tool expects from an explain statement.
+storage::Table PlanTextTable(const std::string& text) {
+  storage::Table table(storage::Schema(
+      {storage::SchemaColumn{"", "QUERY PLAN", ValueType::kString}}));
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) table.Append({Value(line)});
+  return table;
+}
+
+}  // namespace
 
 PayLess::PayLess(const catalog::Catalog* catalog,
                  const market::DataMarket* market, PayLessConfig config)
@@ -19,6 +36,7 @@ PayLess::PayLess(const catalog::Catalog* catalog,
                      : nullptr),
       obs_(config.observability != nullptr ? config.observability
                                            : owned_obs_.get()),
+      accuracy_(&obs_->metrics, config.qerror_invalidation_threshold),
       connector_(market),
       stats_(config.stats_kind) {
   // Resolve metric handles once; the per-query path then records through
@@ -51,14 +69,28 @@ PayLess::PayLess(const catalog::Catalog* catalog,
     }
   }
   // Steps 5.3 / 5.4 of Fig. 3: every successful call feeds the semantic
-  // store and the statistics.
+  // store and the statistics. The accuracy tracker taps the same point:
+  // the estimate is taken BEFORE Feedback (afterwards the histogram has
+  // already absorbed the observation and the comparison would flatter it).
   connector_.AddListener([this](const market::RestCall& call,
                                 const market::CallResult& result) {
     const catalog::TableDef* def = catalog_->FindTable(call.table);
     assert(def != nullptr);
     const Box region = market::CallRegion(*def, call);
+    if (config_.enable_accuracy_tracking) {
+      const double estimated = stats_.EstimateRows(call.table, region);
+      accuracy_.Record(call.table, def->dataset, estimated,
+                       static_cast<double>(result.num_records));
+    }
     store_.Store(*def, region, result.rows, current_week());
     stats_.Feedback(call.table, region, result.num_records);
+    if (config_.enable_accuracy_tracking) {
+      const stats::EstimatorInfo info = stats_.Info(call.table);
+      accuracy_.RecordStatsQuality(call.table,
+                                   static_cast<int64_t>(info.buckets),
+                                   static_cast<int64_t>(info.feedbacks),
+                                   info.total_count);
+    }
   });
 }
 
@@ -134,20 +166,49 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
     opt_options.use_sqr = false;  // §4.3: full consistency disables SQR
   }
 
-  // Plan-template cache: repeated identical parameterized queries reuse the
-  // optimizer's plan while the semantic store and statistics are unchanged
-  // (the versions are part of the key, so staleness means a plain miss).
+  // `EXPLAIN <query>`: optimize-only, exactly like the Explain() API —
+  // nothing is billed, nothing is cached, and the result relation is the
+  // rendered plan. (EXPLAIN ANALYZE falls through: it executes for real.)
+  if (bound->explain == sql::ExplainMode::kPlain) {
+    const core::Optimizer optimizer(catalog_, &stats_, &store_, opt_options);
+    Result<core::OptimizeResult> optimized = optimizer.Optimize(*bound);
+    PAYLESS_RETURN_IF_ERROR(optimized.status());
+    QueryReport report;
+    report.plan = std::move(optimized->plan);
+    report.counters = optimized->counters;
+    report.query_id = query_id;
+    obs::ExplainContext context;
+    context.counters = &report.counters;
+    context.stats = &stats_;
+    report.plan_text = obs::RenderExplain(report.plan, *bound, context);
+    report.result = PlanTextTable(report.plan_text);
+    return report;
+  }
+  // EXPLAIN ANALYZE joins the actuals from the trace spans, so the trace
+  // must exist even when tracing is off; parse/bind spans were skipped in
+  // that case, which the span join does not care about.
+  const bool analyze = bound->explain == sql::ExplainMode::kAnalyze;
+  if (analyze && trace == nullptr) {
+    trace = &trace_storage;
+    root = trace->StartSpan("query");
+    trace->AddAttr(root, "tenant", config_.tenant);
+    trace->AddAttr(root, "query_id", static_cast<int64_t>(query_id));
+  }
+
+  // Plan-template cache: repeated identical parameterized queries reuse
+  // the optimizer's plan until the accuracy tracker observes estimate
+  // drift beyond the q-error threshold (the drift epoch is part of the
+  // key, so staleness means a plain miss and a re-optimization against
+  // the refined statistics).
   QueryReport report;
   bool cache_hit = false;
   {
     obs::ScopedSpan plan_span(trace, "plan", root);
     std::string cache_key;
-    const uint64_t store_version = store_.version();
-    const uint64_t stats_version = stats_.version();
+    const uint64_t drift_epoch = accuracy_.drift_epoch();
     if (config_.enable_plan_cache) {
       cache_key = core::PlanCache::MakeKey(core::NormalizeSqlTemplate(sql),
-                                           params, store_version,
-                                           stats_version,
+                                           params, drift_epoch,
                                            opt_options.min_epoch);
       if (std::optional<core::CachedPlan> cached =
               plan_cache_.Lookup(cache_key)) {
@@ -162,11 +223,10 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
       PAYLESS_RETURN_IF_ERROR(optimized.status());
       report.plan = std::move(optimized->plan);
       report.counters = optimized->counters;
-      if (config_.enable_plan_cache && store_.version() == store_version &&
-          stats_.version() == stats_version) {
-        // Only cache when no concurrent Store/Feedback raced the
-        // optimization, so every cached plan matches the versions in its
-        // key exactly.
+      if (config_.enable_plan_cache &&
+          accuracy_.drift_epoch() == drift_epoch) {
+        // Only cache when no concurrent drift tick raced the optimization,
+        // so every cached plan matches the epoch in its key exactly.
         plan_cache_.Insert(cache_key, core::CachedPlan{report.plan,
                                                        report.counters});
       }
@@ -248,6 +308,25 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
     }
   };
 
+  // EXPLAIN ANALYZE: join the measured per-access actuals (rows, calls,
+  // transactions, retries, waste) from the trace back onto the plan and
+  // make the rendering the query's result. Runs after finish_report so
+  // report.trace is final; also on mid-flight errors — a partial ANALYZE
+  // that shows where the money went before the failure is exactly what an
+  // operator wants.
+  const auto attach_analyze = [&] {
+    if (!analyze) return;
+    const std::vector<obs::AccessActuals> actuals =
+        obs::JoinAccessActuals(report.trace, report.plan.accesses.size());
+    obs::ExplainContext context;
+    context.counters = &report.counters;
+    context.stats = &stats_;
+    context.actuals = &actuals;
+    context.transactions_spent = report.transactions_spent;
+    report.plan_text = obs::RenderExplain(report.plan, *bound, context);
+    report.result = PlanTextTable(report.plan_text);
+  };
+
   if (!result.ok()) {
     const Status::Code code = result.status().code();
     if (IsRetryable(code) || code == Status::Code::kDeadlineExceeded) {
@@ -257,6 +336,7 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
       // so re-issuing the query only pays for what is still missing.
       report.error = result.status();
       finish_report();
+      attach_analyze();
       return report;
     }
     return result.status();
@@ -264,6 +344,7 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
 
   report.result = std::move(*result);
   finish_report();
+  attach_analyze();
   return report;
 }
 
@@ -293,7 +374,19 @@ Result<QueryReport> PayLess::Explain(const std::string& sql,
   report.plan = std::move(optimized->plan);
   report.counters = optimized->counters;
   report.transactions_spent = 0;  // nothing executed
+  obs::ExplainContext context;
+  context.counters = &report.counters;
+  context.stats = &stats_;
+  report.plan_text = obs::RenderExplain(report.plan, *bound, context);
+  report.result = PlanTextTable(report.plan_text);
   return report;
+}
+
+Result<std::string> PayLess::ExplainText(const std::string& sql,
+                                         const std::vector<Value>& params) {
+  Result<QueryReport> report = Explain(sql, params);
+  PAYLESS_RETURN_IF_ERROR(report.status());
+  return std::move(report->plan_text);
 }
 
 Result<BatchReport> PayLess::QueryBatch(const std::vector<BatchQuery>& batch) {

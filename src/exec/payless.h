@@ -21,6 +21,7 @@
 #include "core/plan_cache.h"
 #include "exec/execution_engine.h"
 #include "market/data_market.h"
+#include "obs/accuracy.h"
 #include "obs/observability.h"
 #include "semstore/semantic_store.h"
 #include "sql/bound_query.h"
@@ -51,10 +52,21 @@ struct PayLessConfig {
   /// deterministically in binding-value order. 0 = hardware concurrency,
   /// 1 = strictly serial. Rows and billing are identical either way.
   size_t max_parallel_calls = 0;
-  /// Reuse plans of repeated identical parameterized queries while the
-  /// semantic-store and statistics versions are unchanged (skips the DP
-  /// entirely; invalidation is automatic via the version counters).
+  /// Reuse plans of repeated identical parameterized queries (skips the DP
+  /// entirely). Invalidation is drift-based: the accuracy tracker's epoch
+  /// is part of the key, so templates only re-optimize when an estimate
+  /// was materially wrong (see qerror_invalidation_threshold).
   bool enable_plan_cache = true;
+  /// Record (estimated, actual) pairs at the feedback point into per-table
+  /// q-error histograms and stats-quality gauges. Also powers the plan
+  /// cache's drift invalidation — with tracking off, the drift epoch never
+  /// moves and cached templates live until the consistency horizon shifts.
+  bool enable_accuracy_tracking = true;
+  /// A recorded q-error above this threshold ticks the drift epoch and
+  /// invalidates every cached plan template (they were priced with
+  /// statistics that have since been materially corrected). <= 0 disables
+  /// drift invalidation entirely.
+  double qerror_invalidation_threshold = 2.0;
   /// Resilience policy of the market connector: retries with capped
   /// exponential backoff + jitter, per-call timeout, per-dataset circuit
   /// breaker. Inert against a fault-free market.
@@ -82,6 +94,11 @@ struct PayLessConfig {
 struct QueryReport {
   storage::Table result;
   core::Plan plan;
+  /// Rendered plan text. Filled for EXPLAIN / EXPLAIN ANALYZE statements
+  /// (the ANALYZE form includes per-access actuals and q-errors) and by
+  /// Explain(); empty for plain queries — rendering is not free and most
+  /// callers never look at it.
+  std::string plan_text;
   core::PlanningCounters counters;
   ExecStats exec;
   int64_t transactions_spent = 0;  // this query's own billed transactions
@@ -164,10 +181,19 @@ class PayLess {
                                       const std::vector<Value>& params = {});
 
   /// Optimizes without executing: returns the would-be plan and its
-  /// human-readable description. Nothing is billed and nothing is cached —
-  /// the buyer can inspect the estimated spend before committing.
+  /// human-readable description (QueryReport::plan_text). Nothing is
+  /// billed and nothing is cached — the buyer can inspect the estimated
+  /// spend before committing. Also reached by the `EXPLAIN <query>`
+  /// statement form; `EXPLAIN ANALYZE` instead goes through Query and DOES
+  /// execute (and bill).
   Result<QueryReport> Explain(const std::string& sql,
                               const std::vector<Value>& params = {});
+
+  /// The rendered EXPLAIN text for `sql` — plan, estimates, planning
+  /// counters and statistics maturity. Never executes and never spends;
+  /// this is what the HTTP exposition endpoint serves for /explain?q=.
+  Result<std::string> ExplainText(const std::string& sql,
+                                  const std::vector<Value>& params = {});
 
   /// Multi-query optimization (§7): processes a deferred batch jointly.
   /// The footprints of all queries on each market table are greedily merged
@@ -195,6 +221,9 @@ class PayLess {
   const market::BillingMeter& meter() const { return connector_.meter(); }
   const semstore::SemanticStore& store() const { return store_; }
   const stats::StatsRegistry& stats() const { return stats_; }
+  /// Estimator-accuracy telemetry (q-errors, drift epoch). Always present;
+  /// it only accumulates samples while enable_accuracy_tracking is on.
+  const obs::AccuracyTracker& accuracy() const { return accuracy_; }
   const core::PlanCache& plan_cache() const { return plan_cache_; }
   market::MarketConnector* connector() { return &connector_; }
   storage::Database* local_db() { return &local_db_; }
@@ -235,6 +264,7 @@ class PayLess {
   std::unique_ptr<obs::Observability> owned_obs_;  // when none was shared
   obs::Observability* obs_;
   MetricHandles metric_;
+  obs::AccuracyTracker accuracy_;  // after obs_: constructed from it
   market::MarketConnector connector_;
   semstore::SemanticStore store_;
   stats::StatsRegistry stats_;

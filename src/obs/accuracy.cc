@@ -1,0 +1,119 @@
+#include "obs/accuracy.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace payless::obs {
+
+namespace {
+
+/// q-error histogram bounds, x100 fixed-point: 1.0, 1.25, 1.5, 2, 4, 8,
+/// 16, 64 (+inf implicit). The low end resolves "basically right", the
+/// high end catches cold-start misestimates that are off by orders of
+/// magnitude.
+std::vector<int64_t> QErrorBounds() {
+  return {100, 125, 150, 200, 400, 800, 1600, 6400};
+}
+
+int64_t ToX100(double v) {
+  const double scaled = v * 100.0;
+  constexpr double kMax = 9.0e18;
+  return static_cast<int64_t>(std::min(scaled, kMax));
+}
+
+}  // namespace
+
+AccuracyTracker::AccuracyTracker(MetricsRegistry* metrics,
+                                 double qerror_invalidation_threshold)
+    : metrics_(metrics), threshold_(qerror_invalidation_threshold) {
+  if (metrics_ != nullptr) {
+    drift_ticks_ = metrics_->GetCounter("payless_stats_drift_ticks_total");
+    drift_epoch_gauge_ = metrics_->GetGauge("payless_stats_drift_epoch");
+  }
+}
+
+double AccuracyTracker::QError(double estimated, double actual) {
+  const double e = std::max(estimated, 1.0);
+  const double a = std::max(actual, 1.0);
+  return std::max(e / a, a / e);
+}
+
+std::string AccuracyTracker::SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+AccuracyTracker::PerTable& AccuracyTracker::Entry(const std::string& table,
+                                                  const std::string& dataset) {
+  PerTable& entry = tables_[table];
+  if (metrics_ != nullptr && entry.qerror_hist == nullptr) {
+    const std::string tag = SanitizeMetricName(table);
+    (void)dataset;  // tables map 1:1 to metric series; dataset rides along
+                    // in the ledger, which already keys spend by dataset
+    entry.qerror_hist =
+        metrics_->GetHistogram("payless_qerror_x100_" + tag, QErrorBounds());
+    entry.qerror_last = metrics_->GetGauge("payless_qerror_last_x100_" + tag);
+    entry.qerror_max = metrics_->GetGauge("payless_qerror_max_x100_" + tag);
+    entry.stats_buckets = metrics_->GetGauge("payless_stats_buckets_" + tag);
+    entry.stats_feedbacks =
+        metrics_->GetGauge("payless_stats_feedbacks_" + tag);
+    entry.stats_rows = metrics_->GetGauge("payless_stats_rows_" + tag);
+  }
+  return entry;
+}
+
+void AccuracyTracker::Record(const std::string& table,
+                             const std::string& dataset, double estimated,
+                             double actual) {
+  const double qerror = QError(estimated, actual);
+  total_samples_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PerTable& entry = Entry(table, dataset);
+    AccuracySnapshot& snap = entry.snapshot;
+    ++snap.samples;
+    snap.last_qerror = qerror;
+    snap.max_qerror = std::max(snap.max_qerror, qerror);
+    snap.sum_qerror += qerror;
+    if (entry.qerror_hist != nullptr) {
+      entry.qerror_hist->Observe(ToX100(qerror));
+      entry.qerror_last->Set(ToX100(qerror));
+      entry.qerror_max->Set(ToX100(snap.max_qerror));
+    }
+  }
+
+  if (threshold_ > 0.0 && qerror > threshold_) {
+    const uint64_t epoch =
+        drift_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (drift_ticks_ != nullptr) drift_ticks_->Add(1);
+    if (drift_epoch_gauge_ != nullptr) {
+      drift_epoch_gauge_->Set(static_cast<int64_t>(epoch));
+    }
+  }
+}
+
+void AccuracyTracker::RecordStatsQuality(const std::string& table,
+                                         int64_t buckets, int64_t feedbacks,
+                                         double total_rows) {
+  if (metrics_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerTable& entry = Entry(table, /*dataset=*/"");
+  entry.stats_buckets->Set(buckets);
+  entry.stats_feedbacks->Set(feedbacks);
+  entry.stats_rows->Set(static_cast<int64_t>(total_rows));
+}
+
+AccuracySnapshot AccuracyTracker::Snapshot(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return AccuracySnapshot{};
+  return it->second.snapshot;
+}
+
+}  // namespace payless::obs

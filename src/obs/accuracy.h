@@ -1,0 +1,122 @@
+// Estimator-accuracy tracking: the optimizer-side telemetry of Fig. 3's
+// feedback loop. Every market call already reports its true result size
+// back to the statistics block; this tracker taps the same point and
+// records the (estimated, actual) pair as a q-error — the standard
+// multiplicative estimation-error metric,
+//
+//   qerror(e, a) = max(max(e,1)/max(a,1), max(a,1)/max(e,1))  >= 1,
+//
+// into per-dataset histograms and stats-quality gauges of a metrics
+// registry. A q-error of 1 is a perfect estimate; the paper's cold-start
+// uniform assumption can be off by orders of magnitude until feedback
+// refines the histogram (§4.3).
+//
+// The tracker also owns the plan-template cache's staleness signal: when a
+// recorded q-error exceeds the configured invalidation threshold, the
+// estimate that priced some plan was materially wrong, so every cached
+// template keyed on the previous epoch must be re-optimized against the
+// now-refined statistics. The epoch is a single monotonic counter — cheap
+// to read on the query hot path, and conservative (one bad estimate
+// anywhere re-prices everything, which is the behaviour the paper's
+// uniform-to-learned plan switch needs).
+#ifndef PAYLESS_OBS_ACCURACY_H_
+#define PAYLESS_OBS_ACCURACY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace payless::obs {
+
+/// Per-table accuracy aggregate (all values over the tracker's lifetime).
+struct AccuracySnapshot {
+  uint64_t samples = 0;
+  double last_qerror = 0.0;
+  double max_qerror = 0.0;
+  double sum_qerror = 0.0;  // mean = sum / samples
+
+  double mean_qerror() const {
+    return samples == 0 ? 0.0 : sum_qerror / static_cast<double>(samples);
+  }
+};
+
+/// Thread-safe (estimated, actual) recorder with metric export and a drift
+/// epoch for plan-template-cache invalidation.
+class AccuracyTracker {
+ public:
+  /// `metrics` may be null (tracking still works; nothing is exported).
+  /// A non-positive `qerror_invalidation_threshold` disables drift ticking
+  /// entirely — cached plans then live until their key's other components
+  /// change.
+  AccuracyTracker(MetricsRegistry* metrics,
+                  double qerror_invalidation_threshold);
+
+  AccuracyTracker(const AccuracyTracker&) = delete;
+  AccuracyTracker& operator=(const AccuracyTracker&) = delete;
+
+  /// The q-error of estimating `estimated` rows when `actual` arrived.
+  /// Symmetric, >= 1; both sides are clamped to 1 so empty results do not
+  /// divide by zero.
+  static double QError(double estimated, double actual);
+
+  /// Records one pair for `table` (hosted by `dataset`; the dataset tag is
+  /// only used to label metrics). Updates the per-table q-error histogram
+  /// and gauges, and ticks the drift epoch when the threshold is exceeded.
+  void Record(const std::string& table, const std::string& dataset,
+              double estimated, double actual);
+
+  /// Publishes stats-maturity gauges for `table` (histogram bucket count,
+  /// feedback volume, believed cardinality). Called alongside Record from
+  /// the feedback point; split out because the tracker must not depend on
+  /// the stats layer.
+  void RecordStatsQuality(const std::string& table, int64_t buckets,
+                          int64_t feedbacks, double total_rows);
+
+  /// Monotonic staleness epoch: ticks whenever a recorded q-error exceeds
+  /// the invalidation threshold. Plan-cache keys embed this value.
+  uint64_t drift_epoch() const {
+    return drift_epoch_.load(std::memory_order_acquire);
+  }
+
+  double threshold() const { return threshold_; }
+
+  AccuracySnapshot Snapshot(const std::string& table) const;
+  uint64_t total_samples() const {
+    return total_samples_.load(std::memory_order_relaxed);
+  }
+
+  /// Metric-name-safe version of a table/dataset name ([a-zA-Z0-9_:] kept,
+  /// everything else becomes '_').
+  static std::string SanitizeMetricName(const std::string& name);
+
+ private:
+  struct PerTable {
+    AccuracySnapshot snapshot;
+    Histogram* qerror_hist = nullptr;      // x100 fixed-point
+    Gauge* qerror_last = nullptr;          // x100 fixed-point
+    Gauge* qerror_max = nullptr;           // x100 fixed-point
+    Gauge* stats_buckets = nullptr;
+    Gauge* stats_feedbacks = nullptr;
+    Gauge* stats_rows = nullptr;
+  };
+
+  PerTable& Entry(const std::string& table, const std::string& dataset);
+
+  MetricsRegistry* metrics_;
+  const double threshold_;
+  std::atomic<uint64_t> drift_epoch_{0};
+  std::atomic<uint64_t> total_samples_{0};
+  Counter* drift_ticks_ = nullptr;
+  Gauge* drift_epoch_gauge_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, PerTable> tables_;
+};
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_ACCURACY_H_

@@ -1,0 +1,151 @@
+#include "obs/explain.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/accuracy.h"
+
+namespace payless::obs {
+
+namespace {
+
+/// Looks up an attr by key; returns nullptr when absent.
+const std::string* FindAttr(const SpanRecord& span, const char* key) {
+  for (const auto& [k, v] : span.attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+int64_t AttrInt(const SpanRecord& span, const char* key, int64_t fallback) {
+  const std::string* raw = FindAttr(span, key);
+  if (raw == nullptr) return fallback;
+  return std::strtoll(raw->c_str(), nullptr, 10);
+}
+
+std::string FormatQError(double qerror) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", qerror);
+  return buf;
+}
+
+/// One access line: `kind table [on (cols)] ~est...`.
+void AppendAccessLine(std::ostringstream& os, const core::AccessSpec& access,
+                      const sql::BoundQuery& query) {
+  const sql::BoundRelation& rel = query.relations[access.rel];
+  os << "  " << core::AccessKindName(access.kind) << " " << rel.def->name;
+  if (access.kind == core::AccessSpec::Kind::kBind) {
+    os << " on (";
+    for (size_t i = 0; i < access.bind_edges.size(); ++i) {
+      if (i > 0) os << ", ";
+      const sql::JoinEdge& e = access.bind_edges[i];
+      const sql::BoundColumnRef& own =
+          e.left.rel == access.rel ? e.left : e.right;
+      os << rel.def->columns[own.col].name;
+    }
+    os << ")";
+  }
+  if (!access.IsZeroPrice()) {
+    os << " ~" << access.est_transactions << " txn, ~" << access.est_calls
+       << " calls, ~" << access.est_rows << " rows";
+    if (access.kind == core::AccessSpec::Kind::kBind) {
+      os << ", ~" << access.est_bind_values << " bind values";
+    }
+    if (access.used_sqr) os << " (SQR)";
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::vector<AccessActuals> JoinAccessActuals(
+    const std::vector<SpanRecord>& spans, size_t num_accesses) {
+  std::vector<AccessActuals> actuals(num_accesses);
+  // Access-span id -> plan position, for attributing each market-call
+  // child span. Trace span ids are 1-based and bounded by the span count.
+  std::vector<int64_t> position_of_span(spans.size() + 1, -1);
+
+  for (const SpanRecord& span : spans) {
+    if (span.name.rfind("access:", 0) != 0) continue;
+    const int64_t index = AttrInt(span, "access_index", -1);
+    if (index < 0 || static_cast<size_t>(index) >= num_accesses) continue;
+    AccessActuals& a = actuals[static_cast<size_t>(index)];
+    a.present = true;
+    a.rows = AttrInt(span, "rows", 0);
+    a.calls = AttrInt(span, "calls", 0);
+    a.transactions = AttrInt(span, "transactions", 0);
+    a.rows_from_market = AttrInt(span, "rows_from_market", 0);
+    if (span.id < position_of_span.size()) {
+      position_of_span[span.id] = index;
+    }
+  }
+  for (const SpanRecord& span : spans) {
+    if (span.parent == 0 || span.parent >= position_of_span.size()) continue;
+    const int64_t index = position_of_span[span.parent];
+    if (index < 0) continue;
+    AccessActuals& a = actuals[static_cast<size_t>(index)];
+    a.retries += AttrInt(span, "retries", 0);
+    a.wasted_transactions += AttrInt(span, "wasted_transactions", 0);
+  }
+  return actuals;
+}
+
+std::string RenderPlan(const core::Plan& plan, const sql::BoundQuery& query) {
+  return RenderExplain(plan, query, ExplainContext{});
+}
+
+std::string RenderExplain(const core::Plan& plan, const sql::BoundQuery& query,
+                          const ExplainContext& context) {
+  std::ostringstream os;
+  os << "Plan[cost=" << plan.est_cost
+     << " txn, est_rows=" << plan.est_result_rows << "]\n";
+  for (size_t i = 0; i < plan.accesses.size(); ++i) {
+    const core::AccessSpec& access = plan.accesses[i];
+    AppendAccessLine(os, access, query);
+    if (context.actuals != nullptr && i < context.actuals->size()) {
+      const AccessActuals& a = (*context.actuals)[i];
+      if (!a.present) {
+        os << "    actual: (not executed)\n";
+        continue;
+      }
+      os << "    actual: " << a.transactions << " txn, " << a.calls
+         << " calls, " << a.rows << " rows";
+      if (a.retries > 0 || a.wasted_transactions > 0) {
+        os << ", " << a.retries << " retries, " << a.wasted_transactions
+           << " wasted txn";
+      }
+      if (!access.IsZeroPrice()) {
+        const double qerror = AccuracyTracker::QError(
+            static_cast<double>(access.est_transactions),
+            static_cast<double>(a.transactions));
+        os << ", q-error(txn) " << FormatQError(qerror);
+      }
+      os << "\n";
+    }
+  }
+  if (context.counters != nullptr) {
+    const core::PlanningCounters& c = *context.counters;
+    os << "planning: evaluated_plans=" << c.evaluated_plans
+       << " enumerated_bboxes=" << c.enumerated_bboxes
+       << " kept_bboxes=" << c.kept_bboxes
+       << " cache_hits=" << c.plan_cache_hits
+       << " cache_misses=" << c.plan_cache_misses << "\n";
+  }
+  if (context.stats != nullptr) {
+    for (const core::AccessSpec& access : plan.accesses) {
+      const sql::BoundRelation& rel = query.relations[access.rel];
+      if (!rel.is_market()) continue;
+      const stats::EstimatorInfo info = context.stats->Info(rel.def->name);
+      os << "stats: " << rel.def->name << " buckets=" << info.buckets
+         << " feedbacks=" << info.feedbacks
+         << " est_cardinality=" << info.total_count << "\n";
+    }
+  }
+  if (context.transactions_spent >= 0) {
+    os << "spent: " << context.transactions_spent << " txn\n";
+  }
+  return os.str();
+}
+
+}  // namespace payless::obs

@@ -1,0 +1,74 @@
+// EXPLAIN / EXPLAIN ANALYZE rendering — the single plan-formatting path.
+//
+// The optimizer's left-deep plan (core::Plan) already carries every
+// estimate the cost model used: per-access kind, bind edges, SQR usage,
+// est_rows / est_bind_values / est_transactions / est_calls. EXPLAIN
+// renders exactly that; EXPLAIN ANALYZE executes the query first and joins
+// the measured actuals — rows, calls, transactions, retries, waste — back
+// onto each access from the query's trace spans, then reports the
+// per-access transaction q-error so an operator can see precisely where
+// (and by how much) the statistics mispriced the plan.
+//
+// This lives in its own obs sub-target (payless_obs_explain) because it
+// depends on core/sql/stats, which sit ABOVE the base obs library in the
+// layering; the base library (metrics, traces, ledger, accuracy) stays
+// dependency-free so market can link it.
+#ifndef PAYLESS_OBS_EXPLAIN_H_
+#define PAYLESS_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "obs/trace.h"
+#include "sql/bound_query.h"
+#include "stats/estimator.h"
+
+namespace payless::obs {
+
+/// Measured execution facts for one plan access, joined from trace spans.
+struct AccessActuals {
+  bool present = false;          // the access ran (its span was found)
+  int64_t rows = 0;              // rows the access handed to the join
+  int64_t calls = 0;             // delivered market calls
+  int64_t transactions = 0;      // transactions billed to delivered calls
+  int64_t rows_from_market = 0;  // summed true result sizes (num_records)
+  int64_t retries = 0;           // summed over the market.get child spans
+  int64_t wasted_transactions = 0;  // billed to attempts that then failed
+};
+
+/// Joins `spans` back onto plan access positions via the access spans'
+/// `access_index` attribute; retries and waste are summed from each access
+/// span's market-call children. Always returns `num_accesses` entries
+/// (absent ones — zero-price accesses the engine skipped, or accesses
+/// never reached after a mid-flight error — have present == false).
+std::vector<AccessActuals> JoinAccessActuals(
+    const std::vector<SpanRecord>& spans, size_t num_accesses);
+
+/// Renders the bare plan (header + one line per access with its estimates).
+std::string RenderPlan(const core::Plan& plan, const sql::BoundQuery& query);
+
+/// Optional context for the full EXPLAIN rendering; every field may be
+/// left unset and its section is omitted.
+struct ExplainContext {
+  const core::PlanningCounters* counters = nullptr;
+  /// Adds per-market-table statistics-maturity lines (buckets, feedbacks,
+  /// believed cardinality).
+  const stats::StatsRegistry* stats = nullptr;
+  /// ANALYZE: per-access actuals, one entry per plan access (from
+  /// JoinAccessActuals). Enables the "actual:" lines and q-errors.
+  const std::vector<AccessActuals>* actuals = nullptr;
+  /// ANALYZE: the query's total billed transactions (< 0 omits the line).
+  int64_t transactions_spent = -1;
+};
+
+/// Full EXPLAIN [ANALYZE] text: RenderPlan plus planning counters, stats
+/// maturity and — when `context.actuals` is set — per-access actuals with
+/// the estimated-vs-actual transaction q-error.
+std::string RenderExplain(const core::Plan& plan, const sql::BoundQuery& query,
+                          const ExplainContext& context);
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_EXPLAIN_H_

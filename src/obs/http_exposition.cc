@@ -1,0 +1,234 @@
+#include "obs/http_exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace payless::obs {
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string HttpResponse(int status, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string NotFound() {
+  return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
+                      "not found\n");
+}
+
+/// Writes the whole buffer, riding out EINTR and partial writes.
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string UrlDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < s.size()) {
+      const int hi = HexDigit(s[i + 1]);
+      const int lo = HexDigit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(c);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+HttpExpositionServer::HttpExpositionServer(MetricsRegistry* metrics,
+                                           CostLedger* ledger, Options options)
+    : metrics_(metrics), ledger_(ledger), options_(std::move(options)) {}
+
+HttpExpositionServer::~HttpExpositionServer() { Stop(); }
+
+void HttpExpositionServer::SetExplainHandler(ExplainHandler handler) {
+  explain_handler_ = std::move(handler);
+}
+
+Status HttpExpositionServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("exposition server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind(" + options_.bind_address + ":" +
+                            std::to_string(options_.port) + "): " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen(): " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname(): " + err);
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpExpositionServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() wakes the blocking accept(); close() alone is not reliably
+  // enough on all platforms.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpExpositionServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // socket shut down (Stop) or unrecoverable
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExpositionServer::HandleConnection(int fd) {
+  // One small request; only the request line matters. 8 KiB caps any
+  // garbage a misbehaving client throws at the admin port.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n") == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // not even a request line
+
+  const std::string line = request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
+                              "malformed request line\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    WriteAll(fd, HttpResponse(405, "Method Not Allowed",
+                              "text/plain; charset=utf-8",
+                              "only GET is supported\n"));
+    return;
+  }
+  WriteAll(fd, Respond(target));
+}
+
+std::string HttpExpositionServer::Respond(const std::string& target) const {
+  const size_t qmark = target.find('?');
+  const std::string path = target.substr(0, qmark);
+  const std::string query =
+      qmark == std::string::npos ? "" : target.substr(qmark + 1);
+
+  if (path == "/metrics") {
+    if (metrics_ == nullptr) return NotFound();
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                        metrics_->ToPrometheusText());
+  }
+  if (path == "/metrics.json") {
+    if (metrics_ == nullptr) return NotFound();
+    return HttpResponse(200, "OK", "application/json", metrics_->ToJson());
+  }
+  if (path == "/ledger") {
+    if (ledger_ == nullptr) return NotFound();
+    return HttpResponse(200, "OK", "application/json", ledger_->ToJson());
+  }
+  if (path == "/explain") {
+    if (!explain_handler_) return NotFound();
+    // q=<urlencoded sql>, anywhere in the query string.
+    std::string sql;
+    size_t pos = 0;
+    while (pos < query.size()) {
+      size_t amp = query.find('&', pos);
+      if (amp == std::string::npos) amp = query.size();
+      const std::string pair = query.substr(pos, amp - pos);
+      if (pair.rfind("q=", 0) == 0) sql = UrlDecode(pair.substr(2));
+      pos = amp + 1;
+    }
+    if (sql.empty()) {
+      return HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
+                          "missing q= parameter\n");
+    }
+    const Result<std::string> rendered = explain_handler_(sql);
+    if (!rendered.ok()) {
+      return HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
+                          rendered.status().ToString() + "\n");
+    }
+    return HttpResponse(200, "OK", "text/plain; charset=utf-8", *rendered);
+  }
+  return NotFound();
+}
+
+}  // namespace payless::obs

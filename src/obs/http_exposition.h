@@ -1,0 +1,98 @@
+// Minimal embedded HTTP exposition server: live introspection for a
+// running PayLess instance.
+//
+// One background thread runs a blocking accept loop over a plain POSIX
+// socket — no external dependencies, no event loop — and answers four
+// read-only GET endpoints:
+//
+//   /metrics        Prometheus text exposition of the metrics registry
+//   /metrics.json   the same registry as JSON
+//   /ledger         the cost ledger (per-tenant / per-dataset spend)
+//   /explain?q=...  EXPLAIN for a URL-encoded SQL statement (the handler
+//                   is injected by the embedding layer, keeping this
+//                   library below exec in the dependency order)
+//
+// Scale intent: an operator's curl / a Prometheus scraper — one small
+// response per request, connection closed after each (HTTP/1.1 with
+// `Connection: close`). Correctness under concurrent queries comes from
+// the underlying structures (metrics handles are atomics, the ledger and
+// registry lock internally), so serving never blocks the query path.
+#ifndef PAYLESS_OBS_HTTP_EXPOSITION_H_
+#define PAYLESS_OBS_HTTP_EXPOSITION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/cost_ledger.h"
+#include "obs/metrics.h"
+
+namespace payless::obs {
+
+class HttpExpositionServer {
+ public:
+  struct Options {
+    /// Loopback by default: this is an admin surface, not a public API.
+    std::string bind_address = "127.0.0.1";
+    /// 0 asks the kernel for an ephemeral port; read it back via port().
+    uint16_t port = 0;
+  };
+
+  /// Serves /explain?q=<sql>. Receives the decoded SQL text; returns the
+  /// rendered plan or an error (mapped to HTTP 400). Must be thread-safe.
+  using ExplainHandler = std::function<Result<std::string>(const std::string&)>;
+
+  /// Either registry pointer may be null; the endpoint then answers 404.
+  HttpExpositionServer(MetricsRegistry* metrics, CostLedger* ledger,
+                       Options options);
+  HttpExpositionServer(MetricsRegistry* metrics, CostLedger* ledger)
+      : HttpExpositionServer(metrics, ledger, Options()) {}
+  ~HttpExpositionServer();
+
+  HttpExpositionServer(const HttpExpositionServer&) = delete;
+  HttpExpositionServer& operator=(const HttpExpositionServer&) = delete;
+
+  /// Install before Start(); unset leaves /explain answering 404.
+  void SetExplainHandler(ExplainHandler handler);
+
+  /// Binds, listens and launches the accept thread. Fails (without leaking
+  /// the socket) when the address cannot be bound.
+  Status Start();
+
+  /// Stops accepting, closes the socket and joins the thread. Idempotent;
+  /// also called by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (the kernel's pick when Options::port was 0). Valid
+  /// after a successful Start().
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Builds the response for one request path (incl. query string).
+  std::string Respond(const std::string& target) const;
+
+  MetricsRegistry* metrics_;
+  CostLedger* ledger_;
+  Options options_;
+  ExplainHandler explain_handler_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Decodes %xx escapes and '+' (query-string convention). Bad escapes are
+/// passed through verbatim.
+std::string UrlDecode(const std::string& s);
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_HTTP_EXPOSITION_H_

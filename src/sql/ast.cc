@@ -40,6 +40,8 @@ std::string SelectItem::ToString() const {
 
 std::string SelectStmt::ToString() const {
   std::ostringstream os;
+  if (explain == ExplainMode::kPlain) os << "EXPLAIN ";
+  if (explain == ExplainMode::kAnalyze) os << "EXPLAIN ANALYZE ";
   os << "SELECT ";
   for (size_t i = 0; i < select.size(); ++i) {
     if (i > 0) os << ", ";

@@ -92,8 +92,14 @@ struct OrderItem {
   bool ascending = true;
 };
 
-/// A parsed SELECT statement.
+/// EXPLAIN prefix of a statement. kPlain renders the chosen plan without
+/// executing (or spending) anything; kAnalyze executes the query and joins
+/// the measured per-access actuals into the rendered plan.
+enum class ExplainMode { kNone, kPlain, kAnalyze };
+
+/// A parsed SELECT statement (optionally an EXPLAIN of one).
 struct SelectStmt {
+  ExplainMode explain = ExplainMode::kNone;
   std::vector<SelectItem> select;
   std::vector<std::string> from;          // table names
   std::vector<Comparison> where;          // conjunction

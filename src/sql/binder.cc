@@ -69,6 +69,7 @@ class Binder {
 
   Result<BoundQuery> Bind() {
     query_.catalog = &catalog_;
+    query_.explain = stmt_.explain;
     PAYLESS_RETURN_IF_ERROR(BindFrom());
     PAYLESS_RETURN_IF_ERROR(BindWhere());
     PAYLESS_RETURN_IF_ERROR(FoldConstraints());

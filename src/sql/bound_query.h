@@ -82,6 +82,9 @@ struct BoundOrderItem {
 
 struct BoundQuery {
   const catalog::Catalog* catalog = nullptr;
+  /// Carried over from the statement: kPlain / kAnalyze route the query
+  /// through the EXPLAIN renderer instead of (or in addition to) execution.
+  ExplainMode explain = ExplainMode::kNone;
   std::vector<BoundRelation> relations;
   std::vector<JoinEdge> joins;
   std::vector<ResidualPredicate> residuals;

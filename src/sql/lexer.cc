@@ -11,9 +11,9 @@ namespace {
 
 const std::unordered_set<std::string>& Keywords() {
   static const std::unordered_set<std::string> kKeywords = {
-      "SELECT", "FROM",  "WHERE", "AND",  "GROUP", "BY",  "AS",
-      "ORDER",  "ASC",   "DESC",  "COUNT", "SUM",  "AVG", "MIN",
-      "MAX",    "DISTINCT",
+      "SELECT", "FROM",  "WHERE",    "AND",     "GROUP",   "BY",  "AS",
+      "ORDER",  "ASC",   "DESC",     "COUNT",   "SUM",     "AVG", "MIN",
+      "MAX",    "DISTINCT", "EXPLAIN", "ANALYZE",
   };
   return kKeywords;
 }

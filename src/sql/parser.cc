@@ -37,6 +37,19 @@ class Parser {
 
   Result<SelectStmt> ParseSelect() {
     SelectStmt stmt;
+    if (Peek().IsKeyword("EXPLAIN")) {
+      Advance();
+      stmt.explain = ExplainMode::kPlain;
+      if (Peek().IsKeyword("ANALYZE")) {
+        Advance();
+        stmt.explain = ExplainMode::kAnalyze;
+      }
+      if (!Peek().IsKeyword("SELECT")) {
+        return Error("expected SELECT after EXPLAIN");
+      }
+    } else if (Peek().IsKeyword("ANALYZE")) {
+      return Error("ANALYZE is only valid after EXPLAIN");
+    }
     PAYLESS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     PAYLESS_RETURN_IF_ERROR(ParseSelectList(&stmt));
     PAYLESS_RETURN_IF_ERROR(ExpectKeyword("FROM"));

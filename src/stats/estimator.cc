@@ -29,6 +29,7 @@ double UniformEstimator::EstimateRows(const Box& region) const {
 }
 
 void UniformEstimator::Feedback(const Box& region, int64_t actual_rows) {
+  ++num_feedbacks_;
   if (region == full_region_) {
     cardinality_ = static_cast<double>(actual_rows);
   }
@@ -157,6 +158,7 @@ void IndependentDimEstimator::Feedback(const Box& region,
                                        int64_t actual_rows) {
   const Box target = full_region_.Intersect(region);
   if (target.empty()) return;
+  ++num_feedbacks_;
   const double actual = static_cast<double>(actual_rows);
 
   // Whole-table observation recalibrates the total directly; any
@@ -195,6 +197,12 @@ void IndependentDimEstimator::Feedback(const Box& region,
     dims_[d].Feedback(Box({target.dim(d)}),
                       static_cast<int64_t>(new_inside + 0.5));
   }
+}
+
+EstimatorInfo IndependentDimEstimator::Info() const {
+  size_t buckets = 0;
+  for (const FeedbackHistogram& dim : dims_) buckets += dim.num_buckets();
+  return EstimatorInfo{std::max<size_t>(buckets, 1), num_feedbacks_, total_};
 }
 
 void StatsRegistry::RegisterTable(const catalog::TableDef& def) {
@@ -247,6 +255,13 @@ size_t StatsRegistry::TotalFeedbacks() const {
     if (hist != nullptr) total += hist->num_feedbacks();
   }
   return total;
+}
+
+EstimatorInfo StatsRegistry::Info(const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = estimators_.find(table);
+  if (it == estimators_.end()) return EstimatorInfo{};
+  return it->second->Info();
 }
 
 }  // namespace payless::stats

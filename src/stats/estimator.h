@@ -25,6 +25,14 @@
 
 namespace payless::stats {
 
+/// Introspection snapshot of one table's estimator — what EXPLAIN and the
+/// stats-quality gauges report about statistics maturity.
+struct EstimatorInfo {
+  size_t buckets = 0;     // histogram buckets (1 for uniform estimators)
+  size_t feedbacks = 0;   // feedback observations absorbed so far
+  double total_count = 0; // current believed table cardinality
+};
+
 /// Row-count estimation over a table's constrainable-attribute space.
 class Estimator {
  public:
@@ -36,6 +44,9 @@ class Estimator {
 
   /// Records that `region` was observed to contain exactly `actual_rows`.
   virtual void Feedback(const Box& region, int64_t actual_rows) = 0;
+
+  /// Structure snapshot for observability surfaces.
+  virtual EstimatorInfo Info() const = 0;
 };
 
 /// The cold-start estimator: published cardinality spread uniformly over the
@@ -50,9 +61,14 @@ class UniformEstimator : public Estimator {
   /// the total count. Sub-region feedback is ignored.
   void Feedback(const Box& region, int64_t actual_rows) override;
 
+  EstimatorInfo Info() const override {
+    return EstimatorInfo{1, num_feedbacks_, cardinality_};
+  }
+
  private:
   Box full_region_;
   double cardinality_;
+  size_t num_feedbacks_ = 0;
 };
 
 /// Feedback-refined multidimensional histogram (the ISOMER role).
@@ -77,6 +93,10 @@ class FeedbackHistogram : public Estimator {
   size_t num_buckets() const { return buckets_.size(); }
   size_t num_feedbacks() const { return num_feedbacks_; }
   double total_count() const;
+
+  EstimatorInfo Info() const override {
+    return EstimatorInfo{buckets_.size(), num_feedbacks_, total_count()};
+  }
 
  private:
   struct Bucket {
@@ -115,9 +135,14 @@ class IndependentDimEstimator : public Estimator {
 
   double total_count() const { return total_; }
 
+  /// Buckets are summed across the per-dimension histograms; feedbacks
+  /// count joint observations (each fans out to every dimension).
+  EstimatorInfo Info() const override;
+
  private:
   Box full_region_;
   double total_;
+  size_t num_feedbacks_ = 0;
   /// Per-dimension 1-D histograms over a normalized mass of `total_`.
   std::vector<FeedbackHistogram> dims_;
 };
@@ -158,6 +183,9 @@ class StatsRegistry {
                 int64_t actual_rows);
 
   size_t TotalFeedbacks() const;
+
+  /// Introspection snapshot for `table` (zeroed when unknown).
+  EstimatorInfo Info(const std::string& table) const;
 
   StatsKind kind() const { return kind_; }
 

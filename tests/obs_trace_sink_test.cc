@@ -1,0 +1,230 @@
+// The trace JSONL sink as a system property: after the PayLess client is
+// destroyed, the sink file is flushed and holds one well-formed JSON line
+// per traced query — including queries that failed mid-flight against a
+// flaky market, whose (partial) trace must still be emitted with the
+// error status and the spend-so-far attributes intact.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/payless.h"
+#include "market/data_market.h"
+#include "market/fault_injector.h"
+#include "obs/observability.h"
+#include "obs/trace.h"
+
+namespace payless::obs {
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+using exec::PayLess;
+using exec::PayLessConfig;
+using exec::QueryReport;
+using market::FaultInjector;
+using market::FaultKind;
+using market::FaultProfile;
+using market::RetryPolicy;
+
+class TraceSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.RegisterDataset(DatasetDef{"WHW", 1.0, 5}).ok());
+    TableDef weather;
+    weather.name = "Weather";
+    weather.dataset = "WHW";
+    weather.columns = {
+        ColumnDef::Free("Country", ValueType::kString,
+                        AttrDomain::Categorical({"US"})),
+        ColumnDef::Bound("StationID", ValueType::kInt64,
+                         AttrDomain::Numeric(1, kStations)),
+        ColumnDef::Free("Date", ValueType::kInt64,
+                        AttrDomain::Numeric(1, kDates)),
+        ColumnDef::Output("Temperature", ValueType::kDouble)};
+    weather.cardinality = kStations * kDates;
+    ASSERT_TRUE(cat_.RegisterTable(weather).ok());
+
+    TableDef citymap;
+    citymap.name = "CityMap";
+    citymap.is_local = true;
+    citymap.columns = {
+        ColumnDef::Free("CityId", ValueType::kInt64,
+                        AttrDomain::Numeric(1, kStations)),
+        ColumnDef::Free("StationID", ValueType::kInt64,
+                        AttrDomain::Numeric(1, kStations))};
+    citymap.cardinality = kStations;
+    ASSERT_TRUE(cat_.RegisterTable(citymap).ok());
+
+    market_ = std::make_unique<market::DataMarket>(&cat_);
+    std::vector<Row> rows;
+    for (int64_t s = 1; s <= kStations; ++s) {
+      for (int64_t d = 1; d <= kDates; ++d) {
+        rows.push_back(Row{Value("US"), Value(s), Value(d),
+                           Value(static_cast<double>(s * 100 + d))});
+      }
+    }
+    ASSERT_TRUE(market_->HostTable("Weather", std::move(rows)).ok());
+    for (int64_t i = 1; i <= kStations; ++i) {
+      city_rows_.push_back(Row{Value(i), Value(i)});
+    }
+  }
+
+  static std::vector<std::string> ReadLines(const std::string& path) {
+    std::vector<std::string> lines;
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return lines;
+    char buf[65536];
+    while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      lines.push_back(std::move(line));
+    }
+    std::fclose(f);
+    return lines;
+  }
+
+  /// Structural JSONL sanity without a JSON parser: one object per line,
+  /// balanced braces/brackets outside strings, all spans closed.
+  static void ExpectWellFormedJsonLine(const std::string& line) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    int braces = 0;
+    int brackets = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      switch (c) {
+        case '"': in_string = true; break;
+        case '{': ++braces; break;
+        case '}': --braces; break;
+        case '[': ++brackets; break;
+        case ']': --brackets; break;
+        default: break;
+      }
+      EXPECT_GE(braces, 0) << line;
+      EXPECT_GE(brackets, 0) << line;
+    }
+    EXPECT_FALSE(in_string) << line;
+    EXPECT_EQ(braces, 0) << line;
+    EXPECT_EQ(brackets, 0) << line;
+    // Spans in an emitted trace are all closed (duration -1 marks an open
+    // span and must never reach the sink).
+    EXPECT_EQ(line.find("\"duration_us\":-1"), std::string::npos) << line;
+  }
+
+  static constexpr int64_t kStations = 16;
+  static constexpr int64_t kDates = 4;
+  static constexpr const char* kBindSql =
+      "SELECT Temperature FROM CityMap, Weather "
+      "WHERE CityId >= ? AND CityId <= ? AND "
+      "CityMap.StationID = Weather.StationID AND "
+      "Weather.Country = 'US' AND Date >= 1 AND Date <= 4";
+
+  catalog::Catalog cat_;
+  std::unique_ptr<market::DataMarket> market_;
+  std::vector<Row> city_rows_;
+};
+
+TEST_F(TraceSinkTest, FlushedAndWellFormedAfterClientDestruction) {
+  const std::string path =
+      ::testing::TempDir() + "/payless_trace_sink_system.jsonl";
+  Result<std::unique_ptr<JsonlTraceSink>> sink = JsonlTraceSink::Open(path);
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+
+  Observability obs;
+  obs.trace_sink = sink->get();
+
+  {
+    PayLessConfig config;
+    config.observability = &obs;
+    config.tenant = "acme";
+    config.retry = RetryPolicy{};
+    config.retry.max_attempts = 3;
+    config.retry.initial_backoff_micros = 20;
+    config.retry.max_backoff_micros = 200;
+    PayLess client(&cat_, market_.get(), config);
+    ASSERT_TRUE(client.LoadLocalTable("CityMap", city_rows_).ok());
+
+    // Query 1: clean run over four stations.
+    Result<QueryReport> good = client.QueryWithReport(
+        kBindSql, {Value(int64_t{1}), Value(int64_t{4})});
+    ASSERT_TRUE(good.ok()) << good.status().ToString();
+    ASSERT_TRUE(good->error.ok()) << good->error.ToString();
+
+    // Query 2: the first market call succeeds, every later one drops until
+    // retries exhaust — a mid-flight failure with real spend behind it.
+    FaultProfile all_fail;
+    all_fail.transient_rate = 1.0;
+    FaultInjector injector(all_fail);
+    injector.Script(FaultKind::kNone);
+    client.connector()->SetFaultInjector(&injector);
+    Result<QueryReport> failed = client.QueryWithReport(
+        kBindSql, {Value(int64_t{5}), Value(int64_t{8})});
+    ASSERT_TRUE(failed.ok()) << failed.status().ToString();
+    EXPECT_EQ(failed->error.code(), Status::Code::kUnavailable)
+        << failed->error.ToString();
+    EXPECT_GT(failed->transactions_spent, 0);
+    client.connector()->SetFaultInjector(nullptr);
+  }  // client destroyed with the failed trace already emitted
+
+  EXPECT_EQ((*sink)->lines_written(), 2);
+  sink->reset();  // flush + close
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) ExpectWellFormedJsonLine(line);
+
+  // Both lines carry the tenant and the expected span skeleton.
+  EXPECT_NE(lines[0].find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"name\":\"execute\""), std::string::npos);
+  EXPECT_NE(lines[0].find("market.get"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"status\":\"OK\""), std::string::npos)
+      << lines[0];
+
+  // The failed query's trace records the error outcome, the access that
+  // was in flight, and the retries that were burned.
+  EXPECT_NE(lines[1].find("\"status\":\"Unavailable\""), std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[1].find("access:Weather"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"retries\""), std::string::npos);
+}
+
+TEST_F(TraceSinkTest, DisabledTracingEmitsNothing) {
+  const std::string path =
+      ::testing::TempDir() + "/payless_trace_sink_disabled.jsonl";
+  Result<std::unique_ptr<JsonlTraceSink>> sink = JsonlTraceSink::Open(path);
+  ASSERT_TRUE(sink.ok());
+
+  Observability obs;
+  obs.trace_sink = sink->get();
+  {
+    PayLessConfig config;
+    config.observability = &obs;
+    config.enable_tracing = false;
+    PayLess client(&cat_, market_.get(), config);
+    ASSERT_TRUE(client.LoadLocalTable("CityMap", city_rows_).ok());
+    ASSERT_TRUE(
+        client.Query(kBindSql, {Value(int64_t{1}), Value(int64_t{2})}).ok());
+  }
+  EXPECT_EQ((*sink)->lines_written(), 0);
+}
+
+}  // namespace
+}  // namespace payless::obs

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/explain.h"
 #include "sql/parser.h"
 
 namespace payless::core {
@@ -358,7 +359,7 @@ TEST_F(OptimizerTest, PlanDescribeMentionsAccessKinds) {
       "Station.StationID = Weather.StationID");
   Result<OptimizeResult> r = MakeOptimizer().Optimize(q);
   ASSERT_TRUE(r.ok());
-  const std::string desc = r->plan.Describe(q);
+  const std::string desc = obs::RenderPlan(r->plan, q);
   EXPECT_NE(desc.find("Station"), std::string::npos);
   EXPECT_NE(desc.find("bind-join"), std::string::npos);
 }

@@ -1,7 +1,8 @@
-// The plan-template cache: hit/miss accounting, version-based invalidation
-// (semantic store, statistics feedback, consistency horizon), parameter and
-// template sensitivity of the key, and the regression that serving a plan
-// from the cache never changes what a query bills.
+// The plan-template cache: hit/miss accounting, drift-based invalidation
+// (estimator q-error beyond the configured threshold ticks a staleness
+// epoch), consistency-horizon keying, parameter and template sensitivity of
+// the key, and the regression that serving a plan from the cache never
+// changes what a query bills.
 #include "core/plan_cache.h"
 
 #include <gtest/gtest.h>
@@ -75,43 +76,67 @@ TEST(NormalizeSqlTemplateTest, CollapsesWhitespaceAndKeywordCase) {
             core::NormalizeSqlTemplate("SELECT 'abc' FROM T"));
 }
 
-TEST_F(PlanCacheTest, HitAfterStableVersionsMissAfterStore) {
+TEST_F(PlanCacheTest, HitWhileEstimatesHoldMissAfterDrift) {
+  // The fixture data is perfectly uniform, so the uniform estimator is
+  // exact (q-error 1) and the drift epoch never ticks on Pollution.
   auto client = NewClient();
 
-  // Query 1: cold cache -> miss; its own calls then bump the store and
-  // stats versions, so the inserted entry is already stale.
+  // Query 1: cold cache -> miss, inserts under the current drift epoch.
   Result<QueryReport> r1 = client->QueryWithReport(kRangeSql, Range(1, 250));
   ASSERT_TRUE(r1.ok()) << r1.status().ToString();
   EXPECT_EQ(r1->counters.plan_cache_misses, 1u);
   EXPECT_EQ(r1->counters.plan_cache_hits, 0u);
 
-  // Query 2, same template+params: versions moved -> miss again. But this
-  // run is fully covered by the store: no calls, no version bump.
+  // Query 2, same template+params: estimates were accurate, no drift ->
+  // hit, even though query 1 grew the semantic store. This run is fully
+  // covered by the store: no calls, nothing billed.
   Result<QueryReport> r2 = client->QueryWithReport(kRangeSql, Range(1, 250));
   ASSERT_TRUE(r2.ok());
-  EXPECT_EQ(r2->counters.plan_cache_misses, 1u);
+  EXPECT_EQ(r2->counters.plan_cache_hits, 1u);
+  EXPECT_EQ(r2->counters.plan_cache_misses, 0u);
   EXPECT_EQ(r2->transactions_spent, 0);
+  EXPECT_EQ(r2->result.num_rows(), r1->result.num_rows());
 
-  // Query 3: versions unchanged since query 2's insert -> hit, and the
-  // cached plan is served without re-running the optimizer.
-  Result<QueryReport> r3 = client->QueryWithReport(kRangeSql, Range(1, 250));
-  ASSERT_TRUE(r3.ok());
-  EXPECT_EQ(r3->counters.plan_cache_hits, 1u);
-  EXPECT_EQ(r3->counters.plan_cache_misses, 0u);
-  EXPECT_EQ(r3->transactions_spent, 0);
-  EXPECT_EQ(r3->result.num_rows(), r1->result.num_rows());
-
-  const core::PlanCacheStats stats = client->plan_cache().Stats();
-  EXPECT_EQ(stats.hits, 1u);
-  EXPECT_EQ(stats.misses, 2u);
-  EXPECT_GE(stats.entries, 1u);
-
-  // A query that fetches fresh data bumps the versions...
+  // Fetching fresh (still uniform) data grows the store again but keeps
+  // q-error at 1, so the entry stays valid.
   Result<QueryReport> other =
       client->QueryWithReport(kRangeSql, Range(500, 600));
   ASSERT_TRUE(other.ok());
   EXPECT_GT(other->transactions_spent, 0);
-  // ...so the previously hitting template misses once more.
+  Result<QueryReport> r3 = client->QueryWithReport(kRangeSql, Range(1, 250));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->counters.plan_cache_hits, 1u);
+  EXPECT_EQ(r3->counters.plan_cache_misses, 0u);
+
+  const core::PlanCacheStats stats = client->plan_cache().Stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_GE(stats.entries, 1u);
+  EXPECT_EQ(client->accuracy().drift_epoch(), 0u);
+
+  // A heavily skewed table: the catalog claims 2000 rows spread over Rank
+  // 1..2000, but every hosted row lands in Rank 1..100. The uniform
+  // estimate for Rank<=100 is ~100 rows; the market returns 2000 ->
+  // q-error ~20 >> threshold -> the drift epoch ticks...
+  TableDef skewed;
+  skewed.name = "Skewed";
+  skewed.dataset = "EHR";
+  skewed.columns = {ColumnDef::Free("Rank", ValueType::kInt64,
+                                    AttrDomain::Numeric(1, 2000)),
+                    ColumnDef::Output("Score", ValueType::kDouble)};
+  skewed.cardinality = 2000;
+  ASSERT_TRUE(cat_.RegisterTable(skewed).ok());
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 2000; ++i) {
+    rows.push_back(Row{Value(i % 100 + 1), Value(0.5)});
+  }
+  ASSERT_TRUE(market_->HostTable("Skewed", std::move(rows)).ok());
+  Result<QueryReport> skew = client->QueryWithReport(
+      "SELECT * FROM Skewed WHERE Rank >= ? AND Rank <= ?", Range(1, 100));
+  ASSERT_TRUE(skew.ok()) << skew.status().ToString();
+  EXPECT_GE(client->accuracy().drift_epoch(), 1u);
+
+  // ...and the previously hitting template misses once more: its plan was
+  // built from estimates the feedback loop has since disproven.
   Result<QueryReport> r4 = client->QueryWithReport(kRangeSql, Range(1, 250));
   ASSERT_TRUE(r4.ok());
   EXPECT_EQ(r4->counters.plan_cache_misses, 1u);

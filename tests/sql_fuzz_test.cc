@@ -49,6 +49,7 @@ TEST_P(SqlFuzz, MutatedQueriesNeverCrash) {
       ".",      "=",     "<>",    ">=",    "<",     "?",    "T",
       "U",      "a",     "b",     "c",     "d",     "'x'",  "42",
       "3.5",    "AS",    "alias", "T.a",   "U.a",   "nope",
+      "EXPLAIN", "ANALYZE",
   };
   const std::string base =
       "SELECT a, COUNT(*) FROM T, U WHERE T.a = U.a AND b = 'x' AND "
@@ -56,6 +57,11 @@ TEST_P(SqlFuzz, MutatedQueriesNeverCrash) {
 
   for (int trial = 0; trial < 60; ++trial) {
     std::string sql;
+    // Statements are fuzzed in all three forms: bare, EXPLAIN and
+    // EXPLAIN ANALYZE (the prefix must never change crash behaviour).
+    if (rng.Chance(0.3)) {
+      sql = rng.Chance(0.5) ? "EXPLAIN " : "EXPLAIN ANALYZE ";
+    }
     if (rng.Chance(0.5)) {
       // Random token soup.
       const size_t len = rng.Index(20) + 1;
@@ -65,7 +71,7 @@ TEST_P(SqlFuzz, MutatedQueriesNeverCrash) {
       }
     } else {
       // Mutated valid query: delete/duplicate/replace a token.
-      sql = base;
+      sql += base;
       const size_t pos = rng.Index(sql.size());
       switch (rng.Index(3)) {
         case 0:
@@ -94,6 +100,38 @@ TEST_P(SqlFuzz, MutatedQueriesNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SqlFuzz, ::testing::Range(0, 8));
+
+TEST(ExplainPrefixTest, MalformedPrefixesErrorCleanly) {
+  // Every truncated or misplaced prefix is a clean parse error.
+  for (const char* sql :
+       {"EXPLAIN", "EXPLAIN ANALYZE", "ANALYZE SELECT a FROM T",
+        "EXPLAIN EXPLAIN SELECT a FROM T", "EXPLAIN 42",
+        "EXPLAIN ANALYZE ANALYZE SELECT a FROM T", "SELECT EXPLAIN FROM T"}) {
+    Result<SelectStmt> stmt = Parse(sql);
+    EXPECT_FALSE(stmt.ok()) << sql;
+    EXPECT_FALSE(stmt.status().message().empty()) << sql;
+  }
+}
+
+TEST(ExplainPrefixTest, ValidPrefixesParseWithTheRightMode) {
+  Result<SelectStmt> plain = Parse("EXPLAIN SELECT a FROM T");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->explain, ExplainMode::kPlain);
+
+  Result<SelectStmt> analyze =
+      Parse("explain analyze select a from T where a >= ?");
+  ASSERT_TRUE(analyze.ok()) << analyze.status().ToString();
+  EXPECT_EQ(analyze->explain, ExplainMode::kAnalyze);
+
+  Result<SelectStmt> bare = Parse("SELECT a FROM T");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->explain, ExplainMode::kNone);
+  // The prefix round-trips through ToString().
+  Result<SelectStmt> roundtrip =
+      Parse(Parse("EXPLAIN ANALYZE SELECT a FROM T")->ToString());
+  ASSERT_TRUE(roundtrip.ok()) << roundtrip.status().ToString();
+  EXPECT_EQ(roundtrip->explain, ExplainMode::kAnalyze);
+}
 
 }  // namespace
 }  // namespace payless::sql
