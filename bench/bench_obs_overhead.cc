@@ -1,12 +1,13 @@
 // Observability overhead. Not a paper figure — this prices the spend
 // observability subsystem itself: the same multi-client bind-join workload
-// as bench_throughput, served in three configurations — bare (metrics and
+// as bench_throughput, served in four configurations — bare (metrics and
 // cost ledger only; they are always on, the cheap handle-based part), with
 // estimator-accuracy tracking (q-error recording at every feedback point),
-// and with full tracing plus a JSONL trace sink on top. The gaps price
-// accuracy tracking and span bookkeeping separately, and the acceptance
-// bar is that the fully loaded configuration stays within a few percent of
-// the bare one.
+// with full tracing plus a JSONL trace sink on top, and finally with
+// savings accounting (a counterfactual optimizer pass per planned query)
+// plus a background time-series sampler over the shared registry. The gaps
+// price each layer separately, and the acceptance bar is that the fully
+// loaded configuration stays within a few percent of the bare one.
 //
 //   build/bench/bench_obs_overhead [--call_latency_us=2000] [--repeats=4]
 //                                  [--threads=8] [--trials=3]
@@ -31,6 +32,7 @@
 #include "exec/payless.h"
 #include "market/data_market.h"
 #include "obs/observability.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace payless::bench {
@@ -141,13 +143,15 @@ int Main(int argc, char** argv) {
 
   // One timed pass of the whole workload against a fresh client; returns
   // qps, or a negative value when a query failed.
-  const auto run_once = [&](bool accuracy, bool tracing,
-                            obs::Observability* shared) {
+  const auto run_once = [&](bool accuracy, bool tracing, bool savings,
+                            obs::Observability* shared,
+                            obs::TimeSeriesSampler* sampler) {
     PayLessConfig config;
     config.stats_kind = stats::StatsKind::kUniform;  // see bench_throughput
     config.max_parallel_calls = 1;
     config.enable_accuracy_tracking = accuracy;
     config.enable_tracing = tracing;
+    config.enable_savings_accounting = savings;
     config.observability = shared;
     auto client = std::make_unique<PayLess>(&cat, &market, config);
     {
@@ -156,6 +160,7 @@ int Main(int argc, char** argv) {
       (void)st;
     }
     client->connector()->SetSimulatedLatencyMicros(latency_us);
+    if (sampler != nullptr) sampler->Start();
 
     std::atomic<size_t> next_stream{0};
     std::atomic<bool> failed{false};
@@ -180,6 +185,7 @@ int Main(int argc, char** argv) {
     }
     for (std::thread& w : workers) w.join();
     const double wall_ms = MillisSince(start);
+    if (sampler != nullptr) sampler->Stop();
     if (failed.load()) return -1.0;
     return 1000.0 * static_cast<double>(total_queries) / wall_ms;
   };
@@ -203,33 +209,47 @@ int Main(int argc, char** argv) {
   }
   shared.trace_sink = sink->get();
 
+  // The fully loaded configuration adds the counterfactual pricing pass
+  // and a fast background sampler (100x the default period) over the
+  // shared registry — both live for the whole run.
+  obs::TimeSeriesSampler::Options sampler_options;
+  sampler_options.period_micros = 10'000;
+  obs::TimeSeriesSampler sampler(&shared.metrics, sampler_options);
+
   // Best-of-N per configuration, trials interleaved so slow machine phases
   // (thermal, noisy neighbours) hit every configuration equally.
-  double base_qps = 0.0, accuracy_qps = 0.0, traced_qps = 0.0;
+  double base_qps = 0.0, accuracy_qps = 0.0, traced_qps = 0.0,
+         full_qps = 0.0;
   for (int64_t i = 0; i < trials; ++i) {
-    const double base =
-        run_once(/*accuracy=*/false, /*tracing=*/false, nullptr);
+    const double base = run_once(/*accuracy=*/false, /*tracing=*/false,
+                                 /*savings=*/false, nullptr, nullptr);
     if (base < 0.0) return 1;
     base_qps = std::max(base_qps, base);
-    const double accuracy =
-        run_once(/*accuracy=*/true, /*tracing=*/false, nullptr);
+    const double accuracy = run_once(/*accuracy=*/true, /*tracing=*/false,
+                                     /*savings=*/false, nullptr, nullptr);
     if (accuracy < 0.0) return 1;
     accuracy_qps = std::max(accuracy_qps, accuracy);
-    const double traced =
-        run_once(/*accuracy=*/true, /*tracing=*/true, &shared);
+    const double traced = run_once(/*accuracy=*/true, /*tracing=*/true,
+                                   /*savings=*/false, &shared, nullptr);
     if (traced < 0.0) return 1;
     traced_qps = std::max(traced_qps, traced);
+    const double full = run_once(/*accuracy=*/true, /*tracing=*/true,
+                                 /*savings=*/true, &shared, &sampler);
+    if (full < 0.0) return 1;
+    full_qps = std::max(full_qps, full);
   }
 
   const double accuracy_pct = 100.0 * (base_qps - accuracy_qps) / base_qps;
-  const double overhead_pct = 100.0 * (base_qps - traced_qps) / base_qps;
+  const double traced_pct = 100.0 * (base_qps - traced_qps) / base_qps;
+  const double overhead_pct = 100.0 * (base_qps - full_qps) / base_qps;
   std::printf("# config qps\n");
   std::printf("bare %.1f\n", base_qps);
   std::printf("accuracy %.1f\n", accuracy_qps);
   std::printf("accuracy+traced+sink %.1f\n", traced_qps);
-  std::printf("# accuracy overhead: %.2f%%, full overhead: %.2f%% "
-              "(budget %lld%%)\n",
-              accuracy_pct, overhead_pct,
+  std::printf("accuracy+traced+savings+sampler %.1f\n", full_qps);
+  std::printf("# accuracy overhead: %.2f%%, traced overhead: %.2f%%, "
+              "full overhead: %.2f%% (budget %lld%%)\n",
+              accuracy_pct, traced_pct, overhead_pct,
               static_cast<long long>(max_overhead_pct));
 
   BenchJson json;
@@ -241,7 +261,9 @@ int Main(int argc, char** argv) {
   json.Meta("untraced_qps", base_qps);
   json.Meta("accuracy_qps", accuracy_qps);
   json.Meta("traced_qps", traced_qps);
+  json.Meta("full_qps", full_qps);
   json.Meta("accuracy_overhead_pct", accuracy_pct);
+  json.Meta("traced_overhead_pct", traced_pct);
   json.Meta("overhead_pct", overhead_pct);
   if (!json.WriteTo(json_path)) return 1;
 

@@ -1,0 +1,183 @@
+// Savings curve on the repeated real workload: the same Fig. 10a query
+// mix replayed for --rounds rounds through ONE client, with the savings
+// accountant pricing every query's counterfactual (cheapest legal plan
+// against an EMPTY semantic store, no cached template). Round 1 is the
+// cold round — the store starts empty, so actual spend tracks the
+// counterfactual and savings hover near zero (estimate corrections can
+// even push them slightly negative). Every later round re-asks questions
+// the store has already paid for, so warm spend collapses toward zero
+// while the counterfactual keeps charging full price: cumulative savings
+// must grow strictly at round granularity, and every warm round must be
+// strictly cheaper than the cold one. The bench exits non-zero when
+// either shape breaks, or when the savings ledger fails to reconcile
+// against itself (counterfactual == actual + savings, causes sum to the
+// savings, per tenant and dataset).
+//
+// With --dashboard_out the bench also writes the (static, self-contained)
+// /dashboard document, so CI can archive the admin page as an artifact.
+//
+//   build/bench/bench_savings [--scale_pct=10] [--per_template=40]
+//                             [--rounds=4] [--seed=42] [--query_seed=1]
+//                             [--json=BENCH_savings.json]
+//                             [--dashboard_out=payless_dashboard.html]
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/driver.h"
+#include "obs/dashboard.h"
+#include "obs/savings.h"
+
+namespace payless::bench {
+namespace {
+
+struct RoundTotals {
+  int64_t counterfactual = 0;
+  int64_t actual = 0;
+  int64_t savings = 0;
+  int64_t cumulative_savings = 0;
+};
+
+int Main(int argc, char** argv) {
+  const int64_t scale_pct = FlagOr(argc, argv, "scale_pct", 10);
+  const int64_t per_template = FlagOr(argc, argv, "per_template", 40);
+  const int64_t rounds = FlagOr(argc, argv, "rounds", 4);
+  const int64_t seed = FlagOr(argc, argv, "seed", 42);
+  const int64_t query_seed = FlagOr(argc, argv, "query_seed", 1);
+  const std::string json_path = StringFlagOr(argc, argv, "json", "");
+  const std::string dashboard_path =
+      StringFlagOr(argc, argv, "dashboard_out", "");
+  if (rounds < 2) {
+    std::fprintf(stderr, "--rounds must be >= 2 (cold + at least one warm)\n");
+    return 1;
+  }
+
+  workload::RealDataOptions options;
+  options.scale = static_cast<double>(scale_pct) / 100.0;
+  options.seed = static_cast<uint64_t>(seed);
+  auto bundle = workload::MakeRealBundle(
+      options, static_cast<size_t>(per_template),
+      static_cast<uint64_t>(query_seed));
+  auto client =
+      workload::NewPayLessClient(*bundle, workload::PayLessFullConfig());
+
+  // Replay the identical query list each round; per-query savings come off
+  // the report, round spend off the billing meter delta.
+  std::vector<RoundTotals> per_round;
+  int64_t cumulative = 0;
+  for (int64_t round = 0; round < rounds; ++round) {
+    RoundTotals totals;
+    const int64_t spend_before = client->meter().total_transactions();
+    for (const workload::QueryInstance& query : bundle->queries) {
+      const auto report = client->QueryWithReport(query.sql, query.params);
+      if (!report.ok()) {
+        std::fprintf(stderr, "round %lld query failed: %s\n  sql: %s\n",
+                     static_cast<long long>(round),
+                     report.status().ToString().c_str(), query.sql.c_str());
+        return 1;
+      }
+      if (report->counterfactual_transactions >= 0) {
+        totals.counterfactual += report->counterfactual_transactions;
+        totals.savings += report->savings_transactions;
+      }
+    }
+    totals.actual = client->meter().total_transactions() - spend_before;
+    cumulative += totals.savings;
+    totals.cumulative_savings = cumulative;
+    per_round.push_back(totals);
+  }
+
+  const obs::SavingsLedger& ledger = client->observability()->savings;
+  const int64_t net = ledger.total_savings();
+  const double net_pct =
+      ledger.total_counterfactual() > 0
+          ? 100.0 * static_cast<double>(net) /
+                static_cast<double>(ledger.total_counterfactual())
+          : 0.0;
+
+  std::printf("# bench_savings: %zu queries/round x %lld rounds, scale %.2f\n",
+              bundle->queries.size(), static_cast<long long>(rounds),
+              options.scale);
+  std::printf("# round counterfactual actual savings cumulative\n");
+
+  BenchJson json;
+  json.Meta("bench", std::string("savings"));
+  json.Meta("rounds", rounds);
+  json.Meta("queries_per_round", static_cast<int64_t>(bundle->queries.size()));
+  json.Meta("scale", options.scale);
+  json.Meta("net_savings_transactions", net);
+  json.Meta("net_savings_pct", net_pct);
+  json.Meta("counterfactual_transactions", ledger.total_counterfactual());
+  json.Meta("actual_transactions", ledger.total_actual());
+  for (int i = 0; i < obs::kNumSavingsCauses; ++i) {
+    json.Meta(std::string("cause_") +
+                  obs::SavingsCauseName(static_cast<obs::SavingsCause>(i)),
+              ledger.total_by_cause(static_cast<obs::SavingsCause>(i)));
+  }
+  for (size_t r = 0; r < per_round.size(); ++r) {
+    const RoundTotals& totals = per_round[r];
+    std::printf("%zu %lld %lld %lld %lld\n", r + 1,
+                static_cast<long long>(totals.counterfactual),
+                static_cast<long long>(totals.actual),
+                static_cast<long long>(totals.savings),
+                static_cast<long long>(totals.cumulative_savings));
+    json.BeginRow("rounds");
+    json.Field("round", static_cast<int64_t>(r + 1));
+    json.Field("counterfactual_transactions", totals.counterfactual);
+    json.Field("actual_transactions", totals.actual);
+    json.Field("savings_transactions", totals.savings);
+    json.Field("cumulative_savings_transactions", totals.cumulative_savings);
+  }
+  std::printf("# net savings: %lld txn (%.1f%% of counterfactual)\n",
+              static_cast<long long>(net), net_pct);
+  if (!json.WriteTo(json_path)) return 1;
+  if (!dashboard_path.empty()) {
+    std::FILE* f = std::fopen(dashboard_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write dashboard to '%s'\n",
+                   dashboard_path.c_str());
+      return 1;
+    }
+    const std::string html = obs::DashboardHtml();
+    std::fwrite(html.data(), 1, html.size(), f);
+    std::fclose(f);
+  }
+
+  // Shape gates. Round 1 may price slightly above or below its spend
+  // (estimate corrections); from round 2 on the store serves repeats, so
+  // every warm round must save strictly AND spend strictly less than cold.
+  bool ok = true;
+  for (size_t r = 1; r < per_round.size(); ++r) {
+    if (per_round[r].savings <= 0) {
+      std::fprintf(stderr,
+                   "warm round %zu saved %lld txn; cumulative savings must "
+                   "grow every warm round\n",
+                   r + 1, static_cast<long long>(per_round[r].savings));
+      ok = false;
+    }
+    if (per_round[r].actual >= per_round[0].actual) {
+      std::fprintf(stderr,
+                   "warm round %zu spent %lld txn, not below the cold "
+                   "round's %lld\n",
+                   r + 1, static_cast<long long>(per_round[r].actual),
+                   static_cast<long long>(per_round[0].actual));
+      ok = false;
+    }
+  }
+  if (net <= 0) {
+    std::fprintf(stderr, "net savings %lld txn is not positive\n",
+                 static_cast<long long>(net));
+    ok = false;
+  }
+  if (!ledger.Reconciles()) {
+    std::fprintf(stderr, "savings ledger failed to reconcile\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace payless::bench
+
+int main(int argc, char** argv) { return payless::bench::Main(argc, argv); }

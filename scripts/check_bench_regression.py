@@ -1,30 +1,36 @@
 #!/usr/bin/env python3
-"""Compare a bench JSON against its committed baseline and fail on qps
-regressions.
+"""Compare a bench JSON against its committed baseline and fail on
+higher-is-better regressions.
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--max_regression_pct=15]
 
-Every numeric field named `qps` or ending in `_qps` is compared at the same
-JSON path in both files; the check fails when any current value is more
-than --max_regression_pct below its baseline. Throughput here is dominated
-by the simulated market call latency (--call_latency_us), so qps is mostly
-machine-independent and a generous threshold separates real regressions
-(e.g. a serialized hot path) from runner noise. Higher-than-baseline values
-never fail: speedups are not regressions.
+Every numeric field named `qps`/ending in `_qps` (throughput), plus the
+savings bench's `net_savings_transactions` and `net_savings_pct` headline
+figures, is compared at the same JSON path in both files; the check fails
+when any current value is more than --max_regression_pct below its
+baseline. Throughput here is dominated by the simulated market call
+latency (--call_latency_us) and net savings by deterministic workload
+replay, so both are mostly machine-independent and a generous threshold
+separates real regressions (e.g. a serialized hot path, a counterfactual
+that stopped pricing) from runner noise. Higher-than-baseline values never
+fail: speedups and extra savings are not regressions.
 """
 
 import json
 import sys
 
+# Field names whose values are higher-is-better and stable across runners.
+HIGHER_IS_BETTER = ("net_savings_transactions", "net_savings_pct")
+
 
 def qps_fields(node, path=""):
-    """Yields (json_path, value) for every qps-valued field."""
+    """Yields (json_path, value) for every compared field."""
     if isinstance(node, dict):
         for key, value in node.items():
             child = f"{path}.{key}" if path else key
             if isinstance(value, (int, float)) and (
-                key == "qps" or key.endswith("_qps")
+                key == "qps" or key.endswith("_qps") or key in HIGHER_IS_BETTER
             ):
                 yield child, float(value)
             else:
@@ -50,7 +56,7 @@ def main(argv):
         current = dict(qps_fields(json.load(f)))
 
     if not baseline:
-        sys.stderr.write(f"no qps fields in baseline {args[0]}\n")
+        sys.stderr.write(f"no compared fields in baseline {args[0]}\n")
         return 2
 
     failed = False
@@ -72,7 +78,7 @@ def main(argv):
 
     if failed:
         sys.stderr.write(
-            f"qps regression beyond {max_regression_pct:.0f}% "
+            f"regression beyond {max_regression_pct:.0f}% "
             f"vs {args[0]}\n"
         )
         return 1

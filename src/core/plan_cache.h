@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -48,9 +49,20 @@ std::string NormalizeSqlTemplate(const std::string& sql);
 
 /// One cached optimization outcome: the plan plus the planning counters of
 /// the optimization that produced it (so reports stay meaningful on hits).
+/// The counterfactual fields are filled by the savings accountant at
+/// insert time, so a template's hit path reprices nothing and both paths
+/// report the identical counterfactual (the what-if baseline only depends
+/// on the stats snapshot, which the epoch in the key pins).
 struct CachedPlan {
   Plan plan;
   PlanningCounters counters;
+  /// Estimated transactions of the counterfactual plan (empty store, no
+  /// cached template); -1 = never priced (savings accounting off).
+  int64_t cf_total = -1;
+  std::map<std::string, int64_t> cf_by_dataset;
+  /// Shape signature of the counterfactual plan, for detecting
+  /// learned-stats plan switches (signature mismatch vs executed plan).
+  std::string cf_signature;
 };
 
 struct PlanCacheStats {

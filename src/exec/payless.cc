@@ -56,6 +56,25 @@ PayLess::PayLess(const catalog::Catalog* catalog,
       "payless_query_latency_micros",
       {100, 250, 500, 1'000, 2'500, 5'000, 10'000, 25'000, 50'000, 100'000,
        250'000, 1'000'000, 5'000'000});
+  // Store probe/eviction counters are wired unconditionally — coverage
+  // telemetry must not depend on whether the introspection endpoint is up.
+  metric_.store_hits = m.GetCounter("payless_store_hits_total");
+  metric_.store_misses = m.GetCounter("payless_store_misses_total");
+  metric_.store_evictions = m.GetCounter("payless_store_evictions_total");
+  store_.BindMetrics(metric_.store_hits, metric_.store_misses,
+                     metric_.store_evictions);
+  metric_.counterfactual =
+      m.GetCounter("payless_counterfactual_transactions_total");
+  metric_.savings = m.GetGauge("payless_savings_transactions");
+  for (int i = 0; i < obs::kNumSavingsCauses; ++i) {
+    metric_.savings_by_cause[i] = m.GetGauge(
+        std::string("payless_savings_cause_") +
+        obs::SavingsCauseName(static_cast<obs::SavingsCause>(i)));
+  }
+  if (config.enable_savings_accounting) {
+    savings_accountant_ = std::make_unique<obs::SavingsAccountant>(
+        catalog_, &stats_, config.optimizer);
+  }
   connector_.SetRetryPolicy(config.retry);
   // Every catalog table gets a learning estimator seeded from the published
   // basic statistics (the uniform cold start of §4.3).
@@ -202,6 +221,7 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
   // the refined statistics).
   QueryReport report;
   bool cache_hit = false;
+  obs::Counterfactual cf;
   {
     obs::ScopedSpan plan_span(trace, "plan", root);
     std::string cache_key;
@@ -214,8 +234,16 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
               plan_cache_.Lookup(cache_key)) {
         report.plan = std::move(cached->plan);
         report.counters = cached->counters;
+        // The counterfactual rides in the template: a hit reports exactly
+        // the price the miss that created the template computed.
+        cf.total = cached->cf_total;
+        cf.by_dataset = std::move(cached->cf_by_dataset);
+        cf.signature = std::move(cached->cf_signature);
         cache_hit = true;
       }
+    }
+    if (cache_hit && savings_accountant_ != nullptr && !cf.ok()) {
+      cf = savings_accountant_->Price(*bound);  // template predates accounting
     }
     if (!cache_hit) {
       const core::Optimizer optimizer(catalog_, &stats_, &store_, opt_options);
@@ -223,12 +251,17 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
       PAYLESS_RETURN_IF_ERROR(optimized.status());
       report.plan = std::move(optimized->plan);
       report.counters = optimized->counters;
+      if (savings_accountant_ != nullptr) {
+        cf = savings_accountant_->Price(*bound);
+      }
       if (config_.enable_plan_cache &&
           accuracy_.drift_epoch() == drift_epoch) {
         // Only cache when no concurrent drift tick raced the optimization,
         // so every cached plan matches the epoch in its key exactly.
-        plan_cache_.Insert(cache_key, core::CachedPlan{report.plan,
-                                                       report.counters});
+        plan_cache_.Insert(cache_key,
+                           core::CachedPlan{report.plan, report.counters,
+                                            cf.total, cf.by_dataset,
+                                            cf.signature});
       }
     }
     plan_span.AddAttr("cache_hit", static_cast<int64_t>(cache_hit ? 1 : 0));
@@ -292,6 +325,24 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
     metric_.market_calls->Add(report.exec.calls);
     metric_.rows_from_market->Add(report.exec.rows_from_market);
     metric_.rows_from_cache->Add(report.exec.rows_from_cache);
+    if (savings_accountant_ != nullptr && cf.ok()) {
+      // Reconcile the counterfactual against the realized per-dataset
+      // spend — runs for failed-mid-flight queries too, where the spend
+      // so far (and its waste) is exactly what should be accounted.
+      const obs::QuerySavings s = obs::SavingsAccountant::RecordQuery(
+          cf, report.plan, *bound, cache_hit,
+          obs_->ledger.QueryCells(config_.tenant, query_id), config_.tenant,
+          &obs_->savings);
+      report.counterfactual_transactions = s.counterfactual;
+      report.savings_transactions = s.savings;
+      metric_.counterfactual->Add(s.counterfactual);
+      metric_.savings->Add(s.savings);
+      for (int i = 0; i < obs::kNumSavingsCauses; ++i) {
+        if (s.by_cause[i] != 0) {
+          metric_.savings_by_cause[i]->Add(s.by_cause[i]);
+        }
+      }
+    }
     if (trace != nullptr) {
       trace->AddAttr(exec_span, "transactions", report.transactions_spent);
       trace->AddAttr(exec_span, "calls", report.exec.calls);
@@ -323,6 +374,8 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
     context.stats = &stats_;
     context.actuals = &actuals;
     context.transactions_spent = report.transactions_spent;
+    context.counterfactual_transactions = report.counterfactual_transactions;
+    context.savings_transactions = report.savings_transactions;
     report.plan_text = obs::RenderExplain(report.plan, *bound, context);
     report.result = PlanTextTable(report.plan_text);
   };
@@ -533,6 +586,15 @@ Result<BatchReport> PayLess::QueryBatch(const std::vector<BatchQuery>& batch) {
   report.transactions_spent =
       connector_.meter().total_transactions() - before;
   return report;
+}
+
+void PayLess::RegisterIntrospection(obs::HttpExpositionServer* server,
+                                    obs::TimeSeriesSampler* sampler) {
+  server->SetExplainHandler(
+      [this](const std::string& sql) { return ExplainText(sql); });
+  server->SetSavingsLedger(&obs_->savings);
+  server->SetStoreStatsProvider([this] { return store_.StatsJson(); });
+  if (sampler != nullptr) server->SetTimeSeriesSampler(sampler);
 }
 
 Status PayLess::LoadLocalTable(const std::string& name,

@@ -22,7 +22,10 @@
 #include "exec/execution_engine.h"
 #include "market/data_market.h"
 #include "obs/accuracy.h"
+#include "obs/http_exposition.h"
 #include "obs/observability.h"
+#include "obs/savings_accountant.h"
+#include "obs/timeseries.h"
 #include "semstore/semantic_store.h"
 #include "sql/bound_query.h"
 #include "stats/estimator.h"
@@ -88,6 +91,13 @@ struct PayLessConfig {
   /// → per-market-call) into QueryReport::trace and the context's sink.
   /// Metrics and ledger attribution are always on — they are the cheap part.
   bool enable_tracing = true;
+  /// Price every query's counterfactual (store-less, uncached) plan and
+  /// attribute the realized savings into the savings ledger and metrics.
+  /// The what-if pass reuses the optimizer on the live statistics against
+  /// an empty store — no market calls, no billing, no store mutation — and
+  /// its result is cached inside the plan template, so steady-state
+  /// serving prices the counterfactual once per template, not per query.
+  bool enable_savings_accounting = true;
 };
 
 /// Everything a query returns besides the rows.
@@ -110,6 +120,11 @@ struct QueryReport {
   /// The query's spend crossed the tenant's soft budget threshold (the
   /// query still ran; only a hard cap rejects).
   bool budget_warning = false;
+  /// Savings accounting (when enabled and the counterfactual priced):
+  /// estimated transactions of the store-less, uncached baseline plan and
+  /// the realized delta vs `transactions_spent`. -1 = not accounted.
+  int64_t counterfactual_transactions = -1;
+  int64_t savings_transactions = 0;
   /// Structured per-query trace (empty when tracing is disabled): parse,
   /// optimize/plan-cache, execution, per-access and per-market-call spans
   /// with dataset, binding values, transactions and retry/waste attributes.
@@ -235,6 +250,14 @@ class PayLess {
   const obs::Observability& observability() const { return *obs_; }
   const std::string& tenant() const { return config_.tenant; }
 
+  /// Wires this client's introspection surfaces onto an HTTP exposition
+  /// server: /explain (plan text for arbitrary SQL), /savings (the savings
+  /// ledger), /store (live semantic-store coverage) and — when `sampler`
+  /// is non-null — /timeseries. Call before server->Start(); the server
+  /// must not outlive this client.
+  void RegisterIntrospection(obs::HttpExpositionServer* server,
+                             obs::TimeSeriesSampler* sampler = nullptr);
+
  private:
   int64_t MinEpoch() const;
   /// The traced/governed body of QueryWithReport; `query_id` is already
@@ -257,6 +280,12 @@ class PayLess {
     obs::Counter* plan_cache_hits = nullptr;
     obs::Counter* plan_cache_misses = nullptr;
     obs::Histogram* query_latency_micros = nullptr;
+    obs::Counter* store_hits = nullptr;       // bound into the store
+    obs::Counter* store_misses = nullptr;     // (probe outcome counters)
+    obs::Counter* store_evictions = nullptr;
+    obs::Counter* counterfactual = nullptr;
+    obs::Gauge* savings = nullptr;  // running net savings; can go negative
+    obs::Gauge* savings_by_cause[obs::kNumSavingsCauses] = {};
   };
 
   const catalog::Catalog* catalog_;
@@ -269,6 +298,9 @@ class PayLess {
   semstore::SemanticStore store_;
   stats::StatsRegistry stats_;
   core::PlanCache plan_cache_;
+  /// What-if pricer for savings accounting; null when disabled. After
+  /// stats_ (it reads the live statistics through a raw pointer).
+  std::unique_ptr<obs::SavingsAccountant> savings_accountant_;
   storage::Database local_db_;
   std::atomic<int64_t> current_week_{0};
   std::atomic<uint64_t> next_query_id_{0};

@@ -403,8 +403,14 @@ Result<CallResult> MarketConnector::Get(const RestCall& call,
         // attribution stays exact under retries and lost responses.
         meter_.Record(dataset, result->transactions, result->price);
         if (ledger != nullptr) {
+          // Lost responses are flagged as waste in the same Record, so the
+          // savings ledger can carve billed-but-undelivered transactions
+          // out as negative savings with per-cell exactness.
+          const int64_t wasted = fault.kind == FaultKind::kLostResponse
+                                     ? result->transactions
+                                     : 0;
           ledger->Record(call_obs->tenant, call_obs->query_id, dataset,
-                         result->transactions, result->price);
+                         result->transactions, result->price, wasted);
         }
         span.billed_transactions += result->transactions;
         if (fault.kind == FaultKind::kLostResponse) {

@@ -6,19 +6,22 @@ namespace payless::obs {
 
 void CostLedger::Record(const std::string& tenant, uint64_t query_id,
                         const std::string& dataset, int64_t transactions,
-                        double price) {
+                        double price, int64_t wasted_transactions) {
   std::lock_guard<std::mutex> lock(mutex_);
   TenantEntry& entry = tenants_[tenant];
   CostCell& cell = entry.queries[query_id][dataset];
   cell.transactions += transactions;
   cell.price += price;
   cell.calls += 1;
+  cell.wasted_transactions += wasted_transactions;
   entry.rollup.transactions += transactions;
   entry.rollup.price += price;
   entry.rollup.calls += 1;
+  entry.rollup.wasted_transactions += wasted_transactions;
   total_.transactions += transactions;
   total_.price += price;
   total_.calls += 1;
+  total_.wasted_transactions += wasted_transactions;
 }
 
 int64_t CostLedger::total_transactions() const {
@@ -62,6 +65,16 @@ std::map<std::string, int64_t> CostLedger::DatasetBreakdown(
   return breakdown;
 }
 
+std::map<std::string, CostCell> CostLedger::QueryCells(
+    const std::string& tenant, uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto tenant_it = tenants_.find(tenant);
+  if (tenant_it == tenants_.end()) return {};
+  const auto query_it = tenant_it->second.queries.find(query_id);
+  if (query_it == tenant_it->second.queries.end()) return {};
+  return query_it->second;
+}
+
 std::map<std::string, CostCell> CostLedger::TenantByDataset(
     const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -74,6 +87,7 @@ std::map<std::string, CostCell> CostLedger::TenantByDataset(
       agg.transactions += cell.transactions;
       agg.price += cell.price;
       agg.calls += cell.calls;
+      agg.wasted_transactions += cell.wasted_transactions;
     }
   }
   return by_dataset;

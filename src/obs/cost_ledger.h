@@ -26,6 +26,9 @@ struct CostCell {
   int64_t transactions = 0;
   double price = 0.0;
   int64_t calls = 0;
+  /// Subset of `transactions` billed for responses the client never used
+  /// (post-evaluation lost responses). Always <= transactions.
+  int64_t wasted_transactions = 0;
 };
 
 /// Thread-safe attribution ledger. Every member serializes on one internal
@@ -37,8 +40,11 @@ class CostLedger {
   CostLedger(const CostLedger&) = delete;
   CostLedger& operator=(const CostLedger&) = delete;
 
+  /// `wasted_transactions` marks how many of `transactions` bought a
+  /// response the client could not use (lost after the seller billed it).
   void Record(const std::string& tenant, uint64_t query_id,
-              const std::string& dataset, int64_t transactions, double price);
+              const std::string& dataset, int64_t transactions, double price,
+              int64_t wasted_transactions = 0);
 
   int64_t total_transactions() const;
   double total_price() const;
@@ -51,6 +57,11 @@ class CostLedger {
   /// Per-dataset spend of one query — the QueryReport breakdown.
   std::map<std::string, int64_t> DatasetBreakdown(const std::string& tenant,
                                                   uint64_t query_id) const;
+
+  /// Full per-dataset cells of one query (transactions, price, calls,
+  /// waste) — the savings accountant's reconciliation input.
+  std::map<std::string, CostCell> QueryCells(const std::string& tenant,
+                                             uint64_t query_id) const;
 
   /// Per-dataset lifetime spend of one tenant.
   std::map<std::string, CostCell> TenantByDataset(

@@ -1,0 +1,327 @@
+#include "obs/dashboard.h"
+
+namespace payless::obs {
+
+// One static document. Colors are the validated reference palette (light
+// and dark are separately chosen steps, selected via media query with a
+// data-theme override); text always wears text tokens, series color only
+// ever appears on marks. Charts are inline SVG: 2px lines, thin bars,
+// one axis, legend whenever two series share a plot.
+std::string DashboardHtml() {
+  return R"HTML(<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>PayLess — savings dashboard</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --page: #f9f9f7;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --text-muted: #898781;
+    --grid: #e1e0d9;
+    --baseline: #c3c2b7;
+    --border: rgba(11,11,11,0.10);
+    --series-1: #2a78d6;
+    --series-2: #eb6834;
+    --series-3: #1baf7a;
+    --delta-good: #006300;
+    --status-critical: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --page: #0d0d0d;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --text-muted: #898781;
+      --grid: #2c2c2a;
+      --baseline: #383835;
+      --border: rgba(255,255,255,0.10);
+      --series-1: #3987e5;
+      --series-2: #d95926;
+      --series-3: #199e70;
+      --delta-good: #0ca30c;
+      --status-critical: #e66767;
+    }
+  }
+  :root[data-theme="dark"] {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --delta-good: #0ca30c;
+    --status-critical: #e66767;
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 20px;
+    background: var(--page); color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 18px; font-weight: 600; margin: 0 0 2px; }
+  .sub { color: var(--text-secondary); margin: 0 0 18px; font-size: 13px; }
+  .grid { display: grid; gap: 14px;
+          grid-template-columns: repeat(auto-fit, minmax(300px, 1fr)); }
+  .tiles { display: grid; gap: 14px; margin-bottom: 14px;
+           grid-template-columns: repeat(auto-fit, minmax(170px, 1fr)); }
+  .card, .tile {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 14px 16px;
+  }
+  .tile .label { color: var(--text-secondary); font-size: 12px; }
+  .tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+  .tile .delta { font-size: 12px; color: var(--text-secondary); }
+  .tile .delta.good { color: var(--delta-good); }
+  .tile .delta.bad { color: var(--status-critical); }
+  .card h2 { font-size: 13px; font-weight: 600; margin: 0 0 10px;
+             color: var(--text-primary); }
+  .legend { display: flex; gap: 14px; font-size: 12px;
+            color: var(--text-secondary); margin-bottom: 6px; }
+  .legend .swatch { display: inline-block; width: 10px; height: 10px;
+                    border-radius: 2px; margin-right: 5px;
+                    vertical-align: -1px; }
+  svg { display: block; width: 100%; }
+  .axisnote { color: var(--text-muted); font-size: 11px; margin-top: 4px; }
+  table { width: 100%; border-collapse: collapse; font-size: 13px; }
+  th { text-align: left; color: var(--text-secondary); font-weight: 500;
+       border-bottom: 1px solid var(--grid); padding: 4px 8px 4px 0; }
+  td { padding: 5px 8px 5px 0; border-bottom: 1px solid var(--grid);
+       font-variant-numeric: tabular-nums; }
+  td.num, th.num { text-align: right; }
+  .covbar { background: var(--grid); border-radius: 3px; height: 6px;
+            min-width: 60px; position: relative; overflow: hidden; }
+  .covbar > i { position: absolute; inset: 0 auto 0 0;
+                background: var(--series-1); border-radius: 3px; }
+  .barrow { display: grid; grid-template-columns: 140px 1fr 70px;
+            align-items: center; gap: 10px; margin: 6px 0; font-size: 13px; }
+  .barrow .name { color: var(--text-secondary);
+                  overflow: hidden; text-overflow: ellipsis;
+                  white-space: nowrap; }
+  .barrow .trough { background: var(--grid); height: 8px; border-radius: 4px;
+                    position: relative; }
+  .barrow .trough > i { position: absolute; top: 0; bottom: 0;
+                        border-radius: 4px; background: var(--series-1); }
+  .barrow .trough > i.neg { background: var(--status-critical); }
+  .barrow .val { text-align: right; font-variant-numeric: tabular-nums; }
+  .stale { color: var(--text-muted); font-size: 12px; }
+</style>
+</head>
+<body>
+<h1>PayLess savings dashboard</h1>
+<p class="sub">Spend vs. counterfactual, live from this process.
+  <span id="stale" class="stale"></span></p>
+
+<div class="tiles">
+  <div class="tile"><div class="label">Actual spend</div>
+    <div class="value" id="t-actual">–</div>
+    <div class="delta" id="t-actual-d">transactions billed</div></div>
+  <div class="tile"><div class="label">Counterfactual spend</div>
+    <div class="value" id="t-cf">–</div>
+    <div class="delta">without store / SQR / learned plans</div></div>
+  <div class="tile"><div class="label">Net savings</div>
+    <div class="value" id="t-save">–</div>
+    <div class="delta" id="t-save-d">–</div></div>
+  <div class="tile"><div class="label">Queries served</div>
+    <div class="value" id="t-queries">–</div>
+    <div class="delta" id="t-failq">–</div></div>
+</div>
+
+<div class="grid">
+  <div class="card">
+    <h2>Spend vs. counterfactual (cumulative transactions)</h2>
+    <div class="legend">
+      <span><span class="swatch" style="background:var(--series-1)"></span>actual</span>
+      <span><span class="swatch" style="background:var(--series-2)"></span>counterfactual</span>
+    </div>
+    <svg id="spendchart" viewBox="0 0 560 150" height="150"
+         role="img" aria-label="actual and counterfactual spend over time"></svg>
+    <div class="axisnote">sampled every <span id="period">?</span>s · oldest → newest</div>
+  </div>
+  <div class="card">
+    <h2>Savings by cause (transactions)</h2>
+    <div id="causes"></div>
+  </div>
+  <div class="card">
+    <h2>Semantic store coverage</h2>
+    <table id="storetable">
+      <thead><tr><th>table</th><th>views</th><th class="num">rows</th>
+        <th>covered</th><th class="num">hit rate</th></tr></thead>
+      <tbody></tbody>
+    </table>
+  </div>
+  <div class="card">
+    <h2>Estimator q-error (last observed ×100)</h2>
+    <div class="legend" id="qlegend"></div>
+    <svg id="qchart" viewBox="0 0 560 120" height="120"
+         role="img" aria-label="q-error trend"></svg>
+    <div class="axisnote">lower is better · 100 = exact estimate</div>
+  </div>
+</div>
+
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+const fmt = (n) => Number(n).toLocaleString("en-US");
+
+async function getJson(path) {
+  const r = await fetch(path, {cache: "no-store"});
+  if (!r.ok) throw new Error(path + " -> " + r.status);
+  return r.json();
+}
+
+// Polyline over a numeric series, normalized into the viewBox with a
+// shared y-scale; returns an SVG path fragment.
+function lineOf(values, w, h, lo, hi, color) {
+  if (!values.length) return "";
+  const span = hi - lo || 1;
+  const step = values.length > 1 ? w / (values.length - 1) : 0;
+  const pts = values.map((v, i) =>
+      (i * step).toFixed(1) + "," +
+      (h - 4 - ((v - lo) / span) * (h - 12)).toFixed(1)).join(" ");
+  return '<polyline fill="none" stroke="' + color +
+         '" stroke-width="2" stroke-linejoin="round" points="' + pts + '"/>';
+}
+
+function gridOf(w, h) {
+  let g = "";
+  for (let i = 1; i <= 2; i++) {
+    const y = (h * i / 3).toFixed(1);
+    g += '<line x1="0" y1="' + y + '" x2="' + w + '" y2="' + y +
+         '" stroke="var(--grid)" stroke-width="1"/>';
+  }
+  g += '<line x1="0" y1="' + (h - 1) + '" x2="' + w + '" y2="' + (h - 1) +
+       '" stroke="var(--baseline)" stroke-width="1"/>';
+  return g;
+}
+
+async function series(name) {
+  try {
+    const s = await getJson("/timeseries?name=" + encodeURIComponent(name));
+    return s.samples || [];
+  } catch (e) { return []; }
+}
+
+function renderSpend(actual, cf) {
+  const w = 560, h = 150;
+  const all = actual.concat(cf);
+  if (!all.length) { $("spendchart").innerHTML = gridOf(w, h); return; }
+  const lo = Math.min(...all), hi = Math.max(...all);
+  $("spendchart").innerHTML = gridOf(w, h) +
+      lineOf(cf, w, h, lo, hi, "var(--series-2)") +
+      lineOf(actual, w, h, lo, hi, "var(--series-1)");
+}
+
+function renderCauses(byCause) {
+  const entries = Object.entries(byCause || {})
+      .filter(([, v]) => v !== 0)
+      .sort((a, b) => Math.abs(b[1]) - Math.abs(a[1]));
+  if (!entries.length) {
+    $("causes").innerHTML = '<div class="stale">no savings recorded yet</div>';
+    return;
+  }
+  const max = Math.max(...entries.map(([, v]) => Math.abs(v)));
+  $("causes").innerHTML = entries.map(([name, v]) => {
+    const pct = Math.max(2, 100 * Math.abs(v) / max);
+    const neg = v < 0 ? " neg" : "";
+    return '<div class="barrow"><span class="name">' + name +
+        '</span><span class="trough"><i class="' + neg.trim() +
+        '" style="left:0;width:' + pct.toFixed(1) +
+        '%"></i></span><span class="val">' + fmt(v) + "</span></div>";
+  }).join("");
+}
+
+function renderStore(store) {
+  const body = $("storetable").tBodies[0];
+  const rows = (store.tables || []).map((t) => {
+    const frac = t.covered_fraction == null ? null : t.covered_fraction;
+    const probes = t.probes || 0;
+    const rate = probes ? (100 * t.hits / probes).toFixed(0) + "%" : "–";
+    const cov = frac == null ? '<span class="stale">n/a</span>' :
+        '<div class="covbar"><i style="width:' +
+        (100 * frac).toFixed(1) + '%"></i></div>';
+    return "<tr><td>" + t.table + "</td><td>" + fmt(t.views) +
+        '</td><td class="num">' + fmt(t.pooled_rows) + "</td><td>" + cov +
+        '</td><td class="num">' + rate + "</td></tr>";
+  });
+  body.innerHTML = rows.join("") ||
+      '<tr><td colspan="5" class="stale">store is empty</td></tr>';
+}
+
+async function renderQError(index) {
+  const names = (index.series || [])
+      .filter((n) => n.startsWith("payless_qerror_last_x100_")).slice(0, 3);
+  const colors = ["var(--series-1)", "var(--series-2)", "var(--series-3)"];
+  const data = await Promise.all(names.map(series));
+  const w = 560, h = 120;
+  const all = data.flat();
+  let html = gridOf(w, h);
+  if (all.length) {
+    const lo = Math.min(...all), hi = Math.max(...all);
+    data.forEach((d, i) => { html += lineOf(d, w, h, lo, hi, colors[i]); });
+  }
+  $("qchart").innerHTML = html;
+  $("qlegend").innerHTML = names.map((n, i) =>
+      '<span><span class="swatch" style="background:' + colors[i] +
+      '"></span>' + n.replace("payless_qerror_last_x100_", "") +
+      "</span>").join("");
+}
+
+async function refresh() {
+  try {
+    const [metrics, savings, store, index] = await Promise.all([
+      getJson("/metrics.json"), getJson("/savings"),
+      getJson("/store"), getJson("/timeseries"),
+    ]);
+    const total = savings.total || {};
+    $("t-actual").textContent = fmt(total.actual || 0);
+    $("t-cf").textContent = fmt(total.counterfactual || 0);
+    $("t-save").textContent = fmt(total.savings || 0);
+    const cf = total.counterfactual || 0;
+    const pct = cf ? (100 * (total.savings || 0) / cf).toFixed(1) : null;
+    const sd = $("t-save-d");
+    sd.textContent = pct == null ? "–" : pct + "% of counterfactual";
+    sd.className = "delta" +
+        ((total.savings || 0) > 0 ? " good" :
+         (total.savings || 0) < 0 ? " bad" : "");
+    const counters = metrics.counters || {};
+    $("t-queries").textContent = fmt(counters.payless_queries_total || 0);
+    $("t-failq").textContent =
+        fmt(counters.payless_query_failures_total || 0) + " failures";
+    $("period").textContent =
+        ((index.period_micros || 0) / 1e6).toFixed(1);
+    renderCauses(total.by_cause);
+    renderStore(store);
+    const [actual, cfs] = await Promise.all([
+      series("payless_transactions_total"),
+      series("payless_counterfactual_transactions_total"),
+    ]);
+    renderSpend(actual, cfs);
+    await renderQError(index);
+    $("stale").textContent = "";
+  } catch (e) {
+    $("stale").textContent = "(stale: " + e.message + ")";
+  }
+}
+
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+)HTML";
+}
+
+}  // namespace payless::obs

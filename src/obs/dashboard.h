@@ -1,0 +1,19 @@
+// The /dashboard page: a zero-dependency, self-contained HTML admin view
+// over the exposition server's JSON routes. No external assets, no
+// frameworks — inline CSS + JS polling /metrics.json, /ledger, /savings,
+// /store and /timeseries, rendering stat tiles (spend, counterfactual,
+// net savings), a spend-vs-counterfactual trend, savings by cause, store
+// coverage and the q-error trend.
+#ifndef PAYLESS_OBS_DASHBOARD_H_
+#define PAYLESS_OBS_DASHBOARD_H_
+
+#include <string>
+
+namespace payless::obs {
+
+/// The complete dashboard document (static; all data arrives via fetch).
+std::string DashboardHtml();
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_DASHBOARD_H_

@@ -145,6 +145,20 @@ std::string RenderExplain(const core::Plan& plan, const sql::BoundQuery& query,
   if (context.transactions_spent >= 0) {
     os << "spent: " << context.transactions_spent << " txn\n";
   }
+  if (context.counterfactual_transactions >= 0) {
+    os << "counterfactual: " << context.counterfactual_transactions
+       << " txn, saved: " << context.savings_transactions << " txn";
+    if (context.counterfactual_transactions > 0) {
+      const double pct = 100.0 *
+                         static_cast<double>(context.savings_transactions) /
+                         static_cast<double>(
+                             context.counterfactual_transactions);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " (%.1f%%)", pct);
+      os << buf;
+    }
+    os << "\n";
+  }
   return os.str();
 }
 

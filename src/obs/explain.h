@@ -61,6 +61,11 @@ struct ExplainContext {
   const std::vector<AccessActuals>* actuals = nullptr;
   /// ANALYZE: the query's total billed transactions (< 0 omits the line).
   int64_t transactions_spent = -1;
+  /// ANALYZE + savings accounting: estimated cost of the counterfactual
+  /// (store-less, uncached) plan and the realized savings delta. Both
+  /// rendered only when counterfactual_transactions >= 0.
+  int64_t counterfactual_transactions = -1;
+  int64_t savings_transactions = 0;
 };
 
 /// Full EXPLAIN [ANALYZE] text: RenderPlan plus planning counters, stats

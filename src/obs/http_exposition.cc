@@ -5,12 +5,24 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <utility>
+
+#include "obs/dashboard.h"
 
 namespace payless::obs {
 
 namespace {
+
+// Request hygiene caps: a request line longer than kMaxRequestLine gets
+// 414; a connection never buffers more than kMaxRequestBytes.
+constexpr size_t kMaxRequestLine = 4096;
+constexpr size_t kMaxRequestBytes = 8192;
+
+// /timeseries?name=... — names longer than this are garbage, not metrics.
+constexpr size_t kMaxSeriesName = 256;
 
 int HexDigit(char c) {
   if (c >= '0' && c <= '9') return c - '0';
@@ -19,21 +31,35 @@ int HexDigit(char c) {
   return -1;
 }
 
-std::string HttpResponse(int status, const char* reason,
-                         const std::string& content_type,
-                         const std::string& body) {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
-                    "\r\nContent-Type: " + content_type +
-                    "\r\nContent-Length: " + std::to_string(body.size()) +
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 414:
+      return "URI Too Long";
+    default:
+      return "Error";
+  }
+}
+
+std::string RenderReply(const HttpReply& reply) {
+  std::string out = "HTTP/1.1 " + std::to_string(reply.status) + " " +
+                    ReasonPhrase(reply.status) +
+                    "\r\nContent-Type: " + reply.content_type +
+                    "\r\nContent-Length: " +
+                    std::to_string(reply.body.size()) +
                     "\r\nConnection: close\r\n\r\n";
-  out += body;
+  out += reply.body;
   return out;
 }
 
-std::string NotFound() {
-  return HttpResponse(404, "Not Found", "text/plain; charset=utf-8",
-                      "not found\n");
-}
+HttpReply NotFound() { return HttpReply::Text(404, "not found\n"); }
 
 /// Writes the whole buffer, riding out EINTR and partial writes.
 void WriteAll(int fd, const std::string& data) {
@@ -49,6 +75,18 @@ void WriteAll(int fd, const std::string& data) {
 }
 
 }  // namespace
+
+HttpReply HttpReply::Json(std::string body) {
+  return HttpReply{200, "application/json", std::move(body)};
+}
+
+HttpReply HttpReply::Html(std::string body) {
+  return HttpReply{200, "text/html; charset=utf-8", std::move(body)};
+}
+
+HttpReply HttpReply::Text(int status, std::string body) {
+  return HttpReply{status, "text/plain; charset=utf-8", std::move(body)};
+}
 
 std::string UrlDecode(const std::string& s) {
   std::string out;
@@ -73,14 +111,114 @@ std::string UrlDecode(const std::string& s) {
   return out;
 }
 
+std::string QueryParam(const std::string& query, const std::string& key) {
+  std::string value;
+  const std::string prefix = key + "=";
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    if (pair.rfind(prefix, 0) == 0) {
+      value = UrlDecode(pair.substr(prefix.size()));
+    }
+    pos = amp + 1;
+  }
+  return value;
+}
+
 HttpExpositionServer::HttpExpositionServer(MetricsRegistry* metrics,
                                            CostLedger* ledger, Options options)
-    : metrics_(metrics), ledger_(ledger), options_(std::move(options)) {}
+    : metrics_(metrics), ledger_(ledger), options_(std::move(options)) {
+  InstallBuiltinRoutes();
+}
 
 HttpExpositionServer::~HttpExpositionServer() { Stop(); }
 
+void HttpExpositionServer::InstallBuiltinRoutes() {
+  routes_["/metrics"] = [this](const std::string&) {
+    if (metrics_ == nullptr) return NotFound();
+    return HttpReply{200, "text/plain; version=0.0.4; charset=utf-8",
+                     metrics_->ToPrometheusText()};
+  };
+  routes_["/metrics.json"] = [this](const std::string&) {
+    if (metrics_ == nullptr) return NotFound();
+    return HttpReply::Json(metrics_->ToJson());
+  };
+  routes_["/ledger"] = [this](const std::string&) {
+    if (ledger_ == nullptr) return NotFound();
+    return HttpReply::Json(ledger_->ToJson());
+  };
+  routes_["/explain"] = [this](const std::string& query) {
+    if (!explain_handler_) return NotFound();
+    const std::string sql = QueryParam(query, "q");
+    if (sql.empty()) {
+      return HttpReply::Text(400, "missing q= parameter\n");
+    }
+    if (sql.size() > kMaxRequestLine) {
+      return HttpReply::Text(400, "q= parameter too long\n");
+    }
+    const Result<std::string> rendered = explain_handler_(sql);
+    if (!rendered.ok()) {
+      return HttpReply::Text(400, rendered.status().ToString() + "\n");
+    }
+    return HttpReply::Text(200, *rendered);
+  };
+  routes_["/dashboard"] = [](const std::string&) {
+    return HttpReply::Html(DashboardHtml());
+  };
+}
+
+void HttpExpositionServer::AddRoute(const std::string& path,
+                                    RouteHandler handler) {
+  routes_[path] = std::move(handler);
+}
+
 void HttpExpositionServer::SetExplainHandler(ExplainHandler handler) {
   explain_handler_ = std::move(handler);
+}
+
+void HttpExpositionServer::SetSavingsLedger(SavingsLedger* savings) {
+  if (savings == nullptr) {
+    routes_.erase("/savings");
+    return;
+  }
+  routes_["/savings"] = [savings](const std::string&) {
+    return HttpReply::Json(savings->ToJson());
+  };
+}
+
+void HttpExpositionServer::SetStoreStatsProvider(
+    std::function<std::string()> provider) {
+  if (!provider) {
+    routes_.erase("/store");
+    return;
+  }
+  routes_["/store"] = [provider = std::move(provider)](const std::string&) {
+    return HttpReply::Json(provider());
+  };
+}
+
+void HttpExpositionServer::SetTimeSeriesSampler(TimeSeriesSampler* sampler) {
+  if (sampler == nullptr) {
+    routes_.erase("/timeseries");
+    return;
+  }
+  routes_["/timeseries"] = [sampler](const std::string& query) {
+    if (query.empty()) return HttpReply::Json(sampler->IndexJson());
+    const std::string name = QueryParam(query, "name");
+    if (name.empty()) {
+      return HttpReply::Text(400, "missing or empty name= parameter\n");
+    }
+    if (name.size() > kMaxSeriesName) {
+      return HttpReply::Text(400, "name= parameter too long\n");
+    }
+    const std::vector<std::string> names = sampler->Names();
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      return HttpReply::Text(404, "unknown series\n");
+    }
+    return HttpReply::Json(sampler->SeriesJson(name));
+  };
 }
 
 Status HttpExpositionServer::Start() {
@@ -151,11 +289,11 @@ void HttpExpositionServer::AcceptLoop() {
 }
 
 void HttpExpositionServer::HandleConnection(int fd) {
-  // One small request; only the request line matters. 8 KiB caps any
-  // garbage a misbehaving client throws at the admin port.
+  // One small request; only the request line matters. kMaxRequestBytes
+  // caps any garbage a misbehaving client throws at the admin port.
   std::string request;
   char buf[1024];
-  while (request.size() < 8192 &&
+  while (request.size() < kMaxRequestBytes &&
          request.find("\r\n") == std::string::npos) {
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n <= 0) {
@@ -165,25 +303,41 @@ void HttpExpositionServer::HandleConnection(int fd) {
     request.append(buf, static_cast<size_t>(n));
   }
   const size_t line_end = request.find("\r\n");
-  if (line_end == std::string::npos) return;  // not even a request line
+  if (line_end == std::string::npos) {
+    if (request.size() >= kMaxRequestBytes) {
+      WriteAll(fd, RenderReply(
+                       HttpReply::Text(414, "request line too long\n")));
+    }
+    return;  // nothing parseable arrived
+  }
+  if (line_end > kMaxRequestLine) {
+    WriteAll(fd,
+             RenderReply(HttpReply::Text(414, "request line too long\n")));
+    return;
+  }
 
   const std::string line = request.substr(0, line_end);
   const size_t sp1 = line.find(' ');
   const size_t sp2 = line.find(' ', sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
-                              "malformed request line\n"));
+    WriteAll(fd,
+             RenderReply(HttpReply::Text(400, "malformed request line\n")));
     return;
   }
   const std::string method = line.substr(0, sp1);
   const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (method != "GET") {
-    WriteAll(fd, HttpResponse(405, "Method Not Allowed",
-                              "text/plain; charset=utf-8",
-                              "only GET is supported\n"));
+  if (method != "GET" && method != "HEAD") {
+    WriteAll(fd,
+             RenderReply(HttpReply::Text(405, "only GET is supported\n")));
     return;
   }
-  WriteAll(fd, Respond(target));
+  std::string response = Respond(target);
+  if (method == "HEAD") {
+    // Headers only, Content-Length of the would-have-been GET body.
+    const size_t header_end = response.find("\r\n\r\n");
+    if (header_end != std::string::npos) response.resize(header_end + 4);
+  }
+  WriteAll(fd, response);
 }
 
 std::string HttpExpositionServer::Respond(const std::string& target) const {
@@ -192,43 +346,9 @@ std::string HttpExpositionServer::Respond(const std::string& target) const {
   const std::string query =
       qmark == std::string::npos ? "" : target.substr(qmark + 1);
 
-  if (path == "/metrics") {
-    if (metrics_ == nullptr) return NotFound();
-    return HttpResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
-                        metrics_->ToPrometheusText());
-  }
-  if (path == "/metrics.json") {
-    if (metrics_ == nullptr) return NotFound();
-    return HttpResponse(200, "OK", "application/json", metrics_->ToJson());
-  }
-  if (path == "/ledger") {
-    if (ledger_ == nullptr) return NotFound();
-    return HttpResponse(200, "OK", "application/json", ledger_->ToJson());
-  }
-  if (path == "/explain") {
-    if (!explain_handler_) return NotFound();
-    // q=<urlencoded sql>, anywhere in the query string.
-    std::string sql;
-    size_t pos = 0;
-    while (pos < query.size()) {
-      size_t amp = query.find('&', pos);
-      if (amp == std::string::npos) amp = query.size();
-      const std::string pair = query.substr(pos, amp - pos);
-      if (pair.rfind("q=", 0) == 0) sql = UrlDecode(pair.substr(2));
-      pos = amp + 1;
-    }
-    if (sql.empty()) {
-      return HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
-                          "missing q= parameter\n");
-    }
-    const Result<std::string> rendered = explain_handler_(sql);
-    if (!rendered.ok()) {
-      return HttpResponse(400, "Bad Request", "text/plain; charset=utf-8",
-                          rendered.status().ToString() + "\n");
-    }
-    return HttpResponse(200, "OK", "text/plain; charset=utf-8", *rendered);
-  }
-  return NotFound();
+  const auto it = routes_.find(path);
+  if (it == routes_.end()) return RenderReply(NotFound());
+  return RenderReply(it->second(query));
 }
 
 }  // namespace payless::obs

@@ -57,6 +57,20 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+std::vector<std::pair<std::string, int64_t>>
+MetricsRegistry::SnapshotScalars() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size() + gauges_.size() + 2 * histograms_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name + "_count", h->count());
+    out.emplace_back(name + "_sum", h->sum());
+  }
+  return out;
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;

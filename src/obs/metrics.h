@@ -87,6 +87,13 @@ class MetricsRegistry {
   /// {"count": c, "sum": s, "buckets": [{"le": bound, "count": n}, ...]}}}
   std::string ToJson() const;
 
+  /// Flat (name, value) snapshot of every scalar the registry knows:
+  /// counters and gauges verbatim, histograms as derived `<name>_count` /
+  /// `<name>_sum` scalars. One registry-mutex hold, relaxed atomic reads —
+  /// cheap enough for a periodic sampling thread. Names are unique across
+  /// kinds by construction of the exposition formats.
+  std::vector<std::pair<std::string, int64_t>> SnapshotScalars() const;
+
   /// Prometheus text exposition format v0.0.4 (counters as `name value`,
   /// histograms as cumulative `name_bucket{le="..."}` series).
   std::string ToPrometheusText() const;

@@ -9,6 +9,7 @@
 #include "obs/budget.h"
 #include "obs/cost_ledger.h"
 #include "obs/metrics.h"
+#include "obs/savings.h"
 #include "obs/trace.h"
 
 namespace payless::obs {
@@ -20,6 +21,7 @@ struct Observability {
 
   MetricsRegistry metrics;
   CostLedger ledger;
+  SavingsLedger savings;
   BudgetGovernor governor;
   /// Optional: finished query traces are mirrored here (owned by the
   /// caller; must outlive every client using this context).

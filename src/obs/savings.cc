@@ -1,0 +1,157 @@
+#include "obs/savings.h"
+
+#include <sstream>
+
+namespace payless::obs {
+namespace {
+
+void Fold(SavingsCell& into, int64_t counterfactual, int64_t actual,
+          const int64_t by_cause[kNumSavingsCauses]) {
+  into.counterfactual += counterfactual;
+  into.actual += actual;
+  into.savings += counterfactual - actual;
+  into.queries += 1;
+  for (int i = 0; i < kNumSavingsCauses; ++i) into.by_cause[i] += by_cause[i];
+}
+
+void CellJson(std::ostringstream& os, const SavingsCell& cell) {
+  os << "{\"counterfactual\":" << cell.counterfactual
+     << ",\"actual\":" << cell.actual << ",\"savings\":" << cell.savings
+     << ",\"queries\":" << cell.queries << ",\"by_cause\":{";
+  for (int i = 0; i < kNumSavingsCauses; ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << SavingsCauseName(static_cast<SavingsCause>(i))
+       << "\":" << cell.by_cause[i];
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+const char* SavingsCauseName(SavingsCause cause) {
+  switch (cause) {
+    case SavingsCause::kStoreFullHit:
+      return "store_full_hit";
+    case SavingsCause::kSqrHarvest:
+      return "sqr_harvest";
+    case SavingsCause::kLearnedSwitch:
+      return "learned_switch";
+    case SavingsCause::kPlanReuse:
+      return "plan_reuse";
+    case SavingsCause::kEstimate:
+      return "estimate_correction";
+    case SavingsCause::kWaste:
+      return "waste";
+  }
+  return "unknown";
+}
+
+void SavingsLedger::Record(const std::string& tenant,
+                           const std::string& dataset, int64_t counterfactual,
+                           int64_t actual,
+                           const int64_t by_cause[kNumSavingsCauses]) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantEntry& entry = tenants_[tenant];
+  Fold(entry.datasets[dataset], counterfactual, actual, by_cause);
+  Fold(entry.rollup, counterfactual, actual, by_cause);
+  Fold(total_, counterfactual, actual, by_cause);
+}
+
+int64_t SavingsLedger::total_counterfactual() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_.counterfactual;
+}
+
+int64_t SavingsLedger::total_actual() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_.actual;
+}
+
+int64_t SavingsLedger::total_savings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_.savings;
+}
+
+int64_t SavingsLedger::total_by_cause(SavingsCause cause) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_.by_cause[static_cast<int>(cause)];
+}
+
+int64_t SavingsLedger::TenantCounterfactual(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.rollup.counterfactual;
+}
+
+int64_t SavingsLedger::TenantActual(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.rollup.actual;
+}
+
+int64_t SavingsLedger::TenantSavings(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.rollup.savings;
+}
+
+std::map<std::string, SavingsCell> SavingsLedger::TenantByDataset(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? std::map<std::string, SavingsCell>{}
+                              : it->second.datasets;
+}
+
+bool SavingsLedger::CellReconciles(const SavingsCell& cell) {
+  if (cell.counterfactual != cell.actual + cell.savings) return false;
+  int64_t cause_sum = 0;
+  for (int i = 0; i < kNumSavingsCauses; ++i) cause_sum += cell.by_cause[i];
+  return cause_sum == cell.savings;
+}
+
+bool SavingsLedger::Reconciles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!CellReconciles(total_)) return false;
+  for (const auto& [tenant, entry] : tenants_) {
+    if (!CellReconciles(entry.rollup)) return false;
+    for (const auto& [dataset, cell] : entry.datasets) {
+      if (!CellReconciles(cell)) return false;
+    }
+  }
+  return true;
+}
+
+void SavingsLedger::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenants_.clear();
+  total_ = SavingsCell{};
+}
+
+std::string SavingsLedger::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"total\":";
+  CellJson(os, total_);
+  os << ",\"tenants\":{";
+  bool first_tenant = true;
+  for (const auto& [tenant, entry] : tenants_) {
+    if (!first_tenant) os << ",";
+    first_tenant = false;
+    os << "\"" << tenant << "\":{\"rollup\":";
+    CellJson(os, entry.rollup);
+    os << ",\"datasets\":{";
+    bool first_ds = true;
+    for (const auto& [dataset, cell] : entry.datasets) {
+      if (!first_ds) os << ",";
+      first_ds = false;
+      os << "\"" << dataset << "\":";
+      CellJson(os, cell);
+    }
+    os << "}}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace payless::obs

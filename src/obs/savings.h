@@ -1,0 +1,111 @@
+// Savings attribution: what would the query have cost WITHOUT PayLess,
+// and where did the realized difference come from.
+//
+// The CostLedger answers "where did each dollar go"; the SavingsLedger
+// answers the paper's headline question (EDBT 2015 Fig. 10-15): how much
+// money the middleware saved relative to the counterfactual baseline — the
+// cheapest legal plan priced with the semantic store empty and no cached
+// template. Every executed query contributes one record per dataset:
+//
+//     counterfactual == actual + savings            (per cell, by design)
+//
+// and the savings are attributed to causes: semantic-store full hits, SQR
+// partial harvests, learned-stats plan switches, plan-template reuse,
+// estimate corrections (the residual between the counterfactual ESTIMATE
+// and realized billing — negative when cold uniform stats underestimate),
+// and waste (lost responses the seller billed anyway; always negative).
+// The causes sum to the cell's savings, so the reconciliation invariant
+// holds per (tenant, dataset) under serial, concurrent and fault-storm
+// execution alike.
+//
+// Layering: plain data + a mutex, no dependency above payless_common — the
+// pricing half (which needs the optimizer) lives in savings_accountant.*.
+#ifndef PAYLESS_OBS_SAVINGS_H_
+#define PAYLESS_OBS_SAVINGS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace payless::obs {
+
+/// Why a transaction was (not) spent, relative to the counterfactual plan.
+enum class SavingsCause {
+  kStoreFullHit = 0,  // semantic store covered the access; zero market calls
+  kSqrHarvest,        // SQR priced only the uncovered remainder
+  kLearnedSwitch,     // learned stats picked a cheaper plan shape
+  kPlanReuse,         // cached template skipped optimization (time, not txn)
+  kEstimate,          // residual: counterfactual estimate vs realized billing
+  kWaste,             // lost responses billed by the seller (negative)
+};
+
+constexpr int kNumSavingsCauses = 6;
+
+const char* SavingsCauseName(SavingsCause cause);
+
+/// One (tenant, dataset) accumulation cell. All figures are transactions
+/// (the paper's money unit, Eq. 1).
+struct SavingsCell {
+  int64_t counterfactual = 0;  // what the naive plan would have billed
+  int64_t actual = 0;          // what the CostLedger actually recorded
+  int64_t savings = 0;         // counterfactual - actual
+  int64_t queries = 0;         // records folded into this cell
+  int64_t by_cause[kNumSavingsCauses] = {0, 0, 0, 0, 0, 0};
+};
+
+/// Thread-safe savings ledger. Record is one map walk under a mutex —
+/// cheap next to the query it accounts for.
+class SavingsLedger {
+ public:
+  SavingsLedger() = default;
+  SavingsLedger(const SavingsLedger&) = delete;
+  SavingsLedger& operator=(const SavingsLedger&) = delete;
+
+  /// Fold one query's per-dataset outcome into the ledger. `by_cause`
+  /// must sum to `counterfactual - actual`; an assert-free invariant the
+  /// accountant maintains and the tests verify via Reconciles().
+  void Record(const std::string& tenant, const std::string& dataset,
+              int64_t counterfactual, int64_t actual,
+              const int64_t by_cause[kNumSavingsCauses]);
+
+  int64_t total_counterfactual() const;
+  int64_t total_actual() const;
+  int64_t total_savings() const;
+  int64_t total_by_cause(SavingsCause cause) const;
+
+  int64_t TenantCounterfactual(const std::string& tenant) const;
+  int64_t TenantActual(const std::string& tenant) const;
+  int64_t TenantSavings(const std::string& tenant) const;
+
+  /// Per-dataset cells of one tenant (copy; safe to iterate lock-free).
+  std::map<std::string, SavingsCell> TenantByDataset(
+      const std::string& tenant) const;
+
+  /// True iff counterfactual == actual + savings and the causes sum to the
+  /// savings, for the grand total, every tenant rollup and every
+  /// (tenant, dataset) cell. The reconciliation tests' single entry point.
+  bool Reconciles() const;
+
+  void Reset();
+
+  /// {"total":{...},"by_cause":{...},"tenants":{name:{...,"datasets":
+  /// {name:{...}}}}}
+  std::string ToJson() const;
+
+ private:
+  struct TenantEntry {
+    SavingsCell rollup;
+    std::map<std::string, SavingsCell> datasets;
+  };
+
+  static bool CellReconciles(const SavingsCell& cell);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, TenantEntry> tenants_;
+  SavingsCell total_;
+};
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_SAVINGS_H_

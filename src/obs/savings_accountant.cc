@@ -1,0 +1,128 @@
+#include "obs/savings_accountant.h"
+
+#include <set>
+#include <sstream>
+
+#include "semstore/semantic_store.h"
+
+namespace payless::obs {
+
+SavingsAccountant::SavingsAccountant(const catalog::Catalog* catalog,
+                                     const stats::StatsRegistry* stats,
+                                     core::OptimizerOptions options)
+    : catalog_(catalog), stats_(stats), options_(options) {}
+
+Counterfactual SavingsAccountant::Price(const sql::BoundQuery& query) const {
+  // The store-less world, shared by every pricing pass: never written, so
+  // concurrent reads are free and nothing of the real store leaks in.
+  static semstore::SemanticStore* const empty_store =
+      new semstore::SemanticStore();
+
+  Counterfactual cf;
+  const core::Optimizer optimizer(catalog_, stats_, empty_store, options_);
+  const Result<core::OptimizeResult> result = optimizer.Optimize(query);
+  if (!result.ok()) return cf;  // unpriceable: excluded, not guessed
+
+  int64_t total = 0;
+  for (const core::AccessSpec& access : result->plan.accesses) {
+    const catalog::TableDef* def = query.relations[access.rel].def;
+    if (def == nullptr || def->dataset.empty()) continue;  // local table
+    cf.by_dataset[def->dataset] += access.est_transactions;
+    total += access.est_transactions;
+  }
+  cf.total = total;
+  cf.signature = PlanSignature(result->plan, query);
+  return cf;
+}
+
+std::string SavingsAccountant::PlanSignature(const core::Plan& plan,
+                                             const sql::BoundQuery& query) {
+  std::ostringstream os;
+  for (const core::AccessSpec& access : plan.accesses) {
+    const catalog::TableDef* def = query.relations[access.rel].def;
+    os << (def != nullptr ? def->name : "?") << ":"
+       << core::AccessKindName(access.kind)
+       << (access.used_sqr ? ":sqr" : "") << ":b" << access.bind_edges.size()
+       << ";";
+  }
+  return os.str();
+}
+
+QuerySavings SavingsAccountant::RecordQuery(
+    const Counterfactual& cf, const core::Plan& executed,
+    const sql::BoundQuery& query, bool plan_cache_hit,
+    const std::map<std::string, CostCell>& actual_cells,
+    const std::string& tenant, SavingsLedger* ledger) {
+  QuerySavings summary;
+  if (!cf.ok() || ledger == nullptr) return summary;
+  summary.recorded = true;
+
+  // What the executed plan actually leaned on, per dataset.
+  struct DatasetFlags {
+    bool store_full = false;  // some access served entirely from the store
+    bool sqr = false;         // some access priced only a remainder
+  };
+  std::map<std::string, DatasetFlags> flags;
+  for (const core::AccessSpec& access : executed.accesses) {
+    const catalog::TableDef* def = query.relations[access.rel].def;
+    if (def == nullptr || def->dataset.empty()) continue;
+    DatasetFlags& f = flags[def->dataset];
+    if (access.kind == core::AccessSpec::Kind::kCached) f.store_full = true;
+    if (access.used_sqr) f.sqr = true;
+  }
+  const bool learned_switch =
+      cf.signature != PlanSignature(executed, query);
+
+  std::set<std::string> datasets;
+  for (const auto& [dataset, _] : cf.by_dataset) datasets.insert(dataset);
+  for (const auto& [dataset, _] : actual_cells) datasets.insert(dataset);
+
+  for (const std::string& dataset : datasets) {
+    const auto cf_it = cf.by_dataset.find(dataset);
+    const int64_t counterfactual =
+        cf_it == cf.by_dataset.end() ? 0 : cf_it->second;
+    const auto cell_it = actual_cells.find(dataset);
+    const CostCell cell =
+        cell_it == actual_cells.end() ? CostCell{} : cell_it->second;
+
+    int64_t by_cause[kNumSavingsCauses] = {0, 0, 0, 0, 0, 0};
+    // Waste is its own (negative) bucket: the seller billed transactions
+    // the query never used. The remaining delta goes to the dominant
+    // positive cause, so the causes always sum to counterfactual - actual.
+    by_cause[static_cast<int>(SavingsCause::kWaste)] =
+        -cell.wasted_transactions;
+    const int64_t residual =
+        counterfactual - cell.transactions + cell.wasted_transactions;
+
+    const DatasetFlags f = flags.count(dataset) > 0 ? flags.at(dataset)
+                                                    : DatasetFlags{};
+    // A dataset the counterfactual prices but the query billed nothing on
+    // was served from the semantic store at runtime — even when the plan
+    // template (optimized against a colder store) still says "fetch".
+    const bool served_free = counterfactual > 0 && cell.transactions == 0 &&
+                             cell.wasted_transactions == 0;
+    SavingsCause cause = SavingsCause::kEstimate;
+    if (f.store_full || served_free) {
+      cause = SavingsCause::kStoreFullHit;
+    } else if (f.sqr) {
+      cause = SavingsCause::kSqrHarvest;
+    } else if (learned_switch) {
+      cause = SavingsCause::kLearnedSwitch;
+    } else if (plan_cache_hit) {
+      cause = SavingsCause::kPlanReuse;
+    }
+    by_cause[static_cast<int>(cause)] += residual;
+
+    ledger->Record(tenant, dataset, counterfactual, cell.transactions,
+                   by_cause);
+    summary.counterfactual += counterfactual;
+    summary.actual += cell.transactions;
+    for (int i = 0; i < kNumSavingsCauses; ++i) {
+      summary.by_cause[i] += by_cause[i];
+    }
+  }
+  summary.savings = summary.counterfactual - summary.actual;
+  return summary;
+}
+
+}  // namespace payless::obs

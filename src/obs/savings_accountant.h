@@ -1,0 +1,102 @@
+// Counterfactual pricing and savings attribution — the "what would this
+// query have cost WITHOUT PayLess" half of the savings ledger.
+//
+// At plan time, Price() runs the regular optimizer against a function-
+// local EMPTY semantic store: no coverage means no zero-price relations
+// and no SQR remainders, so the result is the cheapest legal plan a
+// store-less client would have executed — the paper's baseline in every
+// savings figure (EDBT 2015 Fig. 10-15). The what-if pass touches no
+// market connector, bills nothing, and mutates neither the real store nor
+// the statistics: it reads the same StatsRegistry the live optimizer
+// reads, which is what makes the counterfactual comparable (same beliefs,
+// different coverage) and deterministic for a pinned stats snapshot.
+//
+// At execution time, RecordQuery() reconciles the counterfactual estimate
+// against the CostLedger's realized per-dataset cells and attributes the
+// delta to one dominant cause per dataset (store full hit > SQR harvest >
+// learned-stats switch > plan reuse > estimate correction), with billed-
+// but-lost responses carved out as negative waste — so per cell:
+//     counterfactual == actual + savings,  sum(causes) == savings.
+//
+// Lives in payless_obs_explain (not base obs): pricing needs the
+// optimizer, which sits above the base obs library in the layering.
+#ifndef PAYLESS_OBS_SAVINGS_ACCOUNTANT_H_
+#define PAYLESS_OBS_SAVINGS_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/optimizer.h"
+#include "core/plan.h"
+#include "obs/cost_ledger.h"
+#include "obs/metrics.h"
+#include "obs/savings.h"
+#include "sql/bound_query.h"
+#include "stats/estimator.h"
+
+namespace payless::obs {
+
+/// One query's counterfactual price, computed at plan time.
+struct Counterfactual {
+  /// Estimated transactions of the store-less plan; -1 = pricing failed
+  /// (the query is then excluded from savings accounting, never guessed).
+  int64_t total = -1;
+  std::map<std::string, int64_t> by_dataset;
+  /// Shape signature of the counterfactual plan (see PlanSignature).
+  std::string signature;
+
+  bool ok() const { return total >= 0; }
+};
+
+/// One query's realized savings, aggregated over its datasets — what
+/// RecordQuery folded into the ledger, returned so the caller can update
+/// metrics and the QueryReport without re-deriving the attribution.
+struct QuerySavings {
+  bool recorded = false;
+  int64_t counterfactual = 0;
+  int64_t actual = 0;
+  int64_t savings = 0;  // counterfactual - actual (waste included)
+  int64_t by_cause[kNumSavingsCauses] = {0, 0, 0, 0, 0, 0};
+};
+
+class SavingsAccountant {
+ public:
+  /// `catalog` and `stats` must outlive the accountant; `options` should
+  /// mirror the live optimizer's options so the counterfactual differs
+  /// from reality only in store coverage.
+  SavingsAccountant(const catalog::Catalog* catalog,
+                    const stats::StatsRegistry* stats,
+                    core::OptimizerOptions options);
+
+  /// Prices the counterfactual plan for `query`. Read-only and
+  /// thread-safe: same query + same stats snapshot => identical result.
+  Counterfactual Price(const sql::BoundQuery& query) const;
+
+  /// Order-insensitive shape signature of a plan: per-relation access
+  /// kind, SQR usage and bind shape. Two plans with equal signatures made
+  /// the same access decisions (they may differ in estimates).
+  static std::string PlanSignature(const core::Plan& plan,
+                                   const sql::BoundQuery& query);
+
+  /// Folds one executed query into `ledger`: per dataset, savings =
+  /// counterfactual - actual, attributed to a dominant cause read off the
+  /// executed plan (plus negative waste for lost-response billing).
+  /// `actual_cells` is CostLedger::QueryCells for the query. Returns the
+  /// query-level aggregate of what was recorded.
+  static QuerySavings RecordQuery(
+      const Counterfactual& cf, const core::Plan& executed,
+      const sql::BoundQuery& query, bool plan_cache_hit,
+      const std::map<std::string, CostCell>& actual_cells,
+      const std::string& tenant, SavingsLedger* ledger);
+
+ private:
+  const catalog::Catalog* catalog_;
+  const stats::StatsRegistry* stats_;
+  core::OptimizerOptions options_;
+};
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_SAVINGS_ACCOUNTANT_H_

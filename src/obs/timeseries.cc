@@ -1,0 +1,119 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+namespace payless::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(MetricsRegistry* registry,
+                                     Options options)
+    : registry_(registry), options_(options) {}
+
+TimeSeriesSampler::~TimeSeriesSampler() { Stop(); }
+
+void TimeSeriesSampler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread(&TimeSeriesSampler::Loop, this);
+}
+
+void TimeSeriesSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool TimeSeriesSampler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void TimeSeriesSampler::SampleOnce() {
+  // Snapshot outside our own mutex: the registry has its own lock, and
+  // holding both in a fixed order avoids any interleaving with exposition.
+  const auto scalars = registry_->SnapshotScalars();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, value] : scalars) {
+    Ring& ring = series_[name];
+    if (ring.data.empty()) ring.data.resize(options_.capacity, 0);
+    ring.data[ring.next] = value;
+    ring.next = (ring.next + 1) % options_.capacity;
+    if (ring.size < options_.capacity) ++ring.size;
+  }
+}
+
+std::vector<int64_t> TimeSeriesSampler::Series(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  const Ring& ring = it->second;
+  std::vector<int64_t> out;
+  out.reserve(ring.size);
+  // Oldest first: when full the write cursor IS the oldest sample.
+  const size_t start =
+      ring.size < options_.capacity ? 0 : ring.next % options_.capacity;
+  for (size_t i = 0; i < ring.size; ++i) {
+    out.push_back(ring.data[(start + i) % options_.capacity]);
+  }
+  return out;
+}
+
+std::vector<std::string> TimeSeriesSampler::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, ring] : series_) names.push_back(name);
+  return names;
+}
+
+std::string TimeSeriesSampler::SeriesJson(const std::string& name) const {
+  const std::vector<int64_t> samples = Series(name);
+  std::ostringstream os;
+  os << "{\"name\":\"" << name
+     << "\",\"period_micros\":" << options_.period_micros << ",\"samples\":[";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) os << ",";
+    os << samples[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string TimeSeriesSampler::IndexJson() const {
+  const std::vector<std::string> names = Names();
+  std::ostringstream os;
+  os << "{\"period_micros\":" << options_.period_micros
+     << ",\"capacity\":" << options_.capacity << ",\"series\":[";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << names[i] << "\"";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void TimeSeriesSampler::Loop() {
+  SampleOnce();
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::microseconds(options_.period_micros),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace payless::obs

@@ -1,0 +1,90 @@
+// Metric history: fixed-capacity ring buffers over the registry's scalar
+// snapshot, filled by a background sampling thread.
+//
+// Counters and gauges are instantaneous values; operators (and the
+// /dashboard sparklines) need trends. The sampler wakes every
+// `period_micros`, takes one MetricsRegistry::SnapshotScalars() — a single
+// registry-mutex hold of relaxed atomic reads — and appends each value to
+// that series' ring. Capacity is fixed at construction, so memory is
+// bounded: series_count * capacity * 8 bytes, no allocation after the
+// first sample observed each name.
+//
+// SampleOnce() is public so tests (and smoke runs) can drive sampling
+// deterministically without the thread.
+#ifndef PAYLESS_OBS_TIMESERIES_H_
+#define PAYLESS_OBS_TIMESERIES_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace payless::obs {
+
+/// Background sampler turning the metrics registry into bounded history.
+class TimeSeriesSampler {
+ public:
+  struct Options {
+    /// Sampling period for the background thread.
+    int64_t period_micros = 1'000'000;
+    /// Ring capacity per series; the oldest sample is overwritten.
+    size_t capacity = 512;
+  };
+
+  TimeSeriesSampler(MetricsRegistry* registry, Options options);
+  ~TimeSeriesSampler();
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Idempotent. The thread samples once immediately, then every period.
+  void Start();
+  void Stop();
+  bool running() const;
+
+  /// Take one snapshot now (also what the background thread calls).
+  void SampleOnce();
+
+  /// Samples of one series, oldest first; empty if the name is unknown.
+  std::vector<int64_t> Series(const std::string& name) const;
+
+  /// All known series names (sorted — map order).
+  std::vector<std::string> Names() const;
+
+  size_t capacity() const { return options_.capacity; }
+
+  /// {"name":"...","period_micros":N,"samples":[...]} — oldest first.
+  /// Unknown names yield an empty samples array (the route layer decides
+  /// whether that is a 404).
+  std::string SeriesJson(const std::string& name) const;
+
+  /// {"period_micros":N,"capacity":N,"series":["name",...]}
+  std::string IndexJson() const;
+
+ private:
+  struct Ring {
+    std::vector<int64_t> data;  // capacity-bounded
+    size_t next = 0;            // write cursor
+    size_t size = 0;            // == data.size() once full
+  };
+
+  void Loop();
+
+  MetricsRegistry* const registry_;
+  const Options options_;
+
+  mutable std::mutex mutex_;  // guards series_ and wakes the loop
+  std::condition_variable cv_;
+  std::map<std::string, Ring> series_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_TIMESERIES_H_

@@ -1,9 +1,11 @@
 #include "semstore/semantic_store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <mutex>
 #include <shared_mutex>
+#include <sstream>
 
 namespace payless::semstore {
 
@@ -43,6 +45,31 @@ bool TryMergeBoxes(const Box& a, const Box& b, Box* merged) {
   merged->dim(diff_dim) =
       Interval(std::min(x.lo, y.lo), std::max(x.hi, y.hi));
   return true;
+}
+
+/// Rough retained size of one row: variant overhead plus string payloads.
+int64_t ApproxRowBytes(const Row& row) {
+  int64_t bytes = 0;
+  for (const Value& value : row) {
+    bytes += 16;
+    if (value.is_string()) {
+      bytes += static_cast<int64_t>(value.AsString().size());
+    }
+  }
+  return bytes;
+}
+
+/// Lattice size of the table's constrainable-attribute space, saturating
+/// on overflow (astronomically large domains just read as fraction ~0).
+int64_t DomainVolume(const catalog::TableDef& def) {
+  long double volume = 1.0L;
+  for (size_t col : def.ConstrainableColumns()) {
+    volume *= static_cast<long double>(def.columns[col].domain.size());
+  }
+  constexpr long double kMax =
+      static_cast<long double>(std::numeric_limits<int64_t>::max());
+  if (volume >= kMax) return std::numeric_limits<int64_t>::max();
+  return static_cast<int64_t>(volume);
 }
 
 }  // namespace
@@ -97,6 +124,15 @@ void SemanticStore::Store(const catalog::TableDef& def, Box region,
   TableState* state = GetOrCreateState(def.name);
   std::unique_lock<std::shared_mutex> lock(state->mutex);
   AddCoverageLocked(state, region);
+  if (state->domain_volume == 0) state->domain_volume = DomainVolume(def);
+  for (const Row& row : rows) state->approx_bytes += ApproxRowBytes(row);
+  if (state->views.empty()) {
+    state->min_epoch = epoch;
+    state->max_epoch = epoch;
+  } else {
+    state->min_epoch = std::min(state->min_epoch, epoch);
+    state->max_epoch = std::max(state->max_epoch, epoch);
+  }
 
   TablePool& pool = state->pool;
   const size_t num_dims = def.ConstrainableColumns().size();
@@ -150,18 +186,51 @@ std::vector<Box> SemanticStore::CoveredRegions(const std::string& table,
   return CoveredRegionsLocked(*state, min_epoch);
 }
 
+void SemanticStore::CountProbe(const TableState* state, bool hit) const {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  if (state != nullptr) {
+    state->probes.fetch_add(1, std::memory_order_relaxed);
+    (hit ? state->hits : state->misses)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  obs::Counter* metric = (hit ? hits_metric_ : misses_metric_)
+                             .load(std::memory_order_relaxed);
+  if (metric != nullptr) metric->Add(1);
+}
+
 bool SemanticStore::Covers(const catalog::TableDef& def, const Box& region,
                            int64_t min_epoch) const {
-  if (region.empty()) return true;
+  if (region.empty()) {
+    CountProbe(nullptr, /*hit=*/true);
+    return true;
+  }
   const TableState* state = FindState(def.name);
-  if (state == nullptr) return false;
-  std::shared_lock<std::shared_mutex> lock(state->mutex);
-  return IsCovered(region, CoveredRegionsLocked(*state, min_epoch));
+  if (state == nullptr) {
+    CountProbe(nullptr, /*hit=*/false);
+    return false;
+  }
+  bool covered;
+  {
+    std::shared_lock<std::shared_mutex> lock(state->mutex);
+    covered = IsCovered(region, CoveredRegionsLocked(*state, min_epoch));
+  }
+  CountProbe(state, covered);
+  return covered;
 }
 
 std::vector<Row> SemanticStore::RowsInRegion(const catalog::TableDef& def,
                                              const Box& region,
                                              int64_t min_epoch) const {
+  std::vector<Row> out = RowsInRegionImpl(def, region, min_epoch);
+  const TableState* state = region.empty() ? nullptr : FindState(def.name);
+  CountProbe(state, /*hit=*/!out.empty());
+  return out;
+}
+
+std::vector<Row> SemanticStore::RowsInRegionImpl(const catalog::TableDef& def,
+                                                 const Box& region,
+                                                 int64_t min_epoch) const {
   std::vector<Row> out;
   if (region.empty()) return out;
   const TableState* state = FindState(def.name);
@@ -271,8 +340,81 @@ size_t SemanticStore::TotalStoredRows() const {
 
 void SemanticStore::Clear() {
   std::unique_lock<std::shared_mutex> lock(states_mutex_);
+  int64_t dropped = 0;
+  for (const auto& [_, state] : states_) {
+    dropped += static_cast<int64_t>(state->views.size());
+  }
   states_.clear();
   version_.fetch_add(1, std::memory_order_release);
+  if (dropped > 0) {
+    evictions_.fetch_add(dropped, std::memory_order_relaxed);
+    obs::Counter* metric = evictions_metric_.load(std::memory_order_relaxed);
+    if (metric != nullptr) metric->Add(dropped);
+  }
+}
+
+void SemanticStore::BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                                obs::Counter* evictions) {
+  hits_metric_.store(hits, std::memory_order_relaxed);
+  misses_metric_.store(misses, std::memory_order_relaxed);
+  evictions_metric_.store(evictions, std::memory_order_relaxed);
+}
+
+std::vector<StoreTableStats> SemanticStore::SnapshotStats() const {
+  std::shared_lock<std::shared_mutex> states_lock(states_mutex_);
+  std::vector<StoreTableStats> out;
+  out.reserve(states_.size());
+  for (const auto& [table, state] : states_) {
+    StoreTableStats stats;
+    stats.table = table;
+    stats.probes = state->probes.load(std::memory_order_relaxed);
+    stats.hits = state->hits.load(std::memory_order_relaxed);
+    stats.misses = state->misses.load(std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(state->mutex);
+    stats.views = state->views.size();
+    stats.coverage_boxes = state->coverage.size();
+    stats.pooled_rows = state->pool.rows.size();
+    stats.approx_bytes = state->approx_bytes;
+    stats.min_epoch = state->min_epoch;
+    stats.max_epoch = state->max_epoch;
+    if (state->domain_volume > 0) {
+      double covered = 0.0;
+      for (const Box& box : state->coverage) {
+        covered += static_cast<double>(box.Volume());
+      }
+      stats.covered_fraction =
+          std::min(1.0, covered / static_cast<double>(state->domain_volume));
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::string SemanticStore::StatsJson() const {
+  const std::vector<StoreTableStats> tables = SnapshotStats();
+  std::ostringstream os;
+  os << "{\"version\":" << version() << ",\"probes\":" << TotalProbes()
+     << ",\"hits\":" << TotalHits() << ",\"misses\":" << TotalMisses()
+     << ",\"evictions\":" << TotalEvictions() << ",\"tables\":[";
+  bool first = true;
+  for (const StoreTableStats& t : tables) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"table\":\"" << t.table << "\",\"views\":" << t.views
+       << ",\"coverage_boxes\":" << t.coverage_boxes
+       << ",\"pooled_rows\":" << t.pooled_rows
+       << ",\"approx_bytes\":" << t.approx_bytes << ",\"covered_fraction\":";
+    if (t.covered_fraction < 0) {
+      os << "null";
+    } else {
+      os << t.covered_fraction;
+    }
+    os << ",\"probes\":" << t.probes << ",\"hits\":" << t.hits
+       << ",\"misses\":" << t.misses << ",\"min_epoch\":" << t.min_epoch
+       << ",\"max_epoch\":" << t.max_epoch << "}";
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace payless::semstore

@@ -35,6 +35,7 @@
 #include "catalog/catalog.h"
 #include "common/geometry.h"
 #include "common/value.h"
+#include "obs/metrics.h"
 
 namespace payless::semstore {
 
@@ -51,6 +52,26 @@ struct StoredView {
 /// nullopt if some constrainable value is NULL or outside its domain.
 std::optional<std::vector<int64_t>> RowPoint(const catalog::TableDef& def,
                                              const Row& row);
+
+/// Introspection summary of one table's stored state — the /store
+/// endpoint's row, also rendered into metrics. All counters are lifetime
+/// (they survive Clear; the cleared views count as evictions).
+struct StoreTableStats {
+  std::string table;
+  size_t views = 0;           // raw stored calls
+  size_t coverage_boxes = 0;  // normalized merged maximal boxes
+  size_t pooled_rows = 0;     // deduplicated tuples
+  int64_t approx_bytes = 0;   // rough retained payload size
+  /// Fraction of the table's constrainable-attribute lattice covered by the
+  /// normalized coverage (sum of box volumes / domain volume, clamped to 1
+  /// since merged boxes may still overlap). -1 when no domain is known yet.
+  double covered_fraction = -1.0;
+  int64_t probes = 0;  // Covers + RowsInRegion lookups against this table
+  int64_t hits = 0;    // probe found usable coverage / rows
+  int64_t misses = 0;  // probe came back empty-handed
+  int64_t min_epoch = 0;  // oldest stored view's epoch (age lower bound)
+  int64_t max_epoch = 0;  // newest stored view's epoch
+};
 
 class SemanticStore {
  public:
@@ -90,6 +111,34 @@ class SemanticStore {
 
   void Clear();
 
+  /// Mirror probe outcomes and evictions into registry counters (pass
+  /// nullptr to unbind). The store keeps its own atomics either way, so
+  /// introspection works without a registry; binding only adds three
+  /// relaxed increments per probe. Not thread-safe against in-flight
+  /// probes: bind before serving queries.
+  void BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                   obs::Counter* evictions);
+
+  /// Lifetime probe outcome counters (hits + misses == probes).
+  int64_t TotalProbes() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
+  int64_t TotalHits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t TotalMisses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  int64_t TotalEvictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-table coverage summaries, sorted by table name. Takes each
+  /// table's lock shared — safe under concurrent queries.
+  std::vector<StoreTableStats> SnapshotStats() const;
+
+  /// {"version":N,"probes":N,"hits":N,"misses":N,"evictions":N,
+  ///  "tables":[{...per-table stats...}]}
+  std::string StatsJson() const;
+
   /// Monotonic mutation counter: ticks on every Store and Clear. Two equal
   /// observations bracket an interval in which coverage was unchanged, so
   /// any plan optimized in between is still cost-correct.
@@ -116,6 +165,14 @@ class SemanticStore {
     std::vector<StoredView> views;
     std::vector<Box> coverage;  // normalized merged maximal boxes
     TablePool pool;
+    int64_t approx_bytes = 0;     // accumulated at Store time
+    int64_t domain_volume = 0;    // lattice size, learned from the TableDef
+    int64_t min_epoch = 0;        // oldest / newest stored view epochs
+    int64_t max_epoch = 0;
+    /// Probe outcomes; atomic because probes hold the lock only shared.
+    mutable std::atomic<int64_t> probes{0};
+    mutable std::atomic<int64_t> hits{0};
+    mutable std::atomic<int64_t> misses{0};
   };
 
   /// Caller must hold state.mutex (any mode for reads, exclusive for the
@@ -124,12 +181,29 @@ class SemanticStore {
                                                int64_t min_epoch);
   static void AddCoverageLocked(TableState* state, Box region);
 
+  /// RowsInRegion without the probe accounting (the public wrapper counts).
+  std::vector<Row> RowsInRegionImpl(const catalog::TableDef& def,
+                                    const Box& region,
+                                    int64_t min_epoch) const;
+
   TableState* GetOrCreateState(const std::string& table);
   const TableState* FindState(const std::string& table) const;
+
+  /// Classify one probe outcome into the table's and the store's counters
+  /// (and the bound registry counters, when any).
+  void CountProbe(const TableState* state, bool hit) const;
 
   mutable std::shared_mutex states_mutex_;  // guards the map structure only
   std::map<std::string, std::unique_ptr<TableState>> states_;
   std::atomic<uint64_t> version_{0};
+
+  mutable std::atomic<int64_t> probes_{0};
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<obs::Counter*> hits_metric_{nullptr};
+  std::atomic<obs::Counter*> misses_metric_{nullptr};
+  std::atomic<obs::Counter*> evictions_metric_{nullptr};
 };
 
 }  // namespace payless::semstore

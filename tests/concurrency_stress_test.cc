@@ -208,6 +208,18 @@ TEST_F(ConcurrencyStressTest, DisjointThreadsMatchSerialBaseline) {
   EXPECT_EQ(shared->store().TotalStoredRows(),
             baseline->store().TotalStoredRows());
   EXPECT_EQ(shared->store().TotalViews(), baseline->store().TotalViews());
+
+  // Store probe accounting stays exact under contention: every probe is
+  // either a hit or a miss, and the bound registry counters agree with the
+  // store's own atomics.
+  const semstore::SemanticStore& store = shared->store();
+  EXPECT_GT(store.TotalProbes(), 0);
+  EXPECT_EQ(store.TotalHits() + store.TotalMisses(), store.TotalProbes());
+  obs::MetricsRegistry& m = shared->observability()->metrics;
+  EXPECT_EQ(m.GetCounter("payless_store_hits_total")->value(),
+            store.TotalHits());
+  EXPECT_EQ(m.GetCounter("payless_store_misses_total")->value(),
+            store.TotalMisses());
 }
 
 // Threads with OVERLAPPING footprints: interleavings may legitimately

@@ -274,6 +274,209 @@ TEST_F(HttpExpositionTest, NullRegistriesAnswer404) {
   EXPECT_EQ(Fetch(server.port(), "/metrics").status, 404);
   EXPECT_EQ(Fetch(server.port(), "/metrics.json").status, 404);
   EXPECT_EQ(Fetch(server.port(), "/ledger").status, 404);
+  // Optional routes not wired: 404, not a crash.
+  EXPECT_EQ(Fetch(server.port(), "/savings").status, 404);
+  EXPECT_EQ(Fetch(server.port(), "/store").status, 404);
+  EXPECT_EQ(Fetch(server.port(), "/timeseries").status, 404);
+}
+
+TEST_F(HttpExpositionTest, ContentTypesMatchEachRoute) {
+  Observability obs;
+  TimeSeriesSampler sampler(&obs.metrics, {1'000'000, 8});
+  obs.metrics.GetCounter("payless_queries_total")->Add(1);
+  sampler.SampleOnce();
+  HttpExpositionServer server(&obs.metrics, &obs.ledger);
+  server.SetSavingsLedger(&obs.savings);
+  server.SetStoreStatsProvider([] { return std::string("{\"tables\":[]}"); });
+  server.SetTimeSeriesSampler(&sampler);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto expect_type = [&](const std::string& target,
+                               const std::string& type) {
+    const HttpReply reply = Fetch(server.port(), target);
+    EXPECT_EQ(reply.status, 200) << target;
+    EXPECT_NE(reply.content_type.find(type), std::string::npos)
+        << target << " served " << reply.content_type;
+  };
+  expect_type("/metrics", "text/plain");
+  expect_type("/metrics.json", "application/json");
+  expect_type("/ledger", "application/json");
+  expect_type("/savings", "application/json");
+  expect_type("/store", "application/json");
+  expect_type("/timeseries", "application/json");
+  expect_type("/timeseries?name=payless_queries_total", "application/json");
+  expect_type("/dashboard", "text/html");
+  // Errors are plain text.
+  const HttpReply nope = Fetch(server.port(), "/nope");
+  EXPECT_EQ(nope.status, 404);
+  EXPECT_NE(nope.content_type.find("text/plain"), std::string::npos);
+}
+
+TEST_F(HttpExpositionTest, HeadAnswersHeadersWithGetContentLength) {
+  Observability obs;
+  obs.metrics.GetCounter("payless_queries_total")->Add(1);
+  HttpExpositionServer server(&obs.metrics, &obs.ledger);
+  ASSERT_TRUE(server.Start().ok());
+
+  const HttpReply get = Fetch(server.port(), "/metrics");
+  ASSERT_EQ(get.status, 200);
+  ASSERT_FALSE(get.body.empty());
+
+  const HttpReply head = Fetch(server.port(), "/",
+                               "HEAD /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(head.status, 200);
+  EXPECT_TRUE(head.body.empty()) << "HEAD must not carry a body";
+  // HEAD on an unknown path mirrors the GET status.
+  const HttpReply head404 = Fetch(server.port(), "/",
+                                  "HEAD /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(head404.status, 404);
+  EXPECT_TRUE(head404.body.empty());
+}
+
+TEST_F(HttpExpositionTest, OversizedRequestLinesAnswer414) {
+  Observability obs;
+  HttpExpositionServer server(&obs.metrics, &obs.ledger);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Request line longer than the 4 KiB cap (but with a CRLF in reach).
+  const std::string long_line =
+      "GET /metrics?pad=" + std::string(5000, 'x') +
+      " HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_EQ(Fetch(server.port(), "/", long_line).status, 414);
+
+  // No CRLF within the 8 KiB read cap at all: still a clean 414, and the
+  // accept thread keeps serving afterwards.
+  EXPECT_EQ(Fetch(server.port(), "/", std::string(9000, 'a')).status, 414);
+  EXPECT_EQ(Fetch(server.port(), "/metrics").status, 200);
+}
+
+TEST_F(HttpExpositionTest, TimeSeriesRouteValidatesItsQuery) {
+  Observability obs;
+  TimeSeriesSampler sampler(&obs.metrics, {1'000'000, 8});
+  obs.metrics.GetCounter("payless_queries_total")->Add(2);
+  sampler.SampleOnce();
+  HttpExpositionServer server(&obs.metrics, &obs.ledger);
+  server.SetTimeSeriesSampler(&sampler);
+  ASSERT_TRUE(server.Start().ok());
+
+  // No query: the index of known names.
+  const HttpReply index = Fetch(server.port(), "/timeseries");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("payless_queries_total"), std::string::npos);
+  // A known series: its samples.
+  const HttpReply ok =
+      Fetch(server.port(), "/timeseries?name=payless_queries_total");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_NE(ok.body.find("\"samples\":[2]"), std::string::npos) << ok.body;
+  // Empty / oversized / unknown names: 4xx, never a crash.
+  EXPECT_EQ(Fetch(server.port(), "/timeseries?name=").status, 400);
+  EXPECT_EQ(Fetch(server.port(), "/timeseries?other=1").status, 400);
+  EXPECT_EQ(Fetch(server.port(),
+                  "/timeseries?name=" + std::string(300, 'a'))
+                .status,
+            400);
+  EXPECT_EQ(Fetch(server.port(), "/timeseries?name=no_such").status, 404);
+}
+
+TEST_F(HttpExpositionTest, MalformedQueryStringsNeverCrashOrBlock) {
+  Observability obs;
+  TimeSeriesSampler sampler(&obs.metrics, {1'000'000, 8});
+  sampler.SampleOnce();
+  PayLessConfig config;
+  config.observability = &obs;
+  PayLess client(&cat_, market_.get(), config);
+  HttpExpositionServer server(&obs.metrics, &obs.ledger);
+  client.RegisterIntrospection(&server, &sampler);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Adversarial query strings on the parameterized routes: bad URL
+  // encoding, stray separators, nul-ish escapes, nonsense SQL. Every
+  // answer is a clean 4xx; none may wedge the accept thread.
+  const std::vector<std::string> nasty = {
+      "/explain?q=",
+      "/explain?q=%",
+      "/explain?q=%zz%%%",
+      "/explain?q=SELECT%20%00%01",
+      "/explain?=&&&=",
+      "/explain?q=" + std::string(5000, 'Z'),
+      "/timeseries?name=%",
+      "/timeseries?name=%2",
+      "/timeseries?name=&name=",
+      "/timeseries?&&&",
+      "/timeseries?name=%zz",
+  };
+  for (const std::string& target : nasty) {
+    const HttpReply reply = Fetch(server.port(), target);
+    EXPECT_GE(reply.status, 400) << target;
+    EXPECT_LT(reply.status, 500) << target;
+  }
+  // The accept thread survived the ordeal.
+  EXPECT_EQ(Fetch(server.port(), "/metrics").status, 200);
+}
+
+TEST_F(HttpExpositionTest, DashboardServesWiredPayloadsUnderLoad) {
+  Observability obs;
+  TimeSeriesSampler sampler(&obs.metrics, {1'000, 64});
+  PayLessConfig config;
+  config.observability = &obs;
+  PayLess client(&cat_, market_.get(), config);
+  HttpExpositionServer server(&obs.metrics, &obs.ledger);
+  client.RegisterIntrospection(&server, &sampler);
+  ASSERT_TRUE(server.Start().ok());
+  sampler.Start();
+
+  // Eight query threads spend while the dashboard and every payload route
+  // it polls are fetched — the acceptance scenario for /dashboard.
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) {
+        const int64_t lo = 1 + ((t * 8 + i) * 113) % 1600;
+        if (!client
+                 .Query("SELECT * FROM Pollution WHERE Rank >= ? AND "
+                        "Rank <= ?",
+                        {Value(lo), Value(lo + 79)})
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < 10; ++i) {
+    const HttpReply page = Fetch(server.port(), "/dashboard");
+    ASSERT_EQ(page.status, 200);
+    EXPECT_NE(page.content_type.find("text/html"), std::string::npos);
+    // Self-contained: one document, inline script, no external fetches.
+    EXPECT_NE(page.body.find("<!doctype html>"), std::string::npos);
+    EXPECT_NE(page.body.find("</html>"), std::string::npos);
+    EXPECT_NE(page.body.find("<script>"), std::string::npos);
+    EXPECT_EQ(page.body.find("http://"), std::string::npos);
+    EXPECT_EQ(page.body.find("https://"), std::string::npos);
+    // The payload routes the inline JS polls are all wired and well-formed.
+    for (const char* target :
+         {"/metrics.json", "/savings", "/store", "/timeseries"}) {
+      const HttpReply payload = Fetch(server.port(), target);
+      ASSERT_EQ(payload.status, 200) << target;
+      ASSERT_FALSE(payload.body.empty()) << target;
+      EXPECT_EQ(payload.body.front(), '{') << target;
+      EXPECT_EQ(payload.body.back(), '}') << target;
+    }
+  }
+  for (std::thread& w : workers) w.join();
+  sampler.Stop();
+  EXPECT_EQ(failures.load(), 0);
+
+  // After the storm, the store and savings payloads reflect the activity.
+  const HttpReply store = Fetch(server.port(), "/store");
+  EXPECT_NE(store.body.find("Pollution"), std::string::npos) << store.body;
+  const HttpReply savings = Fetch(server.port(), "/savings");
+  EXPECT_NE(savings.body.find("counterfactual"), std::string::npos)
+      << savings.body;
+  EXPECT_TRUE(obs.savings.Reconciles());
 }
 
 }  // namespace

@@ -180,5 +180,67 @@ TEST_F(SemStoreTest, ViewsOfUnknownTableEmpty) {
   EXPECT_EQ(store_.NumViews("Nope"), 0u);
 }
 
+TEST_F(SemStoreTest, ProbeCountersClassifyEveryOutcome) {
+  store_.Store(def(), Region(0, 0, 9), {MakeRow("x", 1, 0.0)}, 0);
+
+  EXPECT_TRUE(store_.Covers(def(), Region(0, 2, 8), kWeak));   // hit
+  EXPECT_FALSE(store_.Covers(def(), Region(0, 2, 50), kWeak));  // miss
+  EXPECT_FALSE(store_.Covers(def(), Region(1, 2, 8), kWeak));   // miss
+  // Empty region: trivially covered, still one (hit) probe.
+  EXPECT_TRUE(store_.Covers(def(), Box({Interval::Empty(), Interval(0, 1)}),
+                            kWeak));
+  // Rows lookups are probes too: hit iff rows came back.
+  EXPECT_FALSE(store_.RowsInRegion(def(), Region(0, 0, 9), kWeak).empty());
+  EXPECT_TRUE(store_.RowsInRegion(def(), Region(1, 0, 9), kWeak).empty());
+
+  EXPECT_EQ(store_.TotalProbes(), 6);
+  EXPECT_EQ(store_.TotalHits(), 3);
+  EXPECT_EQ(store_.TotalMisses(), 3);
+  EXPECT_EQ(store_.TotalHits() + store_.TotalMisses(), store_.TotalProbes());
+}
+
+TEST_F(SemStoreTest, BoundMetricsMirrorProbeAndEvictionCounters) {
+  obs::Counter hits, misses, evictions;
+  store_.BindMetrics(&hits, &misses, &evictions);
+  store_.Store(def(), Region(0, 0, 9), {MakeRow("x", 1, 0.0)}, 0);
+  store_.Store(def(), Region(1, 0, 9), {}, 0);
+
+  EXPECT_TRUE(store_.Covers(def(), Region(0, 2, 8), kWeak));
+  EXPECT_FALSE(store_.Covers(def(), Region(0, 50, 60), kWeak));
+  EXPECT_EQ(hits.value(), 1);
+  EXPECT_EQ(misses.value(), 1);
+  EXPECT_EQ(evictions.value(), 0);
+
+  // Clear() is the eviction point: one eviction per dropped view.
+  store_.Clear();
+  EXPECT_EQ(evictions.value(), 2);
+  EXPECT_EQ(store_.TotalEvictions(), 2);
+}
+
+TEST_F(SemStoreTest, SnapshotStatsSummarizesCoverage) {
+  store_.Store(def(), Region(0, 0, 49), {MakeRow("x", 1, 0.0)}, 3);
+  store_.Store(def(), Region(1, 0, 99), {MakeRow("y", 2, 0.0)}, 5);
+  EXPECT_TRUE(store_.Covers(def(), Region(0, 0, 9), kWeak));
+
+  const std::vector<StoreTableStats> stats = store_.SnapshotStats();
+  ASSERT_EQ(stats.size(), 1u);
+  const StoreTableStats& t = stats[0];
+  EXPECT_EQ(t.table, "T");
+  EXPECT_EQ(t.views, 2);
+  EXPECT_EQ(t.pooled_rows, 2);
+  EXPECT_GT(t.approx_bytes, 0);
+  EXPECT_EQ(t.min_epoch, 3);
+  EXPECT_EQ(t.max_epoch, 5);
+  EXPECT_EQ(t.probes, 1);
+  EXPECT_EQ(t.hits, 1);
+  // Domain is 2 categories x 100 values = 200 points; 50 + 100 covered.
+  EXPECT_NEAR(t.covered_fraction, 150.0 / 200.0, 1e-9);
+
+  const std::string json = store_.StatsJson();
+  EXPECT_NE(json.find("\"tables\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"T\""), std::string::npos) << json;
+  EXPECT_NE(json.find("covered_fraction"), std::string::npos) << json;
+}
+
 }  // namespace
 }  // namespace payless::semstore

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "obs/http_exposition.h"
 #include "sql/bound_query.h"
 #include "sql/parser.h"
 
@@ -100,6 +101,40 @@ TEST_P(SqlFuzz, MutatedQueriesNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SqlFuzz, ::testing::Range(0, 8));
+
+// The HTTP query-string decoders feed /explain and /timeseries: random
+// byte soup (truncated escapes, stray separators, embedded controls) must
+// decode to SOMETHING without crashing, and whatever SQL falls out must
+// flow through the parser as cleanly as hand-written garbage.
+TEST(QueryStringFuzzTest, RandomQueryStringsDecodeAndParseCleanly) {
+  const catalog::Catalog cat = FuzzCatalog();
+  Rng rng(0xFACADE);
+  const std::string charset =
+      "abcdefgSELECT FROM%+&=?*<>'0123456789%%2%zz\x01\x7f";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string query;
+    const size_t len = rng.Index(64);
+    for (size_t i = 0; i < len; ++i) {
+      query += charset[rng.Index(charset.size())];
+    }
+    // Decoding never throws and never grows the input.
+    const std::string decoded = obs::UrlDecode(query);
+    EXPECT_LE(decoded.size(), query.size());
+    const std::string q = obs::QueryParam(query, "q");
+    const std::string name = obs::QueryParam(query, "name");
+    EXPECT_LE(q.size(), query.size());
+    EXPECT_LE(name.size(), query.size());
+    // Whatever came out of q= is fed to the SQL front end, as the
+    // /explain route does: a parse, a bind, or a clean error.
+    Result<SelectStmt> stmt = Parse(q.empty() ? decoded : q);
+    if (stmt.ok()) {
+      std::vector<Value> params(stmt->num_params, Value(int64_t{1}));
+      (void)Bind(*stmt, cat, params);
+    } else {
+      EXPECT_FALSE(stmt.status().message().empty());
+    }
+  }
+}
 
 TEST(ExplainPrefixTest, MalformedPrefixesErrorCleanly) {
   // Every truncated or misplaced prefix is a clean parse error.
