@@ -21,7 +21,14 @@ import json
 import sys
 
 # Field names whose values are higher-is-better and stable across runners.
-HIGHER_IS_BETTER = ("net_savings_transactions", "net_savings_pct")
+# The throughput bench's thread-scaling speedups are ratios (wall_1 /
+# wall_N on the same runner), so like qps they compare across machines.
+HIGHER_IS_BETTER = (
+    "net_savings_transactions",
+    "net_savings_pct",
+    "speedup_16_threads",
+    "speedup_32_threads",
+)
 
 
 def qps_fields(node, path=""):

@@ -1,7 +1,7 @@
 #include "core/plan_cache.h"
 
+#include <algorithm>
 #include <mutex>
-#include <shared_mutex>
 
 #include "sql/lexer.h"
 
@@ -68,35 +68,49 @@ std::string PlanCache::MakeKey(const std::string& normalized_sql,
   return key;
 }
 
-std::optional<CachedPlan> PlanCache::Lookup(const std::string& key) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(
+    const std::string& key) const {
+  const Shard& shard = shards_[common::ShardOf(key, kShards)];
+  const std::shared_ptr<const ShardMap> entries = shard.entries.Load();
+  const auto it = entries->find(key);
+  if (it == entries->end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+    return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
 
 void PlanCache::Insert(const std::string& key, CachedPlan entry) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (entries_.size() >= max_entries_ && entries_.count(key) == 0) {
-    entries_.clear();  // epoch-stamped keys: most were dead already
+  Shard& shard = shards_[common::ShardOf(key, kShards)];
+  // Per-shard slice of the global bound (hashing spreads keys evenly).
+  const size_t shard_cap = std::max<size_t>(1, max_entries_ / kShards);
+  std::lock_guard<std::mutex> lock(shard.write_mutex);
+  const std::shared_ptr<const ShardMap> current = shard.entries.Load();
+  std::shared_ptr<ShardMap> next;
+  if (current->size() >= shard_cap && current->count(key) == 0) {
+    next = std::make_shared<ShardMap>();  // epoch-stamped keys: mostly dead
+  } else {
+    next = std::make_shared<ShardMap>(*current);
   }
-  entries_[key] = std::move(entry);
+  (*next)[key] = std::make_shared<const CachedPlan>(std::move(entry));
+  shard.entries.Store(std::move(next));
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 PlanCacheStats PlanCache::Stats() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  size_t entries = 0;
+  for (const Shard& shard : shards_) entries += shard.entries.Load()->size();
   return PlanCacheStats{hits_.load(std::memory_order_relaxed),
-                        misses_.load(std::memory_order_relaxed),
-                        entries_.size()};
+                        misses_.load(std::memory_order_relaxed), entries};
 }
 
 void PlanCache::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  entries_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.write_mutex);
+    shard.entries.Store(std::make_shared<const ShardMap>());
+  }
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace payless::core

@@ -20,20 +20,27 @@
 // the forced re-optimization picks up the refined histogram (the paper's
 // uniform-to-learned plan switch, Fig. 3 step 5.4).
 //
-// Thread-safe: lookups take a shared lock, inserts exclusive; hit/miss
-// tallies are atomics so concurrent clients can read them cheaply.
+// Thread-safe and lock-free on the hit path: entries live in hash-sharded
+// copy-on-write maps (one atomic snapshot load + a find per lookup), and a
+// hit hands back a shared_ptr to the immutable cached entry instead of a
+// deep copy of the plan. Inserts copy-on-write one shard under its writer
+// mutex; a monotonic version counter ticks on every insert and clear so
+// introspection can cheaply detect churn. Hit/miss tallies are atomics so
+// concurrent clients can read them cheaply.
 #ifndef PAYLESS_CORE_PLAN_CACHE_H_
 #define PAYLESS_CORE_PLAN_CACHE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <optional>
-#include <shared_mutex>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/value.h"
 #include "core/plan.h"
 
@@ -76,7 +83,9 @@ class PlanCache {
   /// `max_entries` bounds memory; on overflow the whole map is dropped
   /// (entries are epoch-stamped, so most are already unreachable by the
   /// time the cache fills — wholesale eviction loses almost nothing).
-  explicit PlanCache(size_t max_entries = 1024) : max_entries_(max_entries) {}
+  explicit PlanCache(size_t max_entries = 1024) : max_entries_(max_entries) {
+    for (Shard& s : shards_) s.entries.Store(std::make_shared<const ShardMap>());
+  }
 
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
@@ -89,16 +98,33 @@ class PlanCache {
                              const std::vector<Value>& params,
                              uint64_t staleness_epoch, int64_t min_epoch);
 
-  std::optional<CachedPlan> Lookup(const std::string& key) const;
+  /// Lock-free: one shard-snapshot load plus a map find. The returned
+  /// entry is immutable and shared — callers copy the fields they need
+  /// instead of the whole plan. nullptr on miss.
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& key) const;
   void Insert(const std::string& key, CachedPlan entry);
 
   PlanCacheStats Stats() const;
   void Clear();
 
+  /// Monotonic mutation counter: ticks on every Insert and Clear.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
  private:
+  static constexpr size_t kShards = 8;
+  using ShardMap =
+      std::unordered_map<std::string, std::shared_ptr<const CachedPlan>>;
+
+  struct Shard {
+    std::mutex write_mutex;
+    common::SnapshotCell<ShardMap> entries;
+  };
+
   const size_t max_entries_;
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, CachedPlan> entries_;
+  mutable std::array<Shard, kShards> shards_;
+  std::atomic<uint64_t> version_{0};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
 };

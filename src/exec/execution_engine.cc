@@ -10,6 +10,7 @@
 
 #include "core/optimizer.h"
 #include "exec/local_eval.h"
+#include "market/call_scheduler.h"
 #include "market/rest_call.h"
 #include "obs/trace.h"
 #include "storage/ops.h"
@@ -38,6 +39,9 @@ class RowSet {
 
 size_t ResolveFanOut(const ExecConfig& config) {
   if (config.max_parallel_calls != 0) return config.max_parallel_calls;
+  // The event-loop scheduler makes in-flight calls cheap (a timer, not a
+  // thread), so the default window need not track the core count.
+  if (config.use_call_scheduler) return 16;
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
@@ -55,18 +59,35 @@ size_t ResolveFanOut(const ExecConfig& config) {
 /// the listeners, so a re-issued query reuses them via the semantic store.
 Status IssueCalls(market::MarketConnector* connector,
                   common::ThreadPool* pool, size_t fan_out,
+                  bool use_scheduler,
                   const std::vector<market::RestCall>& calls,
                   market::Clock::time_point deadline,
                   const market::CallObs& call_obs, RowSet* rows,
                   ExecStats* exec_stats) {
-  std::vector<std::optional<Result<market::CallResult>>> outcomes(
-      calls.size());
-  std::atomic<bool> cancelled{false};
-  common::ParallelFor(pool, calls.size(), fan_out, [&](size_t i) {
-    if (cancelled.load(std::memory_order_relaxed)) return;  // sibling failed
-    outcomes[i].emplace(connector->Get(calls[i], deadline, &call_obs));
-    if (!(*outcomes[i]).ok()) cancelled.store(true, std::memory_order_relaxed);
-  });
+  std::vector<std::optional<Result<market::CallResult>>> outcomes;
+  if (use_scheduler && fan_out > 1 && calls.size() > 1) {
+    // Event-loop dispatch: the whole batch rides the connector's timer
+    // loop with `fan_out` calls in flight; claim-time cancellation and
+    // index-aligned outcomes match the thread-per-call path exactly.
+    std::vector<market::CallScheduler::Item> items(calls.size());
+    for (size_t i = 0; i < calls.size(); ++i) {
+      items[i].call = &calls[i];
+      items[i].deadline = deadline;
+      items[i].call_obs = &call_obs;
+    }
+    outcomes = connector->scheduler()->ExecuteBatch(items, fan_out,
+                                                    /*cancel_on_error=*/true);
+  } else {
+    outcomes.resize(calls.size());
+    std::atomic<bool> cancelled{false};
+    common::ParallelFor(pool, calls.size(), fan_out, [&](size_t i) {
+      if (cancelled.load(std::memory_order_relaxed)) return;  // sibling failed
+      outcomes[i].emplace(connector->Get(calls[i], deadline, &call_obs));
+      if (!(*outcomes[i]).ok()) {
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
   // Accumulate EVERY delivered result before reporting the (call-order
   // first) error, so exec_stats is the true spend-so-far.
   Status first_error = Status::OK();
@@ -94,7 +115,7 @@ Status IssueCalls(market::MarketConnector* connector,
 
 Result<storage::Table> ExecutionEngine::FetchRelation(
     const sql::BoundQuery& query, const core::AccessSpec& access,
-    size_t access_index, const storage::Table& left_result,
+    size_t access_index, const ColumnTable& left_result,
     const std::vector<size_t>& offsets, const ExecConfig& config,
     ExecStats* exec_stats) {
   const sql::BoundRelation& rel = query.relations[access.rel];
@@ -122,8 +143,8 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
 
   const auto issue_all = [&](const std::vector<market::RestCall>& calls,
                              RowSet* rows) -> Status {
-    return IssueCalls(connector_, pool_, fan_out, calls, config.deadline,
-                      call_obs, rows, exec_stats);
+    return IssueCalls(connector_, pool_, fan_out, config.use_call_scheduler,
+                      calls, config.deadline, call_obs, rows, exec_stats);
   };
 
   const ExecStats before = exec_stats != nullptr ? *exec_stats : ExecStats{};
@@ -230,13 +251,14 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
         std::vector<Row> combos;
         {
           std::unordered_set<Row, RowHasher> seen;
-          for (const Row& row : left_result.rows()) {
+          for (size_t r = 0; r < left_result.num_rows(); ++r) {
             Row combo;
             combo.reserve(left_positions.size());
             bool has_null = false;
             for (const size_t pos : left_positions) {
-              if (row[pos].is_null()) has_null = true;
-              combo.push_back(row[pos]);
+              const Value& v = left_result.At(r, pos);
+              if (v.is_null()) has_null = true;
+              combo.push_back(v);
             }
             if (has_null) continue;  // NULL never joins
             if (seen.insert(combo).second) combos.push_back(std::move(combo));
@@ -333,14 +355,7 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
             bool cancelled = false;
           };
           std::vector<ComboOutcome> outcomes(combos.size());
-          std::atomic<bool> cancelled{false};
-          common::ParallelFor(pool_, combos.size(), fan_out, [&](size_t i) {
-            if (cancelled.load(std::memory_order_relaxed)) {
-              // A sibling binding value exhausted its retries: stop spending
-              // on a bind join that can no longer deliver.
-              outcomes[i].cancelled = true;
-              return;
-            }
+          const auto combo_call = [&](size_t i) {
             market::RestCall call;
             call.table = def.name;
             call.conditions = rel.conditions;
@@ -348,22 +363,72 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
               call.conditions[bind_cols[c]] =
                   market::AttrCondition::Point(combos[i][c]);
             }
-            if (config.use_sqr) {
-              const Box point_region = market::CallRegion(def, call);
-              if (point_region.empty()) return;  // value outside the domain
-              if (store_->Covers(def, point_region, config.min_epoch)) {
-                outcomes[i].cached =
-                    store_->RowsInRegion(def, point_region, config.min_epoch);
-                outcomes[i].from_cache = true;
-                return;
+            return call;
+          };
+          if (config.use_call_scheduler && fan_out > 1 && combos.size() > 1) {
+            // Store probes are lock-free snapshot reads, so resolve every
+            // combination's coverage serially up front, then batch the
+            // combinations that actually need the market through the
+            // event-loop scheduler with `fan_out` calls in flight.
+            std::vector<market::RestCall> calls(combos.size());
+            std::vector<size_t> need;
+            for (size_t i = 0; i < combos.size(); ++i) {
+              calls[i] = combo_call(i);
+              if (config.use_sqr) {
+                const Box point_region = market::CallRegion(def, calls[i]);
+                if (point_region.empty()) continue;  // outside the domain
+                if (store_->Covers(def, point_region, config.min_epoch)) {
+                  outcomes[i].cached = store_->RowsInRegion(def, point_region,
+                                                            config.min_epoch);
+                  outcomes[i].from_cache = true;
+                  continue;
+                }
+              }
+              need.push_back(i);
+            }
+            std::vector<market::CallScheduler::Item> items(need.size());
+            for (size_t j = 0; j < need.size(); ++j) {
+              items[j].call = &calls[need[j]];
+              items[j].deadline = config.deadline;
+              items[j].call_obs = &call_obs;
+            }
+            std::vector<std::optional<Result<market::CallResult>>> fetched =
+                connector_->scheduler()->ExecuteBatch(
+                    items, fan_out, /*cancel_on_error=*/true);
+            for (size_t j = 0; j < need.size(); ++j) {
+              if (fetched[j].has_value()) {
+                outcomes[need[j]].fetched = std::move(fetched[j]);
+              } else {
+                outcomes[need[j]].cancelled = true;
               }
             }
-            outcomes[i].fetched.emplace(
-                connector_->Get(call, config.deadline, &call_obs));
-            if (!(*outcomes[i].fetched).ok()) {
-              cancelled.store(true, std::memory_order_relaxed);
-            }
-          });
+          } else {
+            std::atomic<bool> cancelled{false};
+            common::ParallelFor(pool_, combos.size(), fan_out, [&](size_t i) {
+              if (cancelled.load(std::memory_order_relaxed)) {
+                // A sibling binding value exhausted its retries: stop
+                // spending on a bind join that can no longer deliver.
+                outcomes[i].cancelled = true;
+                return;
+              }
+              market::RestCall call = combo_call(i);
+              if (config.use_sqr) {
+                const Box point_region = market::CallRegion(def, call);
+                if (point_region.empty()) return;  // value outside the domain
+                if (store_->Covers(def, point_region, config.min_epoch)) {
+                  outcomes[i].cached = store_->RowsInRegion(def, point_region,
+                                                            config.min_epoch);
+                  outcomes[i].from_cache = true;
+                  return;
+                }
+              }
+              outcomes[i].fetched.emplace(
+                  connector_->Get(call, config.deadline, &call_obs));
+              if (!(*outcomes[i].fetched).ok()) {
+                cancelled.store(true, std::memory_order_relaxed);
+              }
+            });
+          }
           // Accumulate every delivered/cached outcome before surfacing the
           // first (binding-value-order) error: exec_stats must equal the
           // spend-so-far even when the access fails.
@@ -445,11 +510,11 @@ Result<storage::Table> ExecutionEngine::Execute(const sql::BoundQuery& query,
     seen[access.rel] = true;
   }
 
-  std::vector<storage::Table> rel_tables(n);
   std::vector<size_t> offsets(n, 0);
   std::vector<bool> placed(n, false);
-  storage::Table current;  // unit table
-  current.Append({});
+  ColumnTable current;  // unit table: zero columns, one row
+  current.Grow(1);
+  std::vector<storage::SchemaColumn> placed_cols;
   size_t width = 0;
 
   for (size_t a = 0; a < plan.accesses.size(); ++a) {
@@ -458,9 +523,9 @@ Result<storage::Table> ExecutionEngine::Execute(const sql::BoundQuery& query,
         FetchRelation(query, access, a, current, offsets, config, exec_stats);
     PAYLESS_RETURN_IF_ERROR(fetched.status());
 
-    // Maintain the running join (it feeds later bind joins).
-    const storage::Table filtered =
-        FilterRelation(query, access.rel, *fetched);
+    // Maintain the running join columnar (it feeds later bind joins).
+    const ColumnTable filtered =
+        FilterRelationColumns(query, access.rel, *fetched);
     std::vector<std::pair<size_t, size_t>> keys;
     for (const sql::JoinEdge& e : query.joins) {
       if (e.left.rel == access.rel && placed[e.right.rel]) {
@@ -469,15 +534,19 @@ Result<storage::Table> ExecutionEngine::Execute(const sql::BoundQuery& query,
         keys.emplace_back(offsets[e.left.rel] + e.left.col, e.right.col);
       }
     }
-    current = keys.empty() ? storage::Cartesian(current, filtered)
-                           : storage::HashJoin(current, filtered, keys);
+    current = keys.empty() ? BlockCartesian(current, filtered)
+                           : BlockHashJoin(current, filtered, keys);
     offsets[access.rel] = width;
-    width += filtered.schema().num_columns();
+    width += filtered.num_columns();
     placed[access.rel] = true;
-    rel_tables[access.rel] = std::move(*fetched);
+    for (const storage::SchemaColumn& col : fetched->schema().columns()) {
+      placed_cols.push_back(col);
+    }
   }
 
-  return EvaluateLocally(query, rel_tables);
+  // The running join already holds the complete filtered result: finish the
+  // SELECT / GROUP BY directly over it instead of re-joining from scratch.
+  return EvaluateJoined(query, current, offsets, std::move(placed_cols));
 }
 
 }  // namespace payless::exec

@@ -12,6 +12,7 @@
 #include "catalog/catalog.h"
 #include "common/thread_pool.h"
 #include "core/plan.h"
+#include "exec/block.h"
 #include "market/data_market.h"
 #include "semstore/semantic_store.h"
 #include "sql/bound_query.h"
@@ -29,11 +30,16 @@ struct ExecConfig {
   semstore::RemainderOptions remainder;
   /// Fan-out for one access's REST calls: a bind join's per-binding-value
   /// calls and an access's remainder calls are dispatched up to this many
-  /// at a time (0 = hardware concurrency; 1 = strictly serial; needs a
-  /// thread pool on the engine to take effect). Results are merged in
+  /// at a time (0 = default: 16 with the call scheduler, else hardware
+  /// concurrency; 1 = strictly serial). Results are merged in
   /// binding-value / remainder-box order, so rows, row order and billed
   /// transactions are identical to serial execution.
   size_t max_parallel_calls = 0;
+  /// Dispatch multi-call accesses through the connector's event-loop
+  /// CallScheduler instead of thread-per-call ParallelFor: the fan-out
+  /// becomes an in-flight window (cheap even in the hundreds) rather than
+  /// a thread count. Serial accesses (fan-out 1) always bypass it.
+  bool use_call_scheduler = true;
   /// Absolute per-query deadline forwarded to every market call. Calls
   /// past it fail with kDeadlineExceeded instead of retrying.
   market::Clock::time_point deadline = market::kNoDeadline;
@@ -85,7 +91,7 @@ class ExecutionEngine {
   Result<storage::Table> FetchRelation(const sql::BoundQuery& query,
                                        const core::AccessSpec& access,
                                        size_t access_index,
-                                       const storage::Table& left_result,
+                                       const ColumnTable& left_result,
                                        const std::vector<size_t>& offsets,
                                        const ExecConfig& config,
                                        ExecStats* exec_stats);

@@ -23,20 +23,56 @@ size_t ColumnPosition(const sql::BoundQuery& query,
 
 storage::Table FilterRelation(const sql::BoundQuery& query, size_t rel,
                               const storage::Table& raw) {
+  return storage::Table(raw.schema(),
+                        RowsFromColumns(FilterRelationColumns(query, rel, raw)));
+}
+
+ColumnTable FilterRelationColumns(const sql::BoundQuery& query, size_t rel,
+                                  const storage::Table& raw) {
   const sql::BoundRelation& relation = query.relations[rel];
-  storage::Table out(raw.schema());
+  ColumnTable out(raw.schema().num_columns());
   if (relation.always_empty) return out;
-  for (const Row& row : raw.rows()) {
-    bool keep = true;
-    for (size_t c = 0; c < relation.conditions.size() && keep; ++c) {
-      keep = relation.conditions[c].Matches(row[c]);
+
+  const std::vector<Row>& rows = raw.rows();
+  std::vector<uint32_t> sel;
+  sel.reserve(kBlockCapacity);
+  for (size_t base = 0; base < rows.size(); base += kBlockCapacity) {
+    const size_t limit = std::min(base + kBlockCapacity, rows.size());
+    sel.clear();
+    for (size_t i = base; i < limit; ++i) {
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+    // One predicate column at a time, compacting the selection vector: each
+    // pass touches only the column it tests, and rows dropped by an earlier
+    // predicate never evaluate a later one (same short-circuit as the
+    // row-at-a-time loop, so the kept set and its order are identical).
+    for (size_t c = 0; c < relation.conditions.size() && !sel.empty(); ++c) {
+      const market::AttrCondition& cond = relation.conditions[c];
+      size_t kept = 0;
+      for (const uint32_t i : sel) {
+        if (cond.Matches(rows[i][c])) sel[kept++] = i;
+      }
+      sel.resize(kept);
     }
     for (const sql::ResidualPredicate& pred : query.residuals) {
-      if (!keep) break;
       if (pred.column.rel != rel) continue;
-      keep = EvalCompare(row[pred.column.col], pred.op, pred.literal);
+      if (sel.empty()) break;
+      size_t kept = 0;
+      for (const uint32_t i : sel) {
+        if (EvalCompare(rows[i][pred.column.col], pred.op, pred.literal)) {
+          sel[kept++] = i;
+        }
+      }
+      sel.resize(kept);
     }
-    if (keep) out.Append(row);
+    // Columnar gather of the survivors.
+    const size_t dst = out.num_rows();
+    out.Grow(sel.size());
+    for (size_t c = 0; c < out.num_columns(); ++c) {
+      for (size_t i = 0; i < sel.size(); ++i) {
+        out.At(dst + i, c) = rows[sel[i]][c];
+      }
+    }
   }
   return out;
 }
@@ -49,19 +85,22 @@ Result<storage::Table> EvaluateLocally(
     return Status::InvalidArgument("rel_tables arity mismatch");
   }
 
-  // Filter each relation, then join greedily: repeatedly attach a relation
-  // connected to the joined set (hash join), falling back to Cartesian for
-  // disconnected components. Joined-schema offsets track placement.
-  std::vector<storage::Table> filtered;
+  // Filter each relation (block-vectorized), then join greedily: repeatedly
+  // attach a relation connected to the joined set (hash join), falling back
+  // to Cartesian for disconnected components. The whole pipeline stays
+  // columnar until the final aggregate/sort; joined-schema offsets track
+  // placement.
+  std::vector<ColumnTable> filtered;
   filtered.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    filtered.push_back(FilterRelation(query, i, rel_tables[i]));
+    filtered.push_back(FilterRelationColumns(query, i, rel_tables[i]));
   }
 
   std::vector<size_t> offsets(n, 0);
   std::vector<bool> done(n, false);
-  storage::Table current;  // starts as the unit table: empty schema, one row
-  current.Append({});
+  ColumnTable current;  // starts as the unit table: zero columns, one row
+  current.Grow(1);
+  std::vector<storage::SchemaColumn> placed_cols;
   size_t placed_width = 0;
 
   for (size_t round = 0; round < n; ++round) {
@@ -102,12 +141,25 @@ Result<storage::Table> EvaluateLocally(
         keys.emplace_back(ColumnPosition(query, offsets, l), r.col);
       }
     }
-    current = keys.empty() ? storage::Cartesian(current, filtered[pick])
-                           : storage::HashJoin(current, filtered[pick], keys);
+    current = keys.empty() ? BlockCartesian(current, filtered[pick])
+                           : BlockHashJoin(current, filtered[pick], keys);
     offsets[pick] = placed_width;
-    placed_width += filtered[pick].schema().num_columns();
+    placed_width += filtered[pick].num_columns();
+    for (const storage::SchemaColumn& col :
+         rel_tables[pick].schema().columns()) {
+      placed_cols.push_back(col);
+    }
     done[pick] = true;
   }
+
+  return EvaluateJoined(query, current, offsets, std::move(placed_cols));
+}
+
+Result<storage::Table> EvaluateJoined(
+    const sql::BoundQuery& query, const ColumnTable& current,
+    const std::vector<size_t>& offsets,
+    std::vector<storage::SchemaColumn> placed_cols) {
+  const size_t n = query.relations.size();
 
   // ---- SELECT / GROUP BY output.
   const auto position = [&](const sql::BoundColumnRef& ref) {
@@ -178,8 +230,12 @@ Result<storage::Table> EvaluateLocally(
         return Status::NotSupported("SELECT * cannot mix with aggregates");
       }
     }
+    // The aggregate is the columnar pipeline's sink: group keys need whole
+    // rows anyway, and the grouped output is small.
+    const storage::Table current_table(storage::Schema(placed_cols),
+                                       RowsFromColumns(current));
     const storage::Table grouped =
-        storage::GroupAggregate(current, group_cols, aggs);
+        storage::GroupAggregate(current_table, group_cols, aggs);
     // Reorder to the SELECT-list order.
     return finalize(storage::Project(grouped, select_to_output));
   }
@@ -199,7 +255,14 @@ Result<storage::Table> EvaluateLocally(
       out_cols.push_back(position(item.column));
     }
   }
-  return finalize(storage::Project(current, out_cols));
+  // Project while still columnar; rows materialize only for the final
+  // result table.
+  std::vector<storage::SchemaColumn> proj_cols;
+  proj_cols.reserve(out_cols.size());
+  for (const size_t c : out_cols) proj_cols.push_back(placed_cols[c]);
+  return finalize(
+      storage::Table(storage::Schema(std::move(proj_cols)),
+                     RowsFromColumns(ProjectColumns(current, out_cols))));
 }
 
 }  // namespace payless::exec

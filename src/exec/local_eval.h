@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/block.h"
 #include "sql/bound_query.h"
 #include "storage/table.h"
 
@@ -22,10 +23,27 @@ Result<storage::Table> EvaluateLocally(
     const sql::BoundQuery& query,
     const std::vector<storage::Table>& rel_tables);
 
+/// Produces the SELECT / GROUP BY / ORDER BY output over an already-joined
+/// columnar result. `current` is the join of every relation (filters and
+/// residuals applied), `offsets[rel]` its relations' first column position,
+/// `placed_cols` the concatenated schema in placement order. Lets the
+/// execution engine finish its running bind join directly instead of
+/// re-filtering and re-joining from scratch.
+Result<storage::Table> EvaluateJoined(
+    const sql::BoundQuery& query, const ColumnTable& current,
+    const std::vector<size_t>& offsets,
+    std::vector<storage::SchemaColumn> placed_cols);
+
 /// Filters one relation's raw rows by its literal conditions and the
 /// residual predicates that mention it.
 storage::Table FilterRelation(const sql::BoundQuery& query, size_t rel,
                               const storage::Table& raw);
+
+/// Block-vectorized form of FilterRelation: evaluates one predicate column
+/// at a time over a selection vector (block by block, compacting as it
+/// goes) and gathers survivors columnar. Same rows, same order.
+ColumnTable FilterRelationColumns(const sql::BoundQuery& query, size_t rel,
+                                  const storage::Table& raw);
 
 }  // namespace payless::exec
 

@@ -81,6 +81,9 @@ PayLess::PayLess(const catalog::Catalog* catalog,
   for (const std::string& name : catalog_->TableNames()) {
     const catalog::TableDef* def = catalog_->FindTable(name);
     stats_.RegisterTable(*def);
+    // Resolve the accuracy tracker's per-table metric handles now, so no
+    // steady-state Record ever takes the registry's name-map mutex.
+    accuracy_.PrepareTable(name);
     if (def->is_local) {
       const Status st = local_db_.CreateTable(*def);
       assert(st.ok());
@@ -230,15 +233,15 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
       cache_key = core::PlanCache::MakeKey(core::NormalizeSqlTemplate(sql),
                                            params, drift_epoch,
                                            opt_options.min_epoch);
-      if (std::optional<core::CachedPlan> cached =
+      if (std::shared_ptr<const core::CachedPlan> cached =
               plan_cache_.Lookup(cache_key)) {
-        report.plan = std::move(cached->plan);
+        report.plan = cached->plan;
         report.counters = cached->counters;
         // The counterfactual rides in the template: a hit reports exactly
         // the price the miss that created the template computed.
         cf.total = cached->cf_total;
-        cf.by_dataset = std::move(cached->cf_by_dataset);
-        cf.signature = std::move(cached->cf_signature);
+        cf.by_dataset = cached->cf_by_dataset;
+        cf.signature = cached->cf_signature;
         cache_hit = true;
       }
     }
@@ -292,6 +295,7 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
   exec_config.min_epoch = opt_options.min_epoch;
   exec_config.remainder = opt_options.remainder;
   exec_config.max_parallel_calls = config_.max_parallel_calls;
+  exec_config.use_call_scheduler = config_.enable_call_scheduler;
   if (config_.query_deadline_micros > 0) {
     exec_config.deadline =
         market::Clock::now() +

@@ -55,6 +55,11 @@ struct PayLessConfig {
   /// deterministically in binding-value order. 0 = hardware concurrency,
   /// 1 = strictly serial. Rows and billing are identical either way.
   size_t max_parallel_calls = 0;
+  /// Dispatch multi-call accesses through the connector's event-loop
+  /// CallScheduler (timers instead of parked threads); fan-out then caps
+  /// the in-flight window, not a thread count. Billing and row order are
+  /// identical either way.
+  bool enable_call_scheduler = true;
   /// Reuse plans of repeated identical parameterized queries (skips the DP
   /// entirely). Invalidation is drift-based: the accuracy tracker's epoch
   /// is part of the key, so templates only re-optimize when an estimate

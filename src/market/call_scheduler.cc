@@ -1,0 +1,162 @@
+#include "market/call_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace payless::market {
+
+CallScheduler::CallScheduler(MarketConnector* connector)
+    : connector_(connector), loop_thread_([this] { Loop(); }) {}
+
+CallScheduler::~CallScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  loop_cv_.notify_all();
+  loop_thread_.join();
+}
+
+std::vector<std::optional<Result<CallResult>>> CallScheduler::ExecuteBatch(
+    const std::vector<Item>& items, size_t max_in_flight,
+    bool cancel_on_error) {
+  Batch batch;
+  batch.tasks.resize(items.size());
+  batch.outcomes.resize(items.size());
+  batch.remaining = items.size();
+  batch.max_in_flight = std::max<size_t>(1, max_in_flight);
+  batch.cancel_on_error = cancel_on_error;
+  for (size_t i = 0; i < items.size(); ++i) {
+    batch.tasks[i].call = items[i].call;
+    batch.tasks[i].deadline = items[i].deadline;
+    batch.tasks[i].call_obs = items[i].call_obs;
+  }
+
+  std::vector<size_t> to_start;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AdmitLocked(&batch, &to_start);
+  }
+  for (const size_t i : to_start) Drive(&batch, i, Phase::kBegin);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  return std::move(batch.outcomes);
+}
+
+void CallScheduler::AdmitLocked(Batch* batch, std::vector<size_t>* to_start) {
+  while (batch->next < batch->tasks.size() &&
+         batch->in_flight < batch->max_in_flight) {
+    const size_t i = batch->next++;
+    if (batch->failed) {
+      // Claim-time cancellation, mirroring the thread-per-call path: a
+      // sibling's terminal failure stops money being spent on a batch that
+      // can no longer deliver. outcomes[i] stays empty.
+      --batch->remaining;
+      continue;
+    }
+    ++batch->in_flight;
+    to_start->push_back(i);
+  }
+}
+
+void CallScheduler::Drive(Batch* batch, size_t index, Phase phase) {
+  MarketConnector::CallTask* task = &batch->tasks[index];
+  while (!task->done) {
+    switch (phase) {
+      case Phase::kBegin:
+        connector_->BeginCall(task);
+        phase = Phase::kAttempt;
+        break;
+      case Phase::kAttempt: {
+        const int64_t delay = connector_->BeginAttempt(task);
+        if (task->done) break;
+        if (delay > 0) {
+          Arm(batch, index, Phase::kComplete, delay);
+          return;
+        }
+        phase = Phase::kComplete;
+        break;
+      }
+      case Phase::kComplete: {
+        const int64_t delay = connector_->CompleteAttempt(task);
+        if (task->done) break;
+        if (delay > 0) {
+          Arm(batch, index, Phase::kAttempt, delay);
+          return;
+        }
+        phase = Phase::kAttempt;
+        break;
+      }
+    }
+  }
+  FinishTask(batch, index);
+}
+
+void CallScheduler::Arm(Batch* batch, size_t index, Phase phase,
+                        int64_t delay_micros) {
+  const Clock::time_point due =
+      Clock::now() + std::chrono::microseconds(delay_micros);
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Waking the loop is only needed when this timer becomes the earliest;
+    // otherwise its existing wait_until already covers us.
+    wake = timers_.empty() || due < timers_.front().due;
+    timers_.push_back(Timer{due, batch, index, phase});
+    std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
+  }
+  if (wake) loop_cv_.notify_one();
+}
+
+void CallScheduler::FinishTask(Batch* batch, size_t index) {
+  std::vector<size_t> to_start;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch->outcomes[index] = std::move(batch->tasks[index].outcome);
+    if (batch->cancel_on_error && !batch->outcomes[index]->ok()) {
+      batch->failed = true;
+    }
+    --batch->in_flight;
+    --batch->remaining;
+    AdmitLocked(batch, &to_start);
+    if (batch->remaining == 0) {
+      // Notify under the lock: the waiter owns `batch`'s storage and may
+      // destroy it the instant it observes remaining == 0.
+      batch->done.notify_all();
+    }
+  }
+  for (const size_t i : to_start) Drive(batch, i, Phase::kBegin);
+}
+
+void CallScheduler::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<Timer> due;
+  while (true) {
+    const Clock::time_point now = Clock::now();
+    due.clear();
+    while (!timers_.empty() && timers_.front().due <= now) {
+      std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+      due.push_back(timers_.back());
+      timers_.pop_back();
+    }
+    if (!due.empty()) {
+      // Batched completion: everything due under one lock hold, phases run
+      // outside the lock so Arm/FinishTask can re-enter it.
+      lock.unlock();
+      for (const Timer& timer : due) {
+        Drive(timer.batch, timer.index, timer.phase);
+      }
+      lock.lock();
+      continue;
+    }
+    if (stop_) break;
+    if (timers_.empty()) {
+      loop_cv_.wait(lock);
+    } else {
+      loop_cv_.wait_until(lock, timers_.front().due);
+    }
+  }
+}
+
+}  // namespace payless::market

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <sstream>
 #include <thread>
+
+#include "common/snapshot.h"
+#include "market/call_scheduler.h"
 
 namespace payless::market {
 
@@ -242,33 +246,22 @@ std::string DescribeConditions(const catalog::TableDef& def,
   return out;
 }
 
-/// Opens the per-Get span and closes it on every exit path, carrying the
-/// retry/billing story of this one call: attempts, retries, transactions
-/// billed (waste included), wasted transactions, and how the call ended.
-struct CallSpanGuard {
-  obs::Trace* trace = nullptr;
-  uint64_t id = 0;
-  int64_t attempts = 0;
-  int64_t retries = 0;
-  int64_t billed_transactions = 0;
-  int64_t wasted_transactions = 0;
-  const char* outcome = "ok";
-
-  ~CallSpanGuard() {
-    if (trace == nullptr) return;
-    trace->AddAttr(id, "attempts", attempts);
-    trace->AddAttr(id, "retries", retries);
-    trace->AddAttr(id, "transactions", billed_transactions);
-    trace->AddAttr(id, "wasted_transactions", wasted_transactions);
-    trace->AddAttr(id, "outcome", std::string(outcome));
-    trace->EndSpan(id);
-  }
-};
-
 }  // namespace
 
+MarketConnector::MarketConnector(const DataMarket* market) : market_(market) {}
+
+MarketConnector::~MarketConnector() = default;
+
+CallScheduler* MarketConnector::scheduler() {
+  std::call_once(scheduler_once_, [this] {
+    scheduler_ = std::make_unique<CallScheduler>(this);
+  });
+  return scheduler_.get();
+}
+
 int64_t MarketConnector::NextDelayMicros(int64_t* backoff,
-                                         int64_t retry_after_micros) {
+                                         int64_t retry_after_micros,
+                                         uint64_t* jitter_state) {
   int64_t delay = *backoff;
   *backoff = std::min(
       static_cast<int64_t>(static_cast<double>(*backoff) *
@@ -278,199 +271,268 @@ int64_t MarketConnector::NextDelayMicros(int64_t* backoff,
   // would just burn another attempt on a closed door.
   if (retry_after_micros > delay) delay = retry_after_micros;
   if (policy_.jitter > 0.0) {
-    std::lock_guard<std::mutex> lock(jitter_mutex_);
-    const double factor =
-        jitter_rng_.UniformReal(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+    *jitter_state = common::SplitMix64(*jitter_state);
+    const double factor = common::ToUnitRange(
+        *jitter_state, 1.0 - policy_.jitter, 1.0 + policy_.jitter);
     delay = static_cast<int64_t>(static_cast<double>(delay) * factor);
   }
   return std::max<int64_t>(delay, 0);
 }
 
-Result<CallResult> MarketConnector::Get(const RestCall& call,
-                                        Clock::time_point deadline,
-                                        const CallObs* call_obs) {
-  const catalog::TableDef* def = market_->catalog().FindTable(call.table);
-  if (def == nullptr) {
-    return Status::NotFound("table '" + call.table + "' not in catalog");
+void MarketConnector::Finish(CallTask* t, Result<CallResult> outcome,
+                             const char* label) {
+  t->outcome_label = label;
+  t->outcome = std::move(outcome);
+  t->done = true;
+  if (t->trace != nullptr) {
+    t->trace->AddAttr(t->span_id, "attempts", t->span_attempts);
+    t->trace->AddAttr(t->span_id, "retries", t->span_retries);
+    t->trace->AddAttr(t->span_id, "transactions", t->billed_transactions);
+    t->trace->AddAttr(t->span_id, "wasted_transactions",
+                      t->wasted_transactions);
+    t->trace->AddAttr(t->span_id, "outcome", std::string(t->outcome_label));
+    t->trace->EndSpan(t->span_id);
   }
-  const std::string& dataset = def->dataset;
+}
 
-  CallSpanGuard span;
-  if (call_obs != nullptr && call_obs->trace != nullptr) {
-    span.trace = call_obs->trace;
-    span.id = span.trace->StartSpan("market.get", call_obs->parent_span);
-    span.trace->AddAttr(span.id, "table", call.table);
-    span.trace->AddAttr(span.id, "dataset", dataset);
-    span.trace->AddAttr(span.id, "conditions",
-                        DescribeConditions(*def, call));
+void MarketConnector::BeginCall(CallTask* t) {
+  t->def = market_->catalog().FindTable(t->call->table);
+  if (t->def == nullptr) {
+    // Before any span opens, matching the historical behaviour.
+    t->outcome = Status::NotFound("table '" + t->call->table +
+                                  "' not in catalog");
+    t->done = true;
+    return;
   }
-  obs::CostLedger* ledger =
-      call_obs != nullptr ? call_obs->ledger : nullptr;
+  t->dataset = t->def->dataset;
+
+  if (t->call_obs != nullptr && t->call_obs->trace != nullptr) {
+    t->trace = t->call_obs->trace;
+    t->span_id = t->trace->StartSpan("market.get", t->call_obs->parent_span);
+    t->trace->AddAttr(t->span_id, "table", t->call->table);
+    t->trace->AddAttr(t->span_id, "dataset", t->dataset);
+    t->trace->AddAttr(t->span_id, "conditions",
+                      DescribeConditions(*t->def, *t->call));
+  }
 
   // Effective deadline: the caller's (per-query) budget capped by the
   // policy's per-call timeout.
-  Clock::time_point effective = deadline;
+  t->effective = t->deadline;
   if (policy_.call_timeout_micros > 0) {
     const Clock::time_point call_cap =
         Clock::now() + std::chrono::microseconds(policy_.call_timeout_micros);
-    if (call_cap < effective) effective = call_cap;
+    if (call_cap < t->effective) t->effective = call_cap;
   }
 
   // Circuit-breaker admission: an open breaker fails fast, spending neither
   // time nor money on a dataset that keeps failing.
-  if (!breakers_.Admit(dataset, policy_, Clock::now())) {
+  if (!breakers_.Admit(t->dataset, policy_, Clock::now())) {
     std::lock_guard<std::mutex> lock(retry_stats_mutex_);
     ++retry_stats_.breaker_rejections;
     ++retry_stats_.failed_calls;
-    span.outcome = "breaker_rejected";
-    return Status::Unavailable("circuit breaker open for dataset '" + dataset +
-                               "'");
+    Finish(t,
+           Status::Unavailable("circuit breaker open for dataset '" +
+                               t->dataset + "'"),
+           "breaker_rejected");
+    return;
   }
 
-  const int max_attempts = std::max(1, policy_.max_attempts);
-  int64_t backoff = policy_.initial_backoff_micros;
-  Status last_error = Status::OK();
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    {
-      std::lock_guard<std::mutex> lock(retry_stats_mutex_);
-      ++retry_stats_.attempts;
-      if (attempt > 1) ++retry_stats_.retries;
-    }
-    ++span.attempts;
-    if (attempt > 1) ++span.retries;
-    if (Clock::now() >= effective) {
-      std::lock_guard<std::mutex> lock(retry_stats_mutex_);
-      ++retry_stats_.deadline_exceeded;
-      ++retry_stats_.failed_calls;
-      span.outcome = "deadline";
-      return Status::DeadlineExceeded("deadline elapsed before attempt " +
-                                      std::to_string(attempt) + " on '" +
-                                      call.table + "'");
-    }
+  t->max_attempts = std::max(1, policy_.max_attempts);
+  t->backoff = policy_.initial_backoff_micros;
+  t->jitter_state =
+      policy_.jitter_seed ^
+      common::SplitMix64(jitter_sequence_.fetch_add(
+          1, std::memory_order_relaxed));
+}
 
-    const int64_t latency =
-        simulated_latency_micros_.load(std::memory_order_relaxed);
-    if (latency > 0) {
-      // The network round trip, paid outside every lock so concurrent calls
-      // overlap it — the whole point of the concurrency layer.
-      std::this_thread::sleep_for(std::chrono::microseconds(latency));
-    }
+int64_t MarketConnector::BeginAttempt(CallTask* t) {
+  ++t->attempt;
+  {
+    std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+    ++retry_stats_.attempts;
+    if (t->attempt > 1) ++retry_stats_.retries;
+  }
+  ++t->span_attempts;
+  if (t->attempt > 1) ++t->span_retries;
+  if (Clock::now() >= t->effective) {
+    std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+    ++retry_stats_.deadline_exceeded;
+    ++retry_stats_.failed_calls;
+    Finish(t,
+           Status::DeadlineExceeded("deadline elapsed before attempt " +
+                                    std::to_string(t->attempt) + " on '" +
+                                    t->call->table + "'"),
+           "deadline");
+    return 0;
+  }
 
-    FaultDecision fault;
-    if (FaultInjector* injector = injector_.load(std::memory_order_acquire)) {
-      fault = injector->Decide(call);
-    }
-    if (fault.latency_spike_micros > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(fault.latency_spike_micros));
-    }
+  // The network round trip (plus any injected latency spike), paid outside
+  // every lock so concurrent calls overlap it — the whole point of the
+  // concurrency layer. The driver elapses it: the synchronous Get sleeps,
+  // the CallScheduler arms a timer and keeps the worker free.
+  int64_t delay = simulated_latency_micros_.load(std::memory_order_relaxed);
+  t->fault = FaultDecision{};
+  if (FaultInjector* injector = injector_.load(std::memory_order_acquire)) {
+    t->fault = injector->Decide(*t->call);
+  }
+  if (t->fault.latency_spike_micros > 0) {
+    delay += t->fault.latency_spike_micros;
+  }
+  return delay;
+}
 
-    switch (fault.kind) {
-      case FaultKind::kTransientDrop:
-        // Dropped before the market saw it: nothing evaluated, nothing
-        // billed.
-        last_error = Status::Unavailable("transient fault calling '" +
-                                         call.table + "'");
+int64_t MarketConnector::CompleteAttempt(CallTask* t) {
+  switch (t->fault.kind) {
+    case FaultKind::kTransientDrop:
+      // Dropped before the market saw it: nothing evaluated, nothing
+      // billed.
+      t->last_error = Status::Unavailable("transient fault calling '" +
+                                          t->call->table + "'");
+      {
+        std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+        ++retry_stats_.transient_faults;
+      }
+      break;
+    case FaultKind::kRateLimit:
+      t->last_error = Status::ResourceExhausted(
+          "rate limited on '" + t->call->table + "'; retry after " +
+          std::to_string(t->fault.retry_after_micros) + "us");
+      {
+        std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+        ++retry_stats_.rate_limited;
+      }
+      break;
+    case FaultKind::kNone:
+    case FaultKind::kLostResponse: {
+      Result<CallResult> result = market_->Execute(*t->call);
+      if (!result.ok()) {
+        // A genuine market rejection (validation, unknown table, ...):
+        // a property of the request, never retryable, not the breaker's
+        // business.
         {
-          std::lock_guard<std::mutex> lock(retry_stats_mutex_);
-          ++retry_stats_.transient_faults;
-        }
-        break;
-      case FaultKind::kRateLimit:
-        last_error = Status::ResourceExhausted(
-            "rate limited on '" + call.table + "'; retry after " +
-            std::to_string(fault.retry_after_micros) + "us");
-        {
-          std::lock_guard<std::mutex> lock(retry_stats_mutex_);
-          ++retry_stats_.rate_limited;
-        }
-        break;
-      case FaultKind::kNone:
-      case FaultKind::kLostResponse: {
-        Result<CallResult> result = market_->Execute(call);
-        if (!result.ok()) {
-          // A genuine market rejection (validation, unknown table, ...):
-          // a property of the request, never retryable, not the breaker's
-          // business.
           std::lock_guard<std::mutex> lock(retry_stats_mutex_);
           ++retry_stats_.failed_calls;
-          span.outcome = "market_error";
-          return result;
         }
-        // The market evaluated the call, so the seller bills it (Eq. 1) —
-        // whether or not the response makes it back to us. The ledger
-        // mirrors the meter HERE, at the single billing point, so per-tenant
-        // attribution stays exact under retries and lost responses.
-        meter_.Record(dataset, result->transactions, result->price);
-        if (ledger != nullptr) {
-          // Lost responses are flagged as waste in the same Record, so the
-          // savings ledger can carve billed-but-undelivered transactions
-          // out as negative savings with per-cell exactness.
-          const int64_t wasted = fault.kind == FaultKind::kLostResponse
-                                     ? result->transactions
-                                     : 0;
-          ledger->Record(call_obs->tenant, call_obs->query_id, dataset,
-                         result->transactions, result->price, wasted);
-        }
-        span.billed_transactions += result->transactions;
-        if (fault.kind == FaultKind::kLostResponse) {
-          // Response lost in transit: paid-for work with nothing delivered.
-          // Surface it as waste; listeners must NOT see it.
-          std::lock_guard<std::mutex> lock(retry_stats_mutex_);
-          ++retry_stats_.wasted_calls;
-          retry_stats_.wasted_transactions += result->transactions;
-          retry_stats_.wasted_price += result->price;
-          span.wasted_transactions += result->transactions;
-          last_error = Status::Unavailable("response lost after evaluation on '" +
-                                           call.table + "' (billed)");
-          break;
-        }
-        breakers_.RecordSuccess(dataset);
+        Finish(t, std::move(result), "market_error");
+        return 0;
+      }
+      // The market evaluated the call, so the seller bills it (Eq. 1) —
+      // whether or not the response makes it back to us. The ledger
+      // mirrors the meter HERE, at the single billing point, so per-tenant
+      // attribution stays exact under retries and lost responses.
+      meter_.Record(t->dataset, result->transactions, result->price);
+      obs::CostLedger* ledger =
+          t->call_obs != nullptr ? t->call_obs->ledger : nullptr;
+      if (ledger != nullptr) {
+        // Lost responses are flagged as waste in the same Record, so the
+        // savings ledger can carve billed-but-undelivered transactions
+        // out as negative savings with per-cell exactness.
+        const int64_t wasted = t->fault.kind == FaultKind::kLostResponse
+                                   ? result->transactions
+                                   : 0;
+        ledger->Record(t->call_obs->tenant, t->call_obs->query_id,
+                       t->dataset, result->transactions, result->price,
+                       wasted);
+      }
+      t->billed_transactions += result->transactions;
+      if (t->fault.kind == FaultKind::kLostResponse) {
+        // Response lost in transit: paid-for work with nothing delivered.
+        // Surface it as waste; listeners must NOT see it.
+        std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+        ++retry_stats_.wasted_calls;
+        retry_stats_.wasted_transactions += result->transactions;
+        retry_stats_.wasted_price += result->price;
+        t->wasted_transactions += result->transactions;
+        t->last_error = Status::Unavailable(
+            "response lost after evaluation on '" + t->call->table +
+            "' (billed)");
+        break;
+      }
+      breakers_.RecordSuccess(t->dataset);
+      {
         std::shared_lock<std::shared_mutex> lock(listeners_mutex_);
         for (const Listener& listener : listeners_) {
-          listener(call, *result);
+          listener(*t->call, *result);
         }
-        return result;
       }
+      Finish(t, std::move(result), "ok");
+      return 0;
     }
+  }
 
-    // Retryable attempt failure.
-    const bool tripped =
-        breakers_.RecordFailure(dataset, policy_, Clock::now());
-    if (tripped) {
+  // Retryable attempt failure.
+  const bool tripped =
+      breakers_.RecordFailure(t->dataset, policy_, Clock::now());
+  if (tripped) {
+    {
       std::lock_guard<std::mutex> lock(retry_stats_mutex_);
       ++retry_stats_.breaker_trips;
       ++retry_stats_.failed_calls;
-      span.outcome = "breaker_tripped";
-      // No point burning the remaining attempts: the breaker has decided
-      // this dataset needs a cooldown.
-      return Status::Unavailable("circuit breaker tripped for dataset '" +
-                                 dataset + "': " + last_error.message());
     }
-    if (attempt == max_attempts) break;
-    const int64_t delay = NextDelayMicros(&backoff, fault.retry_after_micros);
-    if (Clock::now() + std::chrono::microseconds(delay) >= effective) {
+    // No point burning the remaining attempts: the breaker has decided
+    // this dataset needs a cooldown.
+    Finish(t,
+           Status::Unavailable("circuit breaker tripped for dataset '" +
+                               t->dataset + "': " +
+                               t->last_error.message()),
+           "breaker_tripped");
+    return 0;
+  }
+  if (t->attempt == t->max_attempts) {
+    {
       std::lock_guard<std::mutex> lock(retry_stats_mutex_);
-      ++retry_stats_.deadline_exceeded;
       ++retry_stats_.failed_calls;
-      span.outcome = "deadline";
-      return Status::DeadlineExceeded(
-          "deadline leaves no room for retry " + std::to_string(attempt + 1) +
-          " on '" + call.table + "': " + last_error.message());
     }
-    if (delay > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    const std::string msg =
+        "retries exhausted (" + std::to_string(t->max_attempts) +
+        " attempts) on '" + t->call->table + "': " +
+        t->last_error.message();
+    Finish(t,
+           t->last_error.code() == Status::Code::kResourceExhausted
+               ? Status::ResourceExhausted(msg)
+               : Status::Unavailable(msg),
+           "retries_exhausted");
+    return 0;
   }
-  {
+  const int64_t delay = NextDelayMicros(&t->backoff,
+                                        t->fault.retry_after_micros,
+                                        &t->jitter_state);
+  if (Clock::now() + std::chrono::microseconds(delay) >= t->effective) {
     std::lock_guard<std::mutex> lock(retry_stats_mutex_);
+    ++retry_stats_.deadline_exceeded;
     ++retry_stats_.failed_calls;
+    Finish(t,
+           Status::DeadlineExceeded("deadline leaves no room for retry " +
+                                    std::to_string(t->attempt + 1) +
+                                    " on '" + t->call->table + "': " +
+                                    t->last_error.message()),
+           "deadline");
+    return 0;
   }
-  span.outcome = "retries_exhausted";
-  const std::string msg = "retries exhausted (" +
-                          std::to_string(max_attempts) + " attempts) on '" +
-                          call.table + "': " + last_error.message();
-  return last_error.code() == Status::Code::kResourceExhausted
-             ? Status::ResourceExhausted(msg)
-             : Status::Unavailable(msg);
+  return delay;
+}
+
+Result<CallResult> MarketConnector::Get(const RestCall& call,
+                                        Clock::time_point deadline,
+                                        const CallObs* call_obs) {
+  CallTask task;
+  task.call = &call;
+  task.deadline = deadline;
+  task.call_obs = call_obs;
+  BeginCall(&task);
+  while (!task.done) {
+    const int64_t pre_delay = BeginAttempt(&task);
+    if (task.done) break;
+    if (pre_delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(pre_delay));
+    }
+    const int64_t retry_delay = CompleteAttempt(&task);
+    if (task.done) break;
+    if (retry_delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(retry_delay));
+    }
+  }
+  return std::move(task.outcome);
 }
 
 }  // namespace payless::market

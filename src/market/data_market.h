@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -176,12 +177,66 @@ class DataMarket {
 /// exclusively; registering listeners while calls are in flight is legal
 /// but the new listener only sees subsequent calls. SetRetryPolicy and
 /// SetFaultInjector are setup-time: call them before serving traffic.
+class CallScheduler;
+
 class MarketConnector {
  public:
   using Listener = std::function<void(const RestCall&, const CallResult&)>;
 
-  explicit MarketConnector(const DataMarket* market)
-      : market_(market), jitter_rng_(RetryPolicy{}.jitter_seed) {}
+  explicit MarketConnector(const DataMarket* market);
+  ~MarketConnector();
+
+  /// One in-flight GET's retry state machine, shared verbatim between the
+  /// synchronous Get (which sleeps the returned delays inline) and the
+  /// event-loop CallScheduler (which turns them into timers). Drive it as:
+  ///   BeginCall -> [BeginAttempt -> <delay> -> CompleteAttempt -> <delay>]*
+  /// until `done`; each phase may finish the call early (deadline, breaker,
+  /// terminal market error, delivery). Billing, listener dispatch, breaker
+  /// and retry-stats updates all happen inside the phases, so the two
+  /// drivers are bill-for-bill identical.
+  struct CallTask {
+    const RestCall* call = nullptr;  // not owned; must outlive the task
+    Clock::time_point deadline = kNoDeadline;  // caller's budget
+    const CallObs* call_obs = nullptr;
+
+    bool done = false;
+    Result<CallResult> outcome = Status::Internal("call not finished");
+
+   private:
+    friend class MarketConnector;
+    const catalog::TableDef* def = nullptr;
+    std::string dataset;
+    Clock::time_point effective = kNoDeadline;
+    int attempt = 0;
+    int max_attempts = 1;
+    int64_t backoff = 0;
+    uint64_t jitter_state = 0;  // per-call splitmix64 stream, lock-free
+    FaultDecision fault;
+    Status last_error = Status::OK();
+    // Span bookkeeping, flushed when the call finishes.
+    obs::Trace* trace = nullptr;
+    uint64_t span_id = 0;
+    int64_t span_attempts = 0;
+    int64_t span_retries = 0;
+    int64_t billed_transactions = 0;
+    int64_t wasted_transactions = 0;
+    const char* outcome_label = "ok";
+  };
+
+  /// Resolves the table, opens the span, applies the per-call timeout and
+  /// breaker admission. May finish the task (unknown table, open breaker).
+  void BeginCall(CallTask* task);
+
+  /// Starts the next attempt: accounting plus the fault decision. Returns
+  /// the simulated network delay (round trip + injected latency spike) the
+  /// driver must let elapse before CompleteAttempt. May finish the task
+  /// (deadline already elapsed).
+  int64_t BeginAttempt(CallTask* task);
+
+  /// Evaluates / bills / delivers the attempt, or arranges a retry:
+  /// returns the backoff delay to elapse before the next BeginAttempt.
+  /// Finishes the task on delivery and on every terminal failure.
+  int64_t CompleteAttempt(CallTask* task);
 
   /// Issues a GET call: validates, evaluates, bills, notifies listeners,
   /// retrying per the policy. `deadline` (absolute) is the caller's budget
@@ -200,10 +255,7 @@ class MarketConnector {
   }
 
   /// Installs the retry/deadline/breaker policy (setup-time).
-  void SetRetryPolicy(const RetryPolicy& policy) {
-    policy_ = policy;
-    jitter_rng_ = Rng(policy.jitter_seed);
-  }
+  void SetRetryPolicy(const RetryPolicy& policy) { policy_ = policy; }
   const RetryPolicy& retry_policy() const { return policy_; }
 
   /// Attaches a fault injector (nullptr detaches; caller keeps ownership).
@@ -236,11 +288,22 @@ class MarketConnector {
 
   const DataMarket& market() const { return *market_; }
 
+  /// The connector's event-loop dispatcher, created lazily on first use
+  /// (worker threads only exist once someone batches calls through it).
+  /// Never null; owned by the connector and joined in its destructor.
+  CallScheduler* scheduler();
+
  private:
   /// Jittered capped exponential backoff before the next attempt, honoring
   /// a rate-limit retry-after hint. `backoff` is the current unjittered
-  /// step and is advanced in place.
-  int64_t NextDelayMicros(int64_t* backoff, int64_t retry_after_micros);
+  /// step and is advanced in place; `jitter_state` is the call's private
+  /// splitmix64 stream (no shared RNG, no lock).
+  int64_t NextDelayMicros(int64_t* backoff, int64_t retry_after_micros,
+                          uint64_t* jitter_state);
+
+  /// Finishes a task: records the outcome, flushes and closes its span.
+  static void Finish(CallTask* task, Result<CallResult> outcome,
+                     const char* label);
 
   const DataMarket* market_;
   BillingMeter meter_;
@@ -252,8 +315,10 @@ class MarketConnector {
   CircuitBreakerSet breakers_;
   mutable std::mutex retry_stats_mutex_;
   RetryStats retry_stats_;
-  std::mutex jitter_mutex_;
-  Rng jitter_rng_;
+  /// Distinguishes concurrent calls' jitter streams (seed ^ sequence).
+  std::atomic<uint64_t> jitter_sequence_{0};
+  std::once_flag scheduler_once_;
+  std::unique_ptr<CallScheduler> scheduler_;
 };
 
 }  // namespace payless::market

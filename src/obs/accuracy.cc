@@ -67,6 +67,11 @@ AccuracyTracker::PerTable& AccuracyTracker::Entry(const std::string& table,
   return entry;
 }
 
+void AccuracyTracker::PrepareTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry(table, /*dataset=*/"");
+}
+
 void AccuracyTracker::Record(const std::string& table,
                              const std::string& dataset, double estimated,
                              double actual) {

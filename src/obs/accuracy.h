@@ -69,6 +69,12 @@ class AccuracyTracker {
   void Record(const std::string& table, const std::string& dataset,
               double estimated, double actual);
 
+  /// Resolves `table`'s metric handles now, off the query path. Callers
+  /// that know their table set up front (PayLess registers every catalog
+  /// table at construction) use this so steady-state Record calls never
+  /// touch the metrics registry's name map.
+  void PrepareTable(const std::string& table);
+
   /// Publishes stats-maturity gauges for `table` (histogram bucket count,
   /// feedback volume, believed cardinality). Called alongside Record from
   /// the feedback point; split out because the tracker must not depend on

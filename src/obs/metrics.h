@@ -98,7 +98,17 @@ class MetricsRegistry {
   /// histograms as cumulative `name_bucket{le="..."}` series).
   std::string ToPrometheusText() const;
 
+  /// Lifetime count of name->handle lookups (each GetCounter/GetGauge/
+  /// GetHistogram call; every one takes the registry mutex). Hot paths must
+  /// pre-resolve handles at construction, so this count is REQUIRED to stay
+  /// flat while queries are being served — the steady-state hot-path test
+  /// asserts exactly that.
+  int64_t lookup_count() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
  private:
+  mutable std::atomic<int64_t> lookups_{0};
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <mutex>
-#include <shared_mutex>
 #include <sstream>
 
 namespace payless::semstore {
@@ -74,28 +73,8 @@ int64_t DomainVolume(const catalog::TableDef& def) {
 
 }  // namespace
 
-SemanticStore::TableState* SemanticStore::GetOrCreateState(
-    const std::string& table) {
-  {
-    std::shared_lock<std::shared_mutex> lock(states_mutex_);
-    const auto it = states_.find(table);
-    if (it != states_.end()) return it->second.get();
-  }
-  std::unique_lock<std::shared_mutex> lock(states_mutex_);
-  std::unique_ptr<TableState>& slot = states_[table];
-  if (slot == nullptr) slot = std::make_unique<TableState>();
-  return slot.get();
-}
-
-const SemanticStore::TableState* SemanticStore::FindState(
-    const std::string& table) const {
-  std::shared_lock<std::shared_mutex> lock(states_mutex_);
-  const auto it = states_.find(table);
-  return it == states_.end() ? nullptr : it->second.get();
-}
-
-void SemanticStore::AddCoverageLocked(TableState* state, Box region) {
-  std::vector<Box>& list = state->coverage;
+void SemanticStore::AddCoverage(std::vector<Box>* coverage, Box region) {
+  std::vector<Box>& list = *coverage;
   for (const Box& box : list) {
     if (box.Contains(region)) return;
   }
@@ -121,77 +100,143 @@ void SemanticStore::AddCoverageLocked(TableState* state, Box region) {
 void SemanticStore::Store(const catalog::TableDef& def, Box region,
                           std::vector<Row> rows, int64_t epoch) {
   if (region.empty()) return;
-  TableState* state = GetOrCreateState(def.name);
-  std::unique_lock<std::shared_mutex> lock(state->mutex);
-  AddCoverageLocked(state, region);
-  if (state->domain_volume == 0) state->domain_volume = DomainVolume(def);
-  for (const Row& row : rows) state->approx_bytes += ApproxRowBytes(row);
-  if (state->views.empty()) {
-    state->min_epoch = epoch;
-    state->max_epoch = epoch;
+  const std::shared_ptr<TableCell> cell = cells_.GetOrCreate(def.name);
+  std::lock_guard<std::mutex> lock(cell->write_mutex);
+
+  const std::shared_ptr<const TableData> old = cell->data.Load();
+  auto next = std::make_shared<TableData>(*old);  // shares row chunks
+  AddCoverage(&next->coverage, region);
+  if (next->domain_volume == 0) next->domain_volume = DomainVolume(def);
+  for (const Row& row : rows) next->approx_bytes += ApproxRowBytes(row);
+  if (next->views.empty()) {
+    next->min_epoch = epoch;
+    next->max_epoch = epoch;
   } else {
-    state->min_epoch = std::min(state->min_epoch, epoch);
-    state->max_epoch = std::max(state->max_epoch, epoch);
+    next->min_epoch = std::min(next->min_epoch, epoch);
+    next->max_epoch = std::max(next->max_epoch, epoch);
   }
 
-  TablePool& pool = state->pool;
-  const size_t num_dims = def.ConstrainableColumns().size();
-  if (pool.postings.empty()) pool.postings.resize(num_dims);
+  const std::vector<size_t> dims = def.ConstrainableColumns();
+  const size_t num_dims = dims.size();
+  if (next->postings.empty()) {
+    next->postings.resize(num_dims);
+    next->dim_posted.resize(num_dims);
+    for (size_t d = 0; d < num_dims; ++d) {
+      next->dim_posted[d] =
+          def.columns[dims[d]].domain.ToInterval().Width() > 1 ? 1 : 0;
+    }
+  }
+  // Duplicate probe against the postings under construction: a pooled copy
+  // of `row` would be posted under every one of its coordinates, so the
+  // smallest bucket of its point decides (empty bucket on any posted dim
+  // means absent). In-batch duplicates are caught too — postings grow as
+  // the batch appends. No hashed seen-set, no second copy of the pool.
+  const auto pooled_duplicate = [&](const std::vector<int64_t>& point,
+                                    const Row& row) {
+    const std::vector<uint32_t>* bucket = nullptr;
+    for (size_t d = 0; d < num_dims; ++d) {
+      if (next->dim_posted[d] == 0) continue;
+      const auto it = next->postings[d].find(point[d]);
+      if (it == next->postings[d].end() || it->second.empty()) return false;
+      if (bucket == nullptr || it->second.size() < bucket->size()) {
+        bucket = &it->second;
+      }
+    }
+    if (bucket == nullptr) {  // no discriminating dimension: scan the pool
+      for (size_t i = 0; i < next->pooled_rows; ++i) {
+        if (next->PooledPoint(i) == point && next->PooledRow(i) == row) {
+          return true;
+        }
+      }
+      return false;
+    }
+    for (const uint32_t i : *bucket) {
+      if (next->PooledPoint(i) == point && next->PooledRow(i) == row) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // The open (non-full) tail chunk may be referenced by the previous
+  // snapshot, so appends go to a private copy of it; full chunks are shared
+  // between snapshots untouched.
+  std::shared_ptr<RowChunk> open;
+  if (!next->chunks.empty() && next->chunks.back()->rows.size() < kRowChunk) {
+    open = std::make_shared<RowChunk>(*next->chunks.back());
+    next->chunks.back() = open;
+  }
   for (const Row& row : rows) {
-    if (pool.seen.count(row) > 0) continue;
     std::optional<std::vector<int64_t>> point = RowPoint(def, row);
     if (!point.has_value()) continue;  // outside domains: unreachable anyway
-    const uint32_t index = static_cast<uint32_t>(pool.rows.size());
-    pool.seen.insert(row);
-    pool.rows.push_back(row);
-    for (size_t d = 0; d < num_dims; ++d) {
-      pool.postings[d][(*point)[d]].push_back(index);
+    if (pooled_duplicate(*point, row)) continue;
+    const uint32_t index = static_cast<uint32_t>(next->pooled_rows);
+    if (open == nullptr || open->rows.size() >= kRowChunk) {
+      open = std::make_shared<RowChunk>();
+      open->rows.reserve(kRowChunk);
+      open->points.reserve(kRowChunk);
+      next->chunks.push_back(open);
     }
-    pool.points.push_back(std::move(*point));
+    open->rows.push_back(row);
+    for (size_t d = 0; d < num_dims; ++d) {
+      if (next->dim_posted[d] == 0) continue;
+      next->postings[d][(*point)[d]].push_back(index);
+    }
+    open->points.push_back(std::move(*point));
+    ++next->pooled_rows;
   }
 
-  state->views.push_back(
-      StoredView{std::move(region), std::move(rows), epoch});
+  next->views.push_back(std::make_shared<const StoredView>(
+      StoredView{std::move(region), std::move(rows), epoch}));
+  cell->data.Store(std::move(next));
   version_.fetch_add(1, std::memory_order_release);
 }
 
-const std::vector<StoredView>& SemanticStore::ViewsOf(
+std::vector<StoredView> SemanticStore::ViewsOf(
     const std::string& table) const {
-  static const std::vector<StoredView> kEmpty;
-  const TableState* state = FindState(table);
-  if (state == nullptr) return kEmpty;
-  std::shared_lock<std::shared_mutex> lock(state->mutex);
-  return state->views;  // reference escapes the lock: see header contract
+  const std::shared_ptr<TableCell> cell = cells_.Find(table);
+  if (cell == nullptr) return {};
+  const std::shared_ptr<const TableData> data = cell->data.Load();
+  std::vector<StoredView> out;
+  out.reserve(data->views.size());
+  for (const auto& view : data->views) out.push_back(*view);
+  return out;
 }
 
-std::vector<Box> SemanticStore::CoveredRegionsLocked(const TableState& state,
-                                                     int64_t min_epoch) {
+std::vector<Box> SemanticStore::CoveredRegionsOf(const TableData& data,
+                                                 int64_t min_epoch) {
   // Weak consistency (every view usable): serve the normalized coverage.
   if (min_epoch == std::numeric_limits<int64_t>::min()) {
-    return state.coverage;
+    return data.coverage;
   }
   std::vector<Box> out;
-  out.reserve(state.views.size());
-  for (const StoredView& view : state.views) {
-    if (view.epoch >= min_epoch) out.push_back(view.region);
+  out.reserve(data.views.size());
+  for (const auto& view : data.views) {
+    if (view->epoch >= min_epoch) out.push_back(view->region);
   }
   return out;
 }
 
-std::vector<Box> SemanticStore::CoveredRegions(const std::string& table,
-                                               int64_t min_epoch) const {
-  const TableState* state = FindState(table);
-  if (state == nullptr) return {};
-  std::shared_lock<std::shared_mutex> lock(state->mutex);
-  return CoveredRegionsLocked(*state, min_epoch);
+bool SemanticStore::IsCoveredUnder(const TableData& data, const Box& region,
+                                   int64_t min_epoch) {
+  if (min_epoch == std::numeric_limits<int64_t>::min()) {
+    return IsCovered(region, data.coverage);
+  }
+  return IsCovered(region, CoveredRegionsOf(data, min_epoch));
 }
 
-void SemanticStore::CountProbe(const TableState* state, bool hit) const {
+std::vector<Box> SemanticStore::CoveredRegions(const std::string& table,
+                                               int64_t min_epoch) const {
+  const std::shared_ptr<TableCell> cell = cells_.Find(table);
+  if (cell == nullptr) return {};
+  return CoveredRegionsOf(*cell->data.Load(), min_epoch);
+}
+
+void SemanticStore::CountProbe(const TableCell* cell, bool hit) const {
   probes_.fetch_add(1, std::memory_order_relaxed);
   (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
-  if (state != nullptr) {
-    state->probes.fetch_add(1, std::memory_order_relaxed);
-    (hit ? state->hits : state->misses)
+  if (cell != nullptr) {
+    cell->probes.fetch_add(1, std::memory_order_relaxed);
+    (hit ? cell->hits : cell->misses)
         .fetch_add(1, std::memory_order_relaxed);
   }
   obs::Counter* metric = (hit ? hits_metric_ : misses_metric_)
@@ -205,17 +250,14 @@ bool SemanticStore::Covers(const catalog::TableDef& def, const Box& region,
     CountProbe(nullptr, /*hit=*/true);
     return true;
   }
-  const TableState* state = FindState(def.name);
-  if (state == nullptr) {
+  const std::shared_ptr<TableCell> cell = cells_.Find(def.name);
+  if (cell == nullptr) {
     CountProbe(nullptr, /*hit=*/false);
     return false;
   }
-  bool covered;
-  {
-    std::shared_lock<std::shared_mutex> lock(state->mutex);
-    covered = IsCovered(region, CoveredRegionsLocked(*state, min_epoch));
-  }
-  CountProbe(state, covered);
+  const std::shared_ptr<const TableData> data = cell->data.Load();
+  const bool covered = IsCoveredUnder(*data, region, min_epoch);
+  CountProbe(cell.get(), covered);
   return covered;
 }
 
@@ -223,8 +265,9 @@ std::vector<Row> SemanticStore::RowsInRegion(const catalog::TableDef& def,
                                              const Box& region,
                                              int64_t min_epoch) const {
   std::vector<Row> out = RowsInRegionImpl(def, region, min_epoch);
-  const TableState* state = region.empty() ? nullptr : FindState(def.name);
-  CountProbe(state, /*hit=*/!out.empty());
+  const std::shared_ptr<TableCell> cell =
+      region.empty() ? nullptr : cells_.Find(def.name);
+  CountProbe(cell.get(), /*hit=*/!out.empty());
   return out;
 }
 
@@ -233,51 +276,56 @@ std::vector<Row> SemanticStore::RowsInRegionImpl(const catalog::TableDef& def,
                                                  int64_t min_epoch) const {
   std::vector<Row> out;
   if (region.empty()) return out;
-  const TableState* state = FindState(def.name);
-  if (state == nullptr) return out;
-  std::shared_lock<std::shared_mutex> lock(state->mutex);
+  const std::shared_ptr<TableCell> cell = cells_.Find(def.name);
+  if (cell == nullptr) return out;
+  const std::shared_ptr<const TableData> snapshot = cell->data.Load();
+  const TableData& data = *snapshot;
 
   if (min_epoch == std::numeric_limits<int64_t>::min()) {
     // Weak consistency: serve from the deduplicated pool. Use the postings
-    // of the most selective narrow dimension when one exists.
-    const TablePool& pool = state->pool;
-
+    // of the most selective narrow dimension when one exists — selectivity
+    // is the ACTUAL candidate count on that dimension's postings, not the
+    // interval width: a one-value categorical dimension ("Country = 'US'")
+    // has width 1 but may post every pooled row, while a four-station slab
+    // posts a handful.
     size_t best_dim = region.num_dims();
-    int64_t best_width = std::numeric_limits<int64_t>::max();
-    for (size_t d = 0; d < region.num_dims(); ++d) {
-      const int64_t width = region.dim(d).Width();
-      if (width < best_width) {
-        best_width = width;
-        best_dim = d;
-      }
-    }
-    const bool use_postings =
-        best_dim < region.num_dims() && best_width <= 64 &&
-        best_dim < pool.postings.size();
-    if (use_postings) {
-      // Capacity hint: the postings on the narrow dimension bound the
-      // candidate count from above.
+    size_t best_candidates = std::numeric_limits<size_t>::max();
+    for (size_t d = 0; d < region.num_dims() && d < data.postings.size();
+         ++d) {
+      if (data.dim_posted[d] == 0) continue;  // single-point domain: no index
+      if (region.dim(d).Width() > 64) continue;  // too wide to enumerate
       size_t candidates = 0;
-      for (int64_t code = region.dim(best_dim).lo;
-           code <= region.dim(best_dim).hi; ++code) {
-        const auto post_it = pool.postings[best_dim].find(code);
-        if (post_it != pool.postings[best_dim].end()) {
+      for (int64_t code = region.dim(d).lo; code <= region.dim(d).hi;
+           ++code) {
+        const auto post_it = data.postings[d].find(code);
+        if (post_it != data.postings[d].end()) {
           candidates += post_it->second.size();
         }
       }
-      out.reserve(candidates);
+      if (candidates < best_candidates) {
+        best_candidates = candidates;
+        best_dim = d;
+      }
+    }
+    const bool use_postings = best_dim < region.num_dims();
+    if (use_postings) {
+      out.reserve(best_candidates);
       for (int64_t code = region.dim(best_dim).lo;
            code <= region.dim(best_dim).hi; ++code) {
-        const auto post_it = pool.postings[best_dim].find(code);
-        if (post_it == pool.postings[best_dim].end()) continue;
+        const auto post_it = data.postings[best_dim].find(code);
+        if (post_it == data.postings[best_dim].end()) continue;
         for (const uint32_t i : post_it->second) {
-          if (region.Contains(pool.points[i])) out.push_back(pool.rows[i]);
+          if (region.Contains(data.PooledPoint(i))) {
+            out.push_back(data.PooledRow(i));
+          }
         }
       }
     } else {
-      out.reserve(pool.rows.size());
-      for (size_t i = 0; i < pool.rows.size(); ++i) {
-        if (region.Contains(pool.points[i])) out.push_back(pool.rows[i]);
+      out.reserve(data.pooled_rows);
+      for (size_t i = 0; i < data.pooled_rows; ++i) {
+        if (region.Contains(data.PooledPoint(i))) {
+          out.push_back(data.PooledRow(i));
+        }
       }
     }
     return out;
@@ -286,12 +334,12 @@ std::vector<Row> SemanticStore::RowsInRegionImpl(const catalog::TableDef& def,
   // Epoch-filtered (X-week consistency) path: scan usable views newest-
   // first, deduplicating identical tuples.
   std::vector<const StoredView*> usable;
-  usable.reserve(state->views.size());
+  usable.reserve(data.views.size());
   size_t candidate_rows = 0;
-  for (const StoredView& view : state->views) {
-    if (view.epoch >= min_epoch && view.region.Overlaps(region)) {
-      usable.push_back(&view);
-      candidate_rows += view.rows.size();
+  for (const auto& view : data.views) {
+    if (view->epoch >= min_epoch && view->region.Overlaps(region)) {
+      usable.push_back(view.get());
+      candidate_rows += view->rows.size();
     }
   }
   std::stable_sort(usable.begin(), usable.end(),
@@ -312,39 +360,34 @@ std::vector<Row> SemanticStore::RowsInRegionImpl(const catalog::TableDef& def,
 }
 
 size_t SemanticStore::NumViews(const std::string& table) const {
-  const TableState* state = FindState(table);
-  if (state == nullptr) return 0;
-  std::shared_lock<std::shared_mutex> lock(state->mutex);
-  return state->views.size();
+  const std::shared_ptr<TableCell> cell = cells_.Find(table);
+  if (cell == nullptr) return 0;
+  return cell->data.Load()->views.size();
 }
 
 size_t SemanticStore::TotalViews() const {
-  std::shared_lock<std::shared_mutex> states_lock(states_mutex_);
   size_t total = 0;
-  for (const auto& [_, state] : states_) {
-    std::shared_lock<std::shared_mutex> lock(state->mutex);
-    total += state->views.size();
-  }
+  cells_.ForEach([&](const std::string&, const TableCell& cell) {
+    total += cell.data.Load()->views.size();
+  });
   return total;
 }
 
 size_t SemanticStore::TotalStoredRows() const {
-  std::shared_lock<std::shared_mutex> states_lock(states_mutex_);
   size_t total = 0;
-  for (const auto& [_, state] : states_) {
-    std::shared_lock<std::shared_mutex> lock(state->mutex);
-    for (const StoredView& view : state->views) total += view.rows.size();
-  }
+  cells_.ForEach([&](const std::string&, const TableCell& cell) {
+    const std::shared_ptr<const TableData> data = cell.data.Load();
+    for (const auto& view : data->views) total += view->rows.size();
+  });
   return total;
 }
 
 void SemanticStore::Clear() {
-  std::unique_lock<std::shared_mutex> lock(states_mutex_);
   int64_t dropped = 0;
-  for (const auto& [_, state] : states_) {
-    dropped += static_cast<int64_t>(state->views.size());
-  }
-  states_.clear();
+  cells_.ForEach([&](const std::string&, const TableCell& cell) {
+    dropped += static_cast<int64_t>(cell.data.Load()->views.size());
+  });
+  cells_.Clear();
   version_.fetch_add(1, std::memory_order_release);
   if (dropped > 0) {
     evictions_.fetch_add(dropped, std::memory_order_relaxed);
@@ -361,32 +404,34 @@ void SemanticStore::BindMetrics(obs::Counter* hits, obs::Counter* misses,
 }
 
 std::vector<StoreTableStats> SemanticStore::SnapshotStats() const {
-  std::shared_lock<std::shared_mutex> states_lock(states_mutex_);
   std::vector<StoreTableStats> out;
-  out.reserve(states_.size());
-  for (const auto& [table, state] : states_) {
+  cells_.ForEach([&](const std::string& table, const TableCell& cell) {
     StoreTableStats stats;
     stats.table = table;
-    stats.probes = state->probes.load(std::memory_order_relaxed);
-    stats.hits = state->hits.load(std::memory_order_relaxed);
-    stats.misses = state->misses.load(std::memory_order_relaxed);
-    std::shared_lock<std::shared_mutex> lock(state->mutex);
-    stats.views = state->views.size();
-    stats.coverage_boxes = state->coverage.size();
-    stats.pooled_rows = state->pool.rows.size();
-    stats.approx_bytes = state->approx_bytes;
-    stats.min_epoch = state->min_epoch;
-    stats.max_epoch = state->max_epoch;
-    if (state->domain_volume > 0) {
+    stats.probes = cell.probes.load(std::memory_order_relaxed);
+    stats.hits = cell.hits.load(std::memory_order_relaxed);
+    stats.misses = cell.misses.load(std::memory_order_relaxed);
+    const std::shared_ptr<const TableData> data = cell.data.Load();
+    stats.views = data->views.size();
+    stats.coverage_boxes = data->coverage.size();
+    stats.pooled_rows = data->pooled_rows;
+    stats.approx_bytes = data->approx_bytes;
+    stats.min_epoch = data->min_epoch;
+    stats.max_epoch = data->max_epoch;
+    if (data->domain_volume > 0) {
       double covered = 0.0;
-      for (const Box& box : state->coverage) {
+      for (const Box& box : data->coverage) {
         covered += static_cast<double>(box.Volume());
       }
       stats.covered_fraction =
-          std::min(1.0, covered / static_cast<double>(state->domain_volume));
+          std::min(1.0, covered / static_cast<double>(data->domain_volume));
     }
     out.push_back(std::move(stats));
-  }
+  });
+  std::sort(out.begin(), out.end(),
+            [](const StoreTableStats& a, const StoreTableStats& b) {
+              return a.table < b.table;
+            });
   return out;
 }
 

@@ -12,21 +12,26 @@
 //     generation and cached-row retrieval fast as thousands of calls
 //     accumulate.
 //
-// Thread-safety: every table carries its own reader-writer lock, so
-// concurrent queries rewrite against one table's coverage (shared) while
-// call results land in other tables (exclusive), and reads of distinct
-// tables never contend at all. A monotonic version counter ticks on every
-// mutation; the plan-template cache keys on it to invalidate cached plans
-// whenever coverage — and hence SQR costs — may have changed.
+// Thread-safety: tables live in a hash-sharded cell map and each table's
+// data is an immutable copy-on-write snapshot (common::SnapshotCell).
+// Readers — Covers / RowsInRegion / CoveredRegions, the query hot path —
+// take ZERO locks: one atomic snapshot load and they walk a structure that
+// can never change underneath them. Writers (Store, fed by market-call
+// results) serialize per table on a small writer mutex, rebuild the
+// affected parts of the snapshot, and publish with a release store. Row
+// chunks are shared between successive snapshots, so a Store copies O(views
+// + postings) bookkeeping but not the accumulated row payload. A monotonic
+// version counter ticks on every mutation; the plan-template cache keys on
+// it to invalidate cached plans whenever coverage — and hence SQR costs —
+// may have changed.
 #ifndef PAYLESS_SEMSTORE_SEMANTIC_STORE_H_
 #define PAYLESS_SEMSTORE_SEMANTIC_STORE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,6 +39,7 @@
 
 #include "catalog/catalog.h"
 #include "common/geometry.h"
+#include "common/snapshot.h"
 #include "common/value.h"
 #include "obs/metrics.h"
 
@@ -79,15 +85,15 @@ class SemanticStore {
   SemanticStore(const SemanticStore&) = delete;
   SemanticStore& operator=(const SemanticStore&) = delete;
 
-  /// Remembers a call's region and result rows. Takes the table's lock
-  /// exclusively; bumps version().
+  /// Remembers a call's region and result rows. Serializes on the table's
+  /// writer mutex, publishes a fresh snapshot; bumps version().
   void Store(const catalog::TableDef& def, Box region, std::vector<Row> rows,
              int64_t epoch);
 
-  /// All views of a table (regardless of epoch). NOT safe under concurrent
-  /// Store of the same table — the returned reference bypasses the lock;
-  /// single-threaded introspection (tests, benches) only.
-  const std::vector<StoredView>& ViewsOf(const std::string& table) const;
+  /// All views of a table (regardless of epoch), copied out of the current
+  /// snapshot. Safe under concurrent Store; introspection/tests only (the
+  /// copy is deep).
+  std::vector<StoredView> ViewsOf(const std::string& table) const;
 
   /// Regions of views no older than `min_epoch` (the X-week consistency
   /// filter; INT64_MIN = weak consistency, served from the normalized
@@ -97,11 +103,12 @@ class SemanticStore {
 
   /// True iff usable views jointly cover `region` — the table's required
   /// tuples are free, making it a "zero price relation" (Theorem 2).
+  /// Lock-free.
   bool Covers(const catalog::TableDef& def, const Box& region,
               int64_t min_epoch) const;
 
   /// Deduplicated stored tuples of `def` falling inside `region`, from
-  /// views no older than `min_epoch`.
+  /// views no older than `min_epoch`. Lock-free.
   std::vector<Row> RowsInRegion(const catalog::TableDef& def,
                                 const Box& region, int64_t min_epoch) const;
 
@@ -131,8 +138,8 @@ class SemanticStore {
     return evictions_.load(std::memory_order_relaxed);
   }
 
-  /// Per-table coverage summaries, sorted by table name. Takes each
-  /// table's lock shared — safe under concurrent queries.
+  /// Per-table coverage summaries, sorted by table name. Reads snapshots —
+  /// safe under concurrent queries and stores.
   std::vector<StoreTableStats> SnapshotStats() const;
 
   /// {"version":N,"probes":N,"hits":N,"misses":N,"evictions":N,
@@ -147,54 +154,76 @@ class SemanticStore {
   }
 
  private:
-  /// Deduplicated union of all retrieved rows of one table, with the
-  /// precomputed lattice point of each row and per-dimension postings for
-  /// point-constrained dimensions.
-  struct TablePool {
+  /// Rows are pooled in fixed-capacity chunks so successive snapshots share
+  /// all full chunks; only the open tail chunk is copied by a Store.
+  static constexpr size_t kRowChunkShift = 8;
+  static constexpr size_t kRowChunk = 1u << kRowChunkShift;  // 256 rows
+
+  struct RowChunk {
     std::vector<Row> rows;
-    std::vector<std::vector<int64_t>> points;
-    std::unordered_set<Row, RowHasher> seen;
-    /// postings[dim][code] -> indices of rows with that coordinate.
-    std::vector<std::unordered_map<int64_t, std::vector<uint32_t>>> postings;
+    std::vector<std::vector<int64_t>> points;  // lattice point per row
   };
 
-  /// Everything stored for one table, behind that table's own lock. Held by
-  /// unique_ptr so the state's address survives map rebalancing.
-  struct TableState {
-    mutable std::shared_mutex mutex;
-    std::vector<StoredView> views;
+  /// Immutable per-table snapshot: everything a reader needs, reachable
+  /// from one acquire load. Never mutated after publication.
+  struct TableData {
+    std::vector<std::shared_ptr<const StoredView>> views;
     std::vector<Box> coverage;  // normalized merged maximal boxes
-    TablePool pool;
-    int64_t approx_bytes = 0;     // accumulated at Store time
-    int64_t domain_volume = 0;    // lattice size, learned from the TableDef
-    int64_t min_epoch = 0;        // oldest / newest stored view epochs
+    std::vector<std::shared_ptr<const RowChunk>> chunks;  // dedup row pool
+    size_t pooled_rows = 0;
+    /// postings[dim][code] -> pool indices of rows with that coordinate.
+    /// Dimensions whose whole domain is a single lattice point are not
+    /// posted (dim_posted[d] == 0): their one bucket would mirror the
+    /// entire pool — copied on every snapshot, selective never.
+    std::vector<std::unordered_map<int64_t, std::vector<uint32_t>>> postings;
+    std::vector<uint8_t> dim_posted;
+    int64_t approx_bytes = 0;   // accumulated at Store time
+    int64_t domain_volume = 0;  // lattice size, learned from the TableDef
+    int64_t min_epoch = 0;      // oldest / newest stored view epochs
     int64_t max_epoch = 0;
-    /// Probe outcomes; atomic because probes hold the lock only shared.
+
+    const Row& PooledRow(size_t i) const {
+      return chunks[i >> kRowChunkShift]->rows[i & (kRowChunk - 1)];
+    }
+    const std::vector<int64_t>& PooledPoint(size_t i) const {
+      return chunks[i >> kRowChunkShift]->points[i & (kRowChunk - 1)];
+    }
+  };
+
+  /// One table's cell: the published snapshot and lifetime probe counters.
+  /// Writer-side dedup probes the postings index of the snapshot under
+  /// construction, so no separate seen-set (with its second copy of every
+  /// pooled row) is kept.
+  struct TableCell {
+    TableCell() { data.Store(std::make_shared<const TableData>()); }
+
+    std::mutex write_mutex;  // serializes Store on this table
+    common::SnapshotCell<TableData> data;
     mutable std::atomic<int64_t> probes{0};
     mutable std::atomic<int64_t> hits{0};
     mutable std::atomic<int64_t> misses{0};
   };
 
-  /// Caller must hold state.mutex (any mode for reads, exclusive for the
-  /// Store path).
-  static std::vector<Box> CoveredRegionsLocked(const TableState& state,
-                                               int64_t min_epoch);
-  static void AddCoverageLocked(TableState* state, Box region);
+  static void AddCoverage(std::vector<Box>* coverage, Box region);
+
+  /// Views usable under `min_epoch`, as regions (weak consistency reads the
+  /// normalized coverage instead — see IsCoveredUnder for the alloc-free
+  /// variant used by Covers).
+  static std::vector<Box> CoveredRegionsOf(const TableData& data,
+                                           int64_t min_epoch);
+  static bool IsCoveredUnder(const TableData& data, const Box& region,
+                             int64_t min_epoch);
 
   /// RowsInRegion without the probe accounting (the public wrapper counts).
   std::vector<Row> RowsInRegionImpl(const catalog::TableDef& def,
                                     const Box& region,
                                     int64_t min_epoch) const;
 
-  TableState* GetOrCreateState(const std::string& table);
-  const TableState* FindState(const std::string& table) const;
-
   /// Classify one probe outcome into the table's and the store's counters
   /// (and the bound registry counters, when any).
-  void CountProbe(const TableState* state, bool hit) const;
+  void CountProbe(const TableCell* cell, bool hit) const;
 
-  mutable std::shared_mutex states_mutex_;  // guards the map structure only
-  std::map<std::string, std::unique_ptr<TableState>> states_;
+  common::ShardedCellMap<TableCell> cells_;
   std::atomic<uint64_t> version_{0};
 
   mutable std::atomic<int64_t> probes_{0};

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <mutex>
-#include <shared_mutex>
 
 namespace payless::stats {
 
@@ -206,62 +206,69 @@ EstimatorInfo IndependentDimEstimator::Info() const {
 }
 
 void StatsRegistry::RegisterTable(const catalog::TableDef& def) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (estimators_.count(def.name) > 0) return;
+  const std::shared_ptr<EstimatorCell> cell = cells_.GetOrCreate(def.name);
+  std::lock_guard<std::mutex> lock(cell->write_mutex);
+  if (cell->current.Load() != nullptr) return;
   const Box full = def.FullRegion();
+  std::shared_ptr<const Estimator> initial;
   switch (kind_) {
     case StatsKind::kUniform:
-      estimators_[def.name] =
-          std::make_unique<UniformEstimator>(full, def.cardinality);
+      initial = std::make_shared<UniformEstimator>(full, def.cardinality);
       break;
     case StatsKind::kFeedbackHistogram:
-      estimators_[def.name] =
-          std::make_unique<FeedbackHistogram>(full, def.cardinality);
+      initial = std::make_shared<FeedbackHistogram>(full, def.cardinality);
       break;
     case StatsKind::kIndependentHistograms:
-      estimators_[def.name] =
-          std::make_unique<IndependentDimEstimator>(full, def.cardinality);
+      initial =
+          std::make_shared<IndependentDimEstimator>(full, def.cardinality);
       break;
   }
+  cell->current.Store(std::move(initial));
 }
 
 bool StatsRegistry::HasTable(const std::string& table) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return estimators_.count(table) > 0;
+  const std::shared_ptr<EstimatorCell> cell = cells_.Find(table);
+  return cell != nullptr && cell->current.Load() != nullptr;
 }
 
 double StatsRegistry::EstimateRows(const std::string& table,
                                    const Box& region) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  const auto it = estimators_.find(table);
-  if (it == estimators_.end()) return 0.0;
-  return it->second->EstimateRows(region);
+  const std::shared_ptr<EstimatorCell> cell = cells_.Find(table);
+  if (cell == nullptr) return 0.0;
+  const std::shared_ptr<const Estimator> est = cell->current.Load();
+  if (est == nullptr) return 0.0;
+  return est->EstimateRows(region);
 }
 
 void StatsRegistry::Feedback(const std::string& table, const Box& region,
                              int64_t actual_rows) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  const auto it = estimators_.find(table);
-  if (it == estimators_.end()) return;
-  it->second->Feedback(region, actual_rows);
+  const std::shared_ptr<EstimatorCell> cell = cells_.Find(table);
+  if (cell == nullptr) return;
+  std::lock_guard<std::mutex> lock(cell->write_mutex);
+  const std::shared_ptr<const Estimator> current = cell->current.Load();
+  if (current == nullptr) return;
+  std::unique_ptr<Estimator> next = current->Clone();
+  next->Feedback(region, actual_rows);
+  cell->current.Store(std::move(next));
   version_.fetch_add(1, std::memory_order_release);
 }
 
 size_t StatsRegistry::TotalFeedbacks() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
   size_t total = 0;
-  for (const auto& [_, est] : estimators_) {
+  cells_.ForEach([&](const std::string&, const EstimatorCell& cell) {
+    const std::shared_ptr<const Estimator> est = cell.current.Load();
     const auto* hist = dynamic_cast<const FeedbackHistogram*>(est.get());
     if (hist != nullptr) total += hist->num_feedbacks();
-  }
+  });
   return total;
 }
 
 EstimatorInfo StatsRegistry::Info(const std::string& table) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  const auto it = estimators_.find(table);
-  if (it == estimators_.end()) return EstimatorInfo{};
-  return it->second->Info();
+  const std::shared_ptr<EstimatorCell> cell = cells_.Find(table);
+  if (cell == nullptr) return EstimatorInfo{};
+  const std::shared_ptr<const Estimator> est = cell->current.Load();
+  if (est == nullptr) return EstimatorInfo{};
+  return est->Info();
 }
 
 }  // namespace payless::stats

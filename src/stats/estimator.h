@@ -14,14 +14,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/geometry.h"
+#include "common/snapshot.h"
 
 namespace payless::stats {
 
@@ -47,6 +47,11 @@ class Estimator {
 
   /// Structure snapshot for observability surfaces.
   virtual EstimatorInfo Info() const = 0;
+
+  /// Deep copy — the registry's copy-on-write Feedback path clones the
+  /// current estimator, mutates the clone, and republishes it so concurrent
+  /// EstimateRows reads never see a half-applied feedback.
+  virtual std::unique_ptr<Estimator> Clone() const = 0;
 };
 
 /// The cold-start estimator: published cardinality spread uniformly over the
@@ -63,6 +68,10 @@ class UniformEstimator : public Estimator {
 
   EstimatorInfo Info() const override {
     return EstimatorInfo{1, num_feedbacks_, cardinality_};
+  }
+
+  std::unique_ptr<Estimator> Clone() const override {
+    return std::make_unique<UniformEstimator>(*this);
   }
 
  private:
@@ -96,6 +105,10 @@ class FeedbackHistogram : public Estimator {
 
   EstimatorInfo Info() const override {
     return EstimatorInfo{buckets_.size(), num_feedbacks_, total_count()};
+  }
+
+  std::unique_ptr<Estimator> Clone() const override {
+    return std::make_unique<FeedbackHistogram>(*this);
   }
 
  private:
@@ -139,6 +152,10 @@ class IndependentDimEstimator : public Estimator {
   /// count joint observations (each fans out to every dimension).
   EstimatorInfo Info() const override;
 
+  std::unique_ptr<Estimator> Clone() const override {
+    return std::make_unique<IndependentDimEstimator>(*this);
+  }
+
  private:
   Box full_region_;
   double total_;
@@ -158,10 +175,15 @@ enum class StatsKind {
 /// seeded from catalog metadata (initial state == uniform assumption);
 /// learning can be disabled to study the cold-start optimizer.
 ///
-/// Thread-safe: EstimateRows (the optimizer's hot read) takes a shared
-/// lock; Feedback and RegisterTable take it exclusively. A monotonic
-/// version counter ticks on every Feedback so the plan-template cache can
-/// invalidate plans whose cost estimates may have shifted.
+/// Thread-safe and lock-free on the read side: estimators live in a hash-
+/// sharded cell map (common::ShardedCellMap) and each table's estimator is
+/// an immutable published snapshot, so EstimateRows (the optimizer's hot
+/// read) is two atomic loads plus the estimation itself. Feedback clones
+/// the current estimator under a per-table writer mutex, applies the
+/// observation to the clone, and republishes — writers to different tables
+/// never contend. A monotonic version counter ticks on every Feedback so
+/// the plan-template cache can invalidate plans whose cost estimates may
+/// have shifted.
 class StatsRegistry {
  public:
   explicit StatsRegistry(bool learning_enabled = true)
@@ -195,9 +217,15 @@ class StatsRegistry {
   }
 
  private:
+  /// One table's estimator: the published immutable snapshot plus the
+  /// writer mutex serializing Feedback on this table.
+  struct EstimatorCell {
+    std::mutex write_mutex;
+    common::SnapshotCell<Estimator> current;
+  };
+
   StatsKind kind_;
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, std::unique_ptr<Estimator>> estimators_;
+  common::ShardedCellMap<EstimatorCell> cells_;
   std::atomic<uint64_t> version_{0};
 };
 
