@@ -5,14 +5,19 @@
 // seller, delivered to nobody) and throttles, at increasing fault rates.
 //
 //   build/bench/bench_faults [--call_latency_us=500] [--repeats=3]
-//                            [--threads=8]
+//                            [--threads=8] [--trials=3]
 //
 // Reported per fault rate (0%, 1%, 5%, 20%, split evenly between the
 // three fault kinds): queries per second, retries, total billed
 // transactions, and the wasted transactions/price of lost responses.
-// Invariant checked on every run: total - wasted == fault-free total
-// (retries and rate limits cost time, never money; every extra billed
-// transaction is an accounted post-evaluation loss).
+// Each rate runs --trials times (fresh client and injector, same seed)
+// and reports the best-throughput trial — like bench_throughput, a
+// single trial on a busy box is dominated by scheduler noise. The
+// billing invariant is checked on EVERY trial, not just the reported
+// one: total - wasted == fault-free total (retries and rate limits cost
+// time, never money; every extra billed transaction is an accounted
+// post-evaluation loss).
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -57,6 +62,7 @@ int Main(int argc, char** argv) {
   const int64_t latency_us = FlagOr(argc, argv, "call_latency_us", 500);
   const int64_t repeats = FlagOr(argc, argv, "repeats", 3);
   const int64_t threads = FlagOr(argc, argv, "threads", 8);
+  const int64_t trials = std::max<int64_t>(1, FlagOr(argc, argv, "trials", 3));
   const std::string json_path = StringFlagOr(argc, argv, "json", "");
   BenchJson json;
 
@@ -134,8 +140,19 @@ int Main(int argc, char** argv) {
   }
   const size_t total_queries = streams.size() * static_cast<size_t>(repeats);
 
-  const auto run_at = [&](double fault_rate, int64_t fault_free_tx,
-                          bool* ok) -> int64_t {
+  // One trial at one fault rate: fresh client, fresh injector (same seed).
+  // Fills `out` and returns false on a query failure or a broken billing
+  // invariant — both are hard errors regardless of which trial they hit.
+  struct TrialResult {
+    double qps = 0.0;
+    int64_t retries = 0;
+    int64_t total_tx = 0;
+    int64_t wasted_tx = 0;
+    int64_t wasted_calls = 0;
+    double wasted_price = 0.0;
+  };
+  const auto run_trial = [&](double fault_rate, int64_t fault_free_tx,
+                             TrialResult* out) -> bool {
     PayLessConfig config;
     config.stats_kind = stats::StatsKind::kUniform;  // see bench_throughput
     config.max_parallel_calls = 1;
@@ -183,10 +200,7 @@ int Main(int argc, char** argv) {
     for (std::thread& w : workers) w.join();
     const double wall_ms = MillisSince(start);
     client->connector()->SetFaultInjector(nullptr);
-    if (failed.load()) {
-      *ok = false;
-      return 0;
-    }
+    if (failed.load()) return false;
 
     const market::RetryStats stats = client->connector()->retry_stats();
     const int64_t total_tx = client->meter().total_transactions();
@@ -197,26 +211,46 @@ int Main(int argc, char** argv) {
                    "fault-free %lld\n",
                    fault_rate, static_cast<long long>(useful_tx),
                    static_cast<long long>(fault_free_tx));
-      *ok = false;
-      return 0;
+      return false;
     }
-    const double qps = 1000.0 * static_cast<double>(total_queries) / wall_ms;
-    std::printf("%.2f %.1f %lld %lld %lld %lld %.1f\n", fault_rate, qps,
-                static_cast<long long>(stats.retries),
-                static_cast<long long>(total_tx),
-                static_cast<long long>(stats.wasted_transactions),
-                static_cast<long long>(stats.wasted_calls),
-                stats.wasted_price);
+    out->qps = 1000.0 * static_cast<double>(total_queries) / wall_ms;
+    out->retries = stats.retries;
+    out->total_tx = total_tx;
+    out->wasted_tx = stats.wasted_transactions;
+    out->wasted_calls = stats.wasted_calls;
+    out->wasted_price = stats.wasted_price;
+    return true;
+  };
+
+  // Best of --trials at each rate, reporting the fastest trial's row; a
+  // single trial on a loaded machine measures the scheduler, not us.
+  const auto run_at = [&](double fault_rate, int64_t fault_free_tx,
+                          bool* ok) -> int64_t {
+    TrialResult best;
+    for (int64_t trial = 0; trial < trials; ++trial) {
+      TrialResult result;
+      if (!run_trial(fault_rate, fault_free_tx, &result)) {
+        *ok = false;
+        return 0;
+      }
+      if (trial == 0 || result.qps > best.qps) best = result;
+    }
+    std::printf("%.2f %.1f %lld %lld %lld %lld %.1f\n", fault_rate, best.qps,
+                static_cast<long long>(best.retries),
+                static_cast<long long>(best.total_tx),
+                static_cast<long long>(best.wasted_tx),
+                static_cast<long long>(best.wasted_calls),
+                best.wasted_price);
     json.BeginRow("rates");
     json.Field("fault_rate", fault_rate);
-    json.Field("qps", qps);
-    json.Field("retries", stats.retries);
-    json.Field("total_transactions", total_tx);
-    json.Field("wasted_transactions", stats.wasted_transactions);
-    json.Field("wasted_calls", stats.wasted_calls);
-    json.Field("wasted_price", stats.wasted_price);
+    json.Field("qps", best.qps);
+    json.Field("retries", best.retries);
+    json.Field("total_transactions", best.total_tx);
+    json.Field("wasted_transactions", best.wasted_tx);
+    json.Field("wasted_calls", best.wasted_calls);
+    json.Field("wasted_price", best.wasted_price);
     *ok = true;
-    return total_tx;
+    return best.total_tx;
   };
 
   json.Meta("bench", std::string("faults"));
@@ -225,11 +259,13 @@ int Main(int argc, char** argv) {
   json.Meta("total_queries", static_cast<int64_t>(total_queries));
   json.Meta("threads", threads);
   json.Meta("call_latency_us", latency_us);
+  json.Meta("trials", trials);
   std::printf("# bench_faults: %zu streams x %lld repeats = %zu queries, "
-              "%lld threads, call latency %lld us\n",
+              "%lld threads, call latency %lld us, best of %lld trials\n",
               streams.size(), static_cast<long long>(repeats), total_queries,
               static_cast<long long>(threads),
-              static_cast<long long>(latency_us));
+              static_cast<long long>(latency_us),
+              static_cast<long long>(trials));
   std::printf("# fault_rate qps retries total_tx wasted_tx wasted_calls "
               "wasted_price\n");
   bool ok = false;

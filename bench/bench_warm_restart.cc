@@ -1,0 +1,275 @@
+// Warm-restart spend parity: the monetary promise of the durability layer,
+// measured on the real workload (Fig. 10a query mix).
+//
+// Four clients run the identical two-round workload:
+//   - the TWIN never restarts: round 1 cold, round 2 warm — its round-2
+//     spend is the baseline bill;
+//   - the CLEAN-RESTART client persists round 1, the process is discarded,
+//     and a fresh client recovers from the durability directory before
+//     running round 2;
+//   - the CRASH-RESTART client dies at the kAfterHarvestLog crash point on
+//     its LAST round-1 harvest (record durable, process gone before the
+//     in-memory apply) — the worst crash that loses no money;
+//   - the LOST-SLAB client dies at kBeforeHarvestLog on its last harvest:
+//     one slab billed but never durable, the one case a restart
+//     legitimately re-buys.
+//
+// Gates (exit 1 on violation): clean and crash round-2 spend within
+// --max_divergence_pct (default 1%) of the twin's, and the lost-slab
+// client's extra spend bounded by the forfeited harvest's transactions —
+// a restart never re-buys a durable slab. (It may re-buy LESS than the
+// forfeited slab when round 2 never needs that region again; the exact
+// re-buy identity is asserted on a controlled fixture in
+// tests/durability_recovery_test.cc.)
+//
+//   build/bench/bench_warm_restart [--scale_pct=10] [--per_template=10]
+//       [--seed=42] [--query_seed=1] [--max_divergence_pct=1]
+//       [--json=BENCH_warm_restart.json] [--state_dir=/tmp/...]
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/driver.h"
+#include "market/fault_injector.h"
+#include "workload/bundle.h"
+
+namespace payless::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs the whole query list once; returns the round's billed transactions.
+int64_t RunRound(exec::PayLess* client,
+                 const std::vector<workload::QueryInstance>& queries) {
+  const int64_t before = client->meter().total_transactions();
+  for (const workload::QueryInstance& query : queries) {
+    const auto result = client->Query(query.sql, query.params);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n  sql: %s\n",
+                   result.status().ToString().c_str(), query.sql.c_str());
+      std::abort();
+    }
+  }
+  return client->meter().total_transactions() - before;
+}
+
+double DivergencePct(int64_t actual, int64_t baseline) {
+  const int64_t diff = actual > baseline ? actual - baseline : baseline - actual;
+  return 100.0 * static_cast<double>(diff) /
+         static_cast<double>(baseline > 0 ? baseline : 1);
+}
+
+int Main(int argc, char** argv) {
+  const int64_t scale_pct = FlagOr(argc, argv, "scale_pct", 10);
+  const int64_t per_template = FlagOr(argc, argv, "per_template", 10);
+  const int64_t seed = FlagOr(argc, argv, "seed", 42);
+  const int64_t query_seed = FlagOr(argc, argv, "query_seed", 1);
+  const int64_t max_divergence_pct = FlagOr(argc, argv, "max_divergence_pct", 1);
+  const std::string json_path = StringFlagOr(argc, argv, "json", "");
+  const std::string store_json_path =
+      StringFlagOr(argc, argv, "store_json_out", "");
+  const std::string state_dir = StringFlagOr(
+      argc, argv, "state_dir",
+      (fs::temp_directory_path() / "payless_warm_restart").string());
+
+  workload::RealDataOptions options;
+  options.scale = static_cast<double>(scale_pct) / 100.0;
+  options.seed = static_cast<uint64_t>(seed);
+  auto bundle = workload::MakeRealBundle(options,
+                                         static_cast<size_t>(per_template),
+                                         static_cast<uint64_t>(query_seed));
+
+  // Serial market calls: the harvest sequence is then deterministic, so
+  // "the last round-1 harvest" is the same call for every client and the
+  // lost-slab accounting is exact.
+  exec::PayLessConfig base = workload::PayLessFullConfig();
+  base.max_parallel_calls = 1;
+
+  // ---- Twin: the uncrashed baseline, plus the per-harvest spend trace.
+  auto twin = workload::NewPayLessClient(*bundle, base);
+  std::vector<int64_t> harvest_tx;
+  twin->connector()->AddListener(
+      [&harvest_tx](const market::RestCall&, const market::CallResult& r) {
+        harvest_tx.push_back(r.transactions);
+      });
+  const int64_t round1_spend = RunRound(twin.get(), bundle->queries);
+  const size_t num_harvests = harvest_tx.size();
+  const int64_t round2_spend = RunRound(twin.get(), bundle->queries);
+  if (num_harvests < 2) {
+    std::fprintf(stderr, "workload produced %zu harvests; need >= 2\n",
+                 num_harvests);
+    return 1;
+  }
+
+  fs::remove_all(state_dir);
+  const auto dir_for = [&state_dir](const char* name) {
+    return (fs::path(state_dir) / name).string();
+  };
+
+  // ---- Clean restart: persist round 1, recover, run round 2.
+  exec::PayLessConfig durable = base;
+  durable.durability.dir = dir_for("clean");
+  {
+    auto cold = workload::NewPayLessClient(*bundle, durable);
+    const int64_t cold_spend = RunRound(cold.get(), bundle->queries);
+    if (cold_spend != round1_spend) {
+      std::fprintf(stderr,
+                   "durable cold round spent %lld, twin spent %lld — "
+                   "durability must not change billing\n",
+                   static_cast<long long>(cold_spend),
+                   static_cast<long long>(round1_spend));
+      return 1;
+    }
+  }
+  auto clean = workload::NewPayLessClient(*bundle, durable);
+  const durability::RecoveryInfo recovery = clean->durability()->recovery();
+  if (!store_json_path.empty()) {
+    // The recovered client's /store document (coverage + durability block),
+    // exactly what the introspection endpoint would serve after a restart.
+    std::string doc = clean->store().StatsJson();
+    if (!doc.empty() && doc.back() == '}') {
+      doc.pop_back();
+      doc += ",\"durability\":" + clean->durability()->StatsJson() + "}";
+    }
+    if (std::FILE* f = std::fopen(store_json_path.c_str(), "w")) {
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write recovered-store json to '%s'\n",
+                   store_json_path.c_str());
+      return 1;
+    }
+  }
+  const int64_t clean_round2 = RunRound(clean.get(), bundle->queries);
+  const double clean_divergence = DivergencePct(clean_round2, round2_spend);
+
+  // ---- Crash restart: die AFTER the last harvest's log append (durable,
+  // but the process never saw it applied). Loses nothing.
+  exec::PayLessConfig crashed = base;
+  crashed.durability.dir = dir_for("crash");
+  {
+    market::FaultInjector injector(market::FaultProfile{});
+    market::CrashPlan plan;
+    plan.point = market::CrashPoint::kAfterHarvestLog;
+    plan.after_hits = static_cast<int>(num_harvests) - 1;
+    injector.ArmCrash(plan);
+    exec::PayLessConfig config = crashed;
+    config.durability.crash_injector = &injector;
+    auto dying = workload::NewPayLessClient(*bundle, config);
+    (void)RunRound(dying.get(), bundle->queries);
+    if (injector.stats().crashes != 1) {
+      std::fprintf(stderr, "after-log crash never fired\n");
+      return 1;
+    }
+  }
+  auto crash = workload::NewPayLessClient(*bundle, crashed);
+  const int64_t crash_round2 = RunRound(crash.get(), bundle->queries);
+  const double crash_divergence = DivergencePct(crash_round2, round2_spend);
+
+  // ---- Lost slab: die BEFORE the last harvest's log append. The restart
+  // may re-buy at most that harvest's transactions, never anything durable.
+  exec::PayLessConfig lost = base;
+  lost.durability.dir = dir_for("lost");
+  {
+    market::FaultInjector injector(market::FaultProfile{});
+    market::CrashPlan plan;
+    plan.point = market::CrashPoint::kBeforeHarvestLog;
+    plan.after_hits = static_cast<int>(num_harvests) - 1;
+    injector.ArmCrash(plan);
+    exec::PayLessConfig config = lost;
+    config.durability.crash_injector = &injector;
+    auto dying = workload::NewPayLessClient(*bundle, config);
+    (void)RunRound(dying.get(), bundle->queries);
+    if (injector.stats().crashes != 1) {
+      std::fprintf(stderr, "before-log crash never fired\n");
+      return 1;
+    }
+  }
+  auto rebuyer = workload::NewPayLessClient(*bundle, lost);
+  const int64_t lost_round2 = RunRound(rebuyer.get(), bundle->queries);
+  const int64_t rebuy_tx = lost_round2 - round2_spend;
+  const int64_t lost_slab_tx = harvest_tx[num_harvests - 1];
+
+  std::printf("# bench_warm_restart: %zu queries/round, %zu harvests, "
+              "scale %.2f\n",
+              bundle->queries.size(), num_harvests, options.scale);
+  std::printf("round1_spend %lld\n", static_cast<long long>(round1_spend));
+  std::printf("round2_spend_no_restart %lld\n",
+              static_cast<long long>(round2_spend));
+  std::printf("round2_spend_clean_restart %lld (divergence %.3f%%)\n",
+              static_cast<long long>(clean_round2), clean_divergence);
+  std::printf("round2_spend_crash_restart %lld (divergence %.3f%%)\n",
+              static_cast<long long>(crash_round2), crash_divergence);
+  std::printf("round2_spend_lost_slab %lld (re-bought %lld, slab cost %lld)\n",
+              static_cast<long long>(lost_round2),
+              static_cast<long long>(rebuy_tx),
+              static_cast<long long>(lost_slab_tx));
+  std::printf("recovery: %llu records replayed, %llu views / %llu rows / "
+              "%llu plans restored, %lld us\n",
+              static_cast<unsigned long long>(recovery.replayed_records),
+              static_cast<unsigned long long>(recovery.recovered_views),
+              static_cast<unsigned long long>(recovery.recovered_rows),
+              static_cast<unsigned long long>(recovery.recovered_plans),
+              static_cast<long long>(recovery.recovery_micros));
+
+  BenchJson json;
+  json.Meta("bench", std::string("warm_restart"));
+  json.Meta("queries_per_round", static_cast<int64_t>(bundle->queries.size()));
+  json.Meta("harvests", static_cast<int64_t>(num_harvests));
+  json.Meta("scale", options.scale);
+  json.Meta("round1_spend", round1_spend);
+  json.Meta("round2_spend_no_restart", round2_spend);
+  json.Meta("round2_spend_clean_restart", clean_round2);
+  json.Meta("round2_spend_crash_restart", crash_round2);
+  json.Meta("round2_spend_lost_slab", lost_round2);
+  json.Meta("clean_restart_divergence_pct", clean_divergence);
+  json.Meta("crash_restart_divergence_pct", crash_divergence);
+  json.Meta("rebuy_transactions", rebuy_tx);
+  json.Meta("lost_slab_transactions", lost_slab_tx);
+  json.Meta("replayed_records",
+            static_cast<int64_t>(recovery.replayed_records));
+  json.Meta("recovered_views", static_cast<int64_t>(recovery.recovered_views));
+  json.Meta("recovered_rows", static_cast<int64_t>(recovery.recovered_rows));
+  json.Meta("recovery_micros", recovery.recovery_micros);
+  if (!json.WriteTo(json_path)) return 1;
+
+  fs::remove_all(state_dir);
+
+  bool ok = true;
+  if (clean_divergence > static_cast<double>(max_divergence_pct)) {
+    std::fprintf(stderr, "clean restart diverged %.3f%% (> %lld%%)\n",
+                 clean_divergence, static_cast<long long>(max_divergence_pct));
+    ok = false;
+  }
+  if (crash_divergence > static_cast<double>(max_divergence_pct)) {
+    std::fprintf(stderr, "crash restart diverged %.3f%% (> %lld%%)\n",
+                 crash_divergence, static_cast<long long>(max_divergence_pct));
+    ok = false;
+  }
+  if (rebuy_tx < 0 || rebuy_tx > lost_slab_tx) {
+    std::fprintf(stderr,
+                 "lost-slab restart re-bought %lld txn, forfeited slab cost "
+                 "%lld — a restart re-buys at most the lost harvest\n",
+                 static_cast<long long>(rebuy_tx),
+                 static_cast<long long>(lost_slab_tx));
+    ok = false;
+  }
+  if (recovery.replayed_records != num_harvests || recovery.recovered_rows > 0) {
+    std::fprintf(stderr,
+                 "clean recovery replayed %llu records (want %zu, all from "
+                 "the log)\n",
+                 static_cast<unsigned long long>(recovery.replayed_records),
+                 num_harvests);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace payless::bench
+
+int main(int argc, char** argv) { return payless::bench::Main(argc, argv); }

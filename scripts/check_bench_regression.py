@@ -30,6 +30,28 @@ HIGHER_IS_BETTER = (
     "speedup_32_threads",
 )
 
+# Absolute caps, checked on the CURRENT file alone: the warm-restart
+# bench's spend-parity divergences are billing promises, not throughput —
+# a restart that re-buys already-durable data is a bug at any baseline.
+ABSOLUTE_MAX = {
+    "clean_restart_divergence_pct": 1.0,
+    "crash_restart_divergence_pct": 1.0,
+}
+
+
+def capped_fields(node, path=""):
+    """Yields (json_path, key, value) for every absolutely-capped field."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else key
+            if isinstance(value, (int, float)) and key in ABSOLUTE_MAX:
+                yield child, key, float(value)
+            else:
+                yield from capped_fields(value, child)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from capped_fields(value, f"{path}[{i}]")
+
 
 def qps_fields(node, path=""):
     """Yields (json_path, value) for every compared field."""
@@ -58,15 +80,29 @@ def main(argv):
             max_regression_pct = float(arg.split("=", 1)[1])
 
     with open(args[0]) as f:
-        baseline = dict(qps_fields(json.load(f)))
+        baseline_doc = json.load(f)
     with open(args[1]) as f:
-        current = dict(qps_fields(json.load(f)))
+        current_doc = json.load(f)
+    baseline = dict(qps_fields(baseline_doc))
+    current = dict(qps_fields(current_doc))
 
-    if not baseline:
+    failed = False
+    # Absolute caps first: these gate the current run on its own merits.
+    current_caps = {p: (k, v) for p, k, v in capped_fields(current_doc)}
+    for path, key, _ in capped_fields(baseline_doc):
+        if path not in current_caps:
+            print(f"MISSING {path}: capped field absent in current")
+            failed = True
+    for path, (key, value) in sorted(current_caps.items()):
+        cap = ABSOLUTE_MAX[key]
+        verdict = "FAIL" if value > cap else "ok"
+        print(f"{verdict:4} {path}: {value:.3f} (cap {cap:.1f})")
+        failed = failed or verdict == "FAIL"
+
+    if not baseline and not current_caps:
         sys.stderr.write(f"no compared fields in baseline {args[0]}\n")
         return 2
 
-    failed = False
     for path, base in sorted(baseline.items()):
         if base <= 0:
             continue

@@ -1,0 +1,186 @@
+// Flat binary serialization for durable state: fixed-width little-endian
+// scalars, length-prefixed strings, and the shared Value/Row/Box codecs
+// used by the write-ahead log and the snapshot files. Header-only so both
+// the stats layer (estimator state) and the durability layer can encode
+// without a new link-time dependency.
+//
+// The format is a same-machine persistence format, not a wire protocol:
+// integers are memcpy'd in host byte order (every supported target is
+// little-endian) and there is no versioned schema per record — the
+// enclosing file carries one format-version byte and readers reject
+// anything newer than they understand.
+#ifndef PAYLESS_COMMON_BINIO_H_
+#define PAYLESS_COMMON_BINIO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/value.h"
+
+namespace payless::common {
+
+/// Appends fixed-width scalars and length-prefixed blobs to a string.
+class BinWriter {
+ public:
+  explicit BinWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+
+  /// Length-prefixed (u32) byte string.
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    out_->append(static_cast<const char*>(data), size);
+  }
+
+  std::string* out_;
+};
+
+/// Bounds-checked reader over a byte span. Every accessor returns false
+/// (and leaves the output untouched) once the span is exhausted or a
+/// length prefix overruns it; `ok()` latches the first failure so callers
+/// can decode a whole record and check once.
+class BinReader {
+ public:
+  BinReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit BinReader(std::string_view s) : BinReader(s.data(), s.size()) {}
+
+  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+
+  bool Str(std::string* s) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (size_ - pos_ < len) return Fail();
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool Raw(void* out, size_t size) {
+    if (!ok_ || size_ - pos_ < size) return Fail();
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- Shared codecs for the geometry / value types.
+
+inline void WriteValue(BinWriter& w, const Value& v) {
+  if (v.is_null()) {
+    w.U8(0);
+  } else if (v.is_int64()) {
+    w.U8(1);
+    w.I64(v.AsInt64());
+  } else if (v.is_double()) {
+    w.U8(2);
+    w.F64(v.AsDouble());
+  } else {
+    w.U8(3);
+    w.Str(v.AsString());
+  }
+}
+
+inline bool ReadValue(BinReader& r, Value* out) {
+  uint8_t tag = 0;
+  if (!r.U8(&tag)) return false;
+  switch (tag) {
+    case 0:
+      *out = Value::Null();
+      return true;
+    case 1: {
+      int64_t v = 0;
+      if (!r.I64(&v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case 2: {
+      double v = 0;
+      if (!r.F64(&v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case 3: {
+      std::string s;
+      if (!r.Str(&s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+inline void WriteRow(BinWriter& w, const Row& row) {
+  w.U32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) WriteValue(w, v);
+}
+
+inline bool ReadRow(BinReader& r, Row* out) {
+  uint32_t n = 0;
+  if (!r.U32(&n)) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v;
+    if (!ReadValue(r, &v)) return false;
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+inline void WriteBox(BinWriter& w, const Box& box) {
+  w.U32(static_cast<uint32_t>(box.num_dims()));
+  for (const Interval& dim : box.dims()) {
+    w.I64(dim.lo);
+    w.I64(dim.hi);
+  }
+}
+
+inline bool ReadBox(BinReader& r, Box* out) {
+  uint32_t n = 0;
+  if (!r.U32(&n)) return false;
+  std::vector<Interval> dims;
+  dims.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Interval iv;
+    if (!r.I64(&iv.lo) || !r.I64(&iv.hi)) return false;
+    dims.push_back(iv);
+  }
+  *out = Box(std::move(dims));
+  return true;
+}
+
+}  // namespace payless::common
+
+#endif  // PAYLESS_COMMON_BINIO_H_

@@ -107,6 +107,11 @@ class PlanCache {
   PlanCacheStats Stats() const;
   void Clear();
 
+  /// Every cached entry (key -> immutable shared entry) for the durability
+  /// snapshot. Per-shard order, not globally sorted.
+  std::vector<std::pair<std::string, std::shared_ptr<const CachedPlan>>>
+  Entries() const;
+
   /// Monotonic mutation counter: ticks on every Insert and Clear.
   uint64_t version() const {
     return version_.load(std::memory_order_acquire);

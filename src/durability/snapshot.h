@@ -1,0 +1,54 @@
+// Compacted snapshots of the durable state: the semantic store's views,
+// the per-table estimator states, the plan-template cache, and the small
+// scalar state (last absorbed WAL sequence, drift epoch, current week).
+//
+// A snapshot bounds recovery work — log records with seq <= last_seq are
+// already folded in and are skipped at replay — and bounds log growth: the
+// manager resets the WAL after a successful snapshot. Files are written
+// crash-atomically (tmp + fsync + rename), so a reader only ever sees the
+// previous complete snapshot or the new complete snapshot, never a torn
+// one; a crash BETWEEN the rename and the log reset is safe because the
+// seq filter drops the now-redundant log prefix at replay.
+#ifndef PAYLESS_DURABILITY_SNAPSHOT_H_
+#define PAYLESS_DURABILITY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/plan_cache.h"
+#include "semstore/semantic_store.h"
+
+namespace payless::durability {
+
+/// In-memory image of one snapshot file.
+struct SnapshotData {
+  uint64_t last_seq = 0;     // highest WAL seq folded into this snapshot
+  uint64_t drift_epoch = 0;  // accuracy tracker's epoch at snapshot time
+  int64_t current_week = 0;  // store clock at snapshot time
+
+  struct TableViews {
+    std::string table;
+    std::vector<semstore::StoredView> views;
+  };
+  std::vector<TableViews> store_tables;
+
+  /// table -> serialized estimator state (stats::SaveEstimator blobs).
+  std::vector<std::pair<std::string, std::string>> stats_tables;
+
+  /// Plan-template cache entries, key -> cached plan.
+  std::vector<std::pair<std::string, core::CachedPlan>> plans;
+};
+
+/// Serializes `data` and writes it crash-atomically to `path`.
+Status WriteSnapshotFile(const std::string& path, const SnapshotData& data);
+
+/// Reads and validates the snapshot at `path`. NotFound when the file does
+/// not exist (a cold start); Internal on magic/CRC/decode failure.
+Status ReadSnapshotFile(const std::string& path, SnapshotData* out);
+
+}  // namespace payless::durability
+
+#endif  // PAYLESS_DURABILITY_SNAPSHOT_H_

@@ -1,0 +1,110 @@
+// Append-only write-ahead log for the harvest path.
+//
+// Every record is one HARVEST: a market call's billed result at the single
+// point where money turned into state (the connector listener that feeds
+// the semantic store and the statistics — Fig. 3, steps 5.3/5.4). Replaying
+// the log through that same listener deterministically rebuilds the store,
+// the feedback histograms and the estimator-accuracy drift epoch, which is
+// what makes a warm restart billing-correct: a slab whose record is on disk
+// is never re-bought, and nothing is ever served that was not paid for.
+//
+// On-disk framing, per record:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// The reader walks frames until the file ends or a frame fails validation
+// (short header, absurd length, short payload, CRC mismatch) — everything
+// from the first invalid byte on is a TORN TAIL left by a crash mid-append,
+// reported but never applied. A log is therefore always recoverable: the
+// prefix of intact frames is exactly the set of durable harvests.
+#ifndef PAYLESS_DURABILITY_WAL_H_
+#define PAYLESS_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/geometry.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace payless::durability {
+
+/// CRC-32 (IEEE, reflected) of a byte span — the frame checksum.
+uint32_t Crc32(const char* data, size_t size);
+inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+/// One logged harvest: the market call's identity and billed result, plus
+/// everything the listener needs to re-apply it (region + rows + epoch).
+/// `transactions`/`price` are audit fields (what this slab cost under
+/// Eq. 1); replay does not re-bill them.
+struct HarvestRecord {
+  uint64_t seq = 0;  // assigned by the log, strictly increasing from 1
+  std::string table;
+  std::string dataset;
+  int64_t epoch = 0;        // store week the harvest was stamped with
+  int64_t num_records = 0;  // true result size fed back to the statistics
+  int64_t transactions = 0;
+  double price = 0.0;
+  Box region;
+  std::vector<Row> rows;
+};
+
+std::string EncodeHarvest(const HarvestRecord& record);
+bool DecodeHarvest(const std::string& payload, HarvestRecord* out);
+
+/// Append handle over one log file. Not thread-safe: the durability
+/// manager serializes the whole harvest path, so the log never sees
+/// concurrent appends.
+class WriteAheadLog {
+ public:
+  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens (creating if absent) for append. Idempotent.
+  Status Open();
+
+  /// Frames and appends one payload; fsyncs when asked. Size accounting
+  /// includes the 8-byte frame header.
+  Status Append(const std::string& payload, bool fsync);
+
+  /// Crash-injection path: writes only the first `torn_bytes` bytes of the
+  /// frame (header included) and stops — the torn tail a real kill
+  /// mid-append leaves behind. Never fsyncs (the process "died").
+  Status AppendTorn(const std::string& payload, size_t torn_bytes);
+
+  /// Truncates the log to empty (after a snapshot made its records
+  /// redundant).
+  Status Reset();
+
+  void Close();
+
+  int64_t size_bytes() const { return size_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  int64_t size_bytes_ = 0;
+};
+
+/// Everything one pass over a log file yields.
+struct WalReadResult {
+  std::vector<std::string> payloads;  // intact frames, in append order
+  bool torn_tail = false;             // file ends in an invalid frame
+  int64_t valid_bytes = 0;            // prefix covered by intact frames
+  int64_t total_bytes = 0;            // file size as read
+};
+
+/// Reads every intact frame of the log at `path`. A missing file is an
+/// empty, un-torn log. Never fails on torn or corrupt content — the torn
+/// tail is data about the crash, not an error.
+WalReadResult ReadWal(const std::string& path);
+
+}  // namespace payless::durability
+
+#endif  // PAYLESS_DURABILITY_WAL_H_

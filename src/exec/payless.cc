@@ -90,30 +90,74 @@ PayLess::PayLess(const catalog::Catalog* catalog,
       (void)st;
     }
   }
+  // Persistence + recovery come up BEFORE the listener serves live calls:
+  // the snapshot restores store/stats/plan-cache state, the log tail
+  // replays through AbsorbHarvest (the same body live calls run), and the
+  // drift epoch / store week are fast-forwarded so plan-cache keys minted
+  // after the restart line up with the recovered templates.
+  if (!config_.durability.dir.empty()) {
+    durability_ = std::make_unique<durability::DurabilityManager>(
+        config_.durability, catalog_, &store_, &stats_, &plan_cache_,
+        &obs_->metrics);
+    durability_->SetStateSuppliers(
+        [this] { return accuracy_.drift_epoch(); },
+        [this] { return current_week(); });
+    const Status recovered = durability_->Recover(
+        [this](const catalog::TableDef& def, const Box& region,
+               std::vector<Row> rows, int64_t num_records, int64_t epoch) {
+          AbsorbHarvest(def, region, std::move(rows), num_records, epoch);
+        });
+    assert(recovered.ok());
+    (void)recovered;
+    const durability::RecoveryInfo& info = durability_->recovery();
+    if (info.recovered) {
+      accuracy_.RestoreDriftEpoch(info.restored_drift_epoch);
+      current_week_.store(info.restored_week, std::memory_order_relaxed);
+    }
+  }
   // Steps 5.3 / 5.4 of Fig. 3: every successful call feeds the semantic
-  // store and the statistics. The accuracy tracker taps the same point:
-  // the estimate is taken BEFORE Feedback (afterwards the histogram has
-  // already absorbed the observation and the comparison would flatter it).
+  // store and the statistics (AbsorbHarvest). With durability on, the
+  // harvest is logged durable FIRST, then applied — the manager serializes
+  // the whole pipeline so the log is a faithful replay script.
   connector_.AddListener([this](const market::RestCall& call,
                                 const market::CallResult& result) {
     const catalog::TableDef* def = catalog_->FindTable(call.table);
     assert(def != nullptr);
     const Box region = market::CallRegion(*def, call);
-    if (config_.enable_accuracy_tracking) {
-      const double estimated = stats_.EstimateRows(call.table, region);
-      accuracy_.Record(call.table, def->dataset, estimated,
-                       static_cast<double>(result.num_records));
-    }
-    store_.Store(*def, region, result.rows, current_week());
-    stats_.Feedback(call.table, region, result.num_records);
-    if (config_.enable_accuracy_tracking) {
-      const stats::EstimatorInfo info = stats_.Info(call.table);
-      accuracy_.RecordStatsQuality(call.table,
-                                   static_cast<int64_t>(info.buckets),
-                                   static_cast<int64_t>(info.feedbacks),
-                                   info.total_count);
+    if (durability_ != nullptr) {
+      durability_->LogAndApply(
+          *def, region, result, current_week(),
+          [this](const catalog::TableDef& d, const Box& r,
+                 std::vector<Row> rows, int64_t num_records, int64_t epoch) {
+            AbsorbHarvest(d, r, std::move(rows), num_records, epoch);
+          });
+    } else {
+      AbsorbHarvest(*def, region, result.rows, result.num_records,
+                    current_week());
     }
   });
+}
+
+void PayLess::AbsorbHarvest(const catalog::TableDef& def, const Box& region,
+                            std::vector<Row> rows, int64_t num_records,
+                            int64_t epoch) {
+  if (config_.enable_accuracy_tracking) {
+    // The estimate is taken BEFORE Feedback (afterwards the histogram has
+    // already absorbed the observation and the comparison would flatter
+    // it). Replay recomputes the identical estimate, so the drift epoch
+    // reconverges deterministically on serial histories.
+    const double estimated = stats_.EstimateRows(def.name, region);
+    accuracy_.Record(def.name, def.dataset, estimated,
+                     static_cast<double>(num_records));
+  }
+  store_.Store(def, region, std::move(rows), epoch);
+  stats_.Feedback(def.name, region, num_records);
+  if (config_.enable_accuracy_tracking) {
+    const stats::EstimatorInfo info = stats_.Info(def.name);
+    accuracy_.RecordStatsQuality(def.name, static_cast<int64_t>(info.buckets),
+                                 static_cast<int64_t>(info.feedbacks),
+                                 info.total_count);
+  }
 }
 
 int64_t PayLess::MinEpoch() const {
@@ -597,7 +641,16 @@ void PayLess::RegisterIntrospection(obs::HttpExpositionServer* server,
   server->SetExplainHandler(
       [this](const std::string& sql) { return ExplainText(sql); });
   server->SetSavingsLedger(&obs_->savings);
-  server->SetStoreStatsProvider([this] { return store_.StatsJson(); });
+  server->SetStoreStatsProvider([this] {
+    std::string json = store_.StatsJson();
+    if (durability_ != nullptr && !json.empty() && json.back() == '}') {
+      // Splice the durability block into the /store document so one fetch
+      // shows both what is held and how durable it is.
+      json.pop_back();
+      json += ",\"durability\":" + durability_->StatsJson() + "}";
+    }
+    return json;
+  });
   if (sampler != nullptr) server->SetTimeSeriesSampler(sampler);
 }
 

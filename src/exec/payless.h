@@ -19,6 +19,7 @@
 #include "catalog/catalog.h"
 #include "core/optimizer.h"
 #include "core/plan_cache.h"
+#include "durability/durability.h"
 #include "exec/execution_engine.h"
 #include "market/data_market.h"
 #include "obs/accuracy.h"
@@ -96,6 +97,13 @@ struct PayLessConfig {
   /// → per-market-call) into QueryReport::trace and the context's sink.
   /// Metrics and ledger attribution are always on — they are the cheap part.
   bool enable_tracing = true;
+  /// Persistence + crash recovery (off when `durability.dir` is empty).
+  /// With a directory set, construction first RECOVERS — snapshot + log
+  /// replay rebuild the semantic store, the feedback histograms, the plan
+  /// templates, the drift epoch and the store week — and every subsequent
+  /// harvest is logged at the billing point before it is applied, so a
+  /// process death never re-buys a durable slab.
+  durability::DurabilityOptions durability;
   /// Price every query's counterfactual (store-less, uncached) plan and
   /// attribute the realized savings into the savings ledger and metrics.
   /// The what-if pass reuses the optimizer on the live statistics against
@@ -245,6 +253,12 @@ class PayLess {
   /// it only accumulates samples while enable_accuracy_tracking is on.
   const obs::AccuracyTracker& accuracy() const { return accuracy_; }
   const core::PlanCache& plan_cache() const { return plan_cache_; }
+  /// Durability manager; nullptr when durability is off. Non-const so
+  /// tests/operators can force a snapshot (SnapshotNow).
+  durability::DurabilityManager* durability() { return durability_.get(); }
+  const durability::DurabilityManager* durability() const {
+    return durability_.get();
+  }
   market::MarketConnector* connector() { return &connector_; }
   storage::Database* local_db() { return &local_db_; }
   const catalog::Catalog& catalog() const { return *catalog_; }
@@ -265,6 +279,13 @@ class PayLess {
 
  private:
   int64_t MinEpoch() const;
+  /// Steps 5.3/5.4 of Fig. 3 — the single point where a billed harvest
+  /// becomes state (store + statistics feedback + accuracy tracking).
+  /// Called by the connector listener for live calls and by the durability
+  /// manager's recovery replay, so both paths rebuild identical state.
+  void AbsorbHarvest(const catalog::TableDef& def, const Box& region,
+                     std::vector<Row> rows, int64_t num_records,
+                     int64_t epoch);
   /// The traced/governed body of QueryWithReport; `query_id` is already
   /// assigned and admission against the CURRENT spend already passed.
   Result<QueryReport> QueryWithReportImpl(const std::string& sql,
@@ -303,6 +324,9 @@ class PayLess {
   semstore::SemanticStore store_;
   stats::StatsRegistry stats_;
   core::PlanCache plan_cache_;
+  /// Persistence + recovery; null when durability is off. After store_,
+  /// stats_ and plan_cache_ (it holds raw pointers to all three).
+  std::unique_ptr<durability::DurabilityManager> durability_;
   /// What-if pricer for savings accounting; null when disabled. After
   /// stats_ (it reads the live statistics through a raw pointer).
   std::unique_ptr<obs::SavingsAccountant> savings_accountant_;

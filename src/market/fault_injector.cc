@@ -61,6 +61,25 @@ FaultDecision FaultInjector::Decide(const RestCall& call) {
   return decision;
 }
 
+void FaultInjector::ArmCrash(CrashPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_crash_ = plan;
+  crash_hits_ = 0;
+}
+
+std::optional<CrashPlan> FaultInjector::CrashAt(CrashPoint point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_crash_.has_value() || armed_crash_->point != point) {
+    return std::nullopt;
+  }
+  if (crash_hits_++ < armed_crash_->after_hits) return std::nullopt;
+  const CrashPlan fired = *armed_crash_;
+  armed_crash_.reset();  // one death per arming
+  crash_hits_ = 0;
+  ++stats_.crashes;
+  return fired;
+}
+
 FaultStats FaultInjector::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 
 #include "common/rng.h"
 #include "market/rest_call.h"
@@ -67,6 +68,34 @@ struct FaultStats {
   int64_t lost_responses = 0;
   int64_t rate_limits = 0;
   int64_t latency_spikes = 0;
+  int64_t crashes = 0;  // armed crash points that fired
+};
+
+/// Where, relative to the durability manager's harvest/snapshot pipeline, a
+/// process death is injected. The money-critical distinction mirrors the
+/// fault kinds above: a crash BEFORE the log append loses a billed-but-not-
+/// durable harvest (legitimately re-bought on restart), a crash AFTER it
+/// loses nothing.
+enum class CrashPoint {
+  kBeforeHarvestLog,         // billed, nothing on disk: the lost-slab case
+  kMidHarvestLog,            // torn frame tail on disk
+  kAfterHarvestLog,          // record durable; died before in-memory apply
+  kMidSnapshot,              // partial snapshot tmp file, no rename
+  kAfterSnapshotBeforeReset  // snapshot renamed, WAL not yet reset
+};
+
+/// One armed process death. `after_hits` arrivals at `point` pass through
+/// before the crash fires (0 = the first arrival crashes). `hard` makes the
+/// durability manager _Exit the process for the kill/restart harness;
+/// otherwise the manager SIMULATES death: it freezes the on-disk state
+/// exactly as a kill at that point would leave it and stops persisting,
+/// while the in-memory instance keeps serving (tests then discard it and
+/// recover a fresh instance from the frozen files).
+struct CrashPlan {
+  CrashPoint point = CrashPoint::kBeforeHarvestLog;
+  int after_hits = 0;
+  size_t torn_bytes = 8;  // kMidHarvestLog: frame bytes reaching the disk
+  bool hard = false;
 };
 
 /// Thread-safe: Decide serializes on an internal mutex (the injector is a
@@ -87,6 +116,14 @@ class FaultInjector {
   /// draws exactly two uniforms (kind, spike) so replay is exact.
   FaultDecision Decide(const RestCall& call);
 
+  /// Arms one process death (replacing any previously armed plan).
+  void ArmCrash(CrashPlan plan);
+
+  /// The durability manager announces reaching `point`; returns the armed
+  /// plan when this arrival is the one that crashes (disarming it), nullopt
+  /// otherwise. Arrival counting is per armed plan.
+  std::optional<CrashPlan> CrashAt(CrashPoint point);
+
   FaultStats stats() const;
 
  private:
@@ -94,6 +131,8 @@ class FaultInjector {
   FaultProfile profile_;
   Rng rng_;
   std::deque<FaultDecision> scripted_;
+  std::optional<CrashPlan> armed_crash_;
+  int crash_hits_ = 0;  // arrivals at the armed point so far
   FaultStats stats_;
 };
 

@@ -103,6 +103,17 @@ void AccuracyTracker::Record(const std::string& table,
   }
 }
 
+void AccuracyTracker::RestoreDriftEpoch(uint64_t epoch) {
+  uint64_t current = drift_epoch_.load(std::memory_order_acquire);
+  while (current < epoch && !drift_epoch_.compare_exchange_weak(
+                                current, epoch, std::memory_order_acq_rel)) {
+  }
+  if (drift_epoch_gauge_ != nullptr) {
+    drift_epoch_gauge_->Set(
+        static_cast<int64_t>(drift_epoch_.load(std::memory_order_acquire)));
+  }
+}
+
 void AccuracyTracker::RecordStatsQuality(const std::string& table,
                                          int64_t buckets, int64_t feedbacks,
                                          double total_rows) {

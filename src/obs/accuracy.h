@@ -88,6 +88,12 @@ class AccuracyTracker {
     return drift_epoch_.load(std::memory_order_acquire);
   }
 
+  /// Recovery: fast-forwards the drift epoch to at least `epoch` (the
+  /// value the durability snapshot persisted), so plan-cache keys minted
+  /// after a warm restart line up with the recovered templates' epochs.
+  /// Never moves the epoch backwards.
+  void RestoreDriftEpoch(uint64_t epoch);
+
   double threshold() const { return threshold_; }
 
   AccuracySnapshot Snapshot(const std::string& table) const;

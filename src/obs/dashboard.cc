@@ -137,6 +137,9 @@ std::string DashboardHtml() {
   <div class="tile"><div class="label">Queries served</div>
     <div class="value" id="t-queries">–</div>
     <div class="delta" id="t-failq">–</div></div>
+  <div class="tile"><div class="label">Durability (WAL on disk)</div>
+    <div class="value" id="t-dur">–</div>
+    <div class="delta" id="t-dur-d">–</div></div>
 </div>
 
 <div class="grid">
@@ -260,6 +263,25 @@ function renderStore(store) {
       '<tr><td colspan="5" class="stale">store is empty</td></tr>';
 }
 
+function renderDurability(dur) {
+  const val = $("t-dur"), delta = $("t-dur-d");
+  if (!dur || !dur.enabled) {
+    val.textContent = "off";
+    delta.textContent = "no durability dir configured";
+    delta.className = "delta";
+    return;
+  }
+  val.textContent = fmt(dur.wal_bytes) + " B";
+  const rec = dur.recovery || {};
+  const parts = ["seq " + fmt(dur.next_seq ? dur.next_seq - 1 : 0),
+                 "snap " + fmt(dur.snapshot_seq || 0)];
+  if (rec.recovered) parts.push(fmt(rec.replayed_records) + " replayed");
+  if (rec.wal_torn_tail) parts.push("torn tail dropped");
+  if (dur.dead) parts.push("CRASHED (frozen)");
+  delta.textContent = parts.join(" · ");
+  delta.className = "delta" + (dur.dead ? " bad" : "");
+}
+
 async function renderQError(index) {
   const names = (index.series || [])
       .filter((n) => n.startsWith("payless_qerror_last_x100_")).slice(0, 3);
@@ -304,6 +326,7 @@ async function refresh() {
         ((index.period_micros || 0) / 1e6).toFixed(1);
     renderCauses(total.by_cause);
     renderStore(store);
+    renderDurability(store.durability);
     const [actual, cfs] = await Promise.all([
       series("payless_transactions_total"),
       series("payless_counterfactual_transactions_total"),

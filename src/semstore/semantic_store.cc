@@ -382,6 +382,15 @@ size_t SemanticStore::TotalStoredRows() const {
   return total;
 }
 
+std::vector<std::string> SemanticStore::TableNames() const {
+  std::vector<std::string> names;
+  cells_.ForEach([&](const std::string& name, const TableCell&) {
+    names.push_back(name);
+  });
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 void SemanticStore::Clear() {
   int64_t dropped = 0;
   cells_.ForEach([&](const std::string&, const TableCell& cell) {

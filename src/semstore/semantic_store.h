@@ -116,6 +116,10 @@ class SemanticStore {
   size_t TotalViews() const;
   size_t TotalStoredRows() const;
 
+  /// Names of every table with stored state, sorted. The durability
+  /// snapshot iterates them (ViewsOf per table is the export).
+  std::vector<std::string> TableNames() const;
+
   void Clear();
 
   /// Mirror probe outcomes and evictions into registry counters (pass

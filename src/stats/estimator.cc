@@ -263,6 +263,154 @@ size_t StatsRegistry::TotalFeedbacks() const {
   return total;
 }
 
+// ---- Serialization (durability snapshots).
+
+namespace {
+// Kind tags framing estimator state on disk; append-only.
+constexpr uint8_t kUniformTag = 1;
+constexpr uint8_t kFeedbackHistogramTag = 2;
+constexpr uint8_t kIndependentDimTag = 3;
+}  // namespace
+
+void UniformEstimator::SaveState(common::BinWriter& w) const {
+  common::WriteBox(w, full_region_);
+  w.F64(cardinality_);
+  w.U64(num_feedbacks_);
+}
+
+std::unique_ptr<UniformEstimator> UniformEstimator::Load(
+    common::BinReader& r) {
+  std::unique_ptr<UniformEstimator> est(new UniformEstimator());
+  uint64_t feedbacks = 0;
+  if (!common::ReadBox(r, &est->full_region_) || !r.F64(&est->cardinality_) ||
+      !r.U64(&feedbacks)) {
+    return nullptr;
+  }
+  est->num_feedbacks_ = static_cast<size_t>(feedbacks);
+  return est;
+}
+
+void FeedbackHistogram::SaveState(common::BinWriter& w) const {
+  common::WriteBox(w, full_region_);
+  w.U64(max_buckets_);
+  w.U64(num_feedbacks_);
+  w.U32(static_cast<uint32_t>(buckets_.size()));
+  for (const Bucket& bucket : buckets_) {
+    common::WriteBox(w, bucket.box);
+    w.F64(bucket.count);
+  }
+}
+
+std::unique_ptr<FeedbackHistogram> FeedbackHistogram::Load(
+    common::BinReader& r) {
+  std::unique_ptr<FeedbackHistogram> est(new FeedbackHistogram());
+  uint64_t max_buckets = 0, feedbacks = 0;
+  uint32_t num_buckets = 0;
+  if (!common::ReadBox(r, &est->full_region_) || !r.U64(&max_buckets) ||
+      !r.U64(&feedbacks) || !r.U32(&num_buckets)) {
+    return nullptr;
+  }
+  est->max_buckets_ = static_cast<size_t>(max_buckets);
+  est->num_feedbacks_ = static_cast<size_t>(feedbacks);
+  est->buckets_.reserve(num_buckets);
+  for (uint32_t i = 0; i < num_buckets; ++i) {
+    Bucket bucket;
+    if (!common::ReadBox(r, &bucket.box) || !r.F64(&bucket.count)) {
+      return nullptr;
+    }
+    est->buckets_.push_back(std::move(bucket));
+  }
+  return est;
+}
+
+void IndependentDimEstimator::SaveState(common::BinWriter& w) const {
+  common::WriteBox(w, full_region_);
+  w.F64(total_);
+  w.U64(num_feedbacks_);
+  w.U32(static_cast<uint32_t>(dims_.size()));
+  for (const FeedbackHistogram& dim : dims_) dim.SaveState(w);
+}
+
+std::unique_ptr<IndependentDimEstimator> IndependentDimEstimator::Load(
+    common::BinReader& r) {
+  std::unique_ptr<IndependentDimEstimator> est(new IndependentDimEstimator());
+  uint64_t feedbacks = 0;
+  uint32_t num_dims = 0;
+  if (!common::ReadBox(r, &est->full_region_) || !r.F64(&est->total_) ||
+      !r.U64(&feedbacks) || !r.U32(&num_dims)) {
+    return nullptr;
+  }
+  est->num_feedbacks_ = static_cast<size_t>(feedbacks);
+  est->dims_.reserve(num_dims);
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    std::unique_ptr<FeedbackHistogram> dim = FeedbackHistogram::Load(r);
+    if (dim == nullptr) return nullptr;
+    est->dims_.push_back(std::move(*dim));
+  }
+  return est;
+}
+
+void SaveEstimator(const Estimator& estimator, std::string* out) {
+  common::BinWriter w(out);
+  if (dynamic_cast<const UniformEstimator*>(&estimator) != nullptr) {
+    w.U8(kUniformTag);
+  } else if (dynamic_cast<const FeedbackHistogram*>(&estimator) != nullptr) {
+    w.U8(kFeedbackHistogramTag);
+  } else {
+    assert(dynamic_cast<const IndependentDimEstimator*>(&estimator) !=
+           nullptr);
+    w.U8(kIndependentDimTag);
+  }
+  estimator.SaveState(w);
+}
+
+std::unique_ptr<Estimator> LoadEstimator(common::BinReader& r) {
+  uint8_t tag = 0;
+  if (!r.U8(&tag)) return nullptr;
+  switch (tag) {
+    case kUniformTag:
+      return UniformEstimator::Load(r);
+    case kFeedbackHistogramTag:
+      return FeedbackHistogram::Load(r);
+    case kIndependentDimTag:
+      return IndependentDimEstimator::Load(r);
+    default:
+      return nullptr;
+  }
+}
+
+std::vector<std::string> StatsRegistry::TableNames() const {
+  std::vector<std::string> names;
+  cells_.ForEach([&](const std::string& name, const EstimatorCell&) {
+    names.push_back(name);
+  });
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool StatsRegistry::SaveTable(const std::string& table,
+                              std::string* out) const {
+  const std::shared_ptr<EstimatorCell> cell = cells_.Find(table);
+  if (cell == nullptr) return false;
+  const std::shared_ptr<const Estimator> est = cell->current.Load();
+  if (est == nullptr) return false;
+  SaveEstimator(*est, out);
+  return true;
+}
+
+bool StatsRegistry::RestoreTable(const std::string& table,
+                                 const std::string& blob) {
+  const std::shared_ptr<EstimatorCell> cell = cells_.Find(table);
+  if (cell == nullptr) return false;
+  common::BinReader r(blob);
+  std::unique_ptr<Estimator> restored = LoadEstimator(r);
+  if (restored == nullptr) return false;
+  std::lock_guard<std::mutex> lock(cell->write_mutex);
+  cell->current.Store(std::move(restored));
+  version_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
 EstimatorInfo StatsRegistry::Info(const std::string& table) const {
   const std::shared_ptr<EstimatorCell> cell = cells_.Find(table);
   if (cell == nullptr) return EstimatorInfo{};

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/binio.h"
 #include "common/geometry.h"
 #include "common/snapshot.h"
 
@@ -52,7 +53,18 @@ class Estimator {
   /// current estimator, mutates the clone, and republishes it so concurrent
   /// EstimateRows reads never see a half-applied feedback.
   virtual std::unique_ptr<Estimator> Clone() const = 0;
+
+  /// Appends this estimator's full learned state (without a kind tag —
+  /// SaveEstimator frames it) so a restart resumes learning exactly where
+  /// the process died instead of falling back to the uniform cold start.
+  virtual void SaveState(common::BinWriter& w) const = 0;
 };
+
+/// Kind-tagged estimator state: one byte identifying the concrete class,
+/// then its SaveState bytes. LoadEstimator returns nullptr on any decode
+/// failure (unknown tag, truncated state).
+void SaveEstimator(const Estimator& estimator, std::string* out);
+std::unique_ptr<Estimator> LoadEstimator(common::BinReader& r);
 
 /// The cold-start estimator: published cardinality spread uniformly over the
 /// domain (the paper's "basic textbook methods", §4.3).
@@ -74,9 +86,14 @@ class UniformEstimator : public Estimator {
     return std::make_unique<UniformEstimator>(*this);
   }
 
+  void SaveState(common::BinWriter& w) const override;
+  static std::unique_ptr<UniformEstimator> Load(common::BinReader& r);
+
  private:
+  UniformEstimator() = default;  // Load fills every field
+
   Box full_region_;
-  double cardinality_;
+  double cardinality_ = 0.0;
   size_t num_feedbacks_ = 0;
 };
 
@@ -111,7 +128,12 @@ class FeedbackHistogram : public Estimator {
     return std::make_unique<FeedbackHistogram>(*this);
   }
 
+  void SaveState(common::BinWriter& w) const override;
+  static std::unique_ptr<FeedbackHistogram> Load(common::BinReader& r);
+
  private:
+  FeedbackHistogram() = default;  // Load fills every field
+
   struct Bucket {
     Box box;
     double count = 0.0;
@@ -122,7 +144,7 @@ class FeedbackHistogram : public Estimator {
   static double OverlapCount(const Bucket& bucket, const Box& region);
 
   Box full_region_;
-  size_t max_buckets_;
+  size_t max_buckets_ = 0;
   std::vector<Bucket> buckets_;
   size_t num_feedbacks_ = 0;
 };
@@ -156,9 +178,14 @@ class IndependentDimEstimator : public Estimator {
     return std::make_unique<IndependentDimEstimator>(*this);
   }
 
+  void SaveState(common::BinWriter& w) const override;
+  static std::unique_ptr<IndependentDimEstimator> Load(common::BinReader& r);
+
  private:
+  IndependentDimEstimator() = default;  // Load fills every field
+
   Box full_region_;
-  double total_;
+  double total_ = 0.0;
   size_t num_feedbacks_ = 0;
   /// Per-dimension 1-D histograms over a normalized mass of `total_`.
   std::vector<FeedbackHistogram> dims_;
@@ -210,6 +237,20 @@ class StatsRegistry {
   EstimatorInfo Info(const std::string& table) const;
 
   StatsKind kind() const { return kind_; }
+
+  /// Names of every registered table, sorted (the durability snapshot
+  /// iterates them).
+  std::vector<std::string> TableNames() const;
+
+  /// Serializes `table`'s current estimator (kind-tagged) into `out`.
+  /// False when the table is unknown.
+  bool SaveTable(const std::string& table, std::string* out) const;
+
+  /// Replaces `table`'s estimator with the deserialized `blob` state (the
+  /// recovery path — the table must already be registered, so a blob for a
+  /// table dropped from the catalog is skipped). Bumps version(). False on
+  /// unknown table or decode failure.
+  bool RestoreTable(const std::string& table, const std::string& blob);
 
   /// Monotonic mutation counter (ticks on every Feedback).
   uint64_t version() const {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "exec/payless.h"
+#include "market/call_scheduler.h"
 #include "market/fault_injector.h"
 
 namespace payless::exec {
@@ -404,6 +405,178 @@ TEST_F(ChaosTest, CircuitBreakerTripsRejectsAndRecovers) {
   // Nothing was billed while the breaker rejected or calls dropped: only
   // the two delivered calls are on the meter.
   EXPECT_EQ(connector.meter().total_calls(), 2);
+}
+
+TEST_F(ChaosTest, SchedulerHalfOpenWindowAdmitsExactlyOneProbe) {
+  // The event-loop CallScheduler admits a whole window of calls at once;
+  // when the dataset's breaker is half-open, that window must collapse to
+  // a single probe — siblings are rejected without touching the market.
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  policy.breaker_failure_threshold = 3;
+  policy.breaker_cooldown_micros = 30'000;
+  market::MarketConnector connector(market_.get());
+  connector.SetRetryPolicy(policy);
+  // Long enough that the probe is still in flight while its window
+  // siblings hit admission.
+  connector.SetSimulatedLatencyMicros(20'000);
+
+  FaultProfile all_fail;
+  all_fail.transient_rate = 1.0;
+  FaultInjector injector(all_fail);
+  connector.SetFaultInjector(&injector);
+
+  std::vector<market::RestCall> calls(3);
+  for (size_t i = 0; i < calls.size(); ++i) {
+    calls[i].table = "Weather";
+    calls[i].conditions.resize(4);
+    calls[i].conditions[1] =
+        market::AttrCondition::Point(Value(static_cast<int64_t>(i + 1)));
+  }
+  std::vector<market::CallScheduler::Item> items(calls.size());
+  for (size_t i = 0; i < calls.size(); ++i) items[i].call = &calls[i];
+
+  // A full window of concurrent failures trips the breaker.
+  auto outcomes = connector.scheduler()->ExecuteBatch(
+      items, items.size(), /*cancel_on_error=*/false);
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(outcome->status().code(), Status::Code::kUnavailable);
+  }
+  EXPECT_EQ(connector.breaker_state("WHW"), CircuitBreakerSet::State::kOpen);
+  EXPECT_EQ(connector.retry_stats().breaker_trips, 1);
+
+  // While open: the whole batch is rejected at admission; the market (and
+  // the injector) is never reached.
+  int64_t decisions_before = injector.stats().decisions;
+  outcomes = connector.scheduler()->ExecuteBatch(items, items.size(),
+                                                 /*cancel_on_error=*/false);
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(outcome->status().code(), Status::Code::kUnavailable);
+  }
+  EXPECT_EQ(injector.stats().decisions, decisions_before);
+  EXPECT_EQ(connector.retry_stats().breaker_rejections,
+            static_cast<int64_t>(items.size()));
+
+  // Cooldown elapses but the market is still down: the window admits ONE
+  // half-open probe; everything else is rejected without a market decision.
+  std::this_thread::sleep_for(std::chrono::microseconds(40'000));
+  decisions_before = injector.stats().decisions;
+  outcomes = connector.scheduler()->ExecuteBatch(items, items.size(),
+                                                 /*cancel_on_error=*/false);
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_EQ(outcome->status().code(), Status::Code::kUnavailable);
+  }
+  EXPECT_EQ(injector.stats().decisions, decisions_before + 1);
+  EXPECT_EQ(connector.breaker_state("WHW"), CircuitBreakerSet::State::kOpen);
+  EXPECT_EQ(connector.retry_stats().breaker_trips, 2);
+
+  // Market recovers: after another cooldown a successful probe closes the
+  // breaker and the next full window flows. Only delivered calls billed.
+  connector.SetFaultInjector(nullptr);
+  connector.SetSimulatedLatencyMicros(0);
+  std::this_thread::sleep_for(std::chrono::microseconds(40'000));
+  const std::vector<market::CallScheduler::Item> probe{items[0]};
+  outcomes = connector.scheduler()->ExecuteBatch(probe, 1,
+                                                 /*cancel_on_error=*/false);
+  ASSERT_TRUE(outcomes[0].has_value());
+  EXPECT_TRUE(outcomes[0]->ok()) << outcomes[0]->status().ToString();
+  EXPECT_EQ(connector.breaker_state("WHW"),
+            CircuitBreakerSet::State::kClosed);
+  outcomes = connector.scheduler()->ExecuteBatch(items, items.size(),
+                                                 /*cancel_on_error=*/false);
+  for (const auto& outcome : outcomes) {
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_TRUE(outcome->ok()) << outcome->status().ToString();
+  }
+  EXPECT_EQ(connector.meter().total_calls(),
+            1 + static_cast<int64_t>(items.size()));
+}
+
+TEST_F(ChaosTest, HalfOpenProbeUnderSchedulerWindowIsBillingCorrect) {
+  // End-to-end variant through PayLess with the event-loop scheduler. A
+  // seeding query stores the middle of the Weather region, so the wide
+  // follow-up's SQR remainder fans multiple cover-box calls into one
+  // admission window. After the breaker trips and the market heals, the
+  // first re-issue gets exactly one half-open probe through (its cover box
+  // is bought once and absorbed); the next re-issue buys only what is
+  // still missing and the TOTAL spend across every attempt equals the
+  // fault-free bill.
+  PayLessConfig base;
+  base.enable_call_scheduler = true;
+  base.max_parallel_calls = 4;
+  base.retry.max_attempts = 1;
+  base.retry.breaker_failure_threshold = 2;
+  base.retry.breaker_cooldown_micros = 30'000;
+  const std::vector<Value> seed_params{Value(int64_t{4}), Value(int64_t{12}),
+                                       Value(int64_t{2})};
+  const std::vector<Value> wide_params{Value(int64_t{1}), Value(int64_t{16}),
+                                       Value(int64_t{kNumDates})};
+
+  auto baseline = NewClient(base);
+  ASSERT_TRUE(baseline->Query(kBindSql, seed_params).ok());
+  Result<QueryReport> want = baseline->QueryWithReport(kBindSql, wide_params);
+  ASSERT_TRUE(want.ok() && want->error.ok());
+  ASSERT_GT(want->exec.calls, 1)
+      << "need a multi-call remainder to exercise the admission window";
+
+  auto chaos = NewClient(base);
+  ASSERT_TRUE(chaos->Query(kBindSql, seed_params).ok());
+  const int64_t seeded_tx = chaos->meter().total_transactions();
+  const int64_t seeded_calls = chaos->meter().total_calls();
+  chaos->connector()->SetSimulatedLatencyMicros(20'000);
+  FaultProfile all_fail;
+  all_fail.transient_rate = 1.0;
+  FaultInjector injector(all_fail);
+  chaos->connector()->SetFaultInjector(&injector);
+
+  // The remainder window's concurrent failures trip the breaker; nothing
+  // new is billed (transient drops never reach the market).
+  Result<QueryReport> tripped = chaos->QueryWithReport(kBindSql, wide_params);
+  ASSERT_TRUE(tripped.ok()) << tripped.status().ToString();
+  EXPECT_EQ(tripped->error.code(), Status::Code::kUnavailable);
+  EXPECT_EQ(chaos->connector()->breaker_state("WHW"),
+            CircuitBreakerSet::State::kOpen);
+  EXPECT_EQ(chaos->meter().total_calls(), seeded_calls);
+
+  // While open the query fails fast: no market decision, no billing.
+  const int64_t decisions_before = injector.stats().decisions;
+  Result<QueryReport> rejected = chaos->QueryWithReport(kBindSql, wide_params);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->error.code(), Status::Code::kUnavailable);
+  EXPECT_EQ(injector.stats().decisions, decisions_before);
+  EXPECT_EQ(chaos->meter().total_calls(), seeded_calls);
+
+  // Market heals; cooldown elapses. The re-issue admits one probe into the
+  // window; its siblings are rejected while the probe is in flight, so the
+  // query still fails — but the probe's cover box is delivered, billed
+  // once and absorbed, and its success closes the breaker.
+  chaos->connector()->SetFaultInjector(nullptr);
+  std::this_thread::sleep_for(std::chrono::microseconds(40'000));
+  Result<QueryReport> probe_round =
+      chaos->QueryWithReport(kBindSql, wide_params);
+  ASSERT_TRUE(probe_round.ok());
+  EXPECT_EQ(probe_round->error.code(), Status::Code::kUnavailable);
+  EXPECT_EQ(chaos->meter().total_calls(), seeded_calls + 1);
+  EXPECT_EQ(probe_round->transactions_spent,
+            chaos->meter().total_transactions() - seeded_tx);
+  EXPECT_EQ(chaos->connector()->breaker_state("WHW"),
+            CircuitBreakerSet::State::kClosed);
+
+  // Closed breaker: the final re-issue buys only the still-missing boxes,
+  // and the all-in bill equals the fault-free twin's.
+  chaos->connector()->SetSimulatedLatencyMicros(0);
+  Result<QueryReport> final_round =
+      chaos->QueryWithReport(kBindSql, wide_params);
+  ASSERT_TRUE(final_round.ok() && final_round->error.ok())
+      << final_round.status().ToString();
+  EXPECT_EQ(SortedRows(final_round->result), SortedRows(want->result));
+  EXPECT_EQ(chaos->meter().total_transactions(),
+            baseline->meter().total_transactions());
+  EXPECT_EQ(chaos->store().TotalStoredRows(),
+            baseline->store().TotalStoredRows());
 }
 
 TEST_F(ChaosTest, PastDeadlineFailsBeforeSpendingAnything) {

@@ -1,0 +1,48 @@
+// Child process for the hard-kill recovery harness.
+//
+// Runs the shared durability fixture's query mix with a HARD crash plan
+// armed: at the requested pipeline point the durability manager _Exit(42)s
+// the process — no destructors, no flushes — leaving on disk exactly what
+// a kill -9 at that instant would. The parent test (see
+// durability_recovery_test.cc) checks the exit code, inspects the surviving
+// bytes, recovers a fresh client from them and verifies the warm restart is
+// billing-correct.
+//
+// Usage: durability_crash_child <dir> <crash_point> <after_hits>
+// Exits 42 when the armed crash fired, 1 when the run completed without
+// crashing (a harness bug), 2 on bad arguments.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "durability_fixture.h"
+#include "market/fault_injector.h"
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::cerr << "usage: " << argv[0] << " <dir> <crash_point> <after_hits>\n";
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const int point = std::atoi(argv[2]);
+  const int after_hits = std::atoi(argv[3]);
+
+  payless::exec::DurabilityFixture fixture;
+  payless::market::FaultInjector injector(payless::market::FaultProfile{});
+  payless::market::CrashPlan plan;
+  plan.point = static_cast<payless::market::CrashPoint>(point);
+  plan.after_hits = after_hits;
+  plan.hard = true;
+  injector.ArmCrash(plan);
+
+  payless::exec::PayLessConfig config;
+  config.durability.dir = dir;
+  config.durability.snapshot_every_records = 0;
+  config.durability.crash_injector = &injector;
+  auto client = fixture.NewClient(config);
+  (void)payless::exec::DurabilityFixture::RunMix(client.get());
+
+  // Reaching here means the armed crash never fired.
+  std::cerr << "crash point " << point << " never fired\n";
+  return 1;
+}

@@ -1,0 +1,131 @@
+// Shared market + catalog fixture for the crash-recovery tests and the
+// hard-kill child binary: the WHW weather dataset of the chaos tests, a
+// bind-join query mix, and helpers to run the mix on one client. Kept in a
+// header so the in-process test and the child process run the IDENTICAL
+// workload — the twin-comparison invariants depend on it.
+#ifndef PAYLESS_TESTS_DURABILITY_FIXTURE_H_
+#define PAYLESS_TESTS_DURABILITY_FIXTURE_H_
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/payless.h"
+#include "market/fault_injector.h"
+
+namespace payless::exec {
+
+/// The WHW fixture: a priced Weather table (bound StationID), a priced
+/// Station table, and a local CityMap driving bind joins.
+class DurabilityFixture {
+ public:
+  static constexpr int kNumStations = 16;
+  static constexpr int kNumDates = 4;
+
+  // Bind join driven by the local CityMap: CityId range -> StationID values.
+  static constexpr const char* kBindSql =
+      "SELECT Temperature FROM CityMap, Weather "
+      "WHERE CityId >= ? AND CityId <= ? AND "
+      "CityMap.StationID = Weather.StationID AND "
+      "Weather.Country = 'US' AND Date >= 1 AND Date <= ?";
+
+  DurabilityFixture() {
+    Check(cat_.RegisterDataset(catalog::DatasetDef{"WHW", 1.0, 5}).ok());
+
+    catalog::TableDef weather;
+    weather.name = "Weather";
+    weather.dataset = "WHW";
+    weather.columns = {
+        catalog::ColumnDef::Free("Country", ValueType::kString,
+                                 catalog::AttrDomain::Categorical({"US"})),
+        catalog::ColumnDef::Bound(
+            "StationID", ValueType::kInt64,
+            catalog::AttrDomain::Numeric(1, kNumStations)),
+        catalog::ColumnDef::Free("Date", ValueType::kInt64,
+                                 catalog::AttrDomain::Numeric(1, kNumDates)),
+        catalog::ColumnDef::Output("Temperature", ValueType::kDouble)};
+    weather.cardinality = kNumStations * kNumDates;
+    Check(cat_.RegisterTable(weather).ok());
+
+    catalog::TableDef citymap;
+    citymap.name = "CityMap";
+    citymap.is_local = true;
+    citymap.columns = {
+        catalog::ColumnDef::Free(
+            "CityId", ValueType::kInt64,
+            catalog::AttrDomain::Numeric(1, kNumStations)),
+        catalog::ColumnDef::Free(
+            "StationID", ValueType::kInt64,
+            catalog::AttrDomain::Numeric(1, kNumStations))};
+    citymap.cardinality = kNumStations;
+    Check(cat_.RegisterTable(citymap).ok());
+
+    market_ = std::make_unique<market::DataMarket>(&cat_);
+    std::vector<Row> weather_rows;
+    for (int64_t s = 1; s <= kNumStations; ++s) {
+      for (int64_t d = 1; d <= kNumDates; ++d) {
+        weather_rows.push_back(Row{Value("US"), Value(s), Value(d),
+                                   Value(static_cast<double>(s * 100 + d))});
+      }
+    }
+    Check(market_->HostTable("Weather", std::move(weather_rows)).ok());
+
+    for (int64_t i = 1; i <= kNumStations; ++i) {
+      city_rows_.push_back(Row{Value(i), Value(i)});
+    }
+  }
+
+  /// A client over the shared market. Serial calls (max_parallel_calls=1)
+  /// so the harvest sequence — and therefore which harvest an armed crash
+  /// hits — is deterministic.
+  std::unique_ptr<PayLess> NewClient(PayLessConfig config = {}) {
+    config.max_parallel_calls = 1;
+    auto client = std::make_unique<PayLess>(&cat_, market_.get(), config);
+    Check(client->LoadLocalTable("CityMap", city_rows_).ok());
+    return client;
+  }
+
+  /// The query mix: overlapping CityId ranges so later queries partially
+  /// reuse earlier harvests, plus an exact repeat for the full-reuse path.
+  static std::vector<std::vector<Value>> ParamMix() {
+    std::vector<std::vector<Value>> mix;
+    mix.push_back(
+        {Value(int64_t{1}), Value(int64_t{6}), Value(int64_t{kNumDates})});
+    mix.push_back({Value(int64_t{4}), Value(int64_t{12}), Value(int64_t{2})});
+    mix.push_back(
+        {Value(int64_t{1}), Value(int64_t{6}), Value(int64_t{kNumDates})});
+    mix.push_back(
+        {Value(int64_t{10}), Value(int64_t{16}), Value(int64_t{kNumDates})});
+    return mix;
+  }
+
+  /// Runs the mix once; every query must succeed. Returns the sorted result
+  /// rows per query.
+  static std::vector<std::vector<Row>> RunMix(PayLess* client) {
+    std::vector<std::vector<Row>> results;
+    for (const auto& params : ParamMix()) {
+      Result<QueryReport> r = client->QueryWithReport(kBindSql, params);
+      Check(r.ok() && r->error.ok());
+      std::vector<Row> rows = r->result.rows();
+      std::sort(rows.begin(), rows.end());
+      results.push_back(std::move(rows));
+    }
+    return results;
+  }
+
+  catalog::Catalog cat_;
+  std::unique_ptr<market::DataMarket> market_;
+  std::vector<Row> city_rows_;
+
+ private:
+  /// abort()s on failure — usable from both gtest and the child binary.
+  static void Check(bool ok) {
+    if (!ok) std::abort();
+  }
+};
+
+}  // namespace payless::exec
+
+#endif  // PAYLESS_TESTS_DURABILITY_FIXTURE_H_

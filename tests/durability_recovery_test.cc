@@ -1,0 +1,476 @@
+// Crash-consistent recovery: the billing contract of the durability layer.
+//
+// Every test compares a crash-and-restart run against an uncrashed twin on
+// the same workload. The invariants are monetary:
+//   1. a harvest whose WAL record (or snapshot) is durable is NEVER bought
+//      again after a restart — the warm store serves it for free;
+//   2. a crash before/mid append loses exactly the harvests that were
+//      billed but not yet durable — the restarted client re-buys those and
+//      nothing else;
+//   3. nothing is ever served that was not paid for: recovered store rows
+//      are always a subset of the twin's;
+//   4. the seq filter makes the snapshot/WAL overlap window (crash between
+//      snapshot rename and log reset) apply-once;
+//   5. the ledgers reconcile after recovery: cost-ledger spend equals the
+//      billing meter, and the savings ledger's arithmetic holds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+#include "durability/wal.h"
+#include "durability_fixture.h"
+#include "market/fault_injector.h"
+
+namespace payless::exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+using durability::DecodeHarvest;
+using durability::HarvestRecord;
+using durability::ReadWal;
+using durability::WalReadResult;
+using market::CrashPlan;
+using market::CrashPoint;
+using market::FaultInjector;
+using market::FaultProfile;
+
+class DurabilityRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("recovery_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+
+    // The uncrashed twin: round 1 (cold) + round 2 (warm, same mix). Its
+    // per-harvest transaction trace is the ground truth for what a crash
+    // at harvest k forfeits.
+    twin_ = fixture_.NewClient();
+    twin_->connector()->AddListener(
+        [this](const market::RestCall&, const market::CallResult& result) {
+          harvest_tx_.push_back(result.transactions);
+        });
+    twin_round1_results_ = DurabilityFixture::RunMix(twin_.get());
+    round1_spend_ = twin_->meter().total_transactions();
+    num_harvests_ = harvest_tx_.size();
+    twin_round2_results_ = DurabilityFixture::RunMix(twin_.get());
+    round2_spend_ = twin_->meter().total_transactions() - round1_spend_;
+    ASSERT_GE(num_harvests_, 3u) << "fixture must produce a real harvest run";
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  PayLessConfig DurableConfig() {
+    PayLessConfig config;
+    config.durability.dir = dir_.string();
+    // Explicit SnapshotNow only — the crash-point tests control compaction.
+    config.durability.snapshot_every_records = 0;
+    return config;
+  }
+
+  /// Recovers a fresh client from `dir_`, checks the ledgers reconcile,
+  /// and returns it.
+  std::unique_ptr<PayLess> Restart() {
+    auto client = fixture_.NewClient(DurableConfig());
+    EXPECT_TRUE(client->durability() != nullptr);
+    EXPECT_TRUE(client->observability()->savings.Reconciles());
+    return client;
+  }
+
+  /// Runs the mix on a recovered client and asserts the billing contract:
+  /// round-2 results identical to the twin's, spend = twin round-2 spend +
+  /// the transactions of the `lost` harvests (those billed before the
+  /// crash but never durable), and ledger == meter afterwards.
+  void ExpectWarmRound(PayLess* client, int64_t lost_transactions) {
+    const std::vector<std::vector<Row>> results =
+        DurabilityFixture::RunMix(client);
+    EXPECT_EQ(results, twin_round2_results_);
+    EXPECT_EQ(client->meter().total_transactions(),
+              round2_spend_ + lost_transactions);
+    EXPECT_EQ(client->observability()->ledger.total_transactions(),
+              client->meter().total_transactions());
+    EXPECT_TRUE(client->observability()->savings.Reconciles());
+    // Served nothing unpaid, forgot nothing paid: after the warm round the
+    // store converges to exactly the twin's coverage.
+    EXPECT_EQ(client->store().TotalStoredRows(),
+              twin_->store().TotalStoredRows());
+  }
+
+  /// Sum of the transactions of harvests [from, to) of the round-1 trace.
+  int64_t TraceSpend(size_t from, size_t to) const {
+    int64_t total = 0;
+    for (size_t i = from; i < to && i < harvest_tx_.size(); ++i) {
+      total += harvest_tx_[i];
+    }
+    return total;
+  }
+
+  DurabilityFixture fixture_;
+  fs::path dir_;
+  std::unique_ptr<PayLess> twin_;
+  std::vector<int64_t> harvest_tx_;  // twin round-1 per-harvest transactions
+  std::vector<std::vector<Row>> twin_round1_results_;
+  std::vector<std::vector<Row>> twin_round2_results_;
+  int64_t round1_spend_ = 0;
+  int64_t round2_spend_ = 0;
+  size_t num_harvests_ = 0;
+};
+
+TEST_F(DurabilityRecoveryTest, WarmRestartReplaysTheLogAndRebuysNothing) {
+  auto client = fixture_.NewClient(DurableConfig());
+  ASSERT_NE(client->durability(), nullptr);
+  EXPECT_FALSE(client->durability()->recovery().recovered);
+  const std::vector<std::vector<Row>> results =
+      DurabilityFixture::RunMix(client.get());
+  EXPECT_EQ(results, twin_round1_results_);
+  EXPECT_EQ(client->meter().total_transactions(), round1_spend_);
+  const size_t stored_rows = client->store().TotalStoredRows();
+  const size_t stats_feedbacks = client->stats().TotalFeedbacks();
+  client.reset();  // clean shutdown — but nothing was flushed at exit:
+                   // durability never relies on destructors
+
+  auto restarted = Restart();
+  const durability::RecoveryInfo& info = restarted->durability()->recovery();
+  EXPECT_TRUE(info.recovered);
+  EXPECT_FALSE(info.had_snapshot);
+  EXPECT_FALSE(info.wal_torn_tail);
+  EXPECT_EQ(info.replayed_records, num_harvests_);
+  EXPECT_EQ(info.skipped_records, 0u);
+  EXPECT_EQ(info.recovered_rows, 0u);  // rows came from replay, not a snapshot
+  EXPECT_EQ(restarted->store().TotalStoredRows(), stored_rows);
+  // Replay runs the same feedback path a live harvest does.
+  EXPECT_EQ(restarted->stats().TotalFeedbacks(), stats_feedbacks);
+  ExpectWarmRound(restarted.get(), /*lost_transactions=*/0);
+}
+
+TEST_F(DurabilityRecoveryTest, SnapshotCompactsAndRestoresEverything) {
+  auto client = fixture_.NewClient(DurableConfig());
+  (void)DurabilityFixture::RunMix(client.get());
+  const size_t stored_rows = client->store().TotalStoredRows();
+  const size_t plan_entries = client->plan_cache().Stats().entries;
+  const uint64_t drift_epoch = client->accuracy().drift_epoch();
+  ASSERT_GT(plan_entries, 0u);
+  ASSERT_TRUE(client->durability()->SnapshotNow().ok());
+  EXPECT_EQ(client->durability()->wal_bytes(), 0);  // compaction reset it
+  client.reset();
+
+  auto restarted = Restart();
+  const durability::RecoveryInfo& info = restarted->durability()->recovery();
+  EXPECT_TRUE(info.recovered);
+  EXPECT_TRUE(info.had_snapshot);
+  EXPECT_EQ(info.snapshot_seq, num_harvests_);
+  EXPECT_EQ(info.replayed_records, 0u);
+  EXPECT_EQ(info.recovered_rows, stored_rows);
+  EXPECT_GT(info.recovered_views, 0u);
+  EXPECT_EQ(info.recovered_plans, plan_entries);
+  EXPECT_GT(info.recovered_stats_tables, 0u);
+  EXPECT_EQ(info.restored_drift_epoch, drift_epoch);
+  EXPECT_EQ(restarted->accuracy().drift_epoch(), drift_epoch);
+  EXPECT_EQ(restarted->store().TotalStoredRows(), stored_rows);
+  EXPECT_EQ(restarted->plan_cache().Stats().entries, plan_entries);
+
+  const uint64_t hits_before = restarted->plan_cache().Stats().hits;
+  ExpectWarmRound(restarted.get(), /*lost_transactions=*/0);
+  // The recovered plan templates actually serve: the warm round hits them.
+  EXPECT_GT(restarted->plan_cache().Stats().hits, hits_before);
+}
+
+TEST_F(DurabilityRecoveryTest, AutoSnapshotCompactsDuringTheRun) {
+  PayLessConfig config = DurableConfig();
+  config.durability.snapshot_every_records = 3;
+  auto client = fixture_.NewClient(config);
+  (void)DurabilityFixture::RunMix(client.get());
+  EXPECT_TRUE(fs::exists(dir_ / "store.snap"));
+  const size_t stored_rows = client->store().TotalStoredRows();
+  client.reset();
+
+  auto restarted = Restart();
+  const durability::RecoveryInfo& info = restarted->durability()->recovery();
+  EXPECT_TRUE(info.had_snapshot);
+  // Snapshot base + the post-snapshot log tail together rebuild the store.
+  EXPECT_EQ(info.snapshot_seq + info.replayed_records, num_harvests_);
+  EXPECT_LT(info.replayed_records, num_harvests_);
+  EXPECT_EQ(restarted->store().TotalStoredRows(), stored_rows);
+  ExpectWarmRound(restarted.get(), /*lost_transactions=*/0);
+}
+
+TEST_F(DurabilityRecoveryTest, CrashBeforeLogRebuysExactlyTheLostSlab) {
+  // The last harvest of round 1 is billed but dies before its log append:
+  // the ONE case where a restart legitimately pays again — and it pays
+  // exactly that harvest's transactions, nothing more.
+  FaultInjector injector(FaultProfile{});
+  CrashPlan plan;
+  plan.point = CrashPoint::kBeforeHarvestLog;
+  plan.after_hits = static_cast<int>(num_harvests_) - 1;
+  injector.ArmCrash(plan);
+
+  PayLessConfig config = DurableConfig();
+  config.durability.crash_injector = &injector;
+  auto client = fixture_.NewClient(config);
+  const std::vector<std::vector<Row>> results =
+      DurabilityFixture::RunMix(client.get());
+  EXPECT_EQ(results, twin_round1_results_);  // in-memory it kept serving
+  EXPECT_EQ(client->meter().total_transactions(), round1_spend_);
+  ASSERT_TRUE(client->durability()->dead());
+  EXPECT_EQ(injector.stats().crashes, 1);
+  client.reset();
+
+  auto restarted = Restart();
+  const durability::RecoveryInfo& info = restarted->durability()->recovery();
+  EXPECT_EQ(info.replayed_records, num_harvests_ - 1);
+  EXPECT_FALSE(info.wal_torn_tail);
+  // Strict subset: the lost slab is not served (it was never durable).
+  EXPECT_LT(restarted->store().TotalStoredRows(),
+            twin_->store().TotalStoredRows());
+  ExpectWarmRound(restarted.get(),
+                  TraceSpend(num_harvests_ - 1, num_harvests_));
+}
+
+TEST_F(DurabilityRecoveryTest, CrashMidLogTearsTheTailAndRebuysThatSlab) {
+  FaultInjector injector(FaultProfile{});
+  CrashPlan plan;
+  plan.point = CrashPoint::kMidHarvestLog;
+  plan.after_hits = static_cast<int>(num_harvests_) - 1;
+  plan.torn_bytes = 13;  // header + 5 payload bytes reach the disk
+  injector.ArmCrash(plan);
+
+  PayLessConfig config = DurableConfig();
+  config.durability.crash_injector = &injector;
+  auto client = fixture_.NewClient(config);
+  (void)DurabilityFixture::RunMix(client.get());
+  ASSERT_TRUE(client->durability()->dead());
+  client.reset();
+
+  // The torn frame is on disk; recovery must drop exactly it.
+  const WalReadResult wal = ReadWal((dir_ / "harvest.wal").string());
+  EXPECT_TRUE(wal.torn_tail);
+  EXPECT_EQ(wal.payloads.size(), num_harvests_ - 1);
+
+  auto restarted = Restart();
+  const durability::RecoveryInfo& info = restarted->durability()->recovery();
+  EXPECT_TRUE(info.wal_torn_tail);
+  EXPECT_EQ(info.replayed_records, num_harvests_ - 1);
+  ExpectWarmRound(restarted.get(),
+                  TraceSpend(num_harvests_ - 1, num_harvests_));
+}
+
+TEST_F(DurabilityRecoveryTest, CrashAfterLogLosesNotOneTransaction) {
+  // The record reached the disk before the death: the restarted client's
+  // bill is byte-identical to the uncrashed twin's.
+  FaultInjector injector(FaultProfile{});
+  CrashPlan plan;
+  plan.point = CrashPoint::kAfterHarvestLog;
+  plan.after_hits = static_cast<int>(num_harvests_) - 1;
+  injector.ArmCrash(plan);
+
+  PayLessConfig config = DurableConfig();
+  config.durability.crash_injector = &injector;
+  auto client = fixture_.NewClient(config);
+  (void)DurabilityFixture::RunMix(client.get());
+  ASSERT_TRUE(client->durability()->dead());
+  const size_t stored_rows = client->store().TotalStoredRows();
+  client.reset();
+
+  auto restarted = Restart();
+  const durability::RecoveryInfo& info = restarted->durability()->recovery();
+  EXPECT_EQ(info.replayed_records, num_harvests_);
+  EXPECT_FALSE(info.wal_torn_tail);
+  EXPECT_EQ(restarted->store().TotalStoredRows(), stored_rows);
+  ExpectWarmRound(restarted.get(), /*lost_transactions=*/0);
+}
+
+TEST_F(DurabilityRecoveryTest, CrashMidSnapshotKeepsTheLogAuthoritative) {
+  FaultInjector injector(FaultProfile{});
+  CrashPlan plan;
+  plan.point = CrashPoint::kMidSnapshot;
+  injector.ArmCrash(plan);
+
+  PayLessConfig config = DurableConfig();
+  config.durability.crash_injector = &injector;
+  auto client = fixture_.NewClient(config);
+  (void)DurabilityFixture::RunMix(client.get());
+  ASSERT_TRUE(client->durability()->SnapshotNow().ok());  // "dies" inside
+  ASSERT_TRUE(client->durability()->dead());
+  client.reset();
+
+  // Only the garbage tmp exists; the real snapshot path was never touched
+  // and the WAL was never reset.
+  EXPECT_TRUE(fs::exists(dir_ / "store.snap.tmp"));
+  EXPECT_FALSE(fs::exists(dir_ / "store.snap"));
+
+  auto restarted = Restart();
+  const durability::RecoveryInfo& info = restarted->durability()->recovery();
+  EXPECT_FALSE(info.had_snapshot);
+  EXPECT_EQ(info.replayed_records, num_harvests_);
+  ExpectWarmRound(restarted.get(), /*lost_transactions=*/0);
+}
+
+TEST_F(DurabilityRecoveryTest,
+       CrashBetweenSnapshotRenameAndLogResetAppliesOnce) {
+  // The overlap window: snapshot committed, WAL still holds every record.
+  // The seq filter must skip all of them — applying even one twice would
+  // double rows in the store.
+  FaultInjector injector(FaultProfile{});
+  CrashPlan plan;
+  plan.point = CrashPoint::kAfterSnapshotBeforeReset;
+  injector.ArmCrash(plan);
+
+  PayLessConfig config = DurableConfig();
+  config.durability.crash_injector = &injector;
+  auto client = fixture_.NewClient(config);
+  (void)DurabilityFixture::RunMix(client.get());
+  const size_t stored_rows = client->store().TotalStoredRows();
+  ASSERT_TRUE(client->durability()->SnapshotNow().ok());
+  ASSERT_TRUE(client->durability()->dead());
+  client.reset();
+
+  EXPECT_TRUE(fs::exists(dir_ / "store.snap"));
+  const WalReadResult wal = ReadWal((dir_ / "harvest.wal").string());
+  EXPECT_EQ(wal.payloads.size(), num_harvests_);  // never reset
+
+  auto restarted = Restart();
+  const durability::RecoveryInfo& info = restarted->durability()->recovery();
+  EXPECT_TRUE(info.had_snapshot);
+  EXPECT_EQ(info.snapshot_seq, num_harvests_);
+  EXPECT_EQ(info.skipped_records, num_harvests_);
+  EXPECT_EQ(info.replayed_records, 0u);
+  EXPECT_EQ(restarted->store().TotalStoredRows(), stored_rows);
+  ExpectWarmRound(restarted.get(), /*lost_transactions=*/0);
+}
+
+TEST_F(DurabilityRecoveryTest, RepeatedCrashesConvergeToTheTwinBill) {
+  // Crash-restart until convergence. Each incarnation persists its first
+  // fresh harvest, then dies on the second (a soft death also un-persists
+  // everything after it), so incarnation k starts with harvests [0, k)
+  // durable and re-bills exactly the tail [k, D). The loop converges in
+  // exactly D incarnations, the total spend is the twin's plus the
+  // re-bought never-durable tails, and the survivor's warm round matches
+  // the twin bill to the transaction.
+  int64_t total_spend = 0;
+  int64_t expected_spend = 0;
+  size_t incarnation = 0;
+  std::unique_ptr<PayLess> client;
+  for (;; ++incarnation) {
+    ASSERT_LT(incarnation, num_harvests_ + 2) << "crash loop did not converge";
+    FaultInjector injector(FaultProfile{});
+    CrashPlan plan;
+    plan.point = CrashPoint::kBeforeHarvestLog;
+    plan.after_hits = 1;  // persist one fresh harvest, die on the next
+    injector.ArmCrash(plan);
+    PayLessConfig config = DurableConfig();
+    config.durability.crash_injector = &injector;
+    client = fixture_.NewClient(config);
+    EXPECT_EQ(client->durability()->recovery().replayed_records, incarnation);
+    (void)DurabilityFixture::RunMix(client.get());
+    total_spend += client->meter().total_transactions();
+    expected_spend += TraceSpend(incarnation, num_harvests_);
+    if (injector.stats().crashes == 0) break;  // bought <= 1 fresh harvest
+    client.reset();
+  }
+  EXPECT_EQ(incarnation, num_harvests_ - 1);
+  EXPECT_EQ(total_spend, expected_spend);
+  // <= and not ==: a warm re-buy issues REMAINDER calls for just the missing
+  // area, so its views overlap less than the twin's full-region calls and
+  // TotalStoredRows (which counts per-view) can be slightly smaller. The
+  // billing and result equalities above prove the coverage is identical.
+  EXPECT_LE(client->store().TotalStoredRows(),
+            twin_->store().TotalStoredRows());
+  const int64_t before_warm = client->meter().total_transactions();
+  const std::vector<std::vector<Row>> warm =
+      DurabilityFixture::RunMix(client.get());
+  EXPECT_EQ(warm, twin_round2_results_);
+  EXPECT_EQ(client->meter().total_transactions() - before_warm, round2_spend_);
+}
+
+#ifdef CRASH_CHILD_BINARY
+TEST_F(DurabilityRecoveryTest, HardKillAndRestartIsBillingCorrect) {
+  // The real thing: a child PROCESS dies via _Exit(42) at each crash point
+  // (no destructors, no flushes), and this process recovers from whatever
+  // bytes the kill left behind. The WAL on disk tells us exactly which
+  // harvests were durable; the recovered client may re-buy only the rest.
+  const struct {
+    const char* name;
+    int point;
+    bool torn;
+  } kCases[] = {
+      {"before-log", static_cast<int>(CrashPoint::kBeforeHarvestLog), false},
+      {"mid-log", static_cast<int>(CrashPoint::kMidHarvestLog), true},
+      {"after-log", static_cast<int>(CrashPoint::kAfterHarvestLog), false},
+  };
+  const int kAfterHits = 2;  // die on the third harvest, mid-run
+  for (const auto& test_case : kCases) {
+    const fs::path case_dir = dir_ / test_case.name;
+    fs::create_directories(case_dir);
+    const std::string command = std::string(CRASH_CHILD_BINARY) + " " +
+                                case_dir.string() + " " +
+                                std::to_string(test_case.point) + " " +
+                                std::to_string(kAfterHits);
+    const int status = std::system(command.c_str());
+    ASSERT_TRUE(WIFEXITED(status)) << test_case.name;
+    ASSERT_EQ(WEXITSTATUS(status), 42) << test_case.name;
+
+    // What actually survived the kill.
+    const WalReadResult wal = ReadWal((case_dir / "harvest.wal").string());
+    EXPECT_EQ(wal.torn_tail, test_case.torn) << test_case.name;
+    const size_t durable =
+        test_case.point == static_cast<int>(CrashPoint::kAfterHarvestLog)
+            ? static_cast<size_t>(kAfterHits) + 1
+            : static_cast<size_t>(kAfterHits);
+    ASSERT_EQ(wal.payloads.size(), durable) << test_case.name;
+    int64_t durable_tx = 0;
+    for (const std::string& payload : wal.payloads) {
+      HarvestRecord record;
+      ASSERT_TRUE(DecodeHarvest(payload, &record));
+      durable_tx += record.transactions;
+    }
+    EXPECT_EQ(durable_tx, TraceSpend(0, durable)) << test_case.name;
+
+    // Recover against the kill's file state and run the FULL mix: the
+    // durable prefix is served from the warm store, everything after it is
+    // bought as if for the first time — round-1 minus the durable spend,
+    // plus the twin's warm round-2.
+    PayLessConfig config;
+    config.durability.dir = case_dir.string();
+    config.durability.snapshot_every_records = 0;
+    auto restarted = fixture_.NewClient(config);
+    const durability::RecoveryInfo& info =
+        restarted->durability()->recovery();
+    EXPECT_EQ(info.replayed_records, durable) << test_case.name;
+    EXPECT_EQ(info.wal_torn_tail, test_case.torn) << test_case.name;
+
+    const std::vector<std::vector<Row>> round1 =
+        DurabilityFixture::RunMix(restarted.get());
+    EXPECT_EQ(round1, twin_round1_results_) << test_case.name;
+    EXPECT_EQ(restarted->meter().total_transactions(),
+              round1_spend_ - durable_tx)
+        << test_case.name;
+    const std::vector<std::vector<Row>> round2 =
+        DurabilityFixture::RunMix(restarted.get());
+    EXPECT_EQ(round2, twin_round2_results_) << test_case.name;
+    EXPECT_EQ(restarted->meter().total_transactions(),
+              round1_spend_ - durable_tx + round2_spend_)
+        << test_case.name;
+    // <= — remainder calls after a warm restart overlap less than the
+    // twin's cold calls did (see RepeatedCrashesConvergeToTheTwinBill).
+    EXPECT_LE(restarted->store().TotalStoredRows(),
+              twin_->store().TotalStoredRows())
+        << test_case.name;
+    EXPECT_EQ(restarted->observability()->ledger.total_transactions(),
+              restarted->meter().total_transactions())
+        << test_case.name;
+  }
+}
+#endif  // CRASH_CHILD_BINARY
+
+}  // namespace
+}  // namespace payless::exec
