@@ -36,6 +36,10 @@ HIGHER_IS_BETTER = (
 ABSOLUTE_MAX = {
     "clean_restart_divergence_pct": 1.0,
     "crash_restart_divergence_pct": 1.0,
+    # Federation failover may re-buy undelivered calls at a next-cheapest
+    # endpoint whose page size differs; non-wasted spend must still land
+    # within 1% of the fault-free run.
+    "failover_divergence_pct": 1.0,
 }
 
 

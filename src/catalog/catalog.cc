@@ -170,6 +170,23 @@ std::vector<std::string> Catalog::TableNames() const {
   return out;
 }
 
+Status Catalog::OverrideDataset(DatasetDef dataset) {
+  if (dataset.tuples_per_transaction <= 0) {
+    return Status::InvalidArgument("dataset '" + dataset.name +
+                                   "': tuples_per_transaction must be > 0");
+  }
+  if (dataset.price_per_transaction < 0) {
+    return Status::InvalidArgument("dataset '" + dataset.name +
+                                   "': negative price");
+  }
+  const auto it = datasets_.find(dataset.name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset '" + dataset.name + "' not registered");
+  }
+  it->second = std::move(dataset);
+  return Status::OK();
+}
+
 Status Catalog::SetCardinality(const std::string& table, int64_t cardinality) {
   const auto it = tables_.find(table);
   if (it == tables_.end()) {

@@ -148,6 +148,11 @@ class Catalog {
   /// Replaces the published cardinality (used when generators resize data).
   Status SetCardinality(const std::string& table, int64_t cardinality);
 
+  /// Replaces an already-registered dataset's pricing terms. Used by
+  /// federation endpoints: an endpoint's catalog is a copy of the base
+  /// catalog with its own menu (price / page size) for shared datasets.
+  Status OverrideDataset(DatasetDef dataset);
+
  private:
   std::map<std::string, TableDef> tables_;
   std::map<std::string, DatasetDef> datasets_;

@@ -1,0 +1,48 @@
+// Buy-site pricing menus for multi-market federation.
+//
+// In a federated deployment the same logical dataset is sold by several
+// market endpoints under different terms: page size (tuples per
+// transaction), price per transaction, and availability (an endpoint whose
+// circuit breaker is open is not a viable buy-site). The optimizer stays
+// free of any knowledge of connectors or endpoints — it only sees this
+// pure-data menu, snapshotted per query, and annotates each priced access
+// with the cheapest live buy-site (AccessSpec::buy_site).
+//
+// This header is deliberately std-only so core/ keeps no dependency on
+// market/ or federation/ — the registry in src/federation builds the menu,
+// the optimizer consumes it.
+#ifndef PAYLESS_CORE_FEDERATION_H_
+#define PAYLESS_CORE_FEDERATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace payless::core {
+
+/// One endpoint's terms for one dataset.
+struct BuySiteMenu {
+  std::string endpoint;                 // endpoint id, e.g. "us-east"
+  double price_per_transaction = 1.0;   // money per page at this endpoint
+  int64_t tuples_per_transaction = 100; // page size at this endpoint
+  bool live = true;                     // false while the breaker is open
+};
+
+/// Per-dataset menus across all registered endpoints. Built by the
+/// federation router as a point-in-time snapshot (breaker states included)
+/// just before each optimization; never mutated concurrently.
+struct FederationPricing {
+  std::map<std::string, std::vector<BuySiteMenu>> menus;
+
+  const std::vector<BuySiteMenu>* MenuFor(const std::string& dataset) const {
+    auto it = menus.find(dataset);
+    return it == menus.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const { return menus.empty(); }
+};
+
+}  // namespace payless::core
+
+#endif  // PAYLESS_CORE_FEDERATION_H_

@@ -68,6 +68,53 @@ int64_t Optimizer::AccessCost(const AccessSpec& access) const {
              : access.est_calls;
 }
 
+void Optimizer::ChooseBuySite(const catalog::DatasetDef& dataset,
+                              AccessSpec* spec) const {
+  if (options_.federation == nullptr) return;
+  const std::vector<BuySiteMenu>* menu =
+      options_.federation->MenuFor(dataset.name);
+  if (menu == nullptr || menu->empty()) return;
+  if (spec->IsZeroPrice() || spec->est_transactions >= kInfeasible) return;
+
+  // Reprice the access under each endpoint's page size. The call count is
+  // shape-determined (remainder boxes / binding values) and does not change
+  // with the buy-site; only how many pages those calls bill does. The paid
+  // row volume is approximated from the base estimate (est_transactions
+  // pages of the catalog page size), so an endpoint with identical terms
+  // reprices to exactly the base estimate.
+  const double paid_rows = static_cast<double>(spec->est_transactions) *
+                           static_cast<double>(dataset.tuples_per_transaction);
+  const int64_t calls = std::max<int64_t>(spec->est_calls, 1);
+
+  const BuySiteMenu* best = nullptr;
+  int64_t best_txn = 0;
+  double best_money = 0.0;
+  for (const BuySiteMenu& site : *menu) {
+    if (!site.live) continue;
+    int64_t txn;
+    if (site.tuples_per_transaction == dataset.tuples_per_transaction) {
+      txn = spec->est_transactions;
+    } else {
+      const int64_t t = std::max<int64_t>(site.tuples_per_transaction, 1);
+      txn = std::max(
+          spec->est_calls,
+          static_cast<int64_t>(std::ceil(paid_rows / static_cast<double>(t))));
+      if (spec->est_transactions > 0) txn = std::max(txn, calls);
+    }
+    const double money = static_cast<double>(txn) * site.price_per_transaction;
+    if (best == nullptr || money < best_money ||
+        (money == best_money && txn < best_txn)) {
+      best = &site;
+      best_txn = txn;
+      best_money = money;
+    }
+  }
+  if (best == nullptr) return;  // every endpoint down: keep base pricing
+  spec->buy_site = best->endpoint;
+  spec->est_base_transactions = spec->est_transactions;
+  spec->est_transactions = best_txn;
+}
+
 double Optimizer::EstimateDistinct(const catalog::TableDef& def, size_t col,
                                    double rows) const {
   if (rows < 0.0) rows = 0.0;
@@ -157,6 +204,7 @@ AccessSpec Optimizer::PlanPlainAccess(const sql::BoundQuery& query, size_t rel,
     }
     spec.est_transactions = rem.estimated_transactions;
     spec.est_calls = static_cast<int64_t>(rem.remainder_boxes.size());
+    ChooseBuySite(*dataset, &spec);
     return spec;
   }
 
@@ -169,6 +217,7 @@ AccessSpec Optimizer::PlanPlainAccess(const sql::BoundQuery& query, size_t rel,
   }
   spec.est_transactions = semstore::EstimatedTransactions(region_rows, t);
   spec.est_calls = 1;
+  ChooseBuySite(*dataset, &spec);
   return spec;
 }
 
@@ -264,6 +313,7 @@ AccessSpec Optimizer::PlanBindAccess(const sql::BoundQuery& query, size_t rel,
   spec.est_calls = calls;
   spec.est_transactions =
       calls == 0 ? 0 : calls * semstore::EstimatedTransactions(per_value, t);
+  ChooseBuySite(*dataset, &spec);
   return spec;
 }
 

@@ -30,6 +30,7 @@
 #include <limits>
 
 #include "catalog/catalog.h"
+#include "core/federation.h"
 #include "core/plan.h"
 #include "semstore/semantic_store.h"
 #include "sql/bound_query.h"
@@ -53,6 +54,11 @@ struct OptimizerOptions {
   /// Hard cap on the DP width; queries with more priced relations are
   /// rejected (far beyond every workload in the paper).
   size_t max_dp_relations = 16;
+  /// Federation: per-dataset buy-site menus. When set, every priced access
+  /// is repriced against the cheapest live endpoint and annotated with the
+  /// chosen buy-site. nullptr = single-market pricing from the catalog.
+  /// Not owned; must outlive the optimization call.
+  const FederationPricing* federation = nullptr;
 };
 
 struct OptimizeResult {
@@ -93,6 +99,12 @@ class Optimizer {
       std::numeric_limits<int64_t>::max() / 4;
 
   int64_t AccessCost(const AccessSpec& access) const;
+
+  /// Federation: annotates a priced access with the cheapest live buy-site
+  /// from the per-endpoint menu and rewrites its transaction estimate to
+  /// that endpoint's page size. No-op when no menu covers the dataset.
+  void ChooseBuySite(const catalog::DatasetDef& dataset,
+                     AccessSpec* spec) const;
 
   /// Estimated distinct values count of a column within a relation's
   /// estimated result.

@@ -41,6 +41,14 @@ struct AccessSpec {
   double est_bind_values = 0.0;     // kBind: estimated distinct binding values
   int64_t est_transactions = 0;     // estimated price (transactions)
   int64_t est_calls = 0;            // estimated number of REST calls
+  /// Federation: the endpoint this access should buy from, chosen against
+  /// the per-endpoint menu (empty = single-market deployment / primary).
+  std::string buy_site;
+  /// Federation: the base-catalog estimate this access carried BEFORE
+  /// buy-site repricing (0 when no repricing happened). Savings
+  /// attribution replays the repricing under the counterfactual
+  /// endpoint's menu to isolate the routing edge from estimate noise.
+  int64_t est_base_transactions = 0;
   semstore::RemainderCounters sqr_counters;
 
   bool IsZeroPrice() const {

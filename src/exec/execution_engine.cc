@@ -10,6 +10,8 @@
 
 #include "core/optimizer.h"
 #include "exec/local_eval.h"
+#include "federation/endpoint_router.h"
+#include "federation/market_endpoint.h"
 #include "market/call_scheduler.h"
 #include "market/rest_call.h"
 #include "obs/trace.h"
@@ -63,7 +65,9 @@ Status IssueCalls(market::MarketConnector* connector,
                   const std::vector<market::RestCall>& calls,
                   market::Clock::time_point deadline,
                   const market::CallObs& call_obs, RowSet* rows,
-                  ExecStats* exec_stats) {
+                  ExecStats* exec_stats,
+                  std::vector<bool>* delivered = nullptr) {
+  if (delivered != nullptr) delivered->assign(calls.size(), false);
   std::vector<std::optional<Result<market::CallResult>>> outcomes;
   if (use_scheduler && fan_out > 1 && calls.size() > 1) {
     // Event-loop dispatch: the whole batch rides the connector's timer
@@ -91,7 +95,8 @@ Status IssueCalls(market::MarketConnector* connector,
   // Accumulate EVERY delivered result before reporting the (call-order
   // first) error, so exec_stats is the true spend-so-far.
   Status first_error = Status::OK();
-  for (std::optional<Result<market::CallResult>>& outcome : outcomes) {
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    std::optional<Result<market::CallResult>>& outcome = outcomes[i];
     if (!outcome.has_value()) {
       if (exec_stats != nullptr) ++exec_stats->calls_cancelled;
       continue;  // skipped after a sibling's failure: never issued
@@ -101,6 +106,7 @@ Status IssueCalls(market::MarketConnector* connector,
       if (first_error.ok()) first_error = result.status();
       continue;
     }
+    if (delivered != nullptr) (*delivered)[i] = true;
     rows->AddAll(result->rows);
     if (exec_stats != nullptr) {
       ++exec_stats->calls;
@@ -109,6 +115,50 @@ Status IssueCalls(market::MarketConnector* connector,
     }
   }
   return first_error;
+}
+
+/// IssueCalls plus cross-endpoint failover. When the current endpoint dies
+/// for this dataset (breaker open / retries exhausted — a retryable code),
+/// only the calls that delivered NOTHING there are re-issued at the
+/// next-cheapest live endpoint the router names. Delivered calls stay
+/// billed at the endpoint that served them and their rows are already
+/// merged, so failover never buys a row twice; each connector bills its
+/// own meter, so the ledger keeps reconciling with the per-endpoint meter
+/// totals. Without a router this is exactly IssueCalls.
+Status IssueWithFailover(market::MarketConnector* connector,
+                         federation::EndpointRouter* router,
+                         const std::string& dataset,
+                         common::ThreadPool* pool, size_t fan_out,
+                         bool use_scheduler,
+                         std::vector<market::RestCall> calls,
+                         market::Clock::time_point deadline,
+                         const market::CallObs& call_obs, RowSet* rows,
+                         ExecStats* exec_stats) {
+  std::vector<std::string> tried;
+  while (true) {
+    if (router != nullptr && !calls.empty()) {
+      router->CountRoutedCalls(connector->market_label(),
+                               static_cast<int64_t>(calls.size()));
+    }
+    std::vector<bool> delivered;
+    const Status status =
+        IssueCalls(connector, pool, fan_out, use_scheduler, calls, deadline,
+                   call_obs, rows, exec_stats, &delivered);
+    if (status.ok() || router == nullptr || !IsRetryable(status.code())) {
+      return status;
+    }
+    std::vector<market::RestCall> remaining;
+    remaining.reserve(calls.size());
+    for (size_t i = 0; i < calls.size(); ++i) {
+      if (!delivered[i]) remaining.push_back(std::move(calls[i]));
+    }
+    tried.push_back(connector->market_label());
+    const std::string next = router->NextCheapestLive(dataset, tried);
+    if (next.empty()) return status;  // every endpoint tried or down
+    connector = router->ConnectorFor(next);
+    router->CountFailover();
+    calls = std::move(remaining);
+  }
 }
 
 }  // namespace
@@ -141,10 +191,32 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
   market::CallObs call_obs = config.obs;
   if (access_span.id() != 0) call_obs.parent_span = access_span.id();
 
+  // Buy-site routing: with a router, this access's calls start at the
+  // connector of the endpoint the optimizer chose (`buy_site`); without
+  // one, at the single market connector. Failover mid-access is handled
+  // inside IssueWithFailover.
+  market::MarketConnector* connector =
+      router_ != nullptr ? router_->ConnectorFor(access.buy_site) : connector_;
+  if (router_ != nullptr && !access.buy_site.empty()) {
+    access_span.AddAttr("buy_site", access.buy_site);
+  }
+  // The buy-site's page size: remainder chunking must match the terms the
+  // chosen endpoint actually bills under, not the base catalog's.
+  const auto buy_site_tuples_per_txn = [&](int64_t base) -> int64_t {
+    if (router_ == nullptr || access.buy_site.empty()) return base;
+    federation::MarketEndpoint* endpoint =
+        router_->federation()->endpoint(access.buy_site);
+    if (endpoint == nullptr) return base;
+    const catalog::DatasetDef* terms =
+        endpoint->catalog().FindDataset(def.dataset);
+    return terms != nullptr ? terms->tuples_per_transaction : base;
+  };
+
   const auto issue_all = [&](const std::vector<market::RestCall>& calls,
                              RowSet* rows) -> Status {
-    return IssueCalls(connector_, pool_, fan_out, config.use_call_scheduler,
-                      calls, config.deadline, call_obs, rows, exec_stats);
+    return IssueWithFailover(connector, router_, def.dataset, pool_, fan_out,
+                             config.use_call_scheduler, calls, config.deadline,
+                             call_obs, rows, exec_stats);
   };
 
   const ExecStats before = exec_stats != nullptr ? *exec_stats : ExecStats{};
@@ -199,7 +271,8 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
           rows.AddAll(cached);
           const catalog::DatasetDef* dataset = catalog_->DatasetOf(def);
           semstore::RemainderOptions rem_options = config.remainder;
-          rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
+          rem_options.tuples_per_transaction =
+              buy_site_tuples_per_txn(dataset->tuples_per_transaction);
           const semstore::RemainderResult rem = semstore::GenerateRemainder(
               region, covered, core::Optimizer::DimSpecsFor(def),
               [&](const Box& box) {
@@ -321,7 +394,8 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
 
           const catalog::DatasetDef* dataset = catalog_->DatasetOf(def);
           semstore::RemainderOptions rem_options = config.remainder;
-          rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
+          rem_options.tuples_per_transaction =
+              buy_site_tuples_per_txn(dataset->tuples_per_transaction);
           const semstore::RemainderResult rem = semstore::GenerateRemainder(
               region, covered, dims,
               [&](const Box& box) {
@@ -393,7 +467,7 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
               items[j].call_obs = &call_obs;
             }
             std::vector<std::optional<Result<market::CallResult>>> fetched =
-                connector_->scheduler()->ExecuteBatch(
+                connector->scheduler()->ExecuteBatch(
                     items, fan_out, /*cancel_on_error=*/true);
             for (size_t j = 0; j < need.size(); ++j) {
               if (fetched[j].has_value()) {
@@ -423,7 +497,7 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
                 }
               }
               outcomes[i].fetched.emplace(
-                  connector_->Get(call, config.deadline, &call_obs));
+                  connector->Get(call, config.deadline, &call_obs));
               if (!(*outcomes[i].fetched).ok()) {
                 cancelled.store(true, std::memory_order_relaxed);
               }
@@ -434,12 +508,18 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
           // spend-so-far even when the access fails.
           Status first_error = Status::OK();
           int64_t combos_cached = 0;
+          int64_t combos_issued = 0;
           for (const ComboOutcome& outcome : outcomes) {
             if (outcome.from_cache) ++combos_cached;
+            if (outcome.fetched.has_value()) ++combos_issued;
           }
           access_span.AddAttr("binding_values",
                               static_cast<int64_t>(combos.size()));
           access_span.AddAttr("combos_from_store", combos_cached);
+          if (router_ != nullptr && combos_issued > 0) {
+            router_->CountRoutedCalls(connector->market_label(),
+                                      combos_issued);
+          }
           for (ComboOutcome& outcome : outcomes) {
             if (outcome.cancelled) {
               if (exec_stats != nullptr) ++exec_stats->calls_cancelled;
@@ -463,6 +543,36 @@ Result<storage::Table> ExecutionEngine::FetchRelation(
                     static_cast<int64_t>(outcome.cached.size());
               }
               rows.AddAll(outcome.cached);
+            }
+          }
+          if (!first_error.ok() && router_ != nullptr &&
+              IsRetryable(first_error.code())) {
+            // The buy-site died mid-bind-join: re-issue only the binding
+            // values that delivered nothing (errored or cancelled-unissued)
+            // at the next-cheapest live endpoint. Delivered siblings stay
+            // billed where they ran; RowSet dedupes any overlap.
+            std::vector<market::RestCall> rescue;
+            for (size_t i = 0; i < combos.size(); ++i) {
+              const ComboOutcome& outcome = outcomes[i];
+              const bool failed = outcome.cancelled ||
+                                  (outcome.fetched.has_value() &&
+                                   !(*outcome.fetched).ok());
+              if (!failed) continue;
+              market::RestCall call = combo_call(i);
+              if (config.use_sqr &&
+                  market::CallRegion(def, call).empty()) {
+                continue;  // value outside the published domain
+              }
+              rescue.push_back(std::move(call));
+            }
+            const std::string next = router_->NextCheapestLive(
+                def.dataset, {connector->market_label()});
+            if (!next.empty()) {
+              router_->CountFailover();
+              first_error = IssueWithFailover(
+                  router_->ConnectorFor(next), router_, def.dataset, pool_,
+                  fan_out, config.use_call_scheduler, std::move(rescue),
+                  config.deadline, call_obs, &rows, exec_stats);
             }
           }
           PAYLESS_RETURN_IF_ERROR(first_error);

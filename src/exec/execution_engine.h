@@ -19,6 +19,10 @@
 #include "stats/estimator.h"
 #include "storage/database.h"
 
+namespace payless::federation {
+class EndpointRouter;
+}  // namespace payless::federation
+
 namespace payless::exec {
 
 struct ExecConfig {
@@ -76,6 +80,14 @@ class ExecutionEngine {
         stats_(stats),
         pool_(pool) {}
 
+  /// Attaches a multi-market router (nullable; nullptr = single-market).
+  /// With a router, each access's calls start at the connector of its
+  /// `buy_site` annotation, and when that endpoint dies mid-access (breaker
+  /// open, retries exhausted) the calls that delivered nothing there are
+  /// re-issued at the next-cheapest live endpoint. Calls that DID deliver
+  /// stay billed where they ran — failover never buys a row twice.
+  void SetRouter(federation::EndpointRouter* router) { router_ = router; }
+
   /// Executes `plan` for `query`; returns the final result table. Market
   /// spend accrues on the connector's billing meter; `exec_stats` (optional)
   /// receives per-query counters.
@@ -102,6 +114,7 @@ class ExecutionEngine {
   semstore::SemanticStore* store_;
   stats::StatsRegistry* stats_;
   common::ThreadPool* pool_;
+  federation::EndpointRouter* router_ = nullptr;  // nullable
 };
 
 }  // namespace payless::exec

@@ -76,6 +76,25 @@ PayLess::PayLess(const catalog::Catalog* catalog,
         catalog_, &stats_, config.optimizer);
   }
   connector_.SetRetryPolicy(config.retry);
+  if (config_.federation != nullptr) {
+    // One connector per endpoint, each billing its own meter under its own
+    // market label — the ledger/meter reconciliation invariant then holds
+    // per endpoint, not just in aggregate.
+    router_ = std::make_unique<federation::EndpointRouter>(config_.federation);
+    router_->SetRetryPolicy(config.retry);
+    if (savings_accountant_ != nullptr) {
+      // The counterfactual becomes "the cheapest SINGLE market" — priced
+      // per endpoint against that endpoint's menu; the federation's edge
+      // over the best of them is the federation_routing savings cause.
+      std::vector<std::pair<std::string, const catalog::Catalog*>> endpoints;
+      for (size_t i = 0; i < config_.federation->num_endpoints(); ++i) {
+        const federation::MarketEndpoint& endpoint =
+            *config_.federation->endpoint(i);
+        endpoints.emplace_back(endpoint.id(), &endpoint.catalog());
+      }
+      savings_accountant_->SetFederation(std::move(endpoints));
+    }
+  }
   // Every catalog table gets a learning estimator seeded from the published
   // basic statistics (the uniform cold start of §4.3).
   for (const std::string& name : catalog_->TableNames()) {
@@ -119,23 +138,39 @@ PayLess::PayLess(const catalog::Catalog* catalog,
   // store and the statistics (AbsorbHarvest). With durability on, the
   // harvest is logged durable FIRST, then applied — the manager serializes
   // the whole pipeline so the log is a faithful replay script.
-  connector_.AddListener([this](const market::RestCall& call,
-                                const market::CallResult& result) {
-    const catalog::TableDef* def = catalog_->FindTable(call.table);
-    assert(def != nullptr);
-    const Box region = market::CallRegion(*def, call);
-    if (durability_ != nullptr) {
-      durability_->LogAndApply(
-          *def, region, result, current_week(),
-          [this](const catalog::TableDef& d, const Box& r,
-                 std::vector<Row> rows, int64_t num_records, int64_t epoch) {
-            AbsorbHarvest(d, r, std::move(rows), num_records, epoch);
-          });
-    } else {
-      AbsorbHarvest(*def, region, result.rows, result.num_records,
-                    current_week());
-    }
-  });
+  const market::MarketConnector::Listener harvest_listener =
+      [this](const market::RestCall& call, const market::CallResult& result) {
+        const catalog::TableDef* def = catalog_->FindTable(call.table);
+        assert(def != nullptr);
+        const Box region = market::CallRegion(*def, call);
+        if (durability_ != nullptr) {
+          durability_->LogAndApply(
+              *def, region, result, current_week(),
+              [this](const catalog::TableDef& d, const Box& r,
+                     std::vector<Row> rows, int64_t num_records,
+                     int64_t epoch) {
+                AbsorbHarvest(d, r, std::move(rows), num_records, epoch);
+              });
+        } else {
+          AbsorbHarvest(*def, region, result.rows, result.num_records,
+                        current_week());
+        }
+      };
+  connector_.AddListener(harvest_listener);
+  // Federated mode: the same learning loop closes behind EVERY endpoint —
+  // a slab is a slab no matter which market sold it.
+  if (router_ != nullptr) router_->AddListener(harvest_listener);
+  if (config_.placement_capacity_bytes > 0 ||
+      config_.placement_tick_interval_micros > 0) {
+    federation::PlacementOptions placement_options;
+    placement_options.capacity_bytes = config_.placement_capacity_bytes;
+    placement_options.tick_interval_micros =
+        config_.placement_tick_interval_micros;
+    placement_ = std::make_unique<federation::PlacementPolicy>(
+        placement_options, &store_, catalog_, router_.get(),
+        durability_.get());
+    placement_->Start();
+  }
 }
 
 void PayLess::AbsorbHarvest(const catalog::TableDef& def, const Box& region,
@@ -230,6 +265,14 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
   opt_options.min_epoch = MinEpoch();
   if (config_.consistency == ConsistencyLevel::kFull) {
     opt_options.use_sqr = false;  // §4.3: full consistency disables SQR
+  }
+  // Federated: snapshot the buy-site menu (terms + breaker liveness) once,
+  // before optimization, so every access of this query is priced against
+  // one consistent view of the federation.
+  core::FederationPricing federation_pricing;
+  if (router_ != nullptr) {
+    federation_pricing = router_->BuildPricing();
+    opt_options.federation = &federation_pricing;
   }
 
   // `EXPLAIN <query>`: optimize-only, exactly like the Explain() API —
@@ -355,6 +398,7 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
 
   ExecutionEngine engine(catalog_, &local_db_, &connector_, &store_, &stats_,
                          common::ThreadPool::Shared());
+  engine.SetRouter(router_.get());
   Result<storage::Table> result =
       engine.Execute(*bound, report.plan, exec_config, &report.exec);
   // Counted from this query's own calls, not a meter delta, so the number is
@@ -377,7 +421,7 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
       // Reconcile the counterfactual against the realized per-dataset
       // spend — runs for failed-mid-flight queries too, where the spend
       // so far (and its waste) is exactly what should be accounted.
-      const obs::QuerySavings s = obs::SavingsAccountant::RecordQuery(
+      const obs::QuerySavings s = savings_accountant_->RecordQuery(
           cf, report.plan, *bound, cache_hit,
           obs_->ledger.QueryCells(config_.tenant, query_id), config_.tenant,
           &obs_->savings);
@@ -468,6 +512,11 @@ Result<QueryReport> PayLess::Explain(const std::string& sql,
   if (config_.consistency == ConsistencyLevel::kFull) {
     opt_options.use_sqr = false;
   }
+  core::FederationPricing federation_pricing;
+  if (router_ != nullptr) {
+    federation_pricing = router_->BuildPricing();
+    opt_options.federation = &federation_pricing;
+  }
   const core::Optimizer optimizer(catalog_, &stats_, &store_, opt_options);
   Result<core::OptimizeResult> optimized = optimizer.Optimize(*bound);
   PAYLESS_RETURN_IF_ERROR(optimized.status());
@@ -492,7 +541,12 @@ Result<std::string> PayLess::ExplainText(const std::string& sql,
 
 Result<BatchReport> PayLess::QueryBatch(const std::vector<BatchQuery>& batch) {
   BatchReport report;
-  const int64_t before = connector_.meter().total_transactions();
+  // Federated spend accrues across per-endpoint meters, not connector_'s.
+  const auto total_transactions = [&] {
+    return router_ != nullptr ? router_->TotalMeteredTransactions()
+                              : connector_.meter().total_transactions();
+  };
+  const int64_t before = total_transactions();
 
   // ---- Phase 1: collect the market footprints of every query.
   struct Footprint {
@@ -526,6 +580,13 @@ Result<BatchReport> PayLess::QueryBatch(const std::vector<BatchQuery>& batch) {
     }
     for (auto& [def, regions] : by_table) {
       const catalog::DatasetDef* dataset = catalog_->DatasetOf(*def);
+      // Prefetch buys at the cheapest live endpoint (shared spend should
+      // flow to the best menu, same as the optimizer's buy-site choice).
+      market::MarketConnector* prefetch_connector = &connector_;
+      if (router_ != nullptr) {
+        prefetch_connector = router_->ConnectorFor(
+            router_->NextCheapestLive(def->dataset, {}));
+      }
       semstore::RemainderOptions rem_options = config_.optimizer.remainder;
       rem_options.tuples_per_transaction = dataset->tuples_per_transaction;
       const auto remainder_cost = [&](const Box& region) {
@@ -602,8 +663,8 @@ Result<BatchReport> PayLess::QueryBatch(const std::vector<BatchQuery>& batch) {
           prefetch_obs.tenant = config_.tenant;
           prefetch_obs.query_id = 0;
           prefetch_obs.ledger = &obs_->ledger;
-          Result<market::CallResult> result =
-              connector_.Get(*call, market::kNoDeadline, &prefetch_obs);
+          Result<market::CallResult> result = prefetch_connector->Get(
+              *call, market::kNoDeadline, &prefetch_obs);
           if (!result.ok()) {
             const Status::Code code = result.status().code();
             if (IsRetryable(code) || code == Status::Code::kDeadlineExceeded) {
@@ -631,8 +692,7 @@ Result<BatchReport> PayLess::QueryBatch(const std::vector<BatchQuery>& batch) {
     PAYLESS_RETURN_IF_ERROR(one->error);
     report.results.push_back(std::move(one->result));
   }
-  report.transactions_spent =
-      connector_.meter().total_transactions() - before;
+  report.transactions_spent = total_transactions() - before;
   return report;
 }
 
@@ -652,6 +712,18 @@ void PayLess::RegisterIntrospection(obs::HttpExpositionServer* server,
     return json;
   });
   if (sampler != nullptr) server->SetTimeSeriesSampler(sampler);
+  server->AddRoute("/markets", [this](const std::string&) {
+    std::string json = router_ != nullptr
+                           ? router_->StatsJson()
+                           : std::string("{\"federated\":false}");
+    if (placement_ != nullptr && !json.empty() && json.back() == '}') {
+      // Splice the placement block in: one fetch shows where calls went
+      // AND which purchased slabs the budget keeps.
+      json.pop_back();
+      json += ",\"placement\":" + placement_->StatsJson() + "}";
+    }
+    return obs::HttpReply::Json(std::move(json));
+  });
 }
 
 Status PayLess::LoadLocalTable(const std::string& name,

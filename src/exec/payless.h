@@ -21,6 +21,9 @@
 #include "core/plan_cache.h"
 #include "durability/durability.h"
 #include "exec/execution_engine.h"
+#include "federation/endpoint_router.h"
+#include "federation/market_endpoint.h"
+#include "federation/placement.h"
 #include "market/data_market.h"
 #include "obs/accuracy.h"
 #include "obs/http_exposition.h"
@@ -111,6 +114,22 @@ struct PayLessConfig {
   /// its result is cached inside the plan template, so steady-state
   /// serving prices the counterfactual once per template, not per query.
   bool enable_savings_accounting = true;
+  /// Multi-market federation (nullable; must outlive the client). When
+  /// set, the client owns one connector per endpoint: the optimizer picks
+  /// each access's buy-site against the per-endpoint menus, execution
+  /// routes calls there and fails over to the next-cheapest live endpoint
+  /// when a breaker opens mid-query, and the savings counterfactual
+  /// becomes the cheapest SINGLE-market plan (the federation's edge over
+  /// any one endpoint is attributed under the federation_routing cause).
+  /// The `market` constructor argument is then only the fallback for
+  /// non-query surfaces; all query spend flows through the endpoint
+  /// connectors.
+  federation::FederatedMarket* federation = nullptr;
+  /// Retained-slab budget for the semantic store (approx payload bytes);
+  /// 0 = unbounded, the placement policy observes but never evicts.
+  int64_t placement_capacity_bytes = 0;
+  /// Background placement cadence; 0 = manual (placement()->Tick()).
+  int64_t placement_tick_interval_micros = 0;
 };
 
 /// Everything a query returns besides the rows.
@@ -260,6 +279,12 @@ class PayLess {
     return durability_.get();
   }
   market::MarketConnector* connector() { return &connector_; }
+  /// Multi-market router; nullptr when no federation was configured.
+  federation::EndpointRouter* router() { return router_.get(); }
+  const federation::EndpointRouter* router() const { return router_.get(); }
+  /// Slab placement policy; nullptr when neither a capacity budget nor a
+  /// tick interval was configured.
+  federation::PlacementPolicy* placement() { return placement_.get(); }
   storage::Database* local_db() { return &local_db_; }
   const catalog::Catalog& catalog() const { return *catalog_; }
   const PayLessConfig& config() const { return config_; }
@@ -271,9 +296,11 @@ class PayLess {
 
   /// Wires this client's introspection surfaces onto an HTTP exposition
   /// server: /explain (plan text for arbitrary SQL), /savings (the savings
-  /// ledger), /store (live semantic-store coverage) and — when `sampler`
-  /// is non-null — /timeseries. Call before server->Start(); the server
-  /// must not outlive this client.
+  /// ledger), /store (live semantic-store coverage), /markets (per-endpoint
+  /// spend, breaker states, failovers and slab placement; answers
+  /// {"federated":false} in single-market mode) and — when `sampler` is
+  /// non-null — /timeseries. Call before server->Start(); the server must
+  /// not outlive this client.
   void RegisterIntrospection(obs::HttpExpositionServer* server,
                              obs::TimeSeriesSampler* sampler = nullptr);
 
@@ -330,6 +357,12 @@ class PayLess {
   /// What-if pricer for savings accounting; null when disabled. After
   /// stats_ (it reads the live statistics through a raw pointer).
   std::unique_ptr<obs::SavingsAccountant> savings_accountant_;
+  /// Per-endpoint connectors + routing; null in single-market mode.
+  std::unique_ptr<federation::EndpointRouter> router_;
+  /// Capacity-budget slab placement; null when not configured. Declared
+  /// after store_/durability_/router_ so its background thread is joined
+  /// before anything it reads is torn down.
+  std::unique_ptr<federation::PlacementPolicy> placement_;
   storage::Database local_db_;
   std::atomic<int64_t> current_week_{0};
   std::atomic<uint64_t> next_query_id_{0};

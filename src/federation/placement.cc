@@ -1,0 +1,178 @@
+#include "federation/placement.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+namespace payless::federation {
+
+PlacementPolicy::PlacementPolicy(PlacementOptions options,
+                                 semstore::SemanticStore* store,
+                                 const catalog::Catalog* catalog,
+                                 EndpointRouter* router,
+                                 durability::DurabilityManager* durability)
+    : options_(options),
+      store_(store),
+      catalog_(catalog),
+      router_(router),
+      durability_(durability) {}
+
+PlacementPolicy::~PlacementPolicy() { Stop(); }
+
+void PlacementPolicy::Start() {
+  if (options_.tick_interval_micros <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void PlacementPolicy::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void PlacementPolicy::Loop() {
+  const auto interval =
+      std::chrono::microseconds(options_.tick_interval_micros);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+size_t PlacementPolicy::Tick() {
+  // Rank every stored table by re-buy value density: what the cheapest
+  // live endpoint would bill to re-acquire the pooled rows, per retained
+  // byte. Cheap-to-rebuy tables go first when over budget.
+  std::vector<TableValue> ranking;
+  int64_t total_bytes = 0;
+  for (const semstore::StoreTableStats& stats : store_->SnapshotStats()) {
+    if (stats.pooled_rows == 0 && stats.views == 0) continue;
+    TableValue value;
+    value.table = stats.table;
+    value.bytes = stats.approx_bytes;
+    value.pooled_rows = static_cast<int64_t>(stats.pooled_rows);
+    const catalog::TableDef* def = catalog_->FindTable(stats.table);
+    if (def != nullptr) value.dataset = def->dataset;
+
+    double cost_per_tuple = 0.0;
+    if (!value.dataset.empty()) {
+      const catalog::DatasetDef* base_terms =
+          catalog_->FindDataset(value.dataset);
+      if (base_terms != nullptr && base_terms->tuples_per_transaction > 0) {
+        cost_per_tuple = base_terms->price_per_transaction /
+                         static_cast<double>(base_terms->tuples_per_transaction);
+      }
+      if (router_ != nullptr) {
+        const std::string cheapest =
+            router_->NextCheapestLive(value.dataset, {});
+        if (!cheapest.empty()) {
+          MarketEndpoint* endpoint =
+              router_->federation()->endpoint(cheapest);
+          if (endpoint != nullptr) {
+            cost_per_tuple = endpoint->CostPerTuple(value.dataset);
+            value.cheapest_endpoint = cheapest;
+          }
+        }
+      }
+    }
+    value.rebuy_cost =
+        cost_per_tuple * static_cast<double>(value.pooled_rows);
+    total_bytes += value.bytes;
+    ranking.push_back(std::move(value));
+  }
+
+  size_t evicted = 0;
+  if (options_.capacity_bytes > 0 && total_bytes > options_.capacity_bytes) {
+    // Local tables (empty dataset) are not purchased data — never evicted
+    // here — so sort priced tables by value density, cheapest-to-rebuy
+    // first, and drop until the budget holds.
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < ranking.size(); ++i) {
+      if (!ranking[i].dataset.empty()) candidates.push_back(i);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](size_t a, size_t b) {
+                const auto density = [&](const TableValue& v) {
+                  return v.bytes > 0
+                             ? v.rebuy_cost / static_cast<double>(v.bytes)
+                             : 0.0;
+                };
+                const double da = density(ranking[a]);
+                const double db = density(ranking[b]);
+                if (da != db) return da < db;
+                return ranking[a].table < ranking[b].table;  // determinism
+              });
+    for (const size_t i : candidates) {
+      if (total_bytes <= options_.capacity_bytes) break;
+      store_->DropTable(ranking[i].table);
+      ranking[i].retained = false;
+      total_bytes -= ranking[i].bytes;
+      ++evicted;
+    }
+    if (evicted > 0 && durability_ != nullptr && durability_->enabled()) {
+      // SnapshotNow compacts from the LIVE store, so the snapshot that
+      // survives a restart reflects the placement decision, not the
+      // pre-eviction state.
+      durability_->SnapshotNow();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_decision_ = std::move(ranking);
+  retained_bytes_ = total_bytes;
+  ++ticks_;
+  evicted_tables_ += static_cast<int64_t>(evicted);
+  return evicted;
+}
+
+std::vector<PlacementPolicy::TableValue> PlacementPolicy::LastDecision()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_decision_;
+}
+
+int64_t PlacementPolicy::ticks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+int64_t PlacementPolicy::evicted_tables() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_tables_;
+}
+
+std::string PlacementPolicy::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"capacity_bytes\":" << options_.capacity_bytes
+     << ",\"retained_bytes\":" << retained_bytes_ << ",\"ticks\":" << ticks_
+     << ",\"evicted_tables\":" << evicted_tables_ << ",\"tables\":[";
+  bool first = true;
+  for (const TableValue& v : last_decision_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"table\":\"" << v.table << "\",\"dataset\":\"" << v.dataset
+       << "\",\"bytes\":" << v.bytes << ",\"pooled_rows\":" << v.pooled_rows
+       << ",\"rebuy_cost\":" << v.rebuy_cost << ",\"cheapest_endpoint\":\""
+       << v.cheapest_endpoint << "\",\"retained\":"
+       << (v.retained ? "true" : "false") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace payless::federation

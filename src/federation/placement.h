@@ -1,0 +1,113 @@
+// Slab placement under a capacity budget.
+//
+// The semantic store is deliberately append-only — the paper trades cheap
+// buyer-side storage for never re-buying data (§3). A federated buyer has
+// a better lever: when local capacity is bounded, the slabs worth keeping
+// are the ones that would be EXPENSIVE to re-buy at the cheapest live
+// endpoint, and the ones worth evicting are cheap to re-acquire there.
+// The PlacementPolicy ranks every stored table by re-buy cost per retained
+// byte (transactions the cheapest live endpoint would bill for the pooled
+// rows, divided by the table's approximate footprint) and evicts the
+// lowest-value tables until the store fits the budget.
+//
+// Persistence: each pass that evicts anything forces a durability snapshot
+// (DurabilityManager::SnapshotNow compacts from LIVE store state), so the
+// placement decision — not the pre-eviction state — is what a restart
+// recovers. No durability format change is needed.
+//
+// Runs either manually (Tick(), tests and benches) or on a background
+// thread (Start/Stop) when a tick interval is configured.
+#ifndef PAYLESS_FEDERATION_PLACEMENT_H_
+#define PAYLESS_FEDERATION_PLACEMENT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "durability/durability.h"
+#include "federation/endpoint_router.h"
+#include "semstore/semantic_store.h"
+
+namespace payless::federation {
+
+struct PlacementOptions {
+  /// Retained-payload budget (approx_bytes across tables). 0 = unbounded:
+  /// the policy observes but never evicts.
+  int64_t capacity_bytes = 0;
+  /// Background cadence; 0 = manual Tick() only.
+  int64_t tick_interval_micros = 0;
+};
+
+class PlacementPolicy {
+ public:
+  /// One table's standing in the latest placement decision.
+  struct TableValue {
+    std::string table;
+    std::string dataset;
+    std::string cheapest_endpoint;  // where a re-buy would be routed
+    int64_t bytes = 0;              // approx retained payload
+    int64_t pooled_rows = 0;
+    double rebuy_cost = 0.0;  // money to re-buy the pooled rows there
+    bool retained = true;
+  };
+
+  /// `store` and `catalog` must outlive the policy. `router` (nullable)
+  /// supplies per-endpoint menus and liveness — without it re-buy cost is
+  /// priced against the base catalog. `durability` (nullable) persists
+  /// each eviction pass.
+  PlacementPolicy(PlacementOptions options, semstore::SemanticStore* store,
+                  const catalog::Catalog* catalog, EndpointRouter* router,
+                  durability::DurabilityManager* durability);
+  ~PlacementPolicy();
+
+  PlacementPolicy(const PlacementPolicy&) = delete;
+  PlacementPolicy& operator=(const PlacementPolicy&) = delete;
+
+  /// Launches the background thread (no-op without a tick interval).
+  void Start();
+  /// Stops and joins the background thread (idempotent; ~ calls it).
+  void Stop();
+
+  /// One placement pass: rank tables, evict lowest-value until the store
+  /// fits the budget, snapshot if anything was evicted. Returns the number
+  /// of tables evicted. Safe to call concurrently with queries (DropTable
+  /// publishes an empty snapshot; readers keep their pinned one).
+  size_t Tick();
+
+  /// The latest pass's ranking (copy; empty before the first Tick).
+  std::vector<TableValue> LastDecision() const;
+
+  int64_t ticks() const;
+  int64_t evicted_tables() const;
+
+  /// {"capacity_bytes":...,"retained_bytes":...,"ticks":...,
+  ///  "evicted_tables":...,"tables":[{...}]} — spliced into /markets.
+  std::string StatsJson() const;
+
+ private:
+  void Loop();
+
+  PlacementOptions options_;
+  semstore::SemanticStore* store_;
+  const catalog::Catalog* catalog_;
+  EndpointRouter* router_;  // nullable
+  durability::DurabilityManager* durability_;  // nullable
+
+  mutable std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  std::vector<TableValue> last_decision_;
+  int64_t retained_bytes_ = 0;
+  int64_t ticks_ = 0;
+  int64_t evicted_tables_ = 0;
+};
+
+}  // namespace payless::federation
+
+#endif  // PAYLESS_FEDERATION_PLACEMENT_H_

@@ -432,7 +432,7 @@ int64_t MarketConnector::CompleteAttempt(CallTask* t) {
                                    : 0;
         ledger->Record(t->call_obs->tenant, t->call_obs->query_id,
                        t->dataset, result->transactions, result->price,
-                       wasted);
+                       wasted, market_label_);
       }
       t->billed_transactions += result->transactions;
       if (t->fault.kind == FaultKind::kLostResponse) {

@@ -283,6 +283,12 @@ class MarketConnector {
     simulated_latency_micros_.store(micros, std::memory_order_relaxed);
   }
 
+  /// Federation: names the market endpoint this connector bills against,
+  /// so every ledger record carries its buy-site. Setup-time; "" (default)
+  /// = single-market deployment.
+  void SetMarketLabel(std::string label) { market_label_ = std::move(label); }
+  const std::string& market_label() const { return market_label_; }
+
   const BillingMeter& meter() const { return meter_; }
   BillingMeter* mutable_meter() { return &meter_; }
 
@@ -306,6 +312,7 @@ class MarketConnector {
                      const char* label);
 
   const DataMarket* market_;
+  std::string market_label_;
   BillingMeter meter_;
   mutable std::shared_mutex listeners_mutex_;
   std::vector<Listener> listeners_;

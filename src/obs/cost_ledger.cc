@@ -6,7 +6,8 @@ namespace payless::obs {
 
 void CostLedger::Record(const std::string& tenant, uint64_t query_id,
                         const std::string& dataset, int64_t transactions,
-                        double price, int64_t wasted_transactions) {
+                        double price, int64_t wasted_transactions,
+                        const std::string& market) {
   std::lock_guard<std::mutex> lock(mutex_);
   TenantEntry& entry = tenants_[tenant];
   CostCell& cell = entry.queries[query_id][dataset];
@@ -14,14 +15,17 @@ void CostLedger::Record(const std::string& tenant, uint64_t query_id,
   cell.price += price;
   cell.calls += 1;
   cell.wasted_transactions += wasted_transactions;
+  cell.by_market[market] += transactions;
   entry.rollup.transactions += transactions;
   entry.rollup.price += price;
   entry.rollup.calls += 1;
   entry.rollup.wasted_transactions += wasted_transactions;
+  entry.rollup.by_market[market] += transactions;
   total_.transactions += transactions;
   total_.price += price;
   total_.calls += 1;
   total_.wasted_transactions += wasted_transactions;
+  total_.by_market[market] += transactions;
 }
 
 int64_t CostLedger::total_transactions() const {
@@ -88,6 +92,9 @@ std::map<std::string, CostCell> CostLedger::TenantByDataset(
       agg.price += cell.price;
       agg.calls += cell.calls;
       agg.wasted_transactions += cell.wasted_transactions;
+      for (const auto& [market, tx] : cell.by_market) {
+        agg.by_market[market] += tx;
+      }
     }
   }
   return by_dataset;

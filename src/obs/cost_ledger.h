@@ -29,6 +29,10 @@ struct CostCell {
   /// Subset of `transactions` billed for responses the client never used
   /// (post-evaluation lost responses). Always <= transactions.
   int64_t wasted_transactions = 0;
+  /// Federation: transactions split by the market endpoint that billed
+  /// them. Values sum to `transactions`; single-market deployments put
+  /// everything under the "" key.
+  std::map<std::string, int64_t> by_market;
 };
 
 /// Thread-safe attribution ledger. Every member serializes on one internal
@@ -42,9 +46,11 @@ class CostLedger {
 
   /// `wasted_transactions` marks how many of `transactions` bought a
   /// response the client could not use (lost after the seller billed it).
+  /// `market` is the federation endpoint that billed the call ("" in
+  /// single-market deployments).
   void Record(const std::string& tenant, uint64_t query_id,
               const std::string& dataset, int64_t transactions, double price,
-              int64_t wasted_transactions = 0);
+              int64_t wasted_transactions = 0, const std::string& market = "");
 
   int64_t total_transactions() const;
   double total_price() const;

@@ -140,6 +140,9 @@ std::string DashboardHtml() {
   <div class="tile"><div class="label">Durability (WAL on disk)</div>
     <div class="value" id="t-dur">–</div>
     <div class="delta" id="t-dur-d">–</div></div>
+  <div class="tile"><div class="label">Federation</div>
+    <div class="value" id="t-fed">–</div>
+    <div class="delta" id="t-fed-d">–</div></div>
 </div>
 
 <div class="grid">
@@ -282,6 +285,26 @@ function renderDurability(dur) {
   delta.className = "delta" + (dur.dead ? " bad" : "");
 }
 
+function renderFederation(fed) {
+  const val = $("t-fed"), delta = $("t-fed-d");
+  if (!fed || !fed.federated) {
+    val.textContent = "off";
+    delta.textContent = "single market";
+    delta.className = "delta";
+    return;
+  }
+  const eps = fed.endpoints || [];
+  val.textContent = fmt(eps.length) + " markets";
+  const open = eps.reduce((n, e) =>
+      n + Object.values(e.breakers || {}).filter((s) => s === "open").length,
+      0);
+  const parts = eps.map((e) => e.id + " " + fmt(e.transactions) + " txn");
+  parts.push(fmt(fed.failovers || 0) + " failovers");
+  if (open > 0) parts.push(fmt(open) + " breakers open");
+  delta.textContent = parts.join(" · ");
+  delta.className = "delta" + (open > 0 ? " bad" : "");
+}
+
 async function renderQError(index) {
   const names = (index.series || [])
       .filter((n) => n.startsWith("payless_qerror_last_x100_")).slice(0, 3);
@@ -327,6 +350,10 @@ async function refresh() {
     renderCauses(total.by_cause);
     renderStore(store);
     renderDurability(store.durability);
+    // /markets only exists when RegisterIntrospection ran on a federated
+    // client; keep the rest of the dashboard live when it is absent.
+    try { renderFederation(await getJson("/markets")); }
+    catch (e) { renderFederation(null); }
     const [actual, cfs] = await Promise.all([
       series("payless_transactions_total"),
       series("payless_counterfactual_transactions_total"),

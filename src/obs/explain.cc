@@ -35,6 +35,8 @@ void AppendAccessLine(std::ostringstream& os, const core::AccessSpec& access,
                       const sql::BoundQuery& query) {
   const sql::BoundRelation& rel = query.relations[access.rel];
   os << "  " << core::AccessKindName(access.kind) << " " << rel.def->name;
+  // Federation: where this access buys (absent in single-market plans).
+  if (!access.buy_site.empty()) os << " @" << access.buy_site;
   if (access.kind == core::AccessSpec::Kind::kBind) {
     os << " on (";
     for (size_t i = 0; i < access.bind_edges.size(); ++i) {

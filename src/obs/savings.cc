@@ -6,12 +6,18 @@ namespace payless::obs {
 namespace {
 
 void Fold(SavingsCell& into, int64_t counterfactual, int64_t actual,
-          const int64_t by_cause[kNumSavingsCauses]) {
+          const int64_t by_cause[kNumSavingsCauses],
+          const std::map<std::string, int64_t>* actual_by_market) {
   into.counterfactual += counterfactual;
   into.actual += actual;
   into.savings += counterfactual - actual;
   into.queries += 1;
   for (int i = 0; i < kNumSavingsCauses; ++i) into.by_cause[i] += by_cause[i];
+  if (actual_by_market != nullptr) {
+    for (const auto& [market, tx] : *actual_by_market) {
+      into.actual_by_market[market] += tx;
+    }
+  }
 }
 
 void CellJson(std::ostringstream& os, const SavingsCell& cell) {
@@ -23,7 +29,18 @@ void CellJson(std::ostringstream& os, const SavingsCell& cell) {
     os << "\"" << SavingsCauseName(static_cast<SavingsCause>(i))
        << "\":" << cell.by_cause[i];
   }
-  os << "}}";
+  os << "}";
+  if (!cell.actual_by_market.empty()) {
+    os << ",\"by_market\":{";
+    bool first = true;
+    for (const auto& [market, tx] : cell.actual_by_market) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << (market.empty() ? "primary" : market) << "\":" << tx;
+    }
+    os << "}";
+  }
+  os << "}";
 }
 
 }  // namespace
@@ -40,21 +57,25 @@ const char* SavingsCauseName(SavingsCause cause) {
       return "plan_reuse";
     case SavingsCause::kEstimate:
       return "estimate_correction";
+    case SavingsCause::kFederationRouting:
+      return "federation_routing";
     case SavingsCause::kWaste:
       return "waste";
   }
   return "unknown";
 }
 
-void SavingsLedger::Record(const std::string& tenant,
-                           const std::string& dataset, int64_t counterfactual,
-                           int64_t actual,
-                           const int64_t by_cause[kNumSavingsCauses]) {
+void SavingsLedger::Record(
+    const std::string& tenant, const std::string& dataset,
+    int64_t counterfactual, int64_t actual,
+    const int64_t by_cause[kNumSavingsCauses],
+    const std::map<std::string, int64_t>* actual_by_market) {
   std::lock_guard<std::mutex> lock(mutex_);
   TenantEntry& entry = tenants_[tenant];
-  Fold(entry.datasets[dataset], counterfactual, actual, by_cause);
-  Fold(entry.rollup, counterfactual, actual, by_cause);
-  Fold(total_, counterfactual, actual, by_cause);
+  Fold(entry.datasets[dataset], counterfactual, actual, by_cause,
+       actual_by_market);
+  Fold(entry.rollup, counterfactual, actual, by_cause, actual_by_market);
+  Fold(total_, counterfactual, actual, by_cause, actual_by_market);
 }
 
 int64_t SavingsLedger::total_counterfactual() const {
@@ -107,7 +128,15 @@ bool SavingsLedger::CellReconciles(const SavingsCell& cell) {
   if (cell.counterfactual != cell.actual + cell.savings) return false;
   int64_t cause_sum = 0;
   for (int i = 0; i < kNumSavingsCauses; ++i) cause_sum += cell.by_cause[i];
-  return cause_sum == cell.savings;
+  if (cause_sum != cell.savings) return false;
+  // Federation: when a per-market breakdown was recorded it must account
+  // for the cell's entire actual spend.
+  if (!cell.actual_by_market.empty()) {
+    int64_t market_sum = 0;
+    for (const auto& [market, tx] : cell.actual_by_market) market_sum += tx;
+    if (market_sum != cell.actual) return false;
+  }
+  return true;
 }
 
 bool SavingsLedger::Reconciles() const {

@@ -37,10 +37,12 @@ enum class SavingsCause {
   kLearnedSwitch,     // learned stats picked a cheaper plan shape
   kPlanReuse,         // cached template skipped optimization (time, not txn)
   kEstimate,          // residual: counterfactual estimate vs realized billing
+  kFederationRouting, // plan-time edge of buying from a cheaper endpoint than
+                      // the single-market counterfactual's buy-site
   kWaste,             // lost responses billed by the seller (negative)
 };
 
-constexpr int kNumSavingsCauses = 6;
+constexpr int kNumSavingsCauses = 7;
 
 const char* SavingsCauseName(SavingsCause cause);
 
@@ -51,7 +53,11 @@ struct SavingsCell {
   int64_t actual = 0;          // what the CostLedger actually recorded
   int64_t savings = 0;         // counterfactual - actual
   int64_t queries = 0;         // records folded into this cell
-  int64_t by_cause[kNumSavingsCauses] = {0, 0, 0, 0, 0, 0};
+  int64_t by_cause[kNumSavingsCauses] = {0, 0, 0, 0, 0, 0, 0};
+  /// Federation: `actual` split by the billing endpoint. Values sum to
+  /// `actual` whenever the recorder supplied a breakdown (the accountant
+  /// always does; direct Record calls may omit it).
+  std::map<std::string, int64_t> actual_by_market;
 };
 
 /// Thread-safe savings ledger. Record is one map walk under a mutex —
@@ -65,9 +71,12 @@ class SavingsLedger {
   /// Fold one query's per-dataset outcome into the ledger. `by_cause`
   /// must sum to `counterfactual - actual`; an assert-free invariant the
   /// accountant maintains and the tests verify via Reconciles().
+  /// `actual_by_market` (optional) splits `actual` by billing endpoint and
+  /// must sum to `actual` when supplied.
   void Record(const std::string& tenant, const std::string& dataset,
               int64_t counterfactual, int64_t actual,
-              const int64_t by_cause[kNumSavingsCauses]);
+              const int64_t by_cause[kNumSavingsCauses],
+              const std::map<std::string, int64_t>* actual_by_market = nullptr);
 
   int64_t total_counterfactual() const;
   int64_t total_actual() const;

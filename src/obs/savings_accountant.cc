@@ -1,5 +1,7 @@
 #include "obs/savings_accountant.h"
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 #include <sstream>
 
@@ -7,19 +9,50 @@
 
 namespace payless::obs {
 
+namespace {
+
+/// What `access` would have been estimated to cost under `site`'s terms —
+/// the same repricing Optimizer::ChooseBuySite ran per endpoint, replayed
+/// here for the counterfactual's buy-site (paid rows reconstructed from
+/// the pre-routing base estimate, call count shape-determined).
+int64_t RepriceAccess(const core::AccessSpec& access,
+                      const catalog::DatasetDef& base,
+                      const catalog::DatasetDef& site) {
+  if (site.tuples_per_transaction == base.tuples_per_transaction) {
+    return access.est_base_transactions;
+  }
+  const double paid_rows =
+      static_cast<double>(access.est_base_transactions) *
+      static_cast<double>(base.tuples_per_transaction);
+  const int64_t t = std::max<int64_t>(site.tuples_per_transaction, 1);
+  int64_t txn = std::max(
+      access.est_calls,
+      static_cast<int64_t>(std::ceil(paid_rows / static_cast<double>(t))));
+  if (access.est_base_transactions > 0) {
+    txn = std::max(txn, std::max<int64_t>(access.est_calls, 1));
+  }
+  return txn;
+}
+
+}  // namespace
+
 SavingsAccountant::SavingsAccountant(const catalog::Catalog* catalog,
                                      const stats::StatsRegistry* stats,
                                      core::OptimizerOptions options)
     : catalog_(catalog), stats_(stats), options_(options) {}
 
-Counterfactual SavingsAccountant::Price(const sql::BoundQuery& query) const {
+Counterfactual SavingsAccountant::PriceAgainst(
+    const sql::BoundQuery& query, const catalog::Catalog* catalog) const {
   // The store-less world, shared by every pricing pass: never written, so
   // concurrent reads are free and nothing of the real store leaks in.
   static semstore::SemanticStore* const empty_store =
       new semstore::SemanticStore();
 
   Counterfactual cf;
-  const core::Optimizer optimizer(catalog_, stats_, empty_store, options_);
+  // The counterfactual client is pinned to ONE market: no buy-site menu.
+  core::OptimizerOptions options = options_;
+  options.federation = nullptr;
+  const core::Optimizer optimizer(catalog, stats_, empty_store, options);
   const Result<core::OptimizeResult> result = optimizer.Optimize(query);
   if (!result.ok()) return cf;  // unpriceable: excluded, not guessed
 
@@ -33,6 +66,23 @@ Counterfactual SavingsAccountant::Price(const sql::BoundQuery& query) const {
   cf.total = total;
   cf.signature = PlanSignature(result->plan, query);
   return cf;
+}
+
+Counterfactual SavingsAccountant::Price(const sql::BoundQuery& query) const {
+  if (federation_.empty()) return PriceAgainst(query, catalog_);
+
+  // Federated deployment: the baseline is the cheapest single market — a
+  // store-less client that registered with its best endpoint and buys
+  // everything there. Ties break toward registration order (endpoint 0 is
+  // the primary).
+  Counterfactual best;
+  for (const auto& [endpoint, catalog] : federation_) {
+    Counterfactual cf = PriceAgainst(query, catalog);
+    if (!cf.ok()) continue;
+    cf.market = endpoint;
+    if (!best.ok() || cf.total < best.total) best = std::move(cf);
+  }
+  return best;
 }
 
 std::string SavingsAccountant::PlanSignature(const core::Plan& plan,
@@ -52,7 +102,7 @@ QuerySavings SavingsAccountant::RecordQuery(
     const Counterfactual& cf, const core::Plan& executed,
     const sql::BoundQuery& query, bool plan_cache_hit,
     const std::map<std::string, CostCell>& actual_cells,
-    const std::string& tenant, SavingsLedger* ledger) {
+    const std::string& tenant, SavingsLedger* ledger) const {
   QuerySavings summary;
   if (!cf.ok() || ledger == nullptr) return summary;
   summary.recorded = true;
@@ -61,7 +111,13 @@ QuerySavings SavingsAccountant::RecordQuery(
   struct DatasetFlags {
     bool store_full = false;  // some access served entirely from the store
     bool sqr = false;         // some access priced only a remainder
+    bool federated = false;   // some access bought off the baseline market
+    int64_t routing = 0;      // plan-time edge over the baseline's menu
   };
+  const catalog::Catalog* cf_catalog = nullptr;
+  for (const auto& [endpoint, catalog] : federation_) {
+    if (endpoint == cf.market) cf_catalog = catalog;
+  }
   std::map<std::string, DatasetFlags> flags;
   for (const core::AccessSpec& access : executed.accesses) {
     const catalog::TableDef* def = query.relations[access.rel].def;
@@ -69,6 +125,22 @@ QuerySavings SavingsAccountant::RecordQuery(
     DatasetFlags& f = flags[def->dataset];
     if (access.kind == core::AccessSpec::Kind::kCached) f.store_full = true;
     if (access.used_sqr) f.sqr = true;
+    if (!access.buy_site.empty() && access.buy_site != cf.market) {
+      f.federated = true;
+      // Replay the buy-site repricing for THIS access under the
+      // counterfactual endpoint's menu: same access, same estimated rows,
+      // the baseline's page size. The difference is exactly what routing
+      // bought at plan time, independent of the counterfactual plan's
+      // shape and of how estimates later compare to realized billing.
+      const catalog::DatasetDef* base = catalog_->FindDataset(def->dataset);
+      const catalog::DatasetDef* site =
+          cf_catalog == nullptr ? nullptr
+                                : cf_catalog->FindDataset(def->dataset);
+      if (base != nullptr && site != nullptr) {
+        f.routing +=
+            RepriceAccess(access, *base, *site) - access.est_transactions;
+      }
+    }
   }
   const bool learned_switch =
       cf.signature != PlanSignature(executed, query);
@@ -85,13 +157,13 @@ QuerySavings SavingsAccountant::RecordQuery(
     const CostCell cell =
         cell_it == actual_cells.end() ? CostCell{} : cell_it->second;
 
-    int64_t by_cause[kNumSavingsCauses] = {0, 0, 0, 0, 0, 0};
+    int64_t by_cause[kNumSavingsCauses] = {0, 0, 0, 0, 0, 0, 0};
     // Waste is its own (negative) bucket: the seller billed transactions
     // the query never used. The remaining delta goes to the dominant
     // positive cause, so the causes always sum to counterfactual - actual.
     by_cause[static_cast<int>(SavingsCause::kWaste)] =
         -cell.wasted_transactions;
-    const int64_t residual =
+    int64_t residual =
         counterfactual - cell.transactions + cell.wasted_transactions;
 
     const DatasetFlags f = flags.count(dataset) > 0 ? flags.at(dataset)
@@ -104,6 +176,16 @@ QuerySavings SavingsAccountant::RecordQuery(
     SavingsCause cause = SavingsCause::kEstimate;
     if (f.store_full || served_free) {
       cause = SavingsCause::kStoreFullHit;
+    } else if (f.federated) {
+      // Routed off the counterfactual's single market. Only the PLAN-TIME
+      // edge is the buy-site's doing: each routed access repriced under
+      // the baseline endpoint's menu minus its actual estimate (page size
+      // / price menu). The realized-vs-estimate remainder is ordinary
+      // cardinality noise and falls to kEstimate below, so routing never
+      // absorbs misestimates it had no hand in.
+      by_cause[static_cast<int>(SavingsCause::kFederationRouting)] +=
+          f.routing;
+      residual -= f.routing;
     } else if (f.sqr) {
       cause = SavingsCause::kSqrHarvest;
     } else if (learned_switch) {
@@ -114,7 +196,7 @@ QuerySavings SavingsAccountant::RecordQuery(
     by_cause[static_cast<int>(cause)] += residual;
 
     ledger->Record(tenant, dataset, counterfactual, cell.transactions,
-                   by_cause);
+                   by_cause, &cell.by_market);
     summary.counterfactual += counterfactual;
     summary.actual += cell.transactions;
     for (int i = 0; i < kNumSavingsCauses; ++i) {

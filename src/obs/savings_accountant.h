@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "core/optimizer.h"
@@ -46,6 +48,11 @@ struct Counterfactual {
   std::map<std::string, int64_t> by_dataset;
   /// Shape signature of the counterfactual plan (see PlanSignature).
   std::string signature;
+  /// Federation: the single market endpoint the counterfactual buys
+  /// everything from — the cheapest one ("" when not federated). Executed
+  /// accesses routed to a different endpoint earn federation_routing
+  /// savings against this baseline.
+  std::string market;
 
   bool ok() const { return total >= 0; }
 };
@@ -58,7 +65,7 @@ struct QuerySavings {
   int64_t counterfactual = 0;
   int64_t actual = 0;
   int64_t savings = 0;  // counterfactual - actual (waste included)
-  int64_t by_cause[kNumSavingsCauses] = {0, 0, 0, 0, 0, 0};
+  int64_t by_cause[kNumSavingsCauses] = {0, 0, 0, 0, 0, 0, 0};
 };
 
 class SavingsAccountant {
@@ -69,6 +76,16 @@ class SavingsAccountant {
   SavingsAccountant(const catalog::Catalog* catalog,
                     const stats::StatsRegistry* stats,
                     core::OptimizerOptions options);
+
+  /// Federation: registers the per-endpoint catalogs (each a copy of the
+  /// base catalog under that endpoint's menu). Price() then returns the
+  /// cheapest SINGLE-market plan — the baseline a non-federated client
+  /// pinned to its best endpoint would pay. Setup-time; the catalogs must
+  /// outlive the accountant.
+  void SetFederation(
+      std::vector<std::pair<std::string, const catalog::Catalog*>> endpoints) {
+    federation_ = std::move(endpoints);
+  }
 
   /// Prices the counterfactual plan for `query`. Read-only and
   /// thread-safe: same query + same stats snapshot => identical result.
@@ -84,17 +101,23 @@ class SavingsAccountant {
   /// counterfactual - actual, attributed to a dominant cause read off the
   /// executed plan (plus negative waste for lost-response billing).
   /// `actual_cells` is CostLedger::QueryCells for the query. Returns the
-  /// query-level aggregate of what was recorded.
-  static QuerySavings RecordQuery(
+  /// query-level aggregate of what was recorded. A member (not static):
+  /// the federation_routing split replays each routed access's buy-site
+  /// repricing under the counterfactual endpoint's menu.
+  QuerySavings RecordQuery(
       const Counterfactual& cf, const core::Plan& executed,
       const sql::BoundQuery& query, bool plan_cache_hit,
       const std::map<std::string, CostCell>& actual_cells,
-      const std::string& tenant, SavingsLedger* ledger);
+      const std::string& tenant, SavingsLedger* ledger) const;
 
  private:
+  Counterfactual PriceAgainst(const sql::BoundQuery& query,
+                              const catalog::Catalog* catalog) const;
+
   const catalog::Catalog* catalog_;
   const stats::StatsRegistry* stats_;
   core::OptimizerOptions options_;
+  std::vector<std::pair<std::string, const catalog::Catalog*>> federation_;
 };
 
 }  // namespace payless::obs

@@ -391,6 +391,25 @@ std::vector<std::string> SemanticStore::TableNames() const {
   return names;
 }
 
+void SemanticStore::DropTable(const std::string& table) {
+  const std::shared_ptr<TableCell> cell = cells_.Find(table);
+  if (cell == nullptr) return;
+  int64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(cell->write_mutex);
+    const std::shared_ptr<const TableData> old = cell->data.Load();
+    dropped = static_cast<int64_t>(old->views.size());
+    if (dropped == 0 && old->pooled_rows == 0) return;
+    cell->data.Store(std::make_shared<const TableData>());
+  }
+  version_.fetch_add(1, std::memory_order_release);
+  if (dropped > 0) {
+    evictions_.fetch_add(dropped, std::memory_order_relaxed);
+    obs::Counter* metric = evictions_metric_.load(std::memory_order_relaxed);
+    if (metric != nullptr) metric->Add(dropped);
+  }
+}
+
 void SemanticStore::Clear() {
   int64_t dropped = 0;
   cells_.ForEach([&](const std::string&, const TableCell& cell) {

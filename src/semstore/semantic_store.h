@@ -122,6 +122,13 @@ class SemanticStore {
 
   void Clear();
 
+  /// Evicts one table's entire stored state (views, coverage, row pool),
+  /// publishing an empty snapshot in its place — the placement policy's
+  /// lever for staying under a capacity budget. Dropped views count as
+  /// evictions; the table's lifetime probe counters survive. Bumps
+  /// version() so cached plans re-optimize against the shrunk coverage.
+  void DropTable(const std::string& table);
+
   /// Mirror probe outcomes and evictions into registry counters (pass
   /// nullptr to unbind). The store keeps its own atomics either way, so
   /// introspection works without a registry; binding only adds three

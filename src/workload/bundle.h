@@ -9,6 +9,7 @@
 
 #include "exec/download_all.h"
 #include "exec/payless.h"
+#include "federation/market_endpoint.h"
 #include "market/data_market.h"
 #include "workload/queries.h"
 #include "workload/tpch.h"
@@ -19,6 +20,8 @@ namespace payless::workload {
 struct Bundle {
   catalog::Catalog catalog;
   std::map<std::string, std::vector<Row>> local_tables;
+  // Seller-side rows, retained so federations can replicate the data.
+  std::map<std::string, std::vector<Row>> market_tables;
   std::unique_ptr<market::DataMarket> market;
   std::vector<QueryInstance> queries;
 };
@@ -47,6 +50,34 @@ exec::PayLessConfig MinimizingCallsConfig();   // baseline [27]
 /// The "Download All" client, local tables loaded.
 std::unique_ptr<exec::DownloadAllClient> NewDownloadAllClient(
     const Bundle& bundle);
+
+/// One seller in a federated overlay built over a bundle's catalog.
+struct FederatedEndpointSpec {
+  std::string id;
+  double price_scale = 1.0;     // price multiplier on non-assigned datasets
+  double discount_scale = 0.7;  // price multiplier on assigned datasets
+  /// Page-size multiplier on assigned datasets: bigger pages mean fewer
+  /// billed transactions for the same rows, so the optimizer's buy-site
+  /// choice shows up in transaction counts, not just money.
+  double discount_page_scale = 2.0;
+  market::FaultProfile fault_profile;
+  bool inject_faults = false;
+  int64_t simulated_latency_micros = 0;
+};
+
+/// N-endpoint federation over the bundle's datasets, every endpoint hosting
+/// every table. Dataset d (catalog order) is discounted at endpoint
+/// d % specs.size(), so with 2+ endpoints no single market is cheapest for
+/// every dataset and cross-market plans genuinely beat single-market ones.
+std::unique_ptr<federation::FederatedMarket> MakeFederatedMarket(
+    const Bundle& bundle, const std::vector<FederatedEndpointSpec>& specs,
+    uint64_t base_seed = 42);
+
+/// A PayLess client routing through `federation` (the bundle market stays
+/// the fallback surface for non-query paths), local tables loaded.
+std::unique_ptr<exec::PayLess> NewFederatedPayLessClient(
+    const Bundle& bundle, federation::FederatedMarket* federation,
+    exec::PayLessConfig config);
 
 }  // namespace payless::workload
 

@@ -1,0 +1,401 @@
+// Federation tests: multi-market registry, buy-site-aware optimization,
+// routed execution and slab placement.
+//
+// The invariants under test:
+//   1. endpoint fault streams are sub-seeded deterministically from the
+//      federation base seed + endpoint id (SplitMix64) — distinct per
+//      endpoint, reproducible per (seed, id);
+//   2. the optimizer prices every market access against each endpoint's
+//      menu and the chosen buy-site is visible in EXPLAIN;
+//   3. a cross-dataset query whose datasets are cheapest at DIFFERENT
+//      endpoints beats every single-market plan — the edge is attributed
+//      to the federation_routing savings cause and the savings ledger
+//      still reconciles, with per-market actuals matching the cost
+//      ledger and every endpoint's own billing meter;
+//   4. the placement policy evicts the cheapest-to-re-buy slabs first
+//      under a capacity budget, and the decision (not the pre-eviction
+//      state) is what a durable restart recovers — re-reading evicted
+//      data re-buys it, re-reading retained data stays free;
+//   5. /markets serves the live federation state over HTTP.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/payless.h"
+#include "federation/market_endpoint.h"
+#include "federation/placement.h"
+#include "obs/http_exposition.h"
+#include "obs/observability.h"
+#include "workload/bundle.h"
+
+namespace payless::federation {
+namespace {
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+using exec::PayLess;
+using exec::PayLessConfig;
+
+constexpr int64_t kKeys = 2000;
+
+/// Two market datasets with OPPOSITE terms across two endpoints: "east"
+/// sells ALPHA at half price on double pages, "west" does the same for
+/// BETA. A query joining both therefore has no single cheapest market —
+/// the federated plan must split its buys to win.
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.RegisterDataset(DatasetDef{"ALPHA", 1.0, 5}).ok());
+    ASSERT_TRUE(cat_.RegisterDataset(DatasetDef{"BETA", 1.0, 5}).ok());
+
+    TableDef alpha;
+    alpha.name = "Alpha";
+    alpha.dataset = "ALPHA";
+    alpha.columns = {ColumnDef::Free("Key", ValueType::kInt64,
+                                     AttrDomain::Numeric(1, kKeys)),
+                     ColumnDef::Output("Val", ValueType::kDouble)};
+    alpha.cardinality = kKeys;
+    ASSERT_TRUE(cat_.RegisterTable(alpha).ok());
+
+    TableDef beta;
+    beta.name = "Beta";
+    beta.dataset = "BETA";
+    beta.columns = {ColumnDef::Free("Key", ValueType::kInt64,
+                                    AttrDomain::Numeric(1, kKeys)),
+                    ColumnDef::Output("Cost", ValueType::kDouble)};
+    beta.cardinality = kKeys;
+    ASSERT_TRUE(cat_.RegisterTable(beta).ok());
+
+    market_ = std::make_unique<market::DataMarket>(&cat_);
+    std::vector<Row> alpha_rows, beta_rows;
+    for (int64_t k = 1; k <= kKeys; ++k) {
+      alpha_rows.push_back(Row{Value(k), Value(static_cast<double>(k) * 2.0)});
+      beta_rows.push_back(Row{Value(k), Value(static_cast<double>(k) + 0.5)});
+    }
+    ASSERT_TRUE(market_->HostTable("Alpha", alpha_rows).ok());
+    ASSERT_TRUE(market_->HostTable("Beta", beta_rows).ok());
+
+    federation_ = std::make_unique<FederatedMarket>(&cat_, /*base_seed=*/42);
+    EndpointConfig east;
+    east.id = "east";
+    east.menu["ALPHA"] = DatasetTerms{0.5, 10};  // discounted, bigger pages
+    east.menu["BETA"] = DatasetTerms{1.0, 5};
+    ASSERT_TRUE(federation_->AddEndpoint(east).ok());
+    EndpointConfig west;
+    west.id = "west";
+    west.menu["ALPHA"] = DatasetTerms{1.0, 5};
+    west.menu["BETA"] = DatasetTerms{1.0, 10};
+    ASSERT_TRUE(federation_->AddEndpoint(west).ok());
+    ASSERT_TRUE(federation_->HostTable("Alpha", std::move(alpha_rows)).ok());
+    ASSERT_TRUE(federation_->HostTable("Beta", std::move(beta_rows)).ok());
+  }
+
+  std::unique_ptr<PayLess> NewClient(PayLessConfig config = {}) {
+    config.federation = federation_.get();
+    return std::make_unique<PayLess>(&cat_, market_.get(), config);
+  }
+
+  // Both tables plain-scanned (Key is Free: no bind join exists) and
+  // joined locally — each access picks its own buy-site.
+  static constexpr const char* kJoinSql =
+      "SELECT Val, Cost FROM Alpha, Beta WHERE Alpha.Key = Beta.Key AND "
+      "Alpha.Key >= ? AND Alpha.Key <= ? AND Beta.Key >= ? AND Beta.Key <= ?";
+
+  catalog::Catalog cat_;
+  std::unique_ptr<market::DataMarket> market_;
+  std::unique_ptr<FederatedMarket> federation_;
+};
+
+TEST_F(FederationTest, SubSeedIsDeterministicAndPerEndpoint) {
+  MarketEndpoint* east = federation_->endpoint("east");
+  MarketEndpoint* west = federation_->endpoint("west");
+  ASSERT_NE(east, nullptr);
+  ASSERT_NE(west, nullptr);
+  EXPECT_EQ(east->sub_seed(), FederatedMarket::SubSeed(42, "east"));
+  EXPECT_EQ(west->sub_seed(), FederatedMarket::SubSeed(42, "west"));
+  EXPECT_NE(east->sub_seed(), west->sub_seed());
+  // A different base seed moves every endpoint's stream.
+  EXPECT_NE(FederatedMarket::SubSeed(43, "east"),
+            FederatedMarket::SubSeed(42, "east"));
+  // Faults were not requested, so no injector is attached.
+  EXPECT_EQ(east->injector(), nullptr);
+}
+
+TEST_F(FederationTest, DuplicateAndUnknownEndpointsAreRejected) {
+  EndpointConfig dup;
+  dup.id = "east";
+  dup.menu["ALPHA"] = DatasetTerms{1.0, 5};
+  EXPECT_FALSE(federation_->AddEndpoint(dup).ok());
+  EndpointConfig unknown;
+  unknown.id = "north";
+  unknown.menu["GAMMA"] = DatasetTerms{1.0, 5};
+  EXPECT_FALSE(federation_->AddEndpoint(unknown).ok());
+}
+
+TEST_F(FederationTest, ExplainRendersTheChosenBuySites) {
+  auto client = NewClient();
+  const auto text = client->ExplainText(
+      kJoinSql, {Value(int64_t{1}), Value(kKeys), Value(int64_t{1}),
+                 Value(kKeys)});
+  ASSERT_TRUE(text.ok()) << text.status().message();
+  EXPECT_NE(text->find("Alpha @east"), std::string::npos) << *text;
+  EXPECT_NE(text->find("Beta @west"), std::string::npos) << *text;
+}
+
+TEST_F(FederationTest, FederatedPlanBeatsEverySingleMarketAndReconciles) {
+  obs::Observability obs;
+  PayLessConfig config;
+  config.observability = &obs;
+  auto client = NewClient(config);
+
+  const auto r = client->QueryWithReport(
+      kJoinSql, {Value(int64_t{1}), Value(kKeys), Value(int64_t{1}),
+                 Value(kKeys)});
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  ASSERT_TRUE(r->error.ok()) << r->error.message();
+  EXPECT_EQ(r->result.rows().size(), static_cast<size_t>(kKeys));
+
+  // ALPHA pages at 10 on east (200 base pages -> 100), BETA pages at 10 on
+  // west: the split plan spends 200 transactions where the best single
+  // market bills 300.
+  EXPECT_GT(r->savings_transactions, 0);
+  EXPECT_TRUE(obs.savings.Reconciles());
+  EXPECT_GT(obs.savings.total_by_cause(obs::SavingsCause::kFederationRouting),
+            0);
+
+  // Billing closes end to end: savings "actual" == cost ledger == the sum
+  // of both endpoints' own meters, and both endpoints were actually paid.
+  auto* router = client->router();
+  ASSERT_NE(router, nullptr);
+  EXPECT_EQ(obs.savings.total_actual(), obs.ledger.total_transactions());
+  EXPECT_EQ(obs.ledger.total_transactions(),
+            router->TotalMeteredTransactions());
+  int64_t east_txn = 0, west_txn = 0;
+  for (size_t i = 0; i < federation_->num_endpoints(); ++i) {
+    const int64_t txn = router->connector(i)->meter().total_transactions();
+    if (router->endpoint_id(i) == "east") east_txn = txn;
+    if (router->endpoint_id(i) == "west") west_txn = txn;
+  }
+  EXPECT_GT(east_txn, 0);
+  EXPECT_GT(west_txn, 0);
+
+  // Per-market actuals in the savings cells split exactly along the
+  // endpoint meters.
+  int64_t cell_east = 0, cell_west = 0;
+  for (const auto& [dataset, cell] : obs.savings.TenantByDataset("default")) {
+    for (const auto& [site, txn] : cell.actual_by_market) {
+      if (site == "east") cell_east += txn;
+      if (site == "west") cell_west += txn;
+    }
+  }
+  EXPECT_EQ(cell_east, east_txn);
+  EXPECT_EQ(cell_west, west_txn);
+}
+
+TEST_F(FederationTest, RouterRoutesCheapestAndTracksPerEndpointCalls) {
+  auto client = NewClient();
+  auto* router = client->router();
+  ASSERT_NE(router, nullptr);
+  EXPECT_EQ(router->NextCheapestLive("ALPHA", {}), "east");
+  EXPECT_EQ(router->NextCheapestLive("ALPHA", {"east"}), "west");
+  EXPECT_EQ(router->NextCheapestLive("BETA", {}), "west");
+  EXPECT_EQ(router->NextCheapestLive("BETA", {"east", "west"}), "");
+
+  const auto r = client->Query(
+      kJoinSql, {Value(int64_t{1}), Value(int64_t{200}), Value(int64_t{1}),
+                 Value(int64_t{200})});
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_GT(router->routed_calls(0), 0);  // east bought ALPHA
+  EXPECT_GT(router->routed_calls(1), 0);  // west bought BETA
+  EXPECT_EQ(router->failovers(), 0);      // nothing failed
+}
+
+TEST_F(FederationTest, PlacementEvictsCheapestRebuyDensityFirst) {
+  // Learn the two tables' footprints with an unbounded client first.
+  int64_t alpha_bytes = 0, beta_bytes = 0;
+  {
+    auto probe = NewClient();
+    ASSERT_TRUE(probe
+                    ->Query(kJoinSql, {Value(int64_t{1}), Value(kKeys),
+                                       Value(int64_t{1}), Value(kKeys)})
+                    .ok());
+    for (const auto& t : probe->store().SnapshotStats()) {
+      if (t.table == "Alpha") alpha_bytes = t.approx_bytes;
+      if (t.table == "Beta") beta_bytes = t.approx_bytes;
+    }
+    ASSERT_GT(alpha_bytes, 0);
+    ASSERT_GT(beta_bytes, 0);
+  }
+
+  // Budget fits one table but not both. Alpha re-buys at half price on
+  // east, so it is the lower re-buy-density slab and must go first.
+  PayLessConfig config;
+  config.placement_capacity_bytes = std::max(alpha_bytes, beta_bytes) +
+                                    std::min(alpha_bytes, beta_bytes) / 2;
+  auto client = NewClient(config);
+  ASSERT_TRUE(client
+                  ->Query(kJoinSql, {Value(int64_t{1}), Value(kKeys),
+                                     Value(int64_t{1}), Value(kKeys)})
+                  .ok());
+  auto* placement = client->placement();
+  ASSERT_NE(placement, nullptr);
+  placement->Tick();
+  EXPECT_EQ(placement->evicted_tables(), 1);
+
+  // The dropped table's cell survives but holds nothing reusable.
+  for (const auto& t : client->store().SnapshotStats()) {
+    if (t.table == "Alpha") {
+      EXPECT_EQ(t.pooled_rows, 0u);
+      EXPECT_EQ(t.views, 0u);
+    }
+    if (t.table == "Beta") {
+      EXPECT_GT(t.pooled_rows, 0u);
+    }
+  }
+  const auto decision = placement->LastDecision();
+  for (const auto& t : decision) {
+    if (t.table == "Alpha") {
+      EXPECT_FALSE(t.retained);
+    }
+    if (t.table == "Beta") {
+      EXPECT_TRUE(t.retained);
+    }
+  }
+}
+
+TEST_F(FederationTest, PlacementDecisionSurvivesRestartBillingCorrect) {
+  char tmpl[] = "/tmp/payless_fed_place_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  PayLessConfig config;
+  config.durability.dir = dir;
+  config.placement_capacity_bytes = 1;  // evict every market slab
+  {
+    auto client = NewClient(config);
+    ASSERT_TRUE(client
+                    ->Query(kJoinSql, {Value(int64_t{1}), Value(kKeys),
+                                       Value(int64_t{1}), Value(kKeys)})
+                    .ok());
+    client->placement()->Tick();
+    EXPECT_EQ(client->placement()->evicted_tables(), 2);
+    for (const auto& t : client->store().SnapshotStats()) {
+      EXPECT_EQ(t.pooled_rows, 0u) << t.table;
+    }
+  }
+
+  // The restart recovers the POST-eviction store: nothing to reuse, so a
+  // re-read re-buys (no phantom free rows), and billing starts from zero
+  // on this client's meters.
+  auto restarted = NewClient(config);
+  for (const auto& t : restarted->store().SnapshotStats()) {
+    EXPECT_EQ(t.pooled_rows, 0u) << t.table;
+  }
+  const auto r = restarted->QueryWithReport(
+      kJoinSql, {Value(int64_t{1}), Value(int64_t{500}), Value(int64_t{1}),
+                 Value(int64_t{500})});
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  ASSERT_TRUE(r->error.ok()) << r->error.message();
+  EXPECT_GT(r->transactions_spent, 0);
+  EXPECT_EQ(restarted->router()->TotalMeteredTransactions(),
+            r->transactions_spent);
+
+  // Re-reading the (now re-bought and retained-in-memory) slabs is free.
+  const auto again = restarted->QueryWithReport(
+      kJoinSql, {Value(int64_t{1}), Value(int64_t{500}), Value(int64_t{1}),
+                 Value(int64_t{500})});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->transactions_spent, 0);
+  std::remove((dir + "/harvest.wal").c_str());
+  std::remove((dir + "/store.snap").c_str());
+  ::rmdir(dir.c_str());
+}
+
+/// Minimal loopback GET (the server closes after each reply).
+std::string HttpGet(uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(FederationTest, MarketsRouteServesFederationStateOverHttp) {
+  obs::Observability obs;
+  PayLessConfig config;
+  config.observability = &obs;
+  config.placement_capacity_bytes = 1 << 30;  // observe-and-report mode
+  auto client = NewClient(config);
+  ASSERT_TRUE(client
+                  ->Query(kJoinSql, {Value(int64_t{1}), Value(int64_t{300}),
+                                     Value(int64_t{1}), Value(int64_t{300})})
+                  .ok());
+
+  obs::HttpExpositionServer server(&obs.metrics, &obs.ledger);
+  client->RegisterIntrospection(&server);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string reply = HttpGet(server.port(), "/markets");
+  ASSERT_FALSE(reply.empty());
+  EXPECT_NE(reply.find("200"), std::string::npos);
+  EXPECT_NE(reply.find("\"federated\":true"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"east\""), std::string::npos);
+  EXPECT_NE(reply.find("\"west\""), std::string::npos);
+  EXPECT_NE(reply.find("\"failovers\""), std::string::npos);
+  EXPECT_NE(reply.find("\"placement\""), std::string::npos);
+  server.Stop();
+}
+
+TEST(FederatedBundleTest, WorkloadHelperBuildsARunnableFederation) {
+  workload::RealDataOptions options;
+  auto bundle = workload::MakeRealBundle(options, /*per_template=*/1,
+                                         /*query_seed=*/7);
+  std::vector<workload::FederatedEndpointSpec> specs(2);
+  specs[0].id = "east";
+  specs[1].id = "west";
+  auto federation = workload::MakeFederatedMarket(*bundle, specs, 42);
+  EXPECT_EQ(federation->num_endpoints(), 2u);
+
+  obs::Observability obs;
+  PayLessConfig config = workload::PayLessFullConfig();
+  config.observability = &obs;
+  auto client =
+      workload::NewFederatedPayLessClient(*bundle, federation.get(), config);
+  for (const auto& q : bundle->queries) {
+    const auto r = client->QueryWithReport(q.sql, q.params);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    ASSERT_TRUE(r->error.ok()) << r->error.message();
+  }
+  EXPECT_TRUE(obs.savings.Reconciles());
+  EXPECT_EQ(obs.savings.total_actual(), obs.ledger.total_transactions());
+  EXPECT_EQ(obs.ledger.total_transactions(),
+            client->router()->TotalMeteredTransactions());
+}
+
+}  // namespace
+}  // namespace payless::federation

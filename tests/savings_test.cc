@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exec/payless.h"
+#include "federation/market_endpoint.h"
 #include "market/data_market.h"
 #include "market/fault_injector.h"
 #include "obs/observability.h"
@@ -37,8 +38,8 @@ using market::FaultProfile;
 
 TEST(SavingsLedgerTest, RecordAccumulatesAndReconciles) {
   SavingsLedger ledger;
-  const int64_t causes_a[kNumSavingsCauses] = {40, 0, 0, 0, 0, 0};
-  const int64_t causes_b[kNumSavingsCauses] = {0, 10, 0, 0, -3, -7};
+  const int64_t causes_a[kNumSavingsCauses] = {40, 0, 0, 0, 0, 0, 0};
+  const int64_t causes_b[kNumSavingsCauses] = {0, 10, 0, 0, -3, 0, -7};
   ledger.Record("acme", "EHR", 100, 60, causes_a);
   ledger.Record("acme", "WHW", 20, 20, causes_b);
   ledger.Record("umbrella", "EHR", 50, 10, causes_a);
@@ -68,14 +69,14 @@ TEST(SavingsLedgerTest, RecordAccumulatesAndReconciles) {
 TEST(SavingsLedgerTest, ReconcilesDetectsCauseMismatch) {
   SavingsLedger ledger;
   // Causes sum to 30 but counterfactual - actual is 40: must NOT reconcile.
-  const int64_t bad[kNumSavingsCauses] = {30, 0, 0, 0, 0, 0};
+  const int64_t bad[kNumSavingsCauses] = {30, 0, 0, 0, 0, 0, 0};
   ledger.Record("t", "D", 100, 60, bad);
   EXPECT_FALSE(ledger.Reconciles());
 }
 
 TEST(SavingsLedgerTest, ToJsonCarriesTotalsTenantsAndCauses) {
   SavingsLedger ledger;
-  const int64_t causes[kNumSavingsCauses] = {0, 25, 0, 0, 0, 0};
+  const int64_t causes[kNumSavingsCauses] = {0, 25, 0, 0, 0, 0, 0};
   ledger.Record("acme", "EHR", 75, 50, causes);
   const std::string json = ledger.ToJson();
   EXPECT_NE(json.find("\"total\""), std::string::npos) << json;
@@ -341,6 +342,107 @@ TEST_F(SavingsAccountingTest, ExplainAnalyzeRendersSavingsFooter) {
   EXPECT_NE(r->plan_text.find("counterfactual: "), std::string::npos)
       << r->plan_text;
   EXPECT_NE(r->plan_text.find("saved: "), std::string::npos) << r->plan_text;
+}
+
+// ---------------------------------------------------------------------------
+// Federation: the counterfactual becomes the cheapest SINGLE-market plan
+// and every (tenant, dataset, market) cell must still close exactly.
+
+/// Two endpoints selling EHR: "east" on double pages (cheaper in
+/// transactions), "west" at catalog terms. Rows are replicated to both.
+std::unique_ptr<federation::FederatedMarket> NewEhrFederation(
+    const catalog::Catalog* cat) {
+  auto federation = std::make_unique<federation::FederatedMarket>(cat, 42);
+  federation::EndpointConfig east;
+  east.id = "east";
+  east.menu["EHR"] = federation::DatasetTerms{1.0, 200};
+  EXPECT_TRUE(federation->AddEndpoint(east).ok());
+  federation::EndpointConfig west;
+  west.id = "west";
+  west.menu["EHR"] = federation::DatasetTerms{1.0, 100};
+  EXPECT_TRUE(federation->AddEndpoint(west).ok());
+  std::vector<Row> rows;
+  for (int64_t rank = 1; rank <= 2000; ++rank) {
+    rows.push_back(Row{Value(rank), Value(static_cast<double>(rank) / 10)});
+  }
+  EXPECT_TRUE(federation->HostTable("Pollution", std::move(rows)).ok());
+  return federation;
+}
+
+/// The exact-closure assertions shared by the serial and threaded runs:
+/// every cell reconciles, the per-market actuals sum to the cell's actual,
+/// and the grand totals equal the cost ledger and the endpoint meters.
+void ExpectFederatedClosure(const Observability& obs, PayLess* client) {
+  EXPECT_TRUE(obs.savings.Reconciles());
+  int64_t cells_actual = 0;
+  for (const auto& [dataset, cell] : obs.savings.TenantByDataset("default")) {
+    EXPECT_EQ(cell.counterfactual, cell.actual + cell.savings) << dataset;
+    int64_t by_market = 0;
+    for (const auto& [site, txn] : cell.actual_by_market) by_market += txn;
+    EXPECT_EQ(by_market, cell.actual) << dataset;
+    cells_actual += cell.actual;
+  }
+  EXPECT_EQ(cells_actual, obs.savings.total_actual());
+  EXPECT_EQ(obs.savings.total_actual(), obs.ledger.total_transactions());
+  auto* router = client->router();
+  ASSERT_NE(router, nullptr);
+  EXPECT_EQ(obs.ledger.total_transactions(),
+            router->TotalMeteredTransactions());
+}
+
+TEST_F(SavingsAccountingTest, FederatedSerialWorkloadClosesPerMarketCell) {
+  auto federation = NewEhrFederation(&cat_);
+  Observability obs;
+  PayLessConfig config;
+  config.observability = &obs;
+  config.federation = federation.get();
+  PayLess client(&cat_, market_.get(), config);
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int64_t lo : {1, 301, 601, 901, 1201}) {
+      Result<QueryReport> r = client.QueryWithReport(
+          kRangeSql, {Value(lo), Value(lo + 199)});
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ASSERT_TRUE(r->error.ok()) << r->error.ToString();
+    }
+  }
+  ExpectFederatedClosure(obs, &client);
+  // Every purchase happened at the cheap buy-site.
+  for (const auto& [dataset, cell] : obs.savings.TenantByDataset("default")) {
+    for (const auto& [site, txn] : cell.actual_by_market) {
+      EXPECT_EQ(site, "east") << dataset;
+      EXPECT_GT(txn, 0);
+    }
+  }
+}
+
+TEST_F(SavingsAccountingTest, FederatedEightThreadsClosePerMarketCell) {
+  auto federation = NewEhrFederation(&cat_);
+  Observability obs;
+  PayLessConfig config;
+  config.observability = &obs;
+  config.federation = federation.get();
+  PayLess client(&cat_, market_.get(), config);
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const int64_t lo = 1 + ((t * kQueriesPerThread + i) * 131) % 1700;
+        Result<QueryReport> r = client.QueryWithReport(
+            kRangeSql, {Value(lo), Value(lo + 99)});
+        if (!r.ok() || !r->error.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ExpectFederatedClosure(obs, &client);
 }
 
 }  // namespace
