@@ -40,15 +40,29 @@ ABSOLUTE_MAX = {
     # endpoint whose page size differs; non-wasted spend must still land
     # within 1% of the fault-free run.
     "failover_divergence_pct": 1.0,
+    # Latency decomposition honesty: the wall-stage sums must account for
+    # the measured end-to-end latency — a gap is a stage the decomposition
+    # forgot. And the always-on flight recorder may not cost real qps.
+    "stage_sum_gap_pct": 5.0,
+    "recorder_overhead_pct": 5.0,
+}
+
+# Absolute floors, the MIN siblings of ABSOLUTE_MAX: the coalescing meter
+# runs an overlap-by-construction workload, so reporting zero opportunity
+# means the meter (not the workload) broke.
+ABSOLUTE_MIN = {
+    "coalescable_transactions": 1.0,
 }
 
 
 def capped_fields(node, path=""):
-    """Yields (json_path, key, value) for every absolutely-capped field."""
+    """Yields (json_path, key, value) for every absolutely-bounded field."""
     if isinstance(node, dict):
         for key, value in node.items():
             child = f"{path}.{key}" if path else key
-            if isinstance(value, (int, float)) and key in ABSOLUTE_MAX:
+            if isinstance(value, (int, float)) and (
+                key in ABSOLUTE_MAX or key in ABSOLUTE_MIN
+            ):
                 yield child, key, float(value)
             else:
                 yield from capped_fields(value, child)
@@ -98,9 +112,14 @@ def main(argv):
             print(f"MISSING {path}: capped field absent in current")
             failed = True
     for path, (key, value) in sorted(current_caps.items()):
-        cap = ABSOLUTE_MAX[key]
-        verdict = "FAIL" if value > cap else "ok"
-        print(f"{verdict:4} {path}: {value:.3f} (cap {cap:.1f})")
+        if key in ABSOLUTE_MAX:
+            cap = ABSOLUTE_MAX[key]
+            verdict = "FAIL" if value > cap else "ok"
+            print(f"{verdict:4} {path}: {value:.3f} (cap {cap:.1f})")
+        else:
+            floor = ABSOLUTE_MIN[key]
+            verdict = "FAIL" if value < floor else "ok"
+            print(f"{verdict:4} {path}: {value:.3f} (floor {floor:.1f})")
         failed = failed or verdict == "FAIL"
 
     if not baseline and not current_caps:

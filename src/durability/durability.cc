@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
+
 namespace payless::durability {
 
 namespace {
@@ -168,7 +170,13 @@ bool DurabilityManager::MaybeCrash(market::CrashPoint point) {
   const std::optional<market::CrashPlan> plan =
       options_.crash_injector->CrashAt(point);
   if (!plan.has_value()) return false;
-  if (plan->hard) std::_Exit(42);  // the real kill: no destructors, no flush
+  if (plan->hard) {
+    // Last words before the kill: the armed flight recorder (if any) dumps
+    // its ring with async-signal-safe writes — the only telemetry that
+    // survives a hard crash.
+    obs::FlightRecorder::DumpArmedRecorder();
+    std::_Exit(42);  // the real kill: no destructors, no flush
+  }
   dead_.store(true, std::memory_order_release);
   return true;
 }
@@ -213,7 +221,10 @@ void DurabilityManager::LogAndApply(const catalog::TableDef& def,
         options_.crash_injector->CrashAt(market::CrashPoint::kMidHarvestLog);
     if (mid.has_value()) {
       (void)wal_.AppendTorn(payload, mid->torn_bytes);
-      if (mid->hard) std::_Exit(42);
+      if (mid->hard) {
+        obs::FlightRecorder::DumpArmedRecorder();
+        std::_Exit(42);
+      }
       dead_.store(true, std::memory_order_release);
       apply(def, region, result.rows, result.num_records, epoch);
       return;

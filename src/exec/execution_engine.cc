@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <thread>
@@ -38,6 +39,13 @@ class RowSet {
   std::unordered_set<Row, RowHasher> seen_;
   std::vector<Row> rows_;
 };
+
+/// Microseconds elapsed since `start` — the stage-decomposition clock.
+int64_t StageMicros(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 size_t ResolveFanOut(const ExecConfig& config) {
   if (config.max_parallel_calls != 0) return config.max_parallel_calls;
@@ -627,13 +635,24 @@ Result<storage::Table> ExecutionEngine::Execute(const sql::BoundQuery& query,
   std::vector<storage::SchemaColumn> placed_cols;
   size_t width = 0;
 
+  // Stage decomposition (wall-clock partition): everything FetchRelation
+  // does — store reads, remainder generation, market calls — is `fetch`;
+  // running-join maintenance is `merge`; the final SELECT/GROUP BY is
+  // `local_eval`. These three plus the planner's stages sum to the query's
+  // end-to-end latency (small bookkeeping residue aside).
+  obs::QueryStageAccumulator* const stages = config.obs.stages;
   for (size_t a = 0; a < plan.accesses.size(); ++a) {
     const core::AccessSpec& access = plan.accesses[a];
+    const auto fetch_start = std::chrono::steady_clock::now();
     Result<storage::Table> fetched =
         FetchRelation(query, access, a, current, offsets, config, exec_stats);
+    if (stages != nullptr) {
+      stages->Add(obs::kStageFetch, StageMicros(fetch_start));
+    }
     PAYLESS_RETURN_IF_ERROR(fetched.status());
 
     // Maintain the running join columnar (it feeds later bind joins).
+    const auto merge_start = std::chrono::steady_clock::now();
     const ColumnTable filtered =
         FilterRelationColumns(query, access.rel, *fetched);
     std::vector<std::pair<size_t, size_t>> keys;
@@ -652,11 +671,20 @@ Result<storage::Table> ExecutionEngine::Execute(const sql::BoundQuery& query,
     for (const storage::SchemaColumn& col : fetched->schema().columns()) {
       placed_cols.push_back(col);
     }
+    if (stages != nullptr) {
+      stages->Add(obs::kStageMerge, StageMicros(merge_start));
+    }
   }
 
   // The running join already holds the complete filtered result: finish the
   // SELECT / GROUP BY directly over it instead of re-joining from scratch.
-  return EvaluateJoined(query, current, offsets, std::move(placed_cols));
+  const auto eval_start = std::chrono::steady_clock::now();
+  Result<storage::Table> result =
+      EvaluateJoined(query, current, offsets, std::move(placed_cols));
+  if (stages != nullptr) {
+    stages->Add(obs::kStageLocalEval, StageMicros(eval_start));
+  }
+  return result;
 }
 
 }  // namespace payless::exec

@@ -25,6 +25,41 @@ storage::Table PlanTextTable(const std::string& text) {
   return table;
 }
 
+int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Compact per-query flight-recorder entry: status, latency, stage
+/// decomposition and a span summary. Spans are truncated to the first
+/// kMaxFlightSpans (with the true total alongside) so the entry fits the
+/// recorder's fixed slot size even for wide bind joins.
+std::string FlightEntryJson(const std::string& tenant, uint64_t query_id,
+                            const QueryReport& report) {
+  constexpr size_t kMaxFlightSpans = 12;
+  std::ostringstream os;
+  os << "{\"kind\":\"query\",\"tenant\":\"" << tenant
+     << "\",\"query_id\":" << query_id << ",\"status\":\""
+     << Status::CodeName(report.error.code())
+     << "\",\"latency_us\":" << report.latency_us
+     << ",\"transactions\":" << report.transactions_spent << ",\"stages\":{";
+  for (int i = 0; i < obs::kNumQueryStages; ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << obs::QueryStageName(i) << "\":" << report.stage_micros[i];
+  }
+  os << "},\"spans\":[";
+  const size_t shown = std::min(report.trace.size(), kMaxFlightSpans);
+  for (size_t i = 0; i < shown; ++i) {
+    const obs::SpanRecord& span = report.trace[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"" << span.name << "\",\"dur_us\":"
+       << span.duration_micros << "}";
+  }
+  os << "],\"spans_total\":" << report.trace.size() << "}";
+  return os.str();
+}
+
 }  // namespace
 
 PayLess::PayLess(const catalog::Catalog* catalog,
@@ -56,6 +91,14 @@ PayLess::PayLess(const catalog::Catalog* catalog,
       "payless_query_latency_micros",
       {100, 250, 500, 1'000, 2'500, 5'000, 10'000, 25'000, 50'000, 100'000,
        250'000, 1'000'000, 5'000'000});
+  // HDR latency: exact-decodable log-scale buckets for the end-to-end tail
+  // and its per-stage decomposition. Recorded at the span boundaries but
+  // independent of tracing, so tracing-off deployments still see the tail.
+  metric_.latency_e2e = m.GetLatencyHistogram("payless_latency_e2e_micros");
+  for (int i = 0; i < obs::kNumQueryStages; ++i) {
+    metric_.stage[i] = m.GetLatencyHistogram(
+        std::string("payless_stage_") + obs::QueryStageName(i) + "_micros");
+  }
   // Store probe/eviction counters are wired unconditionally — coverage
   // telemetry must not depend on whether the introspection endpoint is up.
   metric_.store_hits = m.GetCounter("payless_store_hits_total");
@@ -76,12 +119,60 @@ PayLess::PayLess(const catalog::Catalog* catalog,
         catalog_, &stats_, config.optimizer);
   }
   connector_.SetRetryPolicy(config.retry);
+  // Scheduler/queue instrumentation and the coalescing-opportunity meter.
+  // Gauges and counters are shared across connectors (they are atomics, and
+  // the questions they answer — "how deep is the queue", "how many
+  // transactions would a dedup layer have saved" — are per-client, not
+  // per-endpoint).
+  market::SchedulerHooks sched_hooks;
+  sched_hooks.queue_depth = m.GetGauge("payless_sched_queue_depth");
+  sched_hooks.in_flight = m.GetGauge("payless_sched_in_flight");
+  sched_hooks.timer_heap = m.GetGauge("payless_sched_timer_heap");
+  sched_hooks.admission_wait =
+      m.GetLatencyHistogram("payless_sched_admission_wait_micros");
+  sched_hooks.coalescable_calls =
+      m.GetCounter("payless_coalescable_calls_total");
+  sched_hooks.coalescable_transactions =
+      m.GetCounter("payless_coalescable_transactions_total");
+  if (config.enable_flight_recorder) {
+    sched_hooks.recorder = &obs_->flight_recorder;
+  }
+  connector_.SetSchedulerHooks(sched_hooks);
+  // The base connector's RTT/backoff/SLO hooks (in federated mode it is
+  // only the prefetch fallback, but its latency is still worth seeing).
+  latency_slos_.push_back(
+      std::make_unique<obs::LatencySlo>(config.latency_slo));
+  {
+    market::MarketConnector::LatencyHooks lat;
+    lat.rtt = m.GetLatencyHistogram("payless_market_rtt_micros");
+    lat.backoff = m.GetLatencyHistogram("payless_retry_backoff_micros");
+    lat.slo = latency_slos_.back().get();
+    connector_.BindLatency(lat);
+  }
+  if (config.enable_flight_recorder &&
+      !config.flight_recorder_dump_path.empty()) {
+    // Arm the crash path: a durability-injected hard crash dumps the ring
+    // to this path before the process dies.
+    obs_->flight_recorder.ArmCrashDump(config.flight_recorder_dump_path);
+  }
   if (config_.federation != nullptr) {
     // One connector per endpoint, each billing its own meter under its own
     // market label — the ledger/meter reconciliation invariant then holds
     // per endpoint, not just in aggregate.
     router_ = std::make_unique<federation::EndpointRouter>(config_.federation);
     router_->SetRetryPolicy(config.retry);
+    for (size_t i = 0; i < router_->num_endpoints(); ++i) {
+      router_->connector(i)->SetSchedulerHooks(sched_hooks);
+      latency_slos_.push_back(
+          std::make_unique<obs::LatencySlo>(config.latency_slo));
+      // Per-endpoint RTT + SLO: /markets renders each endpoint's latency
+      // health (tail + burn rate) next to its breaker states.
+      router_->BindLatency(
+          i,
+          m.GetLatencyHistogram("payless_market_rtt_micros_" +
+                                router_->endpoint_id(i)),
+          latency_slos_.back().get());
+    }
     if (savings_accountant_ != nullptr) {
       // The counterfactual becomes "the cheapest SINGLE market" — priced
       // per endpoint against that endpoint's menu; the federation's edge
@@ -224,7 +315,18 @@ Result<QueryReport> PayLess::QueryWithReport(const std::string& sql,
       admission.status.ok()
           ? QueryWithReportImpl(sql, params, query_id)
           : Result<QueryReport>(admission.status);
-  if (!admission.status.ok()) metric_.budget_rejections->Add(1);
+  if (!admission.status.ok()) {
+    metric_.budget_rejections->Add(1);
+    if (config_.enable_flight_recorder) {
+      std::ostringstream os;
+      os << "{\"kind\":\"budget_rejection\",\"tenant\":\"" << config_.tenant
+         << "\",\"query_id\":" << query_id << ",\"gate\":1}";
+      obs_->flight_recorder.Record(os.str());
+      if (!config_.flight_recorder_dump_path.empty()) {
+        obs_->flight_recorder.DumpTo(config_.flight_recorder_dump_path);
+      }
+    }
+  }
 
   metric_.query_latency_micros->Observe(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -239,6 +341,12 @@ Result<QueryReport> PayLess::QueryWithReport(const std::string& sql,
 Result<QueryReport> PayLess::QueryWithReportImpl(
     const std::string& sql, const std::vector<Value>& params,
     uint64_t query_id) {
+  const auto impl_start = std::chrono::steady_clock::now();
+  // Wall-stage decomposition of this query; lives on this frame and is
+  // threaded through the executor (and from there the scheduler/connector)
+  // via CallObs. Works with tracing off — the recording points are the
+  // same code boundaries the spans mark, not the spans themselves.
+  obs::QueryStageAccumulator stages;
   // The trace lives on this frame; on early (pre-execution) error returns
   // it is simply dropped — those queries have no report to carry it.
   obs::Trace trace_storage;
@@ -312,16 +420,20 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
   QueryReport report;
   bool cache_hit = false;
   obs::Counterfactual cf;
+  int64_t probe_micros = 0;
   {
     obs::ScopedSpan plan_span(trace, "plan", root);
     std::string cache_key;
     const uint64_t drift_epoch = accuracy_.drift_epoch();
+    std::shared_ptr<const core::CachedPlan> cached;
     if (config_.enable_plan_cache) {
+      const auto probe_start = std::chrono::steady_clock::now();
       cache_key = core::PlanCache::MakeKey(core::NormalizeSqlTemplate(sql),
                                            params, drift_epoch,
                                            opt_options.min_epoch);
-      if (std::shared_ptr<const core::CachedPlan> cached =
-              plan_cache_.Lookup(cache_key)) {
+      cached = plan_cache_.Lookup(cache_key);
+      probe_micros = MicrosSince(probe_start);
+      if (cached != nullptr) {
         report.plan = cached->plan;
         report.counters = cached->counters;
         // The counterfactual rides in the template: a hit reports exactly
@@ -357,6 +469,10 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
     plan_span.AddAttr("cache_hit", static_cast<int64_t>(cache_hit ? 1 : 0));
     plan_span.AddAttr("est_transactions", report.plan.est_cost);
   }
+  // Everything since entry minus the probe is parse + bind + optimize —
+  // the plan-side half of the wall-stage partition.
+  stages.Add(obs::kStagePlanCacheProbe, probe_micros);
+  stages.Add(obs::kStageParsePlan, MicrosSince(impl_start) - probe_micros);
   report.counters.plan_cache_hits = cache_hit ? 1 : 0;
   report.counters.plan_cache_misses =
       (config_.enable_plan_cache && !cache_hit) ? 1 : 0;
@@ -372,6 +488,18 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
       obs_->governor.Admit(config_.tenant, report.plan.est_cost);
   if (!admission.status.ok()) {
     metric_.budget_rejections->Add(1);
+    if (config_.enable_flight_recorder) {
+      // A budget rejection is exactly the moment an operator wants the
+      // recent history: record it and dump the ring when a path is set.
+      std::ostringstream os;
+      os << "{\"kind\":\"budget_rejection\",\"tenant\":\"" << config_.tenant
+         << "\",\"query_id\":" << query_id
+         << ",\"est_transactions\":" << report.plan.est_cost << "}";
+      obs_->flight_recorder.Record(os.str());
+      if (!config_.flight_recorder_dump_path.empty()) {
+        obs_->flight_recorder.DumpTo(config_.flight_recorder_dump_path);
+      }
+    }
     return admission.status;
   }
   report.budget_warning = admission.soft_warning;
@@ -392,6 +520,7 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
   exec_config.obs.query_id = query_id;
   exec_config.obs.ledger = &obs_->ledger;
   exec_config.obs.trace = trace;
+  exec_config.obs.stages = &stages;
   uint64_t exec_span = 0;
   if (trace != nullptr) exec_span = trace->StartSpan("execute", root);
   exec_config.obs.parent_span = exec_span;
@@ -410,6 +539,16 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
   // attribution, window feed, metrics, and the closed trace.
   const auto finish_report = [&] {
     report.query_id = query_id;
+    report.latency_us = MicrosSince(impl_start);
+    for (int i = 0; i < obs::kNumQueryStages; ++i) {
+      report.stage_micros[i] = stages.micros(i);
+    }
+    metric_.latency_e2e->Record(report.latency_us);
+    for (int i = 0; i < obs::kNumQueryStages; ++i) {
+      if (report.stage_micros[i] > 0) {
+        metric_.stage[i]->Record(report.stage_micros[i]);
+      }
+    }
     obs_->governor.RecordSpend(config_.tenant, report.transactions_spent);
     report.transactions_by_dataset =
         obs_->ledger.DatasetBreakdown(config_.tenant, query_id);
@@ -449,6 +588,16 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
         obs_->trace_sink->Emit(config_.tenant, query_id, report.trace);
       }
     }
+    if (config_.enable_flight_recorder) {
+      // Always-on last-N ring: one compact entry per completed query,
+      // after the trace closed so the span summary is final. A failed
+      // query additionally dumps the whole ring when a path is set.
+      obs_->flight_recorder.Record(
+          FlightEntryJson(config_.tenant, query_id, report));
+      if (!report.error.ok() && !config_.flight_recorder_dump_path.empty()) {
+        obs_->flight_recorder.DumpTo(config_.flight_recorder_dump_path);
+      }
+    }
   };
 
   // EXPLAIN ANALYZE: join the measured per-access actuals (rows, calls,
@@ -468,6 +617,8 @@ Result<QueryReport> PayLess::QueryWithReportImpl(
     context.transactions_spent = report.transactions_spent;
     context.counterfactual_transactions = report.counterfactual_transactions;
     context.savings_transactions = report.savings_transactions;
+    context.latency_us = report.latency_us;
+    context.stage_micros = report.stage_micros;
     report.plan_text = obs::RenderExplain(report.plan, *bound, context);
     report.result = PlanTextTable(report.plan_text);
   };
@@ -723,6 +874,18 @@ void PayLess::RegisterIntrospection(obs::HttpExpositionServer* server,
       json += ",\"placement\":" + placement_->StatsJson() + "}";
     }
     return obs::HttpReply::Json(std::move(json));
+  });
+  // Tail-latency decomposition: every HDR histogram in the registry
+  // (end-to-end, per stage, market RTT per endpoint, admission wait) as
+  // {count, sum, p50/p95/p99/p999}.
+  server->AddRoute("/latency", [this](const std::string&) {
+    return obs::HttpReply::Json(obs_->metrics.LatencyJson());
+  });
+  // The flight recorder's ring: the last N completed query traces and
+  // scheduler batch events, newest last — what just happened, even when
+  // nobody was watching.
+  server->AddRoute("/flightrecorder", [this](const std::string&) {
+    return obs::HttpReply::Json(obs_->flight_recorder.ToJson());
   });
 }
 

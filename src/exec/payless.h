@@ -130,6 +130,21 @@ struct PayLessConfig {
   int64_t placement_capacity_bytes = 0;
   /// Background placement cadence; 0 = manual (placement()->Tick()).
   int64_t placement_tick_interval_micros = 0;
+  /// Keep the always-on flight recorder fed: every completed query writes a
+  /// compact trace entry (status, latency, stage decomposition, span
+  /// summary) into the observability context's fixed ring, and the
+  /// scheduler records batch events next to them. Independent of
+  /// enable_tracing; costs one ring write per query.
+  bool enable_flight_recorder = true;
+  /// When non-empty: a failed query or a budget rejection dumps the flight
+  /// recorder ring (JSON) to this path, and the ring is armed for the
+  /// durability crash path so a hard crash dumps it too. Last writer wins
+  /// when several clients share one path.
+  std::string flight_recorder_dump_path;
+  /// Per-endpoint market-RTT latency objective: every attempt's round trip
+  /// is judged against `target_micros`, and /markets renders the rolling
+  /// burn rate next to the endpoint's breaker states.
+  obs::LatencySlo::Options latency_slo;
 };
 
 /// Everything a query returns besides the rows.
@@ -157,6 +172,14 @@ struct QueryReport {
   /// the realized delta vs `transactions_spent`. -1 = not accounted.
   int64_t counterfactual_transactions = -1;
   int64_t savings_transactions = 0;
+  /// End-to-end wall latency of this query in microseconds, and its
+  /// decomposition by obs::QueryStage. The first obs::kNumWallStages
+  /// entries partition `latency_us` (parse/plan, plan-cache probe, fetch,
+  /// local eval, merge — small bookkeeping residue aside); the remaining
+  /// entries (scheduler admission, market RTT, retry backoff) detail where
+  /// the fetch stage went and may overlap each other under parallelism.
+  int64_t latency_us = 0;
+  int64_t stage_micros[obs::kNumQueryStages] = {};
   /// Structured per-query trace (empty when tracing is disabled): parse,
   /// optimize/plan-cache, execution, per-access and per-market-call spans
   /// with dataset, binding values, transactions and retry/waste attributes.
@@ -333,6 +356,10 @@ class PayLess {
     obs::Counter* plan_cache_hits = nullptr;
     obs::Counter* plan_cache_misses = nullptr;
     obs::Histogram* query_latency_micros = nullptr;
+    /// HDR end-to-end latency + per-stage decomposition (tail-exact
+    /// percentiles, recorded whether or not tracing is on).
+    obs::LatencyHistogram* latency_e2e = nullptr;
+    obs::LatencyHistogram* stage[obs::kNumQueryStages] = {};
     obs::Counter* store_hits = nullptr;       // bound into the store
     obs::Counter* store_misses = nullptr;     // (probe outcome counters)
     obs::Counter* store_evictions = nullptr;
@@ -359,6 +386,10 @@ class PayLess {
   std::unique_ptr<obs::SavingsAccountant> savings_accountant_;
   /// Per-endpoint connectors + routing; null in single-market mode.
   std::unique_ptr<federation::EndpointRouter> router_;
+  /// Market-RTT latency objectives: one per endpoint (index-aligned with
+  /// the router), or a single entry in single-market mode. Owned here —
+  /// the registry owns histograms, SLO policy objects live with the client.
+  std::vector<std::unique_ptr<obs::LatencySlo>> latency_slos_;
   /// Capacity-budget slab placement; null when not configured. Declared
   /// after store_/durability_/router_ so its background thread is joined
   /// before anything it reads is torn down.

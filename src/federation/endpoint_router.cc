@@ -1,6 +1,7 @@
 #include "federation/endpoint_router.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <set>
 #include <sstream>
@@ -35,7 +36,20 @@ EndpointRouter::EndpointRouter(FederatedMarket* federation)
         endpoint->config().simulated_latency_micros);
     connectors_.push_back(std::move(connector));
     routed_calls_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    rtt_.push_back(nullptr);
+    slos_.push_back(nullptr);
   }
+}
+
+void EndpointRouter::BindLatency(size_t i, obs::LatencyHistogram* rtt,
+                                 obs::LatencySlo* slo) {
+  if (i >= connectors_.size()) return;
+  rtt_[i] = rtt;
+  slos_[i] = slo;
+  market::MarketConnector::LatencyHooks hooks;
+  hooks.rtt = rtt;
+  hooks.slo = slo;
+  connectors_[i]->BindLatency(hooks);
 }
 
 size_t EndpointRouter::IndexOf(const std::string& endpoint_id) const {
@@ -158,7 +172,25 @@ std::string EndpointRouter::StatsJson() const {
       os << "\"" << dataset << "\":\""
          << BreakerStateName(connectors_[i]->breaker_state(dataset)) << "\"";
     }
-    os << "}}";
+    os << "}";
+    // Latency health next to breaker state: the endpoint's RTT tail and
+    // its SLO burn rate over the active window.
+    if (i < slos_.size() && slos_[i] != nullptr) {
+      const obs::LatencySlo& slo = *slos_[i];
+      char burn[32];
+      std::snprintf(burn, sizeof(burn), "%.3f", slo.BurnRate());
+      os << ",\"latency\":{\"target_us\":" << slo.target_micros()
+         << ",\"objective\":" << slo.objective()
+         << ",\"window_total\":" << slo.window_total()
+         << ",\"window_breaches\":" << slo.window_breaches()
+         << ",\"burn_rate\":" << burn;
+      if (i < rtt_.size() && rtt_[i] != nullptr) {
+        os << ",\"rtt_p50_us\":" << rtt_[i]->ValueAtQuantile(0.50)
+           << ",\"rtt_p99_us\":" << rtt_[i]->ValueAtQuantile(0.99);
+      }
+      os << "}";
+    }
+    os << "}";
   }
   os << "],\"failovers\":" << failovers_.load(std::memory_order_relaxed)
      << "}";

@@ -32,6 +32,7 @@
 #include "core/federation.h"
 #include "federation/market_endpoint.h"
 #include "market/data_market.h"
+#include "obs/latency.h"
 
 namespace payless::federation {
 
@@ -68,6 +69,13 @@ class EndpointRouter {
   /// Fan-out to every endpoint connector (setup-time).
   void SetRetryPolicy(const market::RetryPolicy& policy);
   void AddListener(market::MarketConnector::Listener listener);
+
+  /// Latency health per endpoint (setup-time): `rtt` receives every
+  /// attempt's round trip, `slo` judges each against its target and feeds
+  /// the burn-rate column of /markets. The router keeps the handles so
+  /// StatsJson can render latency next to breaker state; ownership stays
+  /// with the caller (the registry / the PayLess client).
+  void BindLatency(size_t i, obs::LatencyHistogram* rtt, obs::LatencySlo* slo);
 
   /// Point-in-time buy-site menu: every endpoint's terms for every
   /// dataset, with `live` reflecting the endpoint's breaker state for that
@@ -106,6 +114,9 @@ class EndpointRouter {
   FederatedMarket* federation_;
   std::vector<std::unique_ptr<market::MarketConnector>> connectors_;
   std::vector<std::unique_ptr<std::atomic<int64_t>>> routed_calls_;
+  /// Per-endpoint latency handles (not owned); nullptr until bound.
+  std::vector<obs::LatencyHistogram*> rtt_;
+  std::vector<obs::LatencySlo*> slos_;
   std::atomic<int64_t> failovers_{0};
 };
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "obs/cost_ledger.h"
+#include "obs/latency.h"
 #include "obs/trace.h"
 
 namespace payless::market {
@@ -28,6 +29,10 @@ struct CallObs {
   obs::Trace* trace = nullptr;
   /// Parent span id for the call spans the connector opens (0 = root).
   uint64_t parent_span = 0;
+  /// Per-query stage decomposition target; nullptr = no stage attribution.
+  /// The scheduler adds admission waits, the connector adds per-attempt
+  /// RTTs and backoff sleeps.
+  obs::QueryStageAccumulator* stages = nullptr;
 };
 
 }  // namespace payless::market

@@ -27,8 +27,11 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,7 +48,11 @@ class CallScheduler {
     const CallObs* call_obs = nullptr;
   };
 
-  explicit CallScheduler(MarketConnector* connector);
+  /// `hooks` (all members optional) instruments the scheduler's internals:
+  /// queue-depth / in-flight / timer-heap gauges, admission-wait histogram,
+  /// and the coalescing-opportunity meter.
+  explicit CallScheduler(MarketConnector* connector,
+                         const SchedulerHooks& hooks = SchedulerHooks{});
 
   CallScheduler(const CallScheduler&) = delete;
   CallScheduler& operator=(const CallScheduler&) = delete;
@@ -79,6 +86,12 @@ class CallScheduler {
     size_t max_in_flight = 1;
     bool cancel_on_error = false;
     bool failed = false;  // a finished item failed; cancel the unadmitted
+    Clock::time_point submitted{};  // admission-wait reference point
+    /// Per-item call signatures (RestCall::ToString: table + conditions)
+    /// for the coalescing meter; empty when the meter is off.
+    std::vector<std::string> sigs;
+    /// Item was admitted while an identical call was already in flight.
+    std::vector<uint8_t> coalescable;
     std::condition_variable done;
   };
 
@@ -104,10 +117,15 @@ class CallScheduler {
   void Loop();
 
   MarketConnector* const connector_;
+  const SchedulerHooks hooks_;
 
   std::mutex mutex_;
   std::condition_variable loop_cv_;
   std::vector<Timer> timers_;  // min-heap on `due`
+  /// Signature -> number of identical calls currently inside the in-flight
+  /// window, across all batches (guarded by `mutex_`). Feeds the
+  /// coalescing-opportunity meter; empty when the meter is off.
+  std::map<std::string, int> inflight_sigs_;
   bool stop_ = false;
   std::thread loop_thread_;
 };

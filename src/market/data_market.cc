@@ -254,7 +254,7 @@ MarketConnector::~MarketConnector() = default;
 
 CallScheduler* MarketConnector::scheduler() {
   std::call_once(scheduler_once_, [this] {
-    scheduler_ = std::make_unique<CallScheduler>(this);
+    scheduler_ = std::make_unique<CallScheduler>(this, scheduler_hooks_);
   });
   return scheduler_.get();
 }
@@ -354,7 +354,9 @@ int64_t MarketConnector::BeginAttempt(CallTask* t) {
   }
   ++t->span_attempts;
   if (t->attempt > 1) ++t->span_retries;
-  if (Clock::now() >= t->effective) {
+  const Clock::time_point now = Clock::now();
+  t->attempt_start = now;  // RTT clock: BeginAttempt -> CompleteAttempt
+  if (now >= t->effective) {
     std::lock_guard<std::mutex> lock(retry_stats_mutex_);
     ++retry_stats_.deadline_exceeded;
     ++retry_stats_.failed_calls;
@@ -382,6 +384,21 @@ int64_t MarketConnector::BeginAttempt(CallTask* t) {
 }
 
 int64_t MarketConnector::CompleteAttempt(CallTask* t) {
+  // Per-attempt market RTT: everything between BeginAttempt and now — the
+  // simulated round trip, injected spikes, and however long the driver let
+  // the timer sit. Recorded for every attempt, successful or not, so the
+  // tail reflects what callers actually waited.
+  if (t->attempt_start != kNoDeadline) {
+    const int64_t rtt_micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - t->attempt_start)
+            .count();
+    if (latency_.rtt != nullptr) latency_.rtt->Record(rtt_micros);
+    if (latency_.slo != nullptr) latency_.slo->Record(rtt_micros);
+    if (t->call_obs != nullptr && t->call_obs->stages != nullptr) {
+      t->call_obs->stages->Add(obs::kStageMarketRtt, rtt_micros);
+    }
+  }
   switch (t->fault.kind) {
     case FaultKind::kTransientDrop:
       // Dropped before the market saw it: nothing evaluated, nothing
@@ -508,6 +525,12 @@ int64_t MarketConnector::CompleteAttempt(CallTask* t) {
                                     t->last_error.message()),
            "deadline");
     return 0;
+  }
+  if (delay > 0) {
+    if (latency_.backoff != nullptr) latency_.backoff->Record(delay);
+    if (t->call_obs != nullptr && t->call_obs->stages != nullptr) {
+      t->call_obs->stages->Add(obs::kStageBackoffWait, delay);
+    }
   }
   return delay;
 }

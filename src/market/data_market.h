@@ -29,6 +29,8 @@
 #include "market/fault_injector.h"
 #include "market/resilience.h"
 #include "market/rest_call.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "storage/table.h"
 
 namespace payless::market {
@@ -179,6 +181,22 @@ class DataMarket {
 /// SetFaultInjector are setup-time: call them before serving traffic.
 class CallScheduler;
 
+/// Observability handles for the event-loop CallScheduler. Every member is
+/// optional (nullptr = not recorded); all are pre-resolved registry handles
+/// so the scheduler's hot path never takes the registry mutex.
+struct SchedulerHooks {
+  obs::Gauge* queue_depth = nullptr;  // submitted items awaiting admission
+  obs::Gauge* in_flight = nullptr;    // items inside the in-flight window
+  obs::Gauge* timer_heap = nullptr;   // armed timers on the min-heap
+  obs::LatencyHistogram* admission_wait = nullptr;
+  /// Coalescing-opportunity meter: calls admitted while a byte-identical
+  /// (table, conditions) call was already in flight, and the transactions
+  /// a dedup layer would have saved on them.
+  obs::Counter* coalescable_calls = nullptr;
+  obs::Counter* coalescable_transactions = nullptr;
+  obs::FlightRecorder* recorder = nullptr;  // batch-completion events
+};
+
 class MarketConnector {
  public:
   using Listener = std::function<void(const RestCall&, const CallResult&)>;
@@ -209,6 +227,7 @@ class MarketConnector {
     Clock::time_point effective = kNoDeadline;
     int attempt = 0;
     int max_attempts = 1;
+    Clock::time_point attempt_start = kNoDeadline;  // RTT measurement
     int64_t backoff = 0;
     uint64_t jitter_state = 0;  // per-call splitmix64 stream, lock-free
     FaultDecision fault;
@@ -289,6 +308,23 @@ class MarketConnector {
   void SetMarketLabel(std::string label) { market_label_ = std::move(label); }
   const std::string& market_label() const { return market_label_; }
 
+  /// Latency instrumentation handles, all optional. Setup-time: bind
+  /// before serving traffic. `rtt` and `slo` see every attempt's round
+  /// trip (tagged per endpoint by giving each connector its own handles);
+  /// `backoff` sees every retry sleep the connector schedules.
+  struct LatencyHooks {
+    obs::LatencyHistogram* rtt = nullptr;
+    obs::LatencyHistogram* backoff = nullptr;
+    obs::LatencySlo* slo = nullptr;
+  };
+  void BindLatency(const LatencyHooks& hooks) { latency_ = hooks; }
+
+  /// Observability handles handed to the lazily-created CallScheduler.
+  /// Setup-time: must be called before the first scheduler() use.
+  void SetSchedulerHooks(const SchedulerHooks& hooks) {
+    scheduler_hooks_ = hooks;
+  }
+
   const BillingMeter& meter() const { return meter_; }
   BillingMeter* mutable_meter() { return &meter_; }
 
@@ -324,6 +360,8 @@ class MarketConnector {
   RetryStats retry_stats_;
   /// Distinguishes concurrent calls' jitter streams (seed ^ sequence).
   std::atomic<uint64_t> jitter_sequence_{0};
+  LatencyHooks latency_;
+  SchedulerHooks scheduler_hooks_;
   std::once_flag scheduler_once_;
   std::unique_ptr<CallScheduler> scheduler_;
 };

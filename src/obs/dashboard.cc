@@ -143,6 +143,9 @@ std::string DashboardHtml() {
   <div class="tile"><div class="label">Federation</div>
     <div class="value" id="t-fed">–</div>
     <div class="delta" id="t-fed-d">–</div></div>
+  <div class="tile"><div class="label">Latency p50 / p99</div>
+    <div class="value" id="t-lat">–</div>
+    <div class="delta" id="t-lat-d">–</div></div>
 </div>
 
 <div class="grid">
@@ -167,6 +170,11 @@ std::string DashboardHtml() {
         <th>covered</th><th class="num">hit rate</th></tr></thead>
       <tbody></tbody>
     </table>
+  </div>
+  <div class="card">
+    <h2>Latency by stage (p99, µs)</h2>
+    <div id="stagebars"></div>
+    <div class="axisnote">flight recorder: <span id="fr">–</span></div>
   </div>
   <div class="card">
     <h2>Estimator q-error (last observed ×100)</h2>
@@ -305,6 +313,47 @@ function renderFederation(fed) {
   delta.className = "delta" + (open > 0 ? " bad" : "");
 }
 
+function renderLatency(lat, recorder) {
+  const hists = (lat && lat.histograms) || {};
+  const e2e = hists.payless_latency_e2e_micros;
+  const val = $("t-lat"), delta = $("t-lat-d");
+  if (!e2e || !e2e.count) {
+    val.textContent = "–";
+    delta.textContent = "no queries yet";
+  } else {
+    const ms = (us) => (us / 1000).toFixed(1);
+    val.textContent = ms(e2e.p50) + " / " + ms(e2e.p99) + " ms";
+    delta.textContent = "p999 " + ms(e2e.p999) + " ms · " +
+        fmt(e2e.count) + " queries";
+  }
+  const stages = Object.entries(hists)
+      .filter(([n, h]) => n.startsWith("payless_stage_") && h.count > 0)
+      .map(([n, h]) => [n.replace("payless_stage_", "")
+                         .replace("_micros", ""), h.p99])
+      .sort((a, b) => b[1] - a[1]);
+  if (!stages.length) {
+    $("stagebars").innerHTML =
+        '<div class="stale">no stage timings yet</div>';
+  } else {
+    const max = Math.max(...stages.map(([, v]) => v));
+    $("stagebars").innerHTML = stages.map(([name, v]) => {
+      const pct = Math.max(2, 100 * v / max);
+      return '<div class="barrow"><span class="name">' + name +
+          '</span><span class="trough"><i style="left:0;width:' +
+          pct.toFixed(1) + '%"></i></span><span class="val">' + fmt(v) +
+          "</span></div>";
+    }).join("");
+  }
+  if (recorder) {
+    const dropped = recorder.dropped || 0;
+    $("fr").textContent = fmt((recorder.entries || []).length) +
+        " entries in ring · " + fmt(recorder.recorded || 0) +
+        " recorded" + (dropped ? " · " + fmt(dropped) + " dropped" : "");
+  } else {
+    $("fr").textContent = "off";
+  }
+}
+
 async function renderQError(index) {
   const names = (index.series || [])
       .filter((n) => n.startsWith("payless_qerror_last_x100_")).slice(0, 3);
@@ -354,6 +403,14 @@ async function refresh() {
     // client; keep the rest of the dashboard live when it is absent.
     try { renderFederation(await getJson("/markets")); }
     catch (e) { renderFederation(null); }
+    // Same for /latency and /flightrecorder (RegisterIntrospection wires
+    // both; the recorder may additionally be disabled by config).
+    try {
+      const lat = await getJson("/latency");
+      let rec = null;
+      try { rec = await getJson("/flightrecorder"); } catch (e) {}
+      renderLatency(lat, rec);
+    } catch (e) { renderLatency(null, null); }
     const [actual, cfs] = await Promise.all([
       series("payless_transactions_total"),
       series("payless_counterfactual_transactions_total"),

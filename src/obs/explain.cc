@@ -161,6 +161,29 @@ std::string RenderExplain(const core::Plan& plan, const sql::BoundQuery& query,
     }
     os << "\n";
   }
+  if (context.latency_us >= 0) {
+    char buf[160];
+    if (context.stage_micros != nullptr) {
+      const double plan_ms =
+          static_cast<double>(context.stage_micros[kStageParsePlan] +
+                              context.stage_micros[kStagePlanCacheProbe]) /
+          1000.0;
+      const double market_ms =
+          static_cast<double>(context.stage_micros[kStageFetch]) / 1000.0;
+      const double eval_ms =
+          static_cast<double>(context.stage_micros[kStageLocalEval] +
+                              context.stage_micros[kStageMerge]) /
+          1000.0;
+      std::snprintf(buf, sizeof(buf),
+                    "latency: %.1f ms (plan %.1f, market %.1f, eval %.1f)\n",
+                    static_cast<double>(context.latency_us) / 1000.0, plan_ms,
+                    market_ms, eval_ms);
+    } else {
+      std::snprintf(buf, sizeof(buf), "latency: %.1f ms\n",
+                    static_cast<double>(context.latency_us) / 1000.0);
+    }
+    os << buf;
+  }
   return os.str();
 }
 

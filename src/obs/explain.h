@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/plan.h"
+#include "obs/latency.h"
 #include "obs/trace.h"
 #include "sql/bound_query.h"
 #include "stats/estimator.h"
@@ -66,6 +67,13 @@ struct ExplainContext {
   /// rendered only when counterfactual_transactions >= 0.
   int64_t counterfactual_transactions = -1;
   int64_t savings_transactions = 0;
+  /// ANALYZE: end-to-end wall latency in microseconds (< 0 omits the
+  /// footer) and — when set — its stage decomposition: an array of
+  /// kNumQueryStages entries indexed by QueryStage. The footer folds the
+  /// wall stages into plan (parse/plan + cache probe), market (fetch) and
+  /// eval (local eval + merge).
+  int64_t latency_us = -1;
+  const int64_t* stage_micros = nullptr;
 };
 
 /// Full EXPLAIN [ANALYZE] text: RenderPlan plus planning counters, stats

@@ -1,0 +1,158 @@
+#include "obs/latency.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace payless::obs {
+
+namespace {
+
+/// Position of the highest set bit (floor(log2(v))) for v >= 1.
+inline int HighBit(int64_t v) {
+  return 63 - __builtin_clzll(static_cast<uint64_t>(v));
+}
+
+inline int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int LatencyHistogram::BucketIndex(int64_t micros) {
+  if (micros < kSubCount) return micros < 0 ? 0 : static_cast<int>(micros);
+  if (micros >= (int64_t{1} << kMaxBits)) return kNumBuckets - 1;
+  const int m = HighBit(micros);  // in [kSubBits, kMaxBits - 1]
+  const int sub =
+      static_cast<int>((micros >> (m - kSubBits)) - kSubCount);  // [0, 31]
+  return kSubCount + (m - kSubBits) * kSubCount + sub;
+}
+
+int64_t LatencyHistogram::BucketLow(int index) {
+  if (index < kSubCount) return index;
+  const int b = index - kSubCount;
+  const int scale = b / kSubCount;  // m - kSubBits
+  const int sub = b % kSubCount;
+  return static_cast<int64_t>(kSubCount + sub) << scale;
+}
+
+int64_t LatencyHistogram::BucketHigh(int index) {
+  if (index < kSubCount) return index;
+  const int scale = (index - kSubCount) / kSubCount;
+  return BucketLow(index) + (int64_t{1} << scale) - 1;
+}
+
+void LatencyHistogram::Record(int64_t micros) {
+  if (micros < 0) micros = 0;
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation, 1-based: the smallest rank covering a
+  // q fraction of the data (q=0.5 over 10 obs -> rank 5, q=0.999 -> 10).
+  int64_t rank =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return BucketHigh(i);
+  }
+  return BucketHigh(kNumBuckets - 1);
+}
+
+const char* QueryStageName(int stage) {
+  switch (stage) {
+    case kStageParsePlan:
+      return "parse_plan";
+    case kStagePlanCacheProbe:
+      return "plan_cache_probe";
+    case kStageFetch:
+      return "fetch";
+    case kStageLocalEval:
+      return "local_eval";
+    case kStageMerge:
+      return "merge";
+    case kStageAdmissionWait:
+      return "sched_admission";
+    case kStageMarketRtt:
+      return "market_rtt";
+    case kStageBackoffWait:
+      return "retry_backoff";
+  }
+  return "unknown";
+}
+
+LatencySlo::LatencySlo(const Options& options)
+    : options_(options), window_start_micros_(SteadyNowMicros()) {}
+
+int LatencySlo::ActiveIndex(int64_t now_micros) {
+  const int64_t start = window_start_micros_.load(std::memory_order_acquire);
+  if (now_micros - start >= options_.window_micros) {
+    int64_t expected = start;
+    if (window_start_micros_.compare_exchange_strong(
+            expected, now_micros, std::memory_order_acq_rel)) {
+      // This thread won the rotation: flip to the other slot and zero it.
+      // Concurrent recorders may land a stray observation in either slot
+      // around the flip; the SLO is an observability signal, not a ledger.
+      const int next = current_.load(std::memory_order_relaxed) ^ 1;
+      windows_[next].total.store(0, std::memory_order_relaxed);
+      windows_[next].breaches.store(0, std::memory_order_relaxed);
+      current_.store(next, std::memory_order_release);
+    }
+  }
+  return current_.load(std::memory_order_acquire);
+}
+
+void LatencySlo::Record(int64_t latency_micros) {
+  Window& w = windows_[ActiveIndex(SteadyNowMicros())];
+  w.total.fetch_add(1, std::memory_order_relaxed);
+  if (latency_micros > options_.target_micros) {
+    w.breaches.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+int64_t LatencySlo::window_total() const {
+  const int cur = current_.load(std::memory_order_acquire);
+  int64_t total = windows_[cur].total.load(std::memory_order_relaxed);
+  if (total == 0) {
+    total = windows_[cur ^ 1].total.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t LatencySlo::window_breaches() const {
+  const int cur = current_.load(std::memory_order_acquire);
+  if (windows_[cur].total.load(std::memory_order_relaxed) > 0) {
+    return windows_[cur].breaches.load(std::memory_order_relaxed);
+  }
+  return windows_[cur ^ 1].breaches.load(std::memory_order_relaxed);
+}
+
+double LatencySlo::BurnRate() const {
+  const int cur = current_.load(std::memory_order_acquire);
+  int64_t total = windows_[cur].total.load(std::memory_order_relaxed);
+  int64_t breaches = windows_[cur].breaches.load(std::memory_order_relaxed);
+  if (total == 0) {
+    total = windows_[cur ^ 1].total.load(std::memory_order_relaxed);
+    breaches = windows_[cur ^ 1].breaches.load(std::memory_order_relaxed);
+  }
+  if (total == 0) return 0.0;
+  const double budget = 1.0 - options_.objective;
+  if (budget <= 0.0) return 0.0;
+  return (static_cast<double>(breaches) / static_cast<double>(total)) /
+         budget;
+}
+
+}  // namespace payless::obs

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/latency.h"
+
 namespace payless::obs {
 
 /// Monotonically increasing event count.
@@ -59,6 +61,9 @@ class Histogram {
   const std::vector<int64_t>& bounds() const { return bounds_; }
   /// Per-bucket counts, bounds-order then the +inf bucket (size = bounds+1).
   std::vector<int64_t> BucketCounts() const;
+  /// Upper bound of the bucket holding the q-quantile observation; the
+  /// +inf bucket reports the last finite bound. 0 when empty.
+  int64_t ValueAtQuantile(double q) const;
 
  private:
   std::vector<int64_t> bounds_;
@@ -82,17 +87,27 @@ class MetricsRegistry {
   /// histogram the bounds argument is ignored (the first registration wins).
   Histogram* GetHistogram(const std::string& name,
                           std::vector<int64_t> bounds);
+  /// Log-scale HDR histogram for tail latencies (see obs/latency.h). Same
+  /// create-or-get and handle-stability contract as the other instruments.
+  LatencyHistogram* GetLatencyHistogram(const std::string& name);
 
   /// {"counters": {name: value}, "gauges": {...}, "histograms": {name:
   /// {"count": c, "sum": s, "buckets": [{"le": bound, "count": n}, ...]}}}
   std::string ToJson() const;
 
   /// Flat (name, value) snapshot of every scalar the registry knows:
-  /// counters and gauges verbatim, histograms as derived `<name>_count` /
-  /// `<name>_sum` scalars. One registry-mutex hold, relaxed atomic reads —
+  /// counters and gauges verbatim, histograms (fixed and latency) as
+  /// derived `<name>_count` / `<name>_sum` plus `<name>_p50` / `_p95` /
+  /// `_p99` / `_p999` quantile scalars, so the time-series sampler can
+  /// chart tails over time. One registry-mutex hold, relaxed atomic reads —
   /// cheap enough for a periodic sampling thread. Names are unique across
   /// kinds by construction of the exposition formats.
   std::vector<std::pair<std::string, int64_t>> SnapshotScalars() const;
+
+  /// {"histograms": {name: {"count": c, "sum": s, "p50": ..., "p95": ...,
+  /// "p99": ..., "p999": ...}}} over the latency histograms only — the
+  /// payload behind the /latency route.
+  std::string LatencyJson() const;
 
   /// Prometheus text exposition format v0.0.4 (counters as `name value`,
   /// histograms as cumulative `name_bucket{le="..."}` series).
@@ -113,6 +128,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latency_;
 };
 
 }  // namespace payless::obs

@@ -8,6 +8,7 @@
 
 #include "obs/budget.h"
 #include "obs/cost_ledger.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/savings.h"
 #include "obs/trace.h"
@@ -23,6 +24,9 @@ struct Observability {
   CostLedger ledger;
   SavingsLedger savings;
   BudgetGovernor governor;
+  /// Always-on ring of the last N completed query traces + scheduler
+  /// events; dumped on query error, budget rejection or crash.
+  FlightRecorder flight_recorder;
   /// Optional: finished query traces are mirrored here (owned by the
   /// caller; must outlive every client using this context).
   TraceSink* trace_sink = nullptr;

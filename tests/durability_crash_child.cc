@@ -8,7 +8,9 @@
 // bytes, recovers a fresh client from them and verifies the warm restart is
 // billing-correct.
 //
-// Usage: durability_crash_child <dir> <crash_point> <after_hits>
+// Usage: durability_crash_child <dir> <crash_point> <after_hits> [dump_path]
+// `dump_path` arms the flight recorder's crash dump: the _Exit path then
+// writes the last-moments ring there for the parent to inspect.
 // Exits 42 when the armed crash fired, 1 when the run completed without
 // crashing (a harness bug), 2 on bad arguments.
 #include <cstdlib>
@@ -19,8 +21,9 @@
 #include "market/fault_injector.h"
 
 int main(int argc, char** argv) {
-  if (argc != 4) {
-    std::cerr << "usage: " << argv[0] << " <dir> <crash_point> <after_hits>\n";
+  if (argc != 4 && argc != 5) {
+    std::cerr << "usage: " << argv[0]
+              << " <dir> <crash_point> <after_hits> [dump_path]\n";
     return 2;
   }
   const std::string dir = argv[1];
@@ -39,6 +42,7 @@ int main(int argc, char** argv) {
   config.durability.dir = dir;
   config.durability.snapshot_every_records = 0;
   config.durability.crash_injector = &injector;
+  if (argc == 5) config.flight_recorder_dump_path = argv[4];
   auto client = fixture.NewClient(config);
   (void)payless::exec::DurabilityFixture::RunMix(client.get());
 

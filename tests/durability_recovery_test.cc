@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -411,13 +413,31 @@ TEST_F(DurabilityRecoveryTest, HardKillAndRestartIsBillingCorrect) {
   for (const auto& test_case : kCases) {
     const fs::path case_dir = dir_ / test_case.name;
     fs::create_directories(case_dir);
+    const fs::path dump_path = case_dir / "flight_dump.json";
     const std::string command = std::string(CRASH_CHILD_BINARY) + " " +
                                 case_dir.string() + " " +
                                 std::to_string(test_case.point) + " " +
-                                std::to_string(kAfterHits);
+                                std::to_string(kAfterHits) + " " +
+                                dump_path.string();
     const int status = std::system(command.c_str());
     ASSERT_TRUE(WIFEXITED(status)) << test_case.name;
     ASSERT_EQ(WEXITSTATUS(status), 42) << test_case.name;
+
+    // The _Exit path dumped the flight recorder: the ring's last moments
+    // are on disk, well-formed, and include the queries that ran before
+    // the kill (with their per-stage decomposition and spans).
+    ASSERT_TRUE(fs::exists(dump_path)) << test_case.name;
+    std::ifstream dump_in(dump_path);
+    std::stringstream dump_content;
+    dump_content << dump_in.rdbuf();
+    const std::string dump = dump_content.str();
+    EXPECT_EQ(dump.front(), '{') << test_case.name;
+    EXPECT_EQ(dump.back(), '}') << test_case.name;
+    EXPECT_NE(dump.find("\"entries\":["), std::string::npos) << test_case.name;
+    EXPECT_NE(dump.find("\"kind\":\"query\""), std::string::npos)
+        << test_case.name;
+    EXPECT_NE(dump.find("\"stages\":{"), std::string::npos) << test_case.name;
+    EXPECT_NE(dump.find("\"spans\":["), std::string::npos) << test_case.name;
 
     // What actually survived the kill.
     const WalReadResult wal = ReadWal((case_dir / "harvest.wal").string());

@@ -414,6 +414,67 @@ TEST_F(HttpExpositionTest, MalformedQueryStringsNeverCrashOrBlock) {
   EXPECT_EQ(Fetch(server.port(), "/metrics").status, 200);
 }
 
+TEST_F(HttpExpositionTest, LatencyAndFlightRecorderRoutesServeJson) {
+  Observability obs;
+  TimeSeriesSampler sampler(&obs.metrics, {1'000'000, 8});
+  PayLessConfig config;
+  config.observability = &obs;
+  PayLess client(&cat_, market_.get(), config);
+  HttpExpositionServer server(&obs.metrics, &obs.ledger);
+  client.RegisterIntrospection(&server, &sampler);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A query so both payloads have content: histograms record stages and
+  // the flight recorder holds the query's entry.
+  ASSERT_TRUE(client
+                  .Query("SELECT * FROM Pollution WHERE Rank >= ? AND "
+                         "Rank <= ?",
+                         {Value(int64_t{1}), Value(int64_t{50})})
+                  .ok());
+
+  const HttpReply latency = Fetch(server.port(), "/latency");
+  ASSERT_EQ(latency.status, 200);
+  EXPECT_NE(latency.content_type.find("application/json"),
+            std::string::npos);
+  EXPECT_EQ(latency.body.front(), '{');
+  EXPECT_EQ(latency.body.back(), '}');
+  EXPECT_NE(latency.body.find("payless_latency_e2e_micros"),
+            std::string::npos)
+      << latency.body;
+  EXPECT_NE(latency.body.find("\"p99\""), std::string::npos);
+
+  const HttpReply recorder = Fetch(server.port(), "/flightrecorder");
+  ASSERT_EQ(recorder.status, 200);
+  EXPECT_NE(recorder.content_type.find("application/json"),
+            std::string::npos);
+  EXPECT_EQ(recorder.body.front(), '{');
+  EXPECT_EQ(recorder.body.back(), '}');
+  EXPECT_NE(recorder.body.find("\"kind\":\"query\""), std::string::npos)
+      << recorder.body;
+  EXPECT_NE(recorder.body.find("\"stages\":{"), std::string::npos);
+
+  // HTTP hygiene: HEAD mirrors GET without a body; oversized request
+  // lines answer 414; query-string noise never wedges the routes.
+  for (const char* route : {"/latency", "/flightrecorder"}) {
+    const HttpReply head =
+        Fetch(server.port(), "/",
+              "HEAD " + std::string(route) + " HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_EQ(head.status, 200) << route;
+    EXPECT_TRUE(head.body.empty()) << route;
+    const std::string long_line = "GET " + std::string(route) + "?pad=" +
+                                  std::string(5000, 'x') +
+                                  " HTTP/1.1\r\nHost: x\r\n\r\n";
+    EXPECT_EQ(Fetch(server.port(), "/", long_line).status, 414) << route;
+    for (const char* noise : {"?q=%zz%%%", "?=&&&=", "?name=%00"}) {
+      const HttpReply fuzzed = Fetch(server.port(), route + std::string(noise));
+      EXPECT_GE(fuzzed.status, 200) << route << noise;
+      EXPECT_LT(fuzzed.status, 500) << route << noise;
+    }
+  }
+  // The accept thread survived.
+  EXPECT_EQ(Fetch(server.port(), "/latency").status, 200);
+}
+
 TEST_F(HttpExpositionTest, DashboardServesWiredPayloadsUnderLoad) {
   Observability obs;
   TimeSeriesSampler sampler(&obs.metrics, {1'000, 64});
