@@ -1,0 +1,198 @@
+// The record → advise loop, end to end, as a regression gate. Not a paper
+// figure — this drives the PR's acceptance criteria: a seed-configured
+// deployment (the paper's full system, single market, unbounded store, no
+// prefetch, no caps) serves the Fig. 10a real workload split across two
+// tenants while the workload journal records every query; the journal is
+// read back and fed to the deployment advisor, which shadow-replays the
+// recorded traffic through the default configuration grid.
+//
+//   build/bench/bench_advisor [--scale_pct=10] [--per_template=20]
+//                             [--seed=42] [--query_seed=1] [--threads=0]
+//                             [--json=BENCH_advisor.json]
+//
+// Gates (any failure exits non-zero):
+//   1. the journal read back intact: no torn tail, no decode failures,
+//      one record per issued query;
+//   2. every grid cell is reproducible (twin replays byte-identical) and
+//      reconciles (shadow ledger == sum of shadow meters);
+//   3. replay fidelity: the seed cell's shadow bill equals the bill the
+//      recording deployment was actually charged;
+//   4. the recommended configuration spends strictly less than the seed.
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/deployment_advisor.h"
+#include "bench/driver.h"
+#include "obs/observability.h"
+#include "obs/workload_journal.h"
+#include "workload/bundle.h"
+
+namespace payless::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+int Main(int argc, char** argv) {
+  const WorkloadFlags flags =
+      ParseWorkloadFlags(argc, argv, /*scale_pct=*/10, /*per_template=*/20);
+  const int64_t threads = FlagOr(argc, argv, "threads", 0);
+
+  workload::RealDataOptions options;
+  options.scale = static_cast<double>(flags.scale_pct) / 100.0;
+  options.seed = static_cast<uint64_t>(flags.seed);
+  auto bundle = workload::MakeRealBundle(
+      options, static_cast<size_t>(flags.per_template),
+      static_cast<uint64_t>(flags.query_seed));
+
+  // ---- Record: the seed deployment, journal on, two tenants ------------
+  const fs::path journal_dir =
+      fs::temp_directory_path() / "payless_bench_advisor_journal";
+  fs::remove_all(journal_dir);
+  obs::WorkloadJournalOptions journal_options;
+  journal_options.dir = journal_dir.string();
+  auto journal = obs::WorkloadJournal::Open(journal_options);
+  if (!journal.ok()) {
+    std::fprintf(stderr, "cannot open journal: %s\n",
+                 journal.status().ToString().c_str());
+    return 1;
+  }
+
+  // The recording clients run the exact configuration the advisor's seed
+  // cell replays (see advisor::ShadowConfig defaults): full system,
+  // strictly serial, savings accounting on — so gate 3 compares like with
+  // like and any divergence is a replay bug, not a config mismatch.
+  const std::vector<std::string> tenants = {"tenant-a", "tenant-b"};
+  obs::Observability record_obs;
+  std::vector<std::unique_ptr<exec::PayLess>> clients;
+  for (const std::string& tenant : tenants) {
+    exec::PayLessConfig config = workload::PayLessFullConfig();
+    config.tenant = tenant;
+    config.observability = &record_obs;
+    config.max_parallel_calls = 1;
+    config.enable_tracing = false;
+    config.enable_flight_recorder = false;
+    config.enable_savings_accounting = true;
+    config.workload_journal = journal->get();
+    clients.push_back(workload::NewPayLessClient(*bundle, std::move(config)));
+  }
+  int64_t issued = 0;
+  for (const workload::QueryInstance& query : bundle->queries) {
+    exec::PayLess* client = clients[issued % clients.size()].get();
+    const auto result = client->Query(query.sql, query.params);
+    if (!result.ok()) {
+      std::fprintf(stderr, "recording query failed: %s\n  sql: %s\n",
+                   result.status().ToString().c_str(), query.sql.c_str());
+      return 1;
+    }
+    ++issued;
+  }
+  const int64_t recorded_tx = record_obs.ledger.total_transactions();
+  const double recorded_price = record_obs.ledger.total_price();
+  std::printf("# recorded %lld queries, %lld transactions, price %.2f\n",
+              static_cast<long long>(issued),
+              static_cast<long long>(recorded_tx), recorded_price);
+
+  // ---- Gate 1: the journal holds exactly what was served ---------------
+  const obs::JournalReadResult read = obs::ReadJournal(journal_dir.string());
+  const bool journal_intact = !read.torn_tail && read.decode_failures == 0 &&
+                              static_cast<int64_t>(read.records.size()) ==
+                                  issued;
+  if (!journal_intact) {
+    std::fprintf(stderr,
+                 "JOURNAL GATE FAILED: %zu records (want %lld), torn=%d, "
+                 "decode_failures=%zu\n",
+                 read.records.size(), static_cast<long long>(issued),
+                 read.torn_tail ? 1 : 0, read.decode_failures);
+    return 1;
+  }
+
+  // ---- Advise over the default grid ------------------------------------
+  advisor::AdvisorOptions advisor_options;
+  advisor_options.max_parallel_cells = static_cast<size_t>(threads);
+  const Result<advisor::AdvisorReport> report =
+      advisor::Advise(*bundle, read.records, advisor_options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "Advise failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report->RenderText().c_str());
+
+  // ---- Gates 2-4 --------------------------------------------------------
+  bool twins_ok = true;
+  bool reconciled_ok = true;
+  const advisor::CellOutcome* seed_cell = nullptr;
+  for (const advisor::CellOutcome& cell : report->ranked) {
+    if (!cell.twin_identical) twins_ok = false;
+    if (!cell.replay.ledger_matches_meter) reconciled_ok = false;
+    if (cell.config.name == advisor::kSeedConfigName) seed_cell = &cell;
+  }
+  if (!twins_ok || !reconciled_ok) {
+    std::fprintf(stderr,
+                 "DETERMINISM GATE FAILED: twins_ok=%d reconciled_ok=%d\n",
+                 twins_ok ? 1 : 0, reconciled_ok ? 1 : 0);
+  }
+  const bool replay_matches =
+      seed_cell != nullptr &&
+      seed_cell->replay.total_transactions == recorded_tx &&
+      std::abs(seed_cell->replay.total_price - recorded_price) < 1e-6;
+  if (!replay_matches) {
+    std::fprintf(
+        stderr,
+        "FIDELITY GATE FAILED: seed replay %lld tx / %.6f vs recorded "
+        "%lld tx / %.6f\n",
+        seed_cell != nullptr
+            ? static_cast<long long>(seed_cell->replay.total_transactions)
+            : -1LL,
+        seed_cell != nullptr ? seed_cell->replay.total_price : -1.0,
+        static_cast<long long>(recorded_tx), recorded_price);
+  }
+  const bool beats_seed = !report->recommended.empty() &&
+                          report->recommended_price < report->seed_price;
+  if (!beats_seed) {
+    std::fprintf(stderr,
+                 "SAVINGS GATE FAILED: recommended '%s' price %.6f vs seed "
+                 "%.6f\n",
+                 report->recommended.c_str(), report->recommended_price,
+                 report->seed_price);
+  }
+
+  BenchJson json;
+  json.Meta("bench", std::string("advisor"));
+  json.Meta("records", static_cast<int64_t>(read.records.size()));
+  json.Meta("tenants", static_cast<int64_t>(tenants.size()));
+  json.Meta("grid_cells", static_cast<int64_t>(report->ranked.size()));
+  json.Meta("recorded_transactions", recorded_tx);
+  json.Meta("recorded_price", recorded_price);
+  json.Meta("seed_price", report->seed_price);
+  json.Meta("recommended", report->recommended);
+  json.Meta("recommended_price", report->recommended_price);
+  json.Meta("advisor_savings_pct", report->savings_vs_seed_pct);
+  json.Meta("twin_bills_identical",
+            static_cast<int64_t>(twins_ok && reconciled_ok ? 1 : 0));
+  json.Meta("replay_matches_recorded",
+            static_cast<int64_t>(replay_matches ? 1 : 0));
+  for (const advisor::CellOutcome& cell : report->ranked) {
+    json.BeginRow("cells");
+    json.Field("name", cell.config.name);
+    json.Field("price", cell.replay.total_price);
+    json.Field("transactions", cell.replay.total_transactions);
+    json.Field("feasible", static_cast<int64_t>(cell.feasible ? 1 : 0));
+    json.Field("rejected", cell.replay.rejected);
+    json.Field("failed", cell.replay.failed);
+    json.Field("savings_transactions", cell.replay.savings_transactions);
+  }
+  if (!json.WriteTo(flags.json_path)) return 1;
+
+  return (twins_ok && reconciled_ok && replay_matches && beats_seed) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace payless::bench
+
+int main(int argc, char** argv) { return payless::bench::Main(argc, argv); }

@@ -116,17 +116,19 @@ std::unique_ptr<federation::FederatedMarket> SingleMarketOf(
 }
 
 int Main(int argc, char** argv) {
-  const int64_t scale_pct = FlagOr(argc, argv, "scale_pct", 10);
-  const int64_t per_template = FlagOr(argc, argv, "per_template", 20);
-  const int64_t seed = FlagOr(argc, argv, "seed", 42);
-  const int64_t query_seed = FlagOr(argc, argv, "query_seed", 1);
+  const WorkloadFlags flags =
+      ParseWorkloadFlags(argc, argv, /*scale_pct=*/10, /*per_template=*/20);
+  const int64_t scale_pct = flags.scale_pct;
+  const int64_t per_template = flags.per_template;
+  const int64_t seed = flags.seed;
+  const int64_t query_seed = flags.query_seed;
   const int64_t fault_pct = FlagOr(argc, argv, "fault_pct", 20);
   // A page small enough that the workload's scans span several of them;
   // with the default market page (100 tuples) every access fits one page
   // and the double-page discount endpoints can't show up in transaction
   // counts — only in money.
   const int64_t page_tuples = FlagOr(argc, argv, "page_tuples", 5);
-  const std::string json_path = StringFlagOr(argc, argv, "json", "");
+  const std::string& json_path = flags.json_path;
 
   workload::RealDataOptions options;
   options.scale = static_cast<double>(scale_pct) / 100.0;

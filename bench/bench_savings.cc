@@ -40,12 +40,14 @@ struct RoundTotals {
 };
 
 int Main(int argc, char** argv) {
-  const int64_t scale_pct = FlagOr(argc, argv, "scale_pct", 10);
-  const int64_t per_template = FlagOr(argc, argv, "per_template", 40);
+  const WorkloadFlags flags =
+      ParseWorkloadFlags(argc, argv, /*scale_pct=*/10, /*per_template=*/40);
+  const int64_t scale_pct = flags.scale_pct;
+  const int64_t per_template = flags.per_template;
   const int64_t rounds = FlagOr(argc, argv, "rounds", 4);
-  const int64_t seed = FlagOr(argc, argv, "seed", 42);
-  const int64_t query_seed = FlagOr(argc, argv, "query_seed", 1);
-  const std::string json_path = StringFlagOr(argc, argv, "json", "");
+  const int64_t seed = flags.seed;
+  const int64_t query_seed = flags.query_seed;
+  const std::string& json_path = flags.json_path;
   const std::string dashboard_path =
       StringFlagOr(argc, argv, "dashboard_out", "");
   if (rounds < 2) {

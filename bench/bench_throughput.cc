@@ -72,10 +72,13 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 }
 
 int Main(int argc, char** argv) {
-  const int64_t latency_us = FlagOr(argc, argv, "call_latency_us", 2000);
-  const int64_t repeats = FlagOr(argc, argv, "repeats", 4);
-  const int64_t trials = std::max<int64_t>(1, FlagOr(argc, argv, "trials", 2));
-  const std::string json_path = StringFlagOr(argc, argv, "json", "");
+  const LoadFlags flags = ParseLoadFlags(argc, argv, /*latency_us=*/2000,
+                                         /*repeats=*/4, /*threads=*/8,
+                                         /*trials=*/2);
+  const int64_t latency_us = flags.call_latency_us;
+  const int64_t repeats = flags.repeats;
+  const int64_t trials = flags.trials;
+  const std::string& json_path = flags.json_path;
 
   catalog::Catalog cat;
   {

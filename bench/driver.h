@@ -4,6 +4,7 @@
 #ifndef PAYLESS_BENCH_DRIVER_H_
 #define PAYLESS_BENCH_DRIVER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -88,6 +89,58 @@ inline std::string StringFlagOr(int argc, char** argv, const std::string& key,
     if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
   }
   return fallback;
+}
+
+/// The knobs every load-style bench shares: simulated market RTT, workload
+/// repeats per measurement, client threads, best-of trials (clamped to
+/// >= 1 — a zero-trial bench measures nothing), and the JSON artifact
+/// path. Defaults differ per bench, so they are parameters, not constants.
+struct LoadFlags {
+  int64_t call_latency_us = 0;
+  int64_t repeats = 0;
+  int64_t threads = 0;
+  int64_t trials = 1;
+  std::string json_path;
+};
+
+inline LoadFlags ParseLoadFlags(int argc, char** argv,
+                                int64_t default_latency_us,
+                                int64_t default_repeats,
+                                int64_t default_threads,
+                                int64_t default_trials) {
+  LoadFlags flags;
+  flags.call_latency_us =
+      FlagOr(argc, argv, "call_latency_us", default_latency_us);
+  flags.repeats = FlagOr(argc, argv, "repeats", default_repeats);
+  flags.threads = FlagOr(argc, argv, "threads", default_threads);
+  flags.trials =
+      std::max<int64_t>(1, FlagOr(argc, argv, "trials", default_trials));
+  flags.json_path = StringFlagOr(argc, argv, "json", "");
+  return flags;
+}
+
+/// The knobs every workload-replay bench shares: generation scale (percent
+/// of paper size) and seed, instances per template, query shuffle seed,
+/// and the JSON artifact path.
+struct WorkloadFlags {
+  int64_t scale_pct = 10;
+  int64_t per_template = 0;
+  int64_t seed = 42;
+  int64_t query_seed = 1;
+  std::string json_path;
+};
+
+inline WorkloadFlags ParseWorkloadFlags(int argc, char** argv,
+                                        int64_t default_scale_pct,
+                                        int64_t default_per_template) {
+  WorkloadFlags flags;
+  flags.scale_pct = FlagOr(argc, argv, "scale_pct", default_scale_pct);
+  flags.per_template =
+      FlagOr(argc, argv, "per_template", default_per_template);
+  flags.seed = FlagOr(argc, argv, "seed", 42);
+  flags.query_seed = FlagOr(argc, argv, "query_seed", 1);
+  flags.json_path = StringFlagOr(argc, argv, "json", "");
+  return flags;
 }
 
 /// Machine-readable bench results: one flat JSON object of run metadata

@@ -28,6 +28,9 @@ HIGHER_IS_BETTER = (
     "net_savings_pct",
     "speedup_16_threads",
     "speedup_32_threads",
+    # The advisor must keep finding a configuration that beats the seed on
+    # the recorded workload; shrinking savings is a regression.
+    "advisor_savings_pct",
 )
 
 # Absolute caps, checked on the CURRENT file alone: the warm-restart
@@ -52,6 +55,11 @@ ABSOLUTE_MAX = {
 # means the meter (not the workload) broke.
 ABSOLUTE_MIN = {
     "coalescable_transactions": 1.0,
+    # Advisor correctness invariants, not throughput: twin shadow replays
+    # must produce byte-identical bills, and the seed cell's replay must
+    # reproduce the bill the recording deployment was actually charged.
+    "twin_bills_identical": 1.0,
+    "replay_matches_recorded": 1.0,
 }
 
 

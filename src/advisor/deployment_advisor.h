@@ -1,0 +1,109 @@
+// The what-if deployment advisor (ROADMAP item 2): enumerate a grid of
+// deployment configurations — semantic-store byte budget × batch prefetch
+// × budget-governor caps × per-endpoint federation menus — shadow-replay
+// the RECORDED workload through every cell (in parallel), and rank the
+// cells by total spend subject to a latency objective. The recommendation
+// answers the operator's actual question: on the traffic we really
+// served, which configuration would have been cheapest?
+//
+// Every cell is replayed twice (the twin check): the two bills must match
+// byte for byte, and the shadow ledger must reconcile with the shadow
+// meters, before a cell's number is allowed into the ranking.
+#ifndef PAYLESS_ADVISOR_DEPLOYMENT_ADVISOR_H_
+#define PAYLESS_ADVISOR_DEPLOYMENT_ADVISOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/shadow_replay.h"
+#include "obs/http_exposition.h"
+#include "obs/workload_journal.h"
+#include "workload/bundle.h"
+
+namespace payless::advisor {
+
+/// Latency objective a feasible configuration must meet. 0 = unconstrained.
+struct AdvisorObjective {
+  int64_t max_mean_latency_us = 0;
+  int64_t max_p99_latency_us = 0;
+};
+
+struct AdvisorOptions {
+  /// The grid to enumerate. Empty = DefaultGrid(records).
+  std::vector<ShadowConfig> grid;
+  AdvisorObjective objective;
+  /// Replay every cell twice and require byte-identical bills. On by
+  /// default — a non-reproducible cell is a bug, not a recommendation.
+  bool twin_check = true;
+  /// Concurrent cell replays (each cell is its own shadow world, the
+  /// bundle is shared read-only). 0 = hardware concurrency.
+  size_t max_parallel_cells = 0;
+  /// Simulated market RTT applied to every cell, so latency objectives
+  /// bind against realistic replayed latencies.
+  int64_t simulated_latency_us = 0;
+};
+
+/// One evaluated grid cell.
+struct CellOutcome {
+  ShadowConfig config;
+  ReplayResult replay;
+  std::string fingerprint;     // canonical bill (twin-checked)
+  bool twin_identical = true;  // both replays produced `fingerprint`
+  /// Feasible = reproducible, reconciling, zero failures, zero budget
+  /// rejections, and within the latency objective. Only feasible cells can
+  /// be recommended — a config that silently drops queries is not
+  /// "cheaper", it serves a different workload.
+  bool feasible = false;
+  std::vector<std::string> infeasible_reasons;
+};
+
+struct AdvisorReport {
+  /// Feasible cells first, cheapest total price first (ties: fewer
+  /// transactions, then name); infeasible cells after, same order.
+  std::vector<CellOutcome> ranked;
+  std::string recommended;  // name of ranked[0] when feasible; "" if none
+  /// The seed cell — the recorded deployment's configuration — for the
+  /// "would a different configuration have been cheaper" comparison.
+  std::string seed_name;
+  double seed_price = 0.0;
+  double recommended_price = 0.0;
+  /// 100 * (seed - recommended) / seed; 0 when the seed wins.
+  double savings_vs_seed_pct = 0.0;
+  int64_t records_replayed = 0;
+
+  /// Machine-readable ranked report. Deterministic: no timestamps, no
+  /// environment — two runs over the same journal emit identical bytes.
+  std::string ToJson() const;
+  /// EXPLAIN-style rendering: the grid as an annotated table plus the
+  /// recommendation and why.
+  std::string RenderText() const;
+};
+
+/// The default grid: seed (the recorded deployment: unbounded store, no
+/// prefetch, no caps, single market) plus every combination of
+/// {unbounded, bounded store} × {prefetch off, on} × {1, 2 markets} ×
+/// {uncapped, tight per-tenant cap}. The tight cap is derived from the
+/// recorded per-tenant spend so capped cells genuinely reject.
+std::vector<ShadowConfig> DefaultGrid(
+    const std::vector<obs::WorkloadRecord>& records);
+
+/// The name DefaultGrid gives the seed cell.
+inline constexpr char kSeedConfigName[] = "seed";
+
+/// Enumerates, replays and ranks. `bundle` is the seeded shadow market the
+/// journal was recorded against (rebuild it with the same workload
+/// options); `records` come from obs::ReadJournal.
+Result<AdvisorReport> Advise(const workload::Bundle& bundle,
+                             const std::vector<obs::WorkloadRecord>& records,
+                             const AdvisorOptions& options);
+
+/// Serves the report (ToJson) at /advisor. The report is captured by
+/// value; call before server->Start().
+void RegisterAdvisorRoute(obs::HttpExpositionServer* server,
+                          std::shared_ptr<const AdvisorReport> report);
+
+}  // namespace payless::advisor
+
+#endif  // PAYLESS_ADVISOR_DEPLOYMENT_ADVISOR_H_

@@ -1,0 +1,133 @@
+// payless_advisor: the record → advise CLI.
+//
+//   payless_advisor --journal_dir=/var/payless/journal [--json=report.json]
+//
+// Loads the workload journal a production deployment recorded (see
+// PayLessConfig::workload_journal), rebuilds the seeded shadow market the
+// journal was recorded against, shadow-replays the recorded queries
+// through every cell of the configuration grid, and prints the ranked
+// recommendation. Exit status: 0 on success; 2 when --gate_beats_seed is
+// set and the recommendation does not spend strictly less than the seed
+// configuration; 1 on usage or replay errors.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "advisor/deployment_advisor.h"
+#include "obs/workload_journal.h"
+#include "workload/bundle.h"
+
+namespace {
+
+int64_t FlagOr(int argc, char** argv, const char* name, int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double DoubleFlagOr(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::string StringFlagOr(int argc, char** argv, const char* name,
+                         const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+bool BoolFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace payless;
+
+  const std::string journal_dir =
+      StringFlagOr(argc, argv, "journal_dir", "");
+  if (journal_dir.empty()) {
+    std::cerr << "usage: payless_advisor --journal_dir=DIR [--json=PATH]\n"
+              << "  [--scale=0.1] [--seed=42] [--call_latency_us=0]\n"
+              << "  [--latency_mean_us=0] [--latency_p99_us=0]\n"
+              << "  [--threads=0] [--gate_beats_seed]\n";
+    return 1;
+  }
+
+  const obs::JournalReadResult journal = obs::ReadJournal(journal_dir);
+  std::cerr << "journal: " << journal.records.size() << " records in "
+            << journal.segments << " segments"
+            << (journal.torn_tail ? " (torn tail dropped)" : "") << "\n";
+  if (journal.records.empty()) {
+    std::cerr << "error: no records under " << journal_dir << "\n";
+    return 1;
+  }
+
+  // The shadow market: the same seeded generation the recorded deployment
+  // served (data only — the recorded queries replace generated ones).
+  workload::RealDataOptions data_options;
+  data_options.scale = DoubleFlagOr(argc, argv, "scale", 0.1);
+  data_options.seed =
+      static_cast<uint64_t>(FlagOr(argc, argv, "seed", 42));
+  const auto bundle =
+      workload::MakeRealBundle(data_options, /*per_template=*/1,
+                               /*query_seed=*/1);
+
+  advisor::AdvisorOptions options;
+  options.objective.max_mean_latency_us =
+      FlagOr(argc, argv, "latency_mean_us", 0);
+  options.objective.max_p99_latency_us =
+      FlagOr(argc, argv, "latency_p99_us", 0);
+  options.simulated_latency_us = FlagOr(argc, argv, "call_latency_us", 0);
+  options.max_parallel_cells =
+      static_cast<size_t>(FlagOr(argc, argv, "threads", 0));
+
+  const Result<advisor::AdvisorReport> report =
+      advisor::Advise(*bundle, journal.records, options);
+  if (!report.ok()) {
+    std::cerr << "error: " << report.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << report->RenderText();
+
+  const std::string json_path = StringFlagOr(argc, argv, "json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << report->ToJson() << "\n";
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::cerr << "report written to " << json_path << "\n";
+  }
+
+  if (BoolFlag(argc, argv, "gate_beats_seed")) {
+    if (report->recommended.empty() ||
+        report->recommended_price >= report->seed_price) {
+      std::cerr << "GATE FAILED: recommendation does not beat the seed "
+                   "configuration\n";
+      return 2;
+    }
+  }
+  return 0;
+}

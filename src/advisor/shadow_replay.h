@@ -1,0 +1,98 @@
+// Deterministic shadow replay: re-drives a recorded workload journal
+// through fresh in-process PayLess clients against a seeded shadow market.
+// No production billing, no production store mutation — the replay builds
+// its own observability context (CostLedger + SavingsLedger), its own
+// per-tenant clients and, for federated cells, its own federation overlay,
+// and tears everything down when it returns. What survives is the bill:
+// per-tenant transactions, money and per-dataset breakdown under the
+// configuration being tried.
+//
+// Determinism contract: replays issue the recorded queries strictly
+// serially in journal seq order (the virtual arrival order) with
+// single-call fan-out, so two replays of the same journal under the same
+// ShadowConfig produce BYTE-IDENTICAL bills — `BillFingerprint` is the
+// canonical byte string the advisor's twin check compares.
+#ifndef PAYLESS_ADVISOR_SHADOW_REPLAY_H_
+#define PAYLESS_ADVISOR_SHADOW_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/workload_journal.h"
+#include "workload/bundle.h"
+
+namespace payless::advisor {
+
+/// One cell of the advisor's configuration grid — the knobs a deployment
+/// operator can actually turn, applied to every shadow client.
+struct ShadowConfig {
+  std::string name;
+  /// Semantic-store retained-slab budget (placement_capacity_bytes);
+  /// 0 = unbounded.
+  int64_t store_budget_bytes = 0;
+  /// Group consecutive same-tenant queries into deferred batches of up to
+  /// `prefetch_window` and run them through QueryBatch, so overlapping
+  /// market footprints are merged and prefetched (§7).
+  bool batch_prefetch = false;
+  size_t prefetch_window = 8;
+  /// Per-tenant hard budget cap in transactions; 0 = uncapped. Applied to
+  /// every tenant seen in the journal.
+  int64_t tenant_hard_cap = 0;
+  /// 1 = the bundle's single market. >= 2 = a federation overlay with this
+  /// many endpoints over the same data (deterministic menus: dataset d is
+  /// discounted at endpoint d % N), so cross-market buy-site optimization
+  /// is part of the trial.
+  size_t federation_endpoints = 1;
+  /// Simulated per-call market RTT inside the shadow, so replayed
+  /// latencies are comparable against a latency objective.
+  int64_t simulated_latency_us = 0;
+};
+
+/// One tenant's bill under one configuration.
+struct TenantBill {
+  int64_t transactions = 0;
+  double price = 0.0;
+  std::map<std::string, int64_t> by_dataset;
+};
+
+/// Everything one shadow replay yields.
+struct ReplayResult {
+  std::string config_name;
+  std::map<std::string, TenantBill> bills;  // per tenant, from the ledger
+  int64_t total_transactions = 0;
+  double total_price = 0.0;
+  int64_t queries = 0;      // records replayed
+  int64_t rejected = 0;     // budget-rejected by the shadow governor
+  int64_t failed = 0;       // any other per-query error
+  double mean_latency_us = 0.0;
+  int64_t p99_latency_us = 0;
+  /// Savings the shadow's SavingsLedger attributed (net transactions saved
+  /// vs the store-less counterfactual) — the per-config what-if accounting.
+  int64_t savings_transactions = 0;
+  /// The reconciliation invariant, checked per replay: the shadow ledger's
+  /// billed transactions equal the sum of every shadow connector meter.
+  bool ledger_matches_meter = false;
+  /// Infrastructure failure of the replay itself (shadow setup, not a
+  /// per-query error). When not ok, every other field is meaningless.
+  Status error;
+};
+
+/// Canonical byte string of the per-tenant bills: tenants in sorted order,
+/// each with transactions, price (fixed 6-decimal rendering) and the
+/// sorted per-dataset breakdown. Twin replays must produce identical
+/// strings, byte for byte.
+std::string BillFingerprint(const ReplayResult& result);
+
+/// Replays `records` (journal seq order) through fresh shadow clients of
+/// `bundle` under `config`. Thread-safe against concurrent replays of
+/// other cells over the same bundle: the bundle is only read.
+ReplayResult ReplayJournal(const workload::Bundle& bundle,
+                           const std::vector<obs::WorkloadRecord>& records,
+                           const ShadowConfig& config);
+
+}  // namespace payless::advisor
+
+#endif  // PAYLESS_ADVISOR_SHADOW_REPLAY_H_

@@ -8,15 +8,9 @@
 // what makes a warm restart billing-correct: a slab whose record is on disk
 // is never re-bought, and nothing is ever served that was not paid for.
 //
-// On-disk framing, per record:
-//
-//   [u32 payload_len][u32 crc32(payload)][payload bytes]
-//
-// The reader walks frames until the file ends or a frame fails validation
-// (short header, absurd length, short payload, CRC mismatch) — everything
-// from the first invalid byte on is a TORN TAIL left by a crash mid-append,
-// reported but never applied. A log is therefore always recoverable: the
-// prefix of intact frames is exactly the set of durable harvests.
+// The on-disk format is the shared CRC framing in common/framing.h
+// (`[u32 len][u32 crc][payload]`, torn-tail discipline); this header adds
+// the harvest record codec on top of it.
 #ifndef PAYLESS_DURABILITY_WAL_H_
 #define PAYLESS_DURABILITY_WAL_H_
 
@@ -25,6 +19,7 @@
 #include <vector>
 
 #include "common/binio.h"
+#include "common/framing.h"
 #include "common/geometry.h"
 #include "common/status.h"
 #include "common/value.h"
@@ -32,8 +27,10 @@
 namespace payless::durability {
 
 /// CRC-32 (IEEE, reflected) of a byte span — the frame checksum.
-uint32_t Crc32(const char* data, size_t size);
-inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+inline uint32_t Crc32(const char* data, size_t size) {
+  return common::Crc32(data, size);
+}
+inline uint32_t Crc32(const std::string& s) { return common::Crc32(s); }
 
 /// One logged harvest: the market call's identity and billed result, plus
 /// everything the listener needs to re-apply it (region + rows + epoch).
@@ -59,37 +56,38 @@ bool DecodeHarvest(const std::string& payload, HarvestRecord* out);
 /// concurrent appends.
 class WriteAheadLog {
  public:
-  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
-  ~WriteAheadLog();
+  explicit WriteAheadLog(std::string path) : file_(std::move(path)) {}
 
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
   /// Opens (creating if absent) for append. Idempotent.
-  Status Open();
+  Status Open() { return file_.Open(); }
 
   /// Frames and appends one payload; fsyncs when asked. Size accounting
   /// includes the 8-byte frame header.
-  Status Append(const std::string& payload, bool fsync);
+  Status Append(const std::string& payload, bool fsync) {
+    return file_.Append(payload, fsync);
+  }
 
   /// Crash-injection path: writes only the first `torn_bytes` bytes of the
   /// frame (header included) and stops — the torn tail a real kill
   /// mid-append leaves behind. Never fsyncs (the process "died").
-  Status AppendTorn(const std::string& payload, size_t torn_bytes);
+  Status AppendTorn(const std::string& payload, size_t torn_bytes) {
+    return file_.AppendTorn(payload, torn_bytes);
+  }
 
   /// Truncates the log to empty (after a snapshot made its records
   /// redundant).
-  Status Reset();
+  Status Reset() { return file_.Reset(); }
 
-  void Close();
+  void Close() { file_.Close(); }
 
-  int64_t size_bytes() const { return size_bytes_; }
-  const std::string& path() const { return path_; }
+  int64_t size_bytes() const { return file_.size_bytes(); }
+  const std::string& path() const { return file_.path(); }
 
  private:
-  std::string path_;
-  int fd_ = -1;
-  int64_t size_bytes_ = 0;
+  common::FramedAppendFile file_;
 };
 
 /// Everything one pass over a log file yields.

@@ -30,6 +30,7 @@
 #include "obs/observability.h"
 #include "obs/savings_accountant.h"
 #include "obs/timeseries.h"
+#include "obs/workload_journal.h"
 #include "semstore/semantic_store.h"
 #include "sql/bound_query.h"
 #include "stats/estimator.h"
@@ -145,6 +146,13 @@ struct PayLessConfig {
   /// is judged against `target_micros`, and /markets renders the rolling
   /// burn rate next to the endpoint's breaker states.
   obs::LatencySlo::Options latency_slo;
+  /// Workload journal (nullable; must outlive the client). When set, every
+  /// ADMITTED query — gate-1 pass, including gate-2 budget rejections and
+  /// mid-flight failures — appends one record with its SQL, params, tenant,
+  /// virtual arrival timestamp and outcome digest. One journal is shared by
+  /// all tenant clients of a deployment, so the recorded stream interleaves
+  /// tenants exactly as they arrived; the deployment advisor replays it.
+  obs::WorkloadJournal* workload_journal = nullptr;
 };
 
 /// Everything a query returns besides the rows.

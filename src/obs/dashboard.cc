@@ -146,6 +146,9 @@ std::string DashboardHtml() {
   <div class="tile"><div class="label">Latency p50 / p99</div>
     <div class="value" id="t-lat">–</div>
     <div class="delta" id="t-lat-d">–</div></div>
+  <div class="tile"><div class="label">Workload journal</div>
+    <div class="value" id="t-wj">–</div>
+    <div class="delta" id="t-wj-d">–</div></div>
 </div>
 
 <div class="grid">
@@ -313,6 +316,23 @@ function renderFederation(fed) {
   delta.className = "delta" + (open > 0 ? " bad" : "");
 }
 
+function renderWorkload(wj) {
+  const val = $("t-wj"), delta = $("t-wj-d");
+  if (!wj || wj.recording === false) {
+    val.textContent = "off";
+    delta.textContent = "no journal configured";
+    return;
+  }
+  val.textContent = fmt(wj.records || 0) + " recorded";
+  const tenants = Object.entries(wj.tenants || {});
+  const parts = tenants.slice(0, 3).map(([t, s]) =>
+      t + " " + fmt(s.records) + " @ " + Number(s.rate_qps).toFixed(1) +
+      " qps");
+  parts.push(((wj.bytes || 0) / 1024).toFixed(0) + " KiB · " +
+      fmt(wj.segments || 0) + " segments · seq " + fmt(wj.next_seq || 0));
+  delta.textContent = parts.join(" · ");
+}
+
 function renderLatency(lat, recorder) {
   const hists = (lat && lat.histograms) || {};
   const e2e = hists.payless_latency_e2e_micros;
@@ -403,6 +423,10 @@ async function refresh() {
     // client; keep the rest of the dashboard live when it is absent.
     try { renderFederation(await getJson("/markets")); }
     catch (e) { renderFederation(null); }
+    // /workload answers {"recording":false} without a journal; treat a
+    // missing route (older server) the same way.
+    try { renderWorkload(await getJson("/workload")); }
+    catch (e) { renderWorkload(null); }
     // Same for /latency and /flightrecorder (RegisterIntrospection wires
     // both; the recorder may additionally be disabled by config).
     try {

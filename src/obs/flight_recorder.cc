@@ -88,9 +88,27 @@ std::string FlightRecorder::ToJson() const {
   return os.str();
 }
 
+namespace {
+
+/// `dump.json` + seq 2 -> `dump-2.json`; no extension appends the suffix.
+std::string SuffixedDumpPath(const std::string& path, uint64_t seq) {
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  const size_t insert_at =
+      (dot != std::string::npos && (slash == std::string::npos || dot > slash))
+          ? dot
+          : path.size();
+  return path.substr(0, insert_at) + "-" + std::to_string(seq) +
+         path.substr(insert_at);
+}
+
+}  // namespace
+
 bool FlightRecorder::DumpTo(const std::string& path) const {
+  const uint64_t seq = dump_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::string target = seq == 0 ? path : SuffixedDumpPath(path, seq);
   const int fd =
-      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      ::open(target.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return false;
   const std::string json = ToJson();
   size_t off = 0;

@@ -46,7 +46,12 @@ class FlightRecorder {
   /// {"entries":[...oldest to newest...],"recorded":n,"dropped":d}
   std::string ToJson() const;
 
-  /// Writes ToJson() to `path` (truncating); returns false on I/O error.
+  /// Writes ToJson() to a uniquely-named variant of `path`: the first dump
+  /// of this recorder uses `path` verbatim, every later one inserts a
+  /// monotonic `-<n>` before the extension (`dump.json`, `dump-1.json`,
+  /// `dump-2.json`, ...) so repeated dumps in one process — several failed
+  /// queries, a budget rejection and then a crash — never overwrite each
+  /// other. Returns false on I/O error.
   bool DumpTo(const std::string& path) const;
 
   /// Registers this recorder (and the dump path) for the crash-point dump.
@@ -78,6 +83,7 @@ class FlightRecorder {
   std::atomic<uint64_t> next_{0};
   std::atomic<int64_t> recorded_{0};
   std::atomic<int64_t> dropped_{0};
+  mutable std::atomic<uint64_t> dump_seq_{0};
 };
 
 }  // namespace payless::obs

@@ -1,0 +1,295 @@
+#include "obs/workload_journal.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "common/binio.h"
+
+namespace payless::obs {
+
+namespace {
+
+constexpr uint8_t kRecordVersion = 1;
+constexpr char kSegmentPrefix[] = "journal-";
+constexpr char kSegmentSuffix[] = ".seg";
+
+std::string SegmentPath(const std::string& dir, size_t index) {
+  std::ostringstream os;
+  os << dir << "/" << kSegmentPrefix;
+  os.width(6);
+  os.fill('0');
+  os << index << kSegmentSuffix;
+  return os.str();
+}
+
+/// Segment files under `dir`, sorted by index (the zero-padded name makes
+/// lexicographic order the rotation order).
+std::vector<std::string> ListSegments(const std::string& dir) {
+  std::vector<std::string> segments;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kSegmentPrefix, 0) == 0 &&
+        name.size() > sizeof(kSegmentSuffix) &&
+        name.compare(name.size() + 1 - sizeof(kSegmentSuffix),
+                     sizeof(kSegmentSuffix) - 1, kSegmentSuffix) == 0) {
+      segments.push_back(entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+size_t SegmentIndexOf(const std::string& path) {
+  const std::string name = std::filesystem::path(path).filename().string();
+  const size_t begin = sizeof(kSegmentPrefix) - 1;
+  const size_t end = name.size() - (sizeof(kSegmentSuffix) - 1);
+  size_t index = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    index = index * 10 + static_cast<size_t>(name[i] - '0');
+  }
+  return index;
+}
+
+void AppendJsonEscaped(std::ostringstream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string EncodeWorkloadRecord(const WorkloadRecord& record) {
+  std::string out;
+  common::BinWriter w(&out);
+  w.U8(kRecordVersion);
+  w.U64(record.seq);
+  w.Str(record.tenant);
+  w.Str(record.sql);
+  w.U32(static_cast<uint32_t>(record.params.size()));
+  for (const Value& v : record.params) common::WriteValue(w, v);
+  w.I64(record.arrival_us);
+  w.U32(static_cast<uint32_t>(record.status_code));
+  w.I64(record.transactions);
+  w.I64(record.result_rows);
+  w.I64(record.latency_us);
+  return out;
+}
+
+bool DecodeWorkloadRecord(const std::string& payload, WorkloadRecord* out) {
+  common::BinReader r(payload);
+  uint8_t version = 0;
+  if (!r.U8(&version) || version != kRecordVersion) return false;
+  uint32_t num_params = 0;
+  if (!r.U64(&out->seq) || !r.Str(&out->tenant) || !r.Str(&out->sql) ||
+      !r.U32(&num_params)) {
+    return false;
+  }
+  out->params.clear();
+  out->params.reserve(num_params);
+  for (uint32_t i = 0; i < num_params; ++i) {
+    Value v;
+    if (!common::ReadValue(r, &v)) return false;
+    out->params.push_back(std::move(v));
+  }
+  uint32_t status_code = 0;
+  if (!r.I64(&out->arrival_us) || !r.U32(&status_code) ||
+      !r.I64(&out->transactions) || !r.I64(&out->result_rows) ||
+      !r.I64(&out->latency_us)) {
+    return false;
+  }
+  out->status_code = static_cast<int32_t>(status_code);
+  return r.ok() && r.remaining() == 0;
+}
+
+JournalReadResult ReadJournal(const std::string& dir) {
+  JournalReadResult result;
+  for (const std::string& path : ListSegments(dir)) {
+    const common::FrameReadResult frames = common::ReadFramedFile(path);
+    ++result.segments;
+    result.total_bytes += frames.total_bytes;
+    // A torn tail inside an older segment loses that segment's tail only:
+    // records are self-contained, so later segments still decode.
+    result.torn_tail = result.torn_tail || frames.torn_tail;
+    for (const std::string& payload : frames.payloads) {
+      WorkloadRecord record;
+      if (DecodeWorkloadRecord(payload, &record)) {
+        result.records.push_back(std::move(record));
+      } else {
+        ++result.decode_failures;
+      }
+    }
+  }
+  return result;
+}
+
+WorkloadJournal::WorkloadJournal(WorkloadJournalOptions options)
+    : options_(std::move(options)), epoch_(std::chrono::steady_clock::now()) {}
+
+WorkloadJournal::~WorkloadJournal() = default;
+
+Result<std::unique_ptr<WorkloadJournal>> WorkloadJournal::Open(
+    WorkloadJournalOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("workload journal needs a directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("workload journal mkdir '" + options.dir +
+                            "': " + ec.message());
+  }
+
+  auto journal =
+      std::unique_ptr<WorkloadJournal>(new WorkloadJournal(std::move(options)));
+
+  // Resume after whatever is already durable: rebuild the counters from one
+  // read pass and continue seq numbering past the last record. Journals are
+  // observability artifacts of bounded size, so the scan is cheap.
+  const JournalReadResult existing = ReadJournal(journal->options_.dir);
+  journal->segments_ = existing.segments;
+  journal->records_ = static_cast<int64_t>(existing.records.size());
+  for (const WorkloadRecord& record : existing.records) {
+    journal->next_seq_ = std::max(journal->next_seq_, record.seq + 1);
+    TenantStats& t = journal->by_tenant_[record.tenant];
+    if (t.records == 0) t.first_arrival_us = record.arrival_us;
+    ++t.records;
+    t.transactions += record.transactions;
+    if (record.status_code != 0) ++t.failures;
+    t.last_arrival_us = std::max(t.last_arrival_us, record.arrival_us);
+  }
+
+  const std::vector<std::string> segments =
+      ListSegments(journal->options_.dir);
+  size_t max_index = 0;
+  int64_t total_bytes = 0;
+  for (const std::string& path : segments) {
+    max_index = std::max(max_index, SegmentIndexOf(path));
+    std::error_code size_ec;
+    const auto size = std::filesystem::file_size(path, size_ec);
+    if (!size_ec) total_bytes += static_cast<int64_t>(size);
+  }
+  journal->next_segment_index_ = max_index + 1;
+
+  // Append to the newest segment unless it is torn (appending after a torn
+  // tail would hide every later record from the reader, which stops at the
+  // first invalid frame) or already past the rotation threshold.
+  bool resume_last = false;
+  if (!segments.empty()) {
+    const common::FrameReadResult tail =
+        common::ReadFramedFile(segments.back());
+    resume_last = !tail.torn_tail &&
+                  tail.total_bytes < journal->options_.rotate_bytes;
+  }
+  if (resume_last) {
+    journal->segment_ =
+        std::make_unique<common::FramedAppendFile>(segments.back());
+    PAYLESS_RETURN_IF_ERROR(journal->segment_->Open());
+    journal->sealed_bytes_ = total_bytes - journal->segment_->size_bytes();
+  } else {
+    journal->sealed_bytes_ = total_bytes;
+    PAYLESS_RETURN_IF_ERROR(journal->RotateLocked());
+  }
+  return journal;
+}
+
+int64_t WorkloadJournal::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Status WorkloadJournal::RotateLocked() {
+  if (segment_ != nullptr) {
+    sealed_bytes_ += segment_->size_bytes();
+    segment_->Close();
+  }
+  segment_ = std::make_unique<common::FramedAppendFile>(
+      SegmentPath(options_.dir, next_segment_index_));
+  ++next_segment_index_;
+  ++segments_;
+  return segment_->Open();
+}
+
+Status WorkloadJournal::Append(WorkloadRecord record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  record.seq = next_seq_++;
+  if (segment_->size_bytes() >= options_.rotate_bytes) {
+    PAYLESS_RETURN_IF_ERROR(RotateLocked());
+  }
+  const std::string payload = EncodeWorkloadRecord(record);
+  PAYLESS_RETURN_IF_ERROR(
+      segment_->Append(payload, options_.fsync_each_append));
+  ++records_;
+  TenantStats& t = by_tenant_[record.tenant];
+  if (t.records == 0) t.first_arrival_us = record.arrival_us;
+  ++t.records;
+  t.transactions += record.transactions;
+  if (record.status_code != 0) ++t.failures;
+  t.last_arrival_us = std::max(t.last_arrival_us, record.arrival_us);
+  return Status::OK();
+}
+
+WorkloadJournal::Stats WorkloadJournal::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Stats stats;
+  stats.next_seq = next_seq_;
+  stats.records = records_;
+  stats.bytes = sealed_bytes_ + (segment_ != nullptr ? segment_->size_bytes()
+                                                     : 0);
+  stats.segments = segments_;
+  stats.by_tenant = by_tenant_;
+  return stats;
+}
+
+std::string WorkloadJournal::StatsJson() const {
+  const Stats s = stats();
+  std::ostringstream os;
+  os << "{\"dir\":\"";
+  AppendJsonEscaped(os, options_.dir);
+  os << "\",\"next_seq\":" << s.next_seq << ",\"records\":" << s.records
+     << ",\"bytes\":" << s.bytes << ",\"segments\":" << s.segments
+     << ",\"rotate_bytes\":" << options_.rotate_bytes << ",\"tenants\":{";
+  bool first = true;
+  for (const auto& [tenant, t] : s.by_tenant) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    AppendJsonEscaped(os, tenant);
+    // Arrival rate over the tenant's observed window; one lone record has
+    // no window, so rate 0 rather than a division by zero.
+    const int64_t window_us = t.last_arrival_us - t.first_arrival_us;
+    const double rate =
+        window_us > 0
+            ? static_cast<double>(t.records - 1) * 1e6 /
+                  static_cast<double>(window_us)
+            : 0.0;
+    os << "\":{\"records\":" << t.records
+       << ",\"transactions\":" << t.transactions
+       << ",\"failures\":" << t.failures
+       << ",\"first_arrival_us\":" << t.first_arrival_us
+       << ",\"last_arrival_us\":" << t.last_arrival_us
+       << ",\"rate_qps\":" << rate << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace payless::obs

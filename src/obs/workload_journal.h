@@ -1,0 +1,144 @@
+// Durable journal of the served workload: one record per ADMITTED query at
+// the PayLess entry point — the normalized SQL template text, the bound
+// parameters, the tenant, a virtual arrival timestamp, and an outcome
+// digest (billed transactions, result rows, latency, status). The journal
+// is what makes the deployment advisor possible: replaying it through
+// fresh shadow clients answers "on the traffic we really served, would a
+// different configuration have been cheaper?" without touching production
+// state or money.
+//
+// On disk the journal is a directory of CRC-framed segment files (the
+// shared common/framing.h discipline the harvest WAL uses): appends go to
+// the newest segment, rotation starts a new one past `rotate_bytes`, and
+// the reader walks segments in order, stopping inside a segment at the
+// first invalid frame — the torn tail a crash mid-append leaves behind is
+// reported, never applied. Recording is buffered (no fsync by default):
+// the journal is an observability artifact, not the billing ledger, and
+// losing the final record on a crash is acceptable where a 2% qps tax is
+// not.
+#ifndef PAYLESS_OBS_WORKLOAD_JOURNAL_H_
+#define PAYLESS_OBS_WORKLOAD_JOURNAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/framing.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace payless::obs {
+
+struct WorkloadJournalOptions {
+  /// Directory the segment files live in. Created if absent. Required.
+  std::string dir;
+  /// Start a new segment once the current one exceeds this many bytes.
+  int64_t rotate_bytes = 4 << 20;
+  /// Fsync every append. Off by default — the journal trades the last
+  /// record for bounded overhead (see header comment).
+  bool fsync_each_append = false;
+};
+
+/// One admitted query as the journal remembers it.
+struct WorkloadRecord {
+  uint64_t seq = 0;  // assigned by the journal, strictly increasing from 1
+  std::string tenant;
+  std::string sql;  // parameterized template text, as submitted
+  std::vector<Value> params;
+  /// Virtual arrival clock: microseconds since the journal opened, captured
+  /// when the query entered the system (not when its record was appended).
+  int64_t arrival_us = 0;
+  int32_t status_code = 0;   // Status::Code of the outcome
+  int64_t transactions = 0;  // billed transactions (spend-so-far on failure)
+  int64_t result_rows = 0;
+  int64_t latency_us = 0;
+};
+
+std::string EncodeWorkloadRecord(const WorkloadRecord& record);
+bool DecodeWorkloadRecord(const std::string& payload, WorkloadRecord* out);
+
+/// Everything one pass over a journal directory yields. Records carry the
+/// seq assigned at append time; segments are walked in rotation order.
+struct JournalReadResult {
+  std::vector<WorkloadRecord> records;
+  size_t segments = 0;         // segment files visited
+  bool torn_tail = false;      // some segment ended in an invalid frame
+  size_t decode_failures = 0;  // intact frames that failed record decode
+  int64_t total_bytes = 0;
+};
+
+/// Reads every decodable record under `dir`. A missing or empty directory
+/// is an empty journal. Never fails on torn or corrupt content.
+JournalReadResult ReadJournal(const std::string& dir);
+
+/// Append side. Thread-safe: one journal is shared by every per-tenant
+/// client of a deployment, so concurrent queries append under one mutex
+/// (the encode happens outside it).
+class WorkloadJournal {
+ public:
+  /// Creates `options.dir` if needed, scans existing segments, and resumes
+  /// seq numbering after the last durable record.
+  static Result<std::unique_ptr<WorkloadJournal>> Open(
+      WorkloadJournalOptions options);
+
+  ~WorkloadJournal();
+
+  WorkloadJournal(const WorkloadJournal&) = delete;
+  WorkloadJournal& operator=(const WorkloadJournal&) = delete;
+
+  /// Microseconds since the journal opened — the virtual arrival clock.
+  /// Monotonic; capture at query entry, store in the record.
+  int64_t NowMicros() const;
+
+  /// Assigns the record's seq and appends it to the newest segment,
+  /// rotating first when the segment is past `rotate_bytes`.
+  Status Append(WorkloadRecord record);
+
+  /// Point-in-time counters, all maintained inline (no directory scan).
+  struct TenantStats {
+    int64_t records = 0;
+    int64_t transactions = 0;
+    int64_t failures = 0;  // records whose status_code != kOk
+    int64_t first_arrival_us = 0;
+    int64_t last_arrival_us = 0;
+  };
+  struct Stats {
+    uint64_t next_seq = 1;  // the seq the next append will get
+    int64_t records = 0;
+    int64_t bytes = 0;  // across all segments, frame headers included
+    size_t segments = 0;
+    std::map<std::string, TenantStats> by_tenant;
+  };
+  Stats stats() const;
+
+  /// The /workload document: size/seq/segment counters plus per-tenant
+  /// record counts, spend, and observed arrival rates.
+  std::string StatsJson() const;
+
+  const WorkloadJournalOptions& options() const { return options_; }
+
+ private:
+  explicit WorkloadJournal(WorkloadJournalOptions options);
+
+  Status RotateLocked();
+
+  WorkloadJournalOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<common::FramedAppendFile> segment_;
+  size_t next_segment_index_ = 1;  // index the NEXT rotation will create
+  uint64_t next_seq_ = 1;
+  int64_t sealed_bytes_ = 0;  // bytes in rotated-out segments
+  int64_t records_ = 0;
+  size_t segments_ = 0;
+  std::map<std::string, TenantStats> by_tenant_;
+};
+
+}  // namespace payless::obs
+
+#endif  // PAYLESS_OBS_WORKLOAD_JOURNAL_H_

@@ -228,6 +228,42 @@ TEST(FlightRecorderTest, DumpToWritesWellFormedDocument) {
   std::filesystem::remove(path);
 }
 
+TEST(FlightRecorderTest, RepeatedDumpsGetMonotonicSuffixesNotOverwrites) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "payless_fr_dump_seq_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "dump.json").string();
+
+  FlightRecorder recorder;
+  recorder.Record("{\"kind\":\"first\"}");
+  ASSERT_TRUE(recorder.DumpTo(path));
+  recorder.Record("{\"kind\":\"second\"}");
+  ASSERT_TRUE(recorder.DumpTo(path));
+  recorder.Record("{\"kind\":\"third\"}");
+  ASSERT_TRUE(recorder.DumpTo(path));
+
+  // First dump keeps the exact path (crash-path consumers glob for it);
+  // later dumps land beside it instead of destroying the earlier evidence.
+  EXPECT_TRUE(std::filesystem::exists(dir / "dump.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "dump-1.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "dump-2.json"));
+
+  // Each file is the snapshot taken at its dump, not a rewrite: the first
+  // dump cannot mention entries recorded after it.
+  std::ifstream first(dir / "dump.json");
+  std::stringstream first_content;
+  first_content << first.rdbuf();
+  EXPECT_EQ(first_content.str().find("\"kind\":\"second\""),
+            std::string::npos);
+  std::ifstream third(dir / "dump-2.json");
+  std::stringstream third_content;
+  third_content << third.rdbuf();
+  EXPECT_NE(third_content.str().find("\"kind\":\"third\""),
+            std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(FlightRecorderTest, ArmedRecorderDumpsOnCrashPath) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "payless_fr_armed_test.json")

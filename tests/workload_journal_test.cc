@@ -1,0 +1,413 @@
+// Workload journal unit and integration tests: record codec, segment
+// rotation and reopen discipline, the torn-tail exhaustion the durability
+// contract requires (truncate at EVERY byte offset — the partial record is
+// dropped, never applied, and later appends never hide it), concurrent
+// appends, and the PayLess entry-point integration (every ADMITTED query
+// is recorded, gate-1 rejections are not) with the /workload route.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/payless.h"
+#include "market/data_market.h"
+#include "obs/http_exposition.h"
+#include "obs/observability.h"
+#include "obs/workload_journal.h"
+
+namespace payless::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+using catalog::AttrDomain;
+using catalog::ColumnDef;
+using catalog::DatasetDef;
+using catalog::TableDef;
+using exec::PayLess;
+using exec::PayLessConfig;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// One-request HTTP client (the server closes after each response).
+std::string HttpGetBody(uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  return header_end == std::string::npos ? "" :
+                                           response.substr(header_end + 4);
+}
+
+class WorkloadJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("workload_journal_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  WorkloadJournalOptions Options(int64_t rotate_bytes = 4 << 20) const {
+    WorkloadJournalOptions options;
+    options.dir = dir_.string();
+    options.rotate_bytes = rotate_bytes;
+    return options;
+  }
+
+  static WorkloadRecord SampleRecord(const std::string& tenant,
+                                     int64_t arrival_us) {
+    WorkloadRecord record;
+    record.tenant = tenant;
+    record.sql = "SELECT Score FROM Pollution WHERE Rank >= ? AND Rank <= ?";
+    record.params = {Value(static_cast<int64_t>(7)), Value(3.5),
+                     Value("mixed"), Value()};
+    record.arrival_us = arrival_us;
+    record.status_code = 0;
+    record.transactions = 11;
+    record.result_rows = 42;
+    record.latency_us = 1234;
+    return record;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(WorkloadJournalTest, RecordCodecRoundTripsEveryField) {
+  WorkloadRecord record = SampleRecord("acme", 555);
+  record.seq = 17;
+  record.status_code = static_cast<int32_t>(Status::Code::kBudgetExceeded);
+  const std::string payload = EncodeWorkloadRecord(record);
+
+  WorkloadRecord out;
+  ASSERT_TRUE(DecodeWorkloadRecord(payload, &out));
+  EXPECT_EQ(out.seq, 17u);
+  EXPECT_EQ(out.tenant, "acme");
+  EXPECT_EQ(out.sql, record.sql);
+  ASSERT_EQ(out.params.size(), 4u);
+  EXPECT_EQ(out.params[0], Value(static_cast<int64_t>(7)));
+  EXPECT_EQ(out.params[1], Value(3.5));
+  EXPECT_EQ(out.params[2], Value("mixed"));
+  EXPECT_TRUE(out.params[3].is_null());
+  EXPECT_EQ(out.arrival_us, 555);
+  EXPECT_EQ(out.status_code,
+            static_cast<int32_t>(Status::Code::kBudgetExceeded));
+  EXPECT_EQ(out.transactions, 11);
+  EXPECT_EQ(out.result_rows, 42);
+  EXPECT_EQ(out.latency_us, 1234);
+
+  // Unknown version and trailing garbage are rejected, not misread.
+  std::string wrong_version = payload;
+  wrong_version[0] = 9;
+  EXPECT_FALSE(DecodeWorkloadRecord(wrong_version, &out));
+  EXPECT_FALSE(DecodeWorkloadRecord(payload + "x", &out));
+  EXPECT_FALSE(DecodeWorkloadRecord("", &out));
+}
+
+TEST_F(WorkloadJournalTest, AppendAssignsSeqAndReadsBackInOrder) {
+  auto journal = WorkloadJournal::Open(Options());
+  ASSERT_TRUE(journal.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        (*journal)->Append(SampleRecord(i % 2 == 0 ? "a" : "b", i * 10)).ok());
+  }
+  const WorkloadJournal::Stats stats = (*journal)->stats();
+  EXPECT_EQ(stats.records, 5);
+  EXPECT_EQ(stats.next_seq, 6u);
+  EXPECT_EQ(stats.segments, 1u);
+  EXPECT_EQ(stats.by_tenant.at("a").records, 3);
+  EXPECT_EQ(stats.by_tenant.at("b").records, 2);
+  EXPECT_EQ(stats.by_tenant.at("a").transactions, 33);
+
+  const JournalReadResult read = ReadJournal(dir_.string());
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_EQ(read.decode_failures, 0u);
+  ASSERT_EQ(read.records.size(), 5u);
+  for (size_t i = 0; i < read.records.size(); ++i) {
+    EXPECT_EQ(read.records[i].seq, i + 1);
+  }
+  EXPECT_EQ(read.total_bytes, stats.bytes);
+}
+
+TEST_F(WorkloadJournalTest, RotatesPastThresholdAndReaderWalksSegments) {
+  // Tiny rotation threshold: every record starts a fresh segment after the
+  // first.
+  auto journal = WorkloadJournal::Open(Options(/*rotate_bytes=*/64));
+  ASSERT_TRUE(journal.ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE((*journal)->Append(SampleRecord("t", i)).ok());
+  }
+  const WorkloadJournal::Stats stats = (*journal)->stats();
+  EXPECT_GE(stats.segments, 3u);
+
+  const JournalReadResult read = ReadJournal(dir_.string());
+  EXPECT_EQ(read.segments, stats.segments);
+  ASSERT_EQ(read.records.size(), 6u);
+  for (size_t i = 0; i < read.records.size(); ++i) {
+    EXPECT_EQ(read.records[i].seq, i + 1);
+  }
+}
+
+TEST_F(WorkloadJournalTest, ReopenResumesSeqAfterLastDurableRecord) {
+  {
+    auto journal = WorkloadJournal::Open(Options());
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*journal)->Append(SampleRecord("t", i)).ok());
+    }
+  }
+  auto reopened = WorkloadJournal::Open(Options());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->stats().next_seq, 4u);
+  EXPECT_EQ((*reopened)->stats().records, 3);
+  ASSERT_TRUE((*reopened)->Append(SampleRecord("t", 99)).ok());
+
+  const JournalReadResult read = ReadJournal(dir_.string());
+  ASSERT_EQ(read.records.size(), 4u);
+  EXPECT_EQ(read.records.back().seq, 4u);
+}
+
+TEST_F(WorkloadJournalTest, TornTailAtEveryByteOffsetDropsExactlyTheTail) {
+  auto journal = WorkloadJournal::Open(Options());
+  ASSERT_TRUE(journal.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*journal)->Append(SampleRecord("t", i)).ok());
+  }
+  const std::string segment = (dir_ / "journal-000001.seg").string();
+  const std::string bytes = ReadFile(segment);
+  ASSERT_FALSE(bytes.empty());
+  const size_t record_bytes =
+      8 + EncodeWorkloadRecord(SampleRecord("t", 0)).size();
+  const size_t prefix = 2 * record_bytes;  // records 1..2 intact
+  ASSERT_LT(prefix, bytes.size());
+
+  journal->reset();  // release the fd before rewriting the segment
+  for (size_t cut = prefix; cut < bytes.size(); ++cut) {
+    WriteFile(segment, bytes.substr(0, cut));
+    const JournalReadResult read = ReadJournal(dir_.string());
+    ASSERT_EQ(read.records.size(), 2u) << "cut at byte " << cut;
+    EXPECT_EQ(read.records[0].seq, 1u) << "cut at byte " << cut;
+    EXPECT_EQ(read.records[1].seq, 2u) << "cut at byte " << cut;
+    EXPECT_EQ(read.torn_tail, cut > prefix) << "cut at byte " << cut;
+    EXPECT_EQ(read.decode_failures, 0u) << "cut at byte " << cut;
+  }
+}
+
+TEST_F(WorkloadJournalTest, ReopenAfterTornTailRotatesInsteadOfHiding) {
+  {
+    auto journal = WorkloadJournal::Open(Options());
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE((*journal)->Append(SampleRecord("t", i)).ok());
+    }
+  }
+  // Tear the newest segment mid-frame: the third record loses its tail.
+  const std::string segment = (dir_ / "journal-000001.seg").string();
+  const std::string bytes = ReadFile(segment);
+  WriteFile(segment, bytes.substr(0, bytes.size() - 3));
+
+  // Reopen must NOT append after the torn tail — the reader stops at the
+  // first invalid frame, so an in-place append would hide the new record.
+  auto reopened = WorkloadJournal::Open(Options());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->stats().next_seq, 3u);  // two durable records
+  ASSERT_TRUE((*reopened)->Append(SampleRecord("t", 99)).ok());
+  EXPECT_EQ((*reopened)->stats().segments, 2u);
+
+  const JournalReadResult read = ReadJournal(dir_.string());
+  EXPECT_TRUE(read.torn_tail);  // the old segment still reports its tear
+  ASSERT_EQ(read.records.size(), 3u);
+  EXPECT_EQ(read.records.back().seq, 3u);
+  EXPECT_EQ(read.records.back().arrival_us, 99);
+}
+
+TEST_F(WorkloadJournalTest, ConcurrentAppendsKeepSeqsUniqueAndDense) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  auto journal = WorkloadJournal::Open(Options(/*rotate_bytes=*/512));
+  ASSERT_TRUE(journal.ok());
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(
+            (*journal)->Append(SampleRecord("t" + std::to_string(t), i)).ok());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const JournalReadResult read = ReadJournal(dir_.string());
+  EXPECT_FALSE(read.torn_tail);
+  ASSERT_EQ(read.records.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  std::set<uint64_t> seqs;
+  for (const WorkloadRecord& record : read.records) {
+    seqs.insert(record.seq);
+  }
+  EXPECT_EQ(seqs.size(), read.records.size());
+  EXPECT_EQ(*seqs.begin(), 1u);
+  EXPECT_EQ(*seqs.rbegin(), read.records.size());
+}
+
+// ---- PayLess entry-point integration ----------------------------------
+
+class JournalIntegrationTest : public WorkloadJournalTest {
+ protected:
+  void SetUp() override {
+    WorkloadJournalTest::SetUp();
+    ASSERT_TRUE(cat_.RegisterDataset(DatasetDef{"EHR", 1.0, 100}).ok());
+    TableDef pollution;
+    pollution.name = "Pollution";
+    pollution.dataset = "EHR";
+    pollution.columns = {
+        ColumnDef::Free("Rank", ValueType::kInt64,
+                        AttrDomain::Numeric(1, 2000)),
+        ColumnDef::Output("Score", ValueType::kDouble)};
+    pollution.cardinality = 2000;
+    ASSERT_TRUE(cat_.RegisterTable(pollution).ok());
+
+    market_ = std::make_unique<market::DataMarket>(&cat_);
+    std::vector<Row> rows;
+    for (int64_t rank = 1; rank <= 2000; ++rank) {
+      rows.push_back(Row{Value(rank), Value(static_cast<double>(rank) / 10)});
+    }
+    ASSERT_TRUE(market_->HostTable("Pollution", std::move(rows)).ok());
+  }
+
+  catalog::Catalog cat_;
+  std::unique_ptr<market::DataMarket> market_;
+};
+
+TEST_F(JournalIntegrationTest, RecordsAdmittedQueriesButNotGateOneRejects) {
+  auto journal = WorkloadJournal::Open(Options());
+  ASSERT_TRUE(journal.ok());
+
+  Observability obs;
+  PayLessConfig config;
+  config.tenant = "acme";
+  config.observability = &obs;
+  config.workload_journal = journal->get();
+  PayLess client(&cat_, market_.get(), config);
+
+  // 1. A delivered query is journaled with its outcome digest. Five pages
+  //    of spend, so the cap of 1 below is genuinely exceeded.
+  const auto ok = client.Query(
+      "SELECT Score FROM Pollution WHERE Rank >= ? AND Rank <= ?",
+      {Value(static_cast<int64_t>(1)), Value(static_cast<int64_t>(500))});
+  ASSERT_TRUE(ok.ok());
+
+  // 2. A parse error is still an admitted query — journaled as a failure.
+  EXPECT_FALSE(client.Query("SELETC nonsense", {}).ok());
+
+  // 3. Exhaust the tenant's budget, then issue again: gate 1 rejects
+  //    before the parse, so nothing is journaled.
+  TenantBudget budget;
+  budget.hard_cap_transactions = 1;  // already spent past this
+  obs.governor.SetBudget("acme", budget);
+  EXPECT_FALSE(client
+                   .Query("SELECT Score FROM Pollution WHERE Rank >= ? AND "
+                          "Rank <= ?",
+                          {Value(static_cast<int64_t>(1)),
+                           Value(static_cast<int64_t>(10))})
+                   .ok());
+
+  const JournalReadResult read = ReadJournal(dir_.string());
+  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.records[0].tenant, "acme");
+  EXPECT_EQ(read.records[0].status_code, 0);
+  EXPECT_GT(read.records[0].transactions, 0);
+  EXPECT_GT(read.records[0].result_rows, 0);
+  ASSERT_EQ(read.records[0].params.size(), 2u);
+  EXPECT_EQ(read.records[0].params[1], Value(static_cast<int64_t>(500)));
+  EXPECT_NE(read.records[1].status_code, 0);
+  EXPECT_EQ(read.records[1].sql, "SELETC nonsense");
+  // Arrival clock is monotonic across the records.
+  EXPECT_LE(read.records[0].arrival_us, read.records[1].arrival_us);
+}
+
+TEST_F(JournalIntegrationTest, WorkloadRouteServesJournalStats) {
+  auto journal = WorkloadJournal::Open(Options());
+  ASSERT_TRUE(journal.ok());
+
+  Observability obs;
+  PayLessConfig config;
+  config.tenant = "acme";
+  config.observability = &obs;
+  config.workload_journal = journal->get();
+  PayLess client(&cat_, market_.get(), config);
+  ASSERT_TRUE(client
+                  .Query("SELECT Score FROM Pollution WHERE Rank >= ? AND "
+                         "Rank <= ?",
+                         {Value(static_cast<int64_t>(1)),
+                          Value(static_cast<int64_t>(50))})
+                  .ok());
+
+  HttpExpositionServer server(&obs.metrics, &obs.ledger);
+  client.RegisterIntrospection(&server);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string body = HttpGetBody(server.port(), "/workload");
+  EXPECT_NE(body.find("\"records\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"acme\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"segments\":1"), std::string::npos) << body;
+  server.Stop();
+
+  // Without a journal the route reports that recording is off.
+  PayLessConfig bare_config;
+  bare_config.observability = &obs;
+  PayLess bare(&cat_, market_.get(), bare_config);
+  HttpExpositionServer bare_server(&obs.metrics, &obs.ledger);
+  bare.RegisterIntrospection(&bare_server);
+  ASSERT_TRUE(bare_server.Start().ok());
+  const std::string off = HttpGetBody(bare_server.port(), "/workload");
+  EXPECT_NE(off.find("\"recording\":false"), std::string::npos) << off;
+  bare_server.Stop();
+}
+
+}  // namespace
+}  // namespace payless::obs
